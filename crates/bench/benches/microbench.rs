@@ -1,0 +1,142 @@
+//! Criterion microbenchmarks for the hot paths of the reproduction:
+//! marker emission (sampled and unsampled), the generated BPF Collector
+//! programs, the verifier, map operations, the sampler's per-event
+//! decision, B+-tree and hash-index operations, and record
+//! encode/decode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use noisetap::Value;
+use tscout::{CollectionMode, ProbeSet, Subsystem, TScout, TsConfig};
+use tscout_bpf::maps::MapDef;
+use tscout_bpf::vm::{NullWorld, Vm};
+use tscout_bpf::MapRegistry;
+use tscout_kernel::{HardwareProfile, Kernel};
+
+fn marker_triple(c: &mut Criterion) {
+    let mut group = c.benchmark_group("marker_triple");
+    for (name, rate) in [("sampled", 100u8), ("unsampled", 0u8)] {
+        let mut kernel = Kernel::new(HardwareProfile::server_2x20());
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.enable_subsystem(Subsystem::ExecutionEngine, ProbeSet::all());
+        cfg.ring_capacity = 1 << 16;
+        let mut ts = TScout::deploy(&mut kernel, cfg).unwrap();
+        let ou = ts.register_ou("bench_ou", Subsystem::ExecutionEngine, 2);
+        ts.set_sampling_rate(Subsystem::ExecutionEngine, rate);
+        let task = kernel.create_task();
+        ts.register_thread(&mut kernel, task);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                ts.ou_begin(&mut kernel, task, ou);
+                ts.ou_end(&mut kernel, task, ou);
+                ts.ou_features(&mut kernel, task, ou, black_box(&[100, 8]), &[4096]);
+            })
+        });
+        // Keep the ring from growing unboundedly.
+        ts.drain_ring(usize::MAX);
+    }
+    group.finish();
+}
+
+fn bpf_vm(c: &mut Criterion) {
+    use tscout::codegen::{encode_ctx, gen_begin, gen_end, ProbeLayout};
+    let probes = ProbeLayout { cpu: true, disk: true, net: true };
+    let mut maps = MapRegistry::new();
+    let depth = maps.create(MapDef::hash("d", 8, 8, 256));
+    let begin = maps.create(MapDef::hash("b", 8, probes.snap_words() * 8, 1024));
+    let done = maps.create(MapDef::hash("dn", 8, probes.done_words() * 8, 256));
+    let _ring = maps.create(MapDef::perf_event_array("r", 1024));
+    let b_prog = gen_begin(&probes, depth, begin);
+    let e_prog = gen_end(&probes, depth, begin, done);
+    let ctx = encode_ctx(1, 42, 0, 0, &[]);
+    let mut world = NullWorld::default();
+
+    c.bench_function("bpf_begin_end_pair", |b| {
+        b.iter(|| {
+            Vm::run(&b_prog, &ctx, &mut maps, &mut world).unwrap();
+            Vm::run(&e_prog, &ctx, &mut maps, &mut world).unwrap();
+        })
+    });
+
+    c.bench_function("bpf_verify_collector", |b| {
+        b.iter(|| tscout_bpf::verify(black_box(&e_prog), &maps, 296).unwrap())
+    });
+}
+
+fn sampler(c: &mut Criterion) {
+    let mut s = tscout::Sampler::new(1);
+    s.set_rate(Subsystem::ExecutionEngine, 10);
+    c.bench_function("sampler_decide", |b| {
+        b.iter(|| s.decide(black_box(3), Subsystem::ExecutionEngine))
+    });
+}
+
+fn indexes(c: &mut Criterion) {
+    use noisetap::storage::SlotId;
+    let mut btree = noisetap::index::BTreeIndex::new();
+    let mut hash = noisetap::index::HashIndex::new();
+    for i in 0..100_000i64 {
+        btree.insert(vec![Value::Int(i)], SlotId(i as u64));
+        hash.insert(vec![Value::Int(i)], SlotId(i as u64));
+    }
+    let key = vec![Value::Int(54_321)];
+    c.bench_function("btree_point_lookup_100k", |b| {
+        b.iter(|| btree.get(black_box(&key)))
+    });
+    c.bench_function("hash_point_lookup_100k", |b| {
+        b.iter(|| hash.get(black_box(&key)))
+    });
+    let lo = vec![Value::Int(50_000)];
+    let hi = vec![Value::Int(50_100)];
+    c.bench_function("btree_range_100", |b| {
+        b.iter(|| btree.range(Some(black_box(&lo)), Some(black_box(&hi))))
+    });
+}
+
+fn records(c: &mut Criterion) {
+    let rec = tscout::RawRecord {
+        ou: 3,
+        tid: 7,
+        subsystem: 0,
+        flags: 0,
+        start_ns: 123,
+        elapsed_ns: 456,
+        metrics: vec![1; 15],
+        payload: vec![2; 8],
+    };
+    let bytes = tscout::encode_record(&rec);
+    c.bench_function("record_encode", |b| b.iter(|| tscout::encode_record(black_box(&rec))));
+    c.bench_function("record_decode", |b| {
+        b.iter(|| tscout::decode_record(black_box(&bytes)).unwrap())
+    });
+}
+
+fn sql(c: &mut Criterion) {
+    let mut db = noisetap::Database::new(Kernel::new(HardwareProfile::server_2x20()));
+    let sid = db.create_session();
+    db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)", &[]).unwrap();
+    for i in 0..10_000 {
+        db.execute(sid, "INSERT INTO t VALUES ($1, $2)", &[Value::Int(i), Value::Float(0.0)])
+            .unwrap();
+    }
+    let q = db.prepare("SELECT v FROM t WHERE id = $1").unwrap();
+    c.bench_function("db_point_query_prepared", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = (i + 1) % 10_000;
+            db.execute_prepared(sid, q, black_box(&[Value::Int(i)])).unwrap()
+        })
+    });
+    c.bench_function("sql_parse_plan", |b| {
+        b.iter(|| {
+            noisetap::sql::parser::parse(black_box(
+                "SELECT a, count(*) FROM t WHERE id BETWEEN 1 AND 100 GROUP BY a",
+            ))
+            .unwrap()
+        })
+    });
+}
+
+criterion_group!(benches, marker_triple, bpf_vm, sampler, indexes, records, sql);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! # tscout-bpf — a from-scratch BPF-style virtual machine
+//!
+//! TScout generates a kernel-space program (via Linux BPF) that collects
+//! metrics at operating-unit boundaries (paper §3). This crate reproduces
+//! the BPF substrate that program runs on:
+//!
+//! * [`insn`] — a register ISA modeled on eBPF: eleven registers
+//!   (`R0`–`R10`), 64-bit ALU, sized loads/stores, forward jumps, helper
+//!   calls, and `exit`.
+//! * [`asm`] — a label-based program builder. TScout's Codegen emits real
+//!   bytecode through it (loops are unrolled at codegen time, as BCC does
+//!   for kernel-5.4-era programs).
+//! * [`verifier`] — a static verifier in the spirit of the kernel's: it
+//!   walks every execution path, tracks register types (scalar, pointer to
+//!   stack/context/map-value, map handle), enforces bounds on every memory
+//!   access, requires null checks on map lookups, rejects back edges
+//!   (unbounded loops), uninitialized reads, and over-long programs.
+//! * [`maps`] — BPF maps: hash, array, per-CPU array, stack (used for
+//!   recursive operators, paper §5.2), and the perf-event ring buffer that
+//!   ships samples to the user-space Processor (bounded, overwrites when
+//!   full — paper §3.2).
+//! * [`vm`] — the interpreter. It trusts the verifier but still checks
+//!   everything defensively; helper calls reach the simulated kernel
+//!   through the [`vm::HelperWorld`] trait, which keeps this crate
+//!   independent of `tscout-kernel`.
+//! * [`loader`] — load → verify → attach lifecycle, including detach and
+//!   reload for dynamic feature selection (paper §5.4).
+//!
+//! The crate is deliberately self-contained (no dependencies) so the
+//! verifier and interpreter can be property-tested in isolation.
+
+pub mod asm;
+pub mod insn;
+pub mod loader;
+pub mod maps;
+pub mod verifier;
+pub mod vm;
+
+pub use asm::ProgramBuilder;
+pub use insn::{AluOp, Cond, Helper, Insn, Reg, Size, Src};
+pub use loader::{LoadError, Loader, ProgId};
+pub use maps::{MapDef, MapId, MapKind, MapRegistry};
+pub use verifier::{verify, VerifyError};
+pub use vm::{ExecStats, HelperWorld, Vm, VmError};

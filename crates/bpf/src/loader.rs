@@ -1,0 +1,183 @@
+//! The program loader: load → verify → run, plus unload/reload.
+//!
+//! "During this loading step, the BPF subsystem verifies the program's
+//! safety, just-in-time compiles the bytecode to machine code, and
+//! transfers it into the kernel" (paper §2.3). Our loader verifies and
+//! then interprets; unload/reload supports TScout's dynamic feature
+//! selection (§5.4: "TS can dynamically unload BPF programs, modify them,
+//! and reload them").
+
+use crate::insn::Insn;
+use crate::maps::MapRegistry;
+use crate::verifier::{verify, VerifyError};
+use crate::vm::{ExecStats, HelperWorld, Vm, VmError};
+
+/// Identifier of a loaded program. Also used as the attachment token in the
+/// simulated kernel's tracepoint registry.
+pub type ProgId = u64;
+
+/// Load-time failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LoadError {
+    Verify(VerifyError),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Verify(e) => write!(f, "verifier rejected program: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A verified, loaded program.
+#[derive(Debug, Clone)]
+pub struct LoadedProg {
+    pub name: String,
+    pub insns: Vec<Insn>,
+    pub ctx_size: usize,
+}
+
+/// Owns the maps and the loaded programs — the "BPF subsystem".
+#[derive(Debug, Default)]
+pub struct Loader {
+    pub maps: MapRegistry,
+    progs: Vec<Option<LoadedProg>>,
+}
+
+impl Loader {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Verify and load a program. The program may only be attached after a
+    /// successful load, mirroring the kernel flow.
+    pub fn load(
+        &mut self,
+        name: &str,
+        insns: Vec<Insn>,
+        ctx_size: usize,
+    ) -> Result<ProgId, LoadError> {
+        verify(&insns, &self.maps, ctx_size).map_err(LoadError::Verify)?;
+        let id = self.progs.len() as ProgId;
+        self.progs.push(Some(LoadedProg { name: name.into(), insns, ctx_size }));
+        Ok(id)
+    }
+
+    /// Unload a program (dynamic reload support). Unknown/already-unloaded
+    /// ids are ignored, like closing an already-closed fd.
+    pub fn unload(&mut self, id: ProgId) {
+        if let Some(slot) = self.progs.get_mut(id as usize) {
+            *slot = None;
+        }
+    }
+
+    pub fn get(&self, id: ProgId) -> Option<&LoadedProg> {
+        self.progs.get(id as usize).and_then(|p| p.as_ref())
+    }
+
+    /// Number of currently loaded programs.
+    pub fn loaded_count(&self) -> usize {
+        self.progs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Execute a loaded program against a context payload.
+    pub fn run(
+        &mut self,
+        id: ProgId,
+        ctx: &[u8],
+        world: &mut dyn HelperWorld,
+    ) -> Result<(u64, ExecStats), VmError> {
+        let prog = self
+            .progs
+            .get(id as usize)
+            .and_then(|p| p.as_ref())
+            .ok_or(VmError::PcOutOfBounds { pc: usize::MAX })?;
+        // Context is truncated/zero-padded to the declared size so variable
+        // payloads (e.g. feature vectors) stay within verified bounds.
+        if ctx.len() >= prog.ctx_size {
+            let insns = prog.insns.clone();
+            let size = prog.ctx_size;
+            Vm::run(&insns, &ctx[..size], &mut self.maps, world)
+        } else {
+            let mut padded = vec![0u8; prog.ctx_size];
+            padded[..ctx.len()].copy_from_slice(ctx);
+            let insns = prog.insns.clone();
+            Vm::run(&insns, &padded, &mut self.maps, world)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::insn::{R0, R1, Size};
+    use crate::vm::NullWorld;
+
+    fn trivial() -> Vec<Insn> {
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 7).exit();
+        b.resolve().unwrap()
+    }
+
+    #[test]
+    fn load_and_run() {
+        let mut l = Loader::new();
+        let id = l.load("t", trivial(), 0).unwrap();
+        let mut w = NullWorld::default();
+        let (r0, _) = l.run(id, &[], &mut w).unwrap();
+        assert_eq!(r0, 7);
+        assert_eq!(l.get(id).unwrap().name, "t");
+    }
+
+    #[test]
+    fn load_rejects_bad_programs() {
+        let mut l = Loader::new();
+        let err = l.load("bad", vec![Insn::Exit], 0).unwrap_err();
+        assert!(matches!(err, LoadError::Verify(_)));
+        assert_eq!(l.loaded_count(), 0);
+    }
+
+    #[test]
+    fn unload_then_run_fails() {
+        let mut l = Loader::new();
+        let id = l.load("t", trivial(), 0).unwrap();
+        l.unload(id);
+        assert!(l.get(id).is_none());
+        let mut w = NullWorld::default();
+        assert!(l.run(id, &[], &mut w).is_err());
+        // Reload gets a fresh id.
+        let id2 = l.load("t2", trivial(), 0).unwrap();
+        assert_ne!(id, id2);
+        assert_eq!(l.loaded_count(), 1);
+    }
+
+    #[test]
+    fn ctx_is_padded_to_declared_size() {
+        let mut l = Loader::new();
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R1, 8); // read past a 4-byte payload
+        b.exit();
+        let id = l.load("pad", b.resolve().unwrap(), 16).unwrap();
+        let mut w = NullWorld::default();
+        let (r0, _) = l.run(id, &[0xFF, 0xFF, 0xFF, 0xFF], &mut w).unwrap();
+        assert_eq!(r0, 0); // padded region reads as zero
+    }
+
+    #[test]
+    fn oversized_ctx_is_truncated() {
+        let mut l = Loader::new();
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R1, 0);
+        b.exit();
+        let id = l.load("trunc", b.resolve().unwrap(), 8).unwrap();
+        let mut w = NullWorld::default();
+        let mut ctx = vec![0u8; 32];
+        ctx[..8].copy_from_slice(&123u64.to_le_bytes());
+        let (r0, _) = l.run(id, &ctx, &mut w).unwrap();
+        assert_eq!(r0, 123);
+    }
+}

@@ -1,0 +1,431 @@
+//! BPF maps: the only mutable state a BPF program may touch.
+//!
+//! TScout's Collector uses maps for all intermediate storage (paper §3.2):
+//! a hash map keyed by thread id holds the BEGIN snapshot and the END
+//! deltas, a stack map handles recursive operators (§5.2), and a
+//! perf-event array ships finished samples to the Processor. The perf
+//! buffer is bounded and *overwrites* when full — the Processor may drop
+//! data without correctness problems, which is how TScout avoids back
+//! pressure on the DBMS (§3).
+//!
+//! Hash maps use `BTreeMap` internally so iteration order — and therefore
+//! every simulation — is deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+
+/// Identifier of a created map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MapId(pub u32);
+
+/// Map flavors, mirroring the BPF map types TScout relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapKind {
+    /// Keyed storage; at most `max_entries` live keys.
+    Hash { max_entries: usize },
+    /// Fixed-size array; keys are 4-byte little-endian indices.
+    Array { entries: usize },
+    /// LIFO stack of values; at most `max_entries` deep.
+    Stack { max_entries: usize },
+    /// Bounded ring buffer to user space; overwrites oldest when full.
+    PerfEventArray { capacity: usize },
+}
+
+/// A map definition supplied at creation time.
+#[derive(Debug, Clone)]
+pub struct MapDef {
+    pub name: String,
+    pub kind: MapKind,
+    pub key_size: usize,
+    pub value_size: usize,
+}
+
+impl MapDef {
+    pub fn hash(name: &str, key_size: usize, value_size: usize, max_entries: usize) -> Self {
+        MapDef { name: name.into(), kind: MapKind::Hash { max_entries }, key_size, value_size }
+    }
+
+    pub fn array(name: &str, value_size: usize, entries: usize) -> Self {
+        MapDef { name: name.into(), kind: MapKind::Array { entries }, key_size: 4, value_size }
+    }
+
+    pub fn stack(name: &str, value_size: usize, max_entries: usize) -> Self {
+        MapDef { name: name.into(), kind: MapKind::Stack { max_entries }, key_size: 0, value_size }
+    }
+
+    pub fn perf_event_array(name: &str, capacity: usize) -> Self {
+        MapDef {
+            name: name.into(),
+            kind: MapKind::PerfEventArray { capacity },
+            key_size: 0,
+            value_size: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Storage {
+    Hash(BTreeMap<Vec<u8>, Vec<u8>>),
+    Array(Vec<Vec<u8>>),
+    Stack(Vec<Vec<u8>>),
+    Ring { buf: VecDeque<Vec<u8>>, dropped: u64 },
+}
+
+/// One live map.
+#[derive(Debug)]
+pub struct MapInstance {
+    pub def: MapDef,
+    storage: Storage,
+}
+
+/// Errors surfaced to BPF as negative return codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    /// `-E2BIG`: the map is full.
+    Full,
+    /// `-ENOENT`: no such element.
+    NotFound,
+    /// `-EINVAL`: wrong key/value size or wrong map kind for the operation.
+    Invalid,
+}
+
+impl MapError {
+    /// The errno-style value returned in `R0`.
+    pub fn errno(self) -> i64 {
+        match self {
+            MapError::Full => -7,
+            MapError::NotFound => -2,
+            MapError::Invalid => -22,
+        }
+    }
+}
+
+/// All maps created through a loader.
+#[derive(Debug, Default)]
+pub struct MapRegistry {
+    maps: Vec<MapInstance>,
+}
+
+impl MapRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn create(&mut self, def: MapDef) -> MapId {
+        let storage = match def.kind {
+            MapKind::Hash { .. } => Storage::Hash(BTreeMap::new()),
+            MapKind::Array { entries } => Storage::Array(vec![vec![0; def.value_size]; entries]),
+            MapKind::Stack { .. } => Storage::Stack(Vec::new()),
+            MapKind::PerfEventArray { .. } => Storage::Ring { buf: VecDeque::new(), dropped: 0 },
+        };
+        let id = MapId(self.maps.len() as u32);
+        self.maps.push(MapInstance { def, storage });
+        id
+    }
+
+    pub fn def(&self, id: MapId) -> Option<&MapDef> {
+        self.maps.get(id.0 as usize).map(|m| &m.def)
+    }
+
+    pub fn len(&self) -> usize {
+        self.maps.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.maps.is_empty()
+    }
+
+    fn map(&self, id: MapId) -> &MapInstance {
+        &self.maps[id.0 as usize]
+    }
+
+    fn map_mut(&mut self, id: MapId) -> &mut MapInstance {
+        &mut self.maps[id.0 as usize]
+    }
+
+    // ------------------------------------------------------------------
+    // Hash / array element access
+    // ------------------------------------------------------------------
+
+    /// Look up a value. For arrays the key is a 4-byte LE index.
+    pub fn lookup(&self, id: MapId, key: &[u8]) -> Option<&[u8]> {
+        let m = self.map(id);
+        match &m.storage {
+            Storage::Hash(h) => h.get(key).map(|v| v.as_slice()),
+            Storage::Array(a) => {
+                let idx = array_index(key)?;
+                a.get(idx).map(|v| v.as_slice())
+            }
+            _ => None,
+        }
+    }
+
+    /// Mutable view of a stored value (backs BPF's in-place value pointers).
+    pub fn lookup_mut(&mut self, id: MapId, key: &[u8]) -> Option<&mut [u8]> {
+        let m = self.map_mut(id);
+        match &mut m.storage {
+            Storage::Hash(h) => h.get_mut(key).map(|v| v.as_mut_slice()),
+            Storage::Array(a) => {
+                let idx = array_index(key)?;
+                a.get_mut(idx).map(|v| v.as_mut_slice())
+            }
+            _ => None,
+        }
+    }
+
+    /// Insert or overwrite.
+    pub fn update(&mut self, id: MapId, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        let m = self.map_mut(id);
+        if key.len() != m.def.key_size || value.len() != m.def.value_size {
+            return Err(MapError::Invalid);
+        }
+        match (&mut m.storage, m.def.kind) {
+            (Storage::Hash(h), MapKind::Hash { max_entries }) => {
+                if !h.contains_key(key) && h.len() >= max_entries {
+                    return Err(MapError::Full);
+                }
+                h.insert(key.to_vec(), value.to_vec());
+                Ok(())
+            }
+            (Storage::Array(a), _) => {
+                let idx = array_index(key).ok_or(MapError::Invalid)?;
+                let slot = a.get_mut(idx).ok_or(MapError::NotFound)?;
+                slot.copy_from_slice(value);
+                Ok(())
+            }
+            _ => Err(MapError::Invalid),
+        }
+    }
+
+    pub fn delete(&mut self, id: MapId, key: &[u8]) -> Result<(), MapError> {
+        let m = self.map_mut(id);
+        match &mut m.storage {
+            Storage::Hash(h) => {
+                h.remove(key).map(|_| ()).ok_or(MapError::NotFound)
+            }
+            _ => Err(MapError::Invalid),
+        }
+    }
+
+    /// Number of live entries (hash/stack) or slots (array).
+    pub fn entries(&self, id: MapId) -> usize {
+        match &self.map(id).storage {
+            Storage::Hash(h) => h.len(),
+            Storage::Array(a) => a.len(),
+            Storage::Stack(s) => s.len(),
+            Storage::Ring { buf, .. } => buf.len(),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Stack maps (recursive operators, paper §5.2)
+    // ------------------------------------------------------------------
+
+    pub fn push(&mut self, id: MapId, value: &[u8]) -> Result<(), MapError> {
+        let m = self.map_mut(id);
+        if value.len() != m.def.value_size {
+            return Err(MapError::Invalid);
+        }
+        match (&mut m.storage, m.def.kind) {
+            (Storage::Stack(s), MapKind::Stack { max_entries }) => {
+                if s.len() >= max_entries {
+                    return Err(MapError::Full);
+                }
+                s.push(value.to_vec());
+                Ok(())
+            }
+            _ => Err(MapError::Invalid),
+        }
+    }
+
+    pub fn pop(&mut self, id: MapId) -> Result<Vec<u8>, MapError> {
+        let m = self.map_mut(id);
+        match &mut m.storage {
+            Storage::Stack(s) => s.pop().ok_or(MapError::NotFound),
+            _ => Err(MapError::Invalid),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Perf event ring buffer (Collector → Processor channel, paper §3.2)
+    // ------------------------------------------------------------------
+
+    /// Publish a record. When the ring is full the *oldest* record is
+    /// overwritten and the drop counter incremented; the producer never
+    /// blocks (the "no back pressure" design property).
+    pub fn ring_push(&mut self, id: MapId, data: &[u8]) -> Result<(), MapError> {
+        let m = self.map_mut(id);
+        match (&mut m.storage, m.def.kind) {
+            (Storage::Ring { buf, dropped }, MapKind::PerfEventArray { capacity }) => {
+                if buf.len() >= capacity {
+                    buf.pop_front();
+                    *dropped += 1;
+                }
+                buf.push_back(data.to_vec());
+                Ok(())
+            }
+            _ => Err(MapError::Invalid),
+        }
+    }
+
+    /// Drain up to `max` records for the Processor.
+    pub fn ring_drain(&mut self, id: MapId, max: usize) -> Vec<Vec<u8>> {
+        let m = self.map_mut(id);
+        match &mut m.storage {
+            Storage::Ring { buf, .. } => {
+                let n = buf.len().min(max);
+                buf.drain(..n).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Records overwritten because the ring was full.
+    pub fn ring_dropped(&self, id: MapId) -> u64 {
+        match &self.map(id).storage {
+            Storage::Ring { dropped, .. } => *dropped,
+            _ => 0,
+        }
+    }
+
+    /// Current ring occupancy.
+    pub fn ring_len(&self, id: MapId) -> usize {
+        self.entries(id)
+    }
+
+    /// Clear all dynamic contents (reload support, §5.4).
+    pub fn clear(&mut self, id: MapId) {
+        let m = self.map_mut(id);
+        match &mut m.storage {
+            Storage::Hash(h) => h.clear(),
+            Storage::Array(a) => {
+                for slot in a.iter_mut() {
+                    slot.fill(0);
+                }
+            }
+            Storage::Stack(s) => s.clear(),
+            Storage::Ring { buf, dropped } => {
+                buf.clear();
+                *dropped = 0;
+            }
+        }
+    }
+}
+
+fn array_index(key: &[u8]) -> Option<usize> {
+    if key.len() != 4 {
+        return None;
+    }
+    Some(u32::from_le_bytes([key[0], key[1], key[2], key[3]]) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(k: u64) -> Vec<u8> {
+        k.to_le_bytes().to_vec()
+    }
+
+    #[test]
+    fn hash_crud() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::hash("t", 8, 16, 4));
+        assert!(r.lookup(m, &key(1)).is_none());
+        r.update(m, &key(1), &[7u8; 16]).unwrap();
+        assert_eq!(r.lookup(m, &key(1)).unwrap(), &[7u8; 16]);
+        r.update(m, &key(1), &[9u8; 16]).unwrap();
+        assert_eq!(r.lookup(m, &key(1)).unwrap(), &[9u8; 16]);
+        r.delete(m, &key(1)).unwrap();
+        assert_eq!(r.delete(m, &key(1)), Err(MapError::NotFound));
+    }
+
+    #[test]
+    fn hash_respects_max_entries() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::hash("t", 8, 1, 2));
+        r.update(m, &key(1), &[0]).unwrap();
+        r.update(m, &key(2), &[0]).unwrap();
+        assert_eq!(r.update(m, &key(3), &[0]), Err(MapError::Full));
+        // Overwriting an existing key is always allowed.
+        r.update(m, &key(1), &[1]).unwrap();
+    }
+
+    #[test]
+    fn wrong_sizes_rejected() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::hash("t", 8, 4, 2));
+        assert_eq!(r.update(m, &[1, 2], &[0; 4]), Err(MapError::Invalid));
+        assert_eq!(r.update(m, &key(1), &[0; 3]), Err(MapError::Invalid));
+    }
+
+    #[test]
+    fn array_indexing() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::array("a", 8, 3));
+        let idx = 2u32.to_le_bytes();
+        r.update(m, &idx, &42u64.to_le_bytes()).unwrap();
+        assert_eq!(r.lookup(m, &idx).unwrap(), &42u64.to_le_bytes());
+        let oob = 9u32.to_le_bytes();
+        assert!(r.lookup(m, &oob).is_none());
+        assert_eq!(r.update(m, &oob, &[0; 8]), Err(MapError::NotFound));
+    }
+
+    #[test]
+    fn stack_lifo_and_bounds() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::stack("s", 8, 2));
+        r.push(m, &1u64.to_le_bytes()).unwrap();
+        r.push(m, &2u64.to_le_bytes()).unwrap();
+        assert_eq!(r.push(m, &3u64.to_le_bytes()), Err(MapError::Full));
+        assert_eq!(r.pop(m).unwrap(), 2u64.to_le_bytes());
+        assert_eq!(r.pop(m).unwrap(), 1u64.to_le_bytes());
+        assert_eq!(r.pop(m), Err(MapError::NotFound));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::perf_event_array("ring", 2));
+        r.ring_push(m, b"a").unwrap();
+        r.ring_push(m, b"b").unwrap();
+        r.ring_push(m, b"c").unwrap(); // overwrites "a"
+        assert_eq!(r.ring_dropped(m), 1);
+        let drained = r.ring_drain(m, 10);
+        assert_eq!(drained, vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(r.ring_len(m), 0);
+    }
+
+    #[test]
+    fn ring_drain_respects_max() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::perf_event_array("ring", 10));
+        for i in 0..5u8 {
+            r.ring_push(m, &[i]).unwrap();
+        }
+        let first = r.ring_drain(m, 2);
+        assert_eq!(first, vec![vec![0], vec![1]]);
+        assert_eq!(r.ring_len(m), 3);
+    }
+
+    #[test]
+    fn lookup_mut_mutates_in_place() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::hash("t", 8, 4, 2));
+        r.update(m, &key(5), &[0; 4]).unwrap();
+        r.lookup_mut(m, &key(5)).unwrap()[0] = 0xAB;
+        assert_eq!(r.lookup(m, &key(5)).unwrap()[0], 0xAB);
+    }
+
+    #[test]
+    fn clear_resets_contents() {
+        let mut r = MapRegistry::new();
+        let h = r.create(MapDef::hash("h", 8, 4, 8));
+        let a = r.create(MapDef::array("a", 8, 2));
+        r.update(h, &key(1), &[1; 4]).unwrap();
+        r.update(a, &0u32.to_le_bytes(), &7u64.to_le_bytes()).unwrap();
+        r.clear(h);
+        r.clear(a);
+        assert_eq!(r.entries(h), 0);
+        assert_eq!(r.lookup(a, &0u32.to_le_bytes()).unwrap(), &[0; 8]);
+    }
+}

@@ -1,0 +1,1034 @@
+//! The static verifier.
+//!
+//! Models the Linux BPF verifier's architecture (paper §5.1): it explores
+//! every execution path from the entry point, tracking an abstract type for
+//! each register, and rejects the program if *any* path can perform an
+//! unsafe operation. Enforced properties:
+//!
+//! * no back edges — loops must be unrolled at codegen time (the paper's
+//!   Codegen does exactly this; bounded at compile time);
+//! * a hard instruction-count cap (the kernel's is 1M; "TS's compiled BPF
+//!   programs only contain 100s of instructions");
+//! * every register is written before it is read;
+//! * every memory access is through a typed pointer with statically known
+//!   offset, in bounds for its region (512-byte stack, read-only context,
+//!   map values of declared size);
+//! * stack reads only touch bytes previously written on this path;
+//! * map-lookup results must be null-checked before dereference;
+//! * helper calls obey typed signatures; calls clobber `R1`–`R5`;
+//! * `exit` requires `R0` to hold a scalar;
+//! * pointers never leak into arithmetic other than `±constant`, never get
+//!   compared (except null checks), and never get stored to memory.
+
+use crate::insn::{AluOp, Cond, Helper, Insn, Reg, Src};
+use crate::maps::{MapId, MapKind, MapRegistry};
+
+/// Stack size available to a program, like eBPF.
+pub const STACK_SIZE: i64 = 512;
+/// Maximum program length (the kernel's modern limit).
+pub const MAX_INSNS: usize = 1_000_000;
+/// Cap on abstract states explored before giving up.
+pub const MAX_STATES: usize = 200_000;
+/// Largest record `perf_event_output` may publish.
+pub const MAX_OUTPUT_BYTES: i64 = 8192;
+
+/// Why a program was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    EmptyProgram,
+    TooLong { len: usize },
+    TooComplex,
+    InvalidRegister { pc: usize },
+    WriteToFramePointer { pc: usize },
+    UninitRead { pc: usize, reg: u8 },
+    BackEdge { pc: usize },
+    JumpOutOfBounds { pc: usize },
+    FellOffEnd { pc: usize },
+    PointerArithmetic { pc: usize },
+    PointerComparison { pc: usize },
+    PointerStore { pc: usize },
+    DivisionByZero { pc: usize },
+    NotAPointer { pc: usize },
+    PossiblyNullDeref { pc: usize },
+    OutOfBounds { pc: usize, region: &'static str, off: i64, size: usize },
+    UninitStackRead { pc: usize, off: i64 },
+    CtxWrite { pc: usize },
+    UnknownMap { pc: usize },
+    BadHelperArg { pc: usize, helper: Helper, arg: u8, expected: &'static str },
+    ExitWithoutScalarR0 { pc: usize },
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VerifyError::EmptyProgram => write!(f, "empty program"),
+            VerifyError::TooLong { len } => write!(f, "program too long ({len} insns)"),
+            VerifyError::TooComplex => write!(f, "verification too complex"),
+            VerifyError::InvalidRegister { pc } => write!(f, "invalid register at pc {pc}"),
+            VerifyError::WriteToFramePointer { pc } => write!(f, "write to r10 at pc {pc}"),
+            VerifyError::UninitRead { pc, reg } => {
+                write!(f, "read of uninitialized r{reg} at pc {pc}")
+            }
+            VerifyError::BackEdge { pc } => write!(f, "back edge at pc {pc} (unbounded loop)"),
+            VerifyError::JumpOutOfBounds { pc } => write!(f, "jump out of bounds at pc {pc}"),
+            VerifyError::FellOffEnd { pc } => write!(f, "control falls off program end at pc {pc}"),
+            VerifyError::PointerArithmetic { pc } => {
+                write!(f, "disallowed pointer arithmetic at pc {pc}")
+            }
+            VerifyError::PointerComparison { pc } => {
+                write!(f, "disallowed pointer comparison at pc {pc}")
+            }
+            VerifyError::PointerStore { pc } => write!(f, "pointer stored to memory at pc {pc}"),
+            VerifyError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc}"),
+            VerifyError::NotAPointer { pc } => write!(f, "memory access via non-pointer at pc {pc}"),
+            VerifyError::PossiblyNullDeref { pc } => {
+                write!(f, "map value dereferenced without null check at pc {pc}")
+            }
+            VerifyError::OutOfBounds { pc, region, off, size } => {
+                write!(f, "{region} access out of bounds at pc {pc} (off {off}, size {size})")
+            }
+            VerifyError::UninitStackRead { pc, off } => {
+                write!(f, "read of uninitialized stack at fp{off:+} (pc {pc})")
+            }
+            VerifyError::CtxWrite { pc } => write!(f, "store to read-only context at pc {pc}"),
+            VerifyError::UnknownMap { pc } => write!(f, "reference to unknown map at pc {pc}"),
+            VerifyError::BadHelperArg { pc, helper, arg, expected } => write!(
+                f,
+                "helper {} arg r{arg} at pc {pc}: expected {expected}",
+                helper.name()
+            ),
+            VerifyError::ExitWithoutScalarR0 { pc } => {
+                write!(f, "exit with non-scalar r0 at pc {pc}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Abstract register type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RegType {
+    Uninit,
+    Scalar,
+    Const(i64),
+    PtrStack { off: i64 },
+    PtrCtx { off: i64 },
+    PtrMap { map: MapId, off: i64 },
+    PtrMapOrNull { map: MapId },
+    MapHandle(MapId),
+}
+
+impl RegType {
+    fn is_scalar(self) -> bool {
+        matches!(self, RegType::Scalar | RegType::Const(_))
+    }
+
+    fn is_init(self) -> bool {
+        !matches!(self, RegType::Uninit)
+    }
+}
+
+/// A per-path abstract machine state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct State {
+    regs: [RegType; 11],
+    /// One bit per stack byte: written on this path.
+    stack_init: [u64; 8],
+}
+
+impl State {
+    fn entry() -> Self {
+        let mut regs = [RegType::Uninit; 11];
+        regs[1] = RegType::PtrCtx { off: 0 }; // R1 = ctx at entry
+        regs[10] = RegType::PtrStack { off: 0 }; // R10 = frame top
+        State { regs, stack_init: [0; 8] }
+    }
+
+    fn stack_bit(off: i64) -> (usize, u64) {
+        // off in [-512, -1]; bit index 0 = fp-512.
+        let idx = (off + STACK_SIZE) as usize;
+        (idx / 64, 1u64 << (idx % 64))
+    }
+
+    fn mark_stack_init(&mut self, off: i64, size: usize) {
+        for b in 0..size as i64 {
+            let (w, m) = Self::stack_bit(off + b);
+            self.stack_init[w] |= m;
+        }
+    }
+
+    fn stack_is_init(&self, off: i64, size: usize) -> bool {
+        (0..size as i64).all(|b| {
+            let (w, m) = Self::stack_bit(off + b);
+            self.stack_init[w] & m != 0
+        })
+    }
+}
+
+struct Verifier<'a> {
+    prog: &'a [Insn],
+    maps: &'a MapRegistry,
+    ctx_size: usize,
+    states_visited: usize,
+}
+
+/// Verify a program against a map registry and a declared context size.
+pub fn verify(prog: &[Insn], maps: &MapRegistry, ctx_size: usize) -> Result<(), VerifyError> {
+    if prog.is_empty() {
+        return Err(VerifyError::EmptyProgram);
+    }
+    if prog.len() > MAX_INSNS {
+        return Err(VerifyError::TooLong { len: prog.len() });
+    }
+    let mut v = Verifier { prog, maps, ctx_size, states_visited: 0 };
+    let mut worklist = vec![(0usize, State::entry())];
+    while let Some((pc, state)) = worklist.pop() {
+        v.states_visited += 1;
+        if v.states_visited > MAX_STATES {
+            return Err(VerifyError::TooComplex);
+        }
+        v.step(pc, state, &mut worklist)?;
+    }
+    Ok(())
+}
+
+impl<'a> Verifier<'a> {
+    fn read_reg(&self, st: &State, pc: usize, r: Reg) -> Result<RegType, VerifyError> {
+        if !r.is_valid() {
+            return Err(VerifyError::InvalidRegister { pc });
+        }
+        let t = st.regs[r.index()];
+        if !t.is_init() {
+            return Err(VerifyError::UninitRead { pc, reg: r.0 });
+        }
+        Ok(t)
+    }
+
+    fn src_type(&self, st: &State, pc: usize, src: Src) -> Result<RegType, VerifyError> {
+        match src {
+            Src::Imm(i) => Ok(RegType::Const(i)),
+            Src::Reg(r) => self.read_reg(st, pc, r),
+        }
+    }
+
+    fn check_writable(&self, pc: usize, r: Reg) -> Result<(), VerifyError> {
+        if !r.is_valid() {
+            return Err(VerifyError::InvalidRegister { pc });
+        }
+        if !r.is_writable() {
+            return Err(VerifyError::WriteToFramePointer { pc });
+        }
+        Ok(())
+    }
+
+    /// Check a pointer access and, for stack reads, initialization.
+    fn check_access(
+        &self,
+        st: &State,
+        pc: usize,
+        base: RegType,
+        off: i32,
+        size: usize,
+        write: bool,
+    ) -> Result<RegType, VerifyError> {
+        match base {
+            RegType::PtrStack { off: p } => {
+                let a = p + off as i64;
+                if a < -STACK_SIZE || a + size as i64 > 0 {
+                    return Err(VerifyError::OutOfBounds { pc, region: "stack", off: a, size });
+                }
+                if !write && !st.stack_is_init(a, size) {
+                    return Err(VerifyError::UninitStackRead { pc, off: a });
+                }
+                Ok(base)
+            }
+            RegType::PtrCtx { off: p } => {
+                if write {
+                    return Err(VerifyError::CtxWrite { pc });
+                }
+                let a = p + off as i64;
+                if a < 0 || a + size as i64 > self.ctx_size as i64 {
+                    return Err(VerifyError::OutOfBounds { pc, region: "ctx", off: a, size });
+                }
+                Ok(base)
+            }
+            RegType::PtrMap { map, off: p } => {
+                let vs = self
+                    .maps
+                    .def(map)
+                    .ok_or(VerifyError::UnknownMap { pc })?
+                    .value_size as i64;
+                let a = p + off as i64;
+                if a < 0 || a + size as i64 > vs {
+                    return Err(VerifyError::OutOfBounds { pc, region: "map value", off: a, size });
+                }
+                Ok(base)
+            }
+            RegType::PtrMapOrNull { .. } => Err(VerifyError::PossiblyNullDeref { pc }),
+            _ => Err(VerifyError::NotAPointer { pc }),
+        }
+    }
+
+    fn step(
+        &mut self,
+        pc: usize,
+        mut st: State,
+        worklist: &mut Vec<(usize, State)>,
+    ) -> Result<(), VerifyError> {
+        if pc >= self.prog.len() {
+            return Err(VerifyError::FellOffEnd { pc });
+        }
+        match self.prog[pc] {
+            Insn::Alu { op, dst, src } => {
+                self.check_writable(pc, dst)?;
+                let d = st.regs[dst.index()];
+                let s = self.src_type(&st, pc, src)?;
+                let result = self.alu_result(pc, op, d, s)?;
+                st.regs[dst.index()] = result;
+                worklist.push((pc + 1, st));
+            }
+            Insn::Load { size, dst, base, off } => {
+                self.check_writable(pc, dst)?;
+                let b = self.read_reg(&st, pc, base)?;
+                self.check_access(&st, pc, b, off, size.bytes(), false)?;
+                st.regs[dst.index()] = RegType::Scalar;
+                worklist.push((pc + 1, st));
+            }
+            Insn::Store { size, base, off, src } => {
+                let b = self.read_reg(&st, pc, base)?;
+                let s = self.src_type(&st, pc, src)?;
+                if !s.is_scalar() {
+                    return Err(VerifyError::PointerStore { pc });
+                }
+                self.check_access(&st, pc, b, off, size.bytes(), true)?;
+                if let RegType::PtrStack { off: p } = b {
+                    st.mark_stack_init(p + off as i64, size.bytes());
+                }
+                worklist.push((pc + 1, st));
+            }
+            Insn::Jump { cond, off } => {
+                if off < 0 {
+                    return Err(VerifyError::BackEdge { pc });
+                }
+                let target = pc + 1 + off as usize;
+                if target > self.prog.len() {
+                    return Err(VerifyError::JumpOutOfBounds { pc });
+                }
+                match cond {
+                    None => worklist.push((target, st)),
+                    Some((c, dst, src)) => {
+                        let d = self.read_reg(&st, pc, dst)?;
+                        let s = self.src_type(&st, pc, src)?;
+                        // Null-check refinement for map lookups.
+                        let zero_cmp = matches!(s, RegType::Const(0));
+                        if let RegType::PtrMapOrNull { map } = d {
+                            if zero_cmp && (c == Cond::Eq || c == Cond::Ne) {
+                                let (null_pc, ptr_pc) = if c == Cond::Eq {
+                                    (target, pc + 1)
+                                } else {
+                                    (pc + 1, target)
+                                };
+                                let mut null_st = st.clone();
+                                null_st.regs[dst.index()] = RegType::Const(0);
+                                worklist.push((null_pc, null_st));
+                                let mut ptr_st = st;
+                                ptr_st.regs[dst.index()] = RegType::PtrMap { map, off: 0 };
+                                worklist.push((ptr_pc, ptr_st));
+                                return Ok(());
+                            }
+                            return Err(VerifyError::PointerComparison { pc });
+                        }
+                        if !d.is_scalar() || !s.is_scalar() {
+                            return Err(VerifyError::PointerComparison { pc });
+                        }
+                        // Statically decidable branches still explore both
+                        // sides; harmless over-approximation.
+                        worklist.push((target, st.clone()));
+                        worklist.push((pc + 1, st));
+                    }
+                }
+            }
+            Insn::Call { helper } => {
+                self.check_call(&mut st, pc, helper)?;
+                worklist.push((pc + 1, st));
+            }
+            Insn::LoadMap { dst, map } => {
+                self.check_writable(pc, dst)?;
+                if self.maps.def(map).is_none() {
+                    return Err(VerifyError::UnknownMap { pc });
+                }
+                st.regs[dst.index()] = RegType::MapHandle(map);
+                worklist.push((pc + 1, st));
+            }
+            Insn::Exit => {
+                if !st.regs[0].is_scalar() {
+                    return Err(VerifyError::ExitWithoutScalarR0 { pc });
+                }
+                // Path terminates.
+            }
+        }
+        Ok(())
+    }
+
+    fn alu_result(
+        &self,
+        pc: usize,
+        op: AluOp,
+        dst: RegType,
+        src: RegType,
+    ) -> Result<RegType, VerifyError> {
+        use AluOp::*;
+        use RegType::*;
+        match op {
+            Mov => {
+                if !src.is_init() {
+                    return Err(VerifyError::UninitRead { pc, reg: 255 });
+                }
+                Ok(src)
+            }
+            Neg => match dst {
+                Const(c) => Ok(Const(c.wrapping_neg())),
+                Scalar => Ok(Scalar),
+                Uninit => Err(VerifyError::UninitRead { pc, reg: 255 }),
+                _ => Err(VerifyError::PointerArithmetic { pc }),
+            },
+            Add | Sub => {
+                if !dst.is_init() {
+                    return Err(VerifyError::UninitRead { pc, reg: 255 });
+                }
+                match (dst, src) {
+                    (PtrStack { off }, Const(c)) => Ok(PtrStack {
+                        off: apply_off(pc, op, off, c)?,
+                    }),
+                    (PtrCtx { off }, Const(c)) => Ok(PtrCtx {
+                        off: apply_off(pc, op, off, c)?,
+                    }),
+                    (PtrMap { map, off }, Const(c)) => Ok(PtrMap {
+                        map,
+                        off: apply_off(pc, op, off, c)?,
+                    }),
+                    (PtrStack { .. } | PtrCtx { .. } | PtrMap { .. }, _) => {
+                        Err(VerifyError::PointerArithmetic { pc })
+                    }
+                    (PtrMapOrNull { .. } | MapHandle(_), _) => {
+                        Err(VerifyError::PointerArithmetic { pc })
+                    }
+                    (Const(a), Const(b)) => Ok(Const(if op == Add {
+                        a.wrapping_add(b)
+                    } else {
+                        a.wrapping_sub(b)
+                    })),
+                    (d, s) if d.is_scalar() && s.is_scalar() => Ok(Scalar),
+                    _ => Err(VerifyError::PointerArithmetic { pc }),
+                }
+            }
+            Div | AluOp::Mod => {
+                if !dst.is_scalar() || !src.is_scalar() {
+                    return Err(VerifyError::PointerArithmetic { pc });
+                }
+                if src == Const(0) {
+                    return Err(VerifyError::DivisionByZero { pc });
+                }
+                match (dst, src) {
+                    (Const(a), Const(b)) => Ok(Const(if op == Div {
+                        (a as u64).checked_div(b as u64).unwrap_or(0) as i64
+                    } else {
+                        (a as u64).checked_rem(b as u64).unwrap_or(0) as i64
+                    })),
+                    _ => Ok(Scalar),
+                }
+            }
+            Mul | And | Or | Xor | Lsh | Rsh | Arsh => {
+                if !dst.is_scalar() || !src.is_scalar() {
+                    return Err(VerifyError::PointerArithmetic { pc });
+                }
+                match (dst, src) {
+                    (Const(a), Const(b)) => Ok(Const(fold(op, a, b))),
+                    _ => Ok(Scalar),
+                }
+            }
+        }
+    }
+
+    fn check_call(&self, st: &mut State, pc: usize, helper: Helper) -> Result<(), VerifyError> {
+        use Helper::*;
+        let ret = match helper {
+            KtimeGetNs | GetCurrentPidTgid => RegType::Scalar,
+            MapLookup => {
+                let map = self.arg_map(st, pc, helper, 1, &[MapClass::Keyed])?;
+                let ks = self.maps.def(map).unwrap().key_size;
+                self.arg_ptr(st, pc, helper, 2, ks, false)?;
+                RegType::PtrMapOrNull { map }
+            }
+            MapUpdate => {
+                let map = self.arg_map(st, pc, helper, 1, &[MapClass::Keyed])?;
+                let (ks, vs) = {
+                    let d = self.maps.def(map).unwrap();
+                    (d.key_size, d.value_size)
+                };
+                self.arg_ptr(st, pc, helper, 2, ks, false)?;
+                self.arg_ptr(st, pc, helper, 3, vs, false)?;
+                self.arg_scalar(st, pc, helper, 4)?;
+                RegType::Scalar
+            }
+            MapDelete => {
+                let map = self.arg_map(st, pc, helper, 1, &[MapClass::Keyed])?;
+                let ks = self.maps.def(map).unwrap().key_size;
+                self.arg_ptr(st, pc, helper, 2, ks, false)?;
+                RegType::Scalar
+            }
+            MapPush => {
+                let map = self.arg_map(st, pc, helper, 1, &[MapClass::Stack])?;
+                let vs = self.maps.def(map).unwrap().value_size;
+                self.arg_ptr(st, pc, helper, 2, vs, false)?;
+                RegType::Scalar
+            }
+            MapPop => {
+                let map = self.arg_map(st, pc, helper, 1, &[MapClass::Stack])?;
+                let vs = self.maps.def(map).unwrap().value_size;
+                self.arg_ptr(st, pc, helper, 2, vs, true)?;
+                RegType::Scalar
+            }
+            PerfEventReadBuf => {
+                self.arg_scalar(st, pc, helper, 1)?;
+                self.arg_ptr(st, pc, helper, 2, 24, true)?;
+                RegType::Scalar
+            }
+            ReadTaskIo | ReadTcpSock => {
+                self.arg_ptr(st, pc, helper, 1, 32, true)?;
+                RegType::Scalar
+            }
+            PerfEventOutput => {
+                self.arg_map(st, pc, helper, 1, &[MapClass::Ring])?;
+                let len = match st.regs[3] {
+                    RegType::Const(l) if l > 0 && l <= MAX_OUTPUT_BYTES => l as usize,
+                    _ => {
+                        return Err(VerifyError::BadHelperArg {
+                            pc,
+                            helper,
+                            arg: 3,
+                            expected: "constant length in 1..=8192",
+                        })
+                    }
+                };
+                self.arg_ptr(st, pc, helper, 2, len, false)?;
+                RegType::Scalar
+            }
+        };
+        // Calls clobber the caller-saved registers.
+        for r in 1..=5 {
+            st.regs[r] = RegType::Uninit;
+        }
+        st.regs[0] = ret;
+        Ok(())
+    }
+
+    fn arg_scalar(
+        &self,
+        st: &State,
+        pc: usize,
+        helper: Helper,
+        arg: u8,
+    ) -> Result<(), VerifyError> {
+        if st.regs[arg as usize].is_scalar() {
+            Ok(())
+        } else {
+            Err(VerifyError::BadHelperArg { pc, helper, arg, expected: "scalar" })
+        }
+    }
+
+    fn arg_map(
+        &self,
+        st: &State,
+        pc: usize,
+        helper: Helper,
+        arg: u8,
+        classes: &[MapClass],
+    ) -> Result<MapId, VerifyError> {
+        let bad = |expected| VerifyError::BadHelperArg { pc, helper, arg, expected };
+        match st.regs[arg as usize] {
+            RegType::MapHandle(m) => {
+                let def = self.maps.def(m).ok_or(VerifyError::UnknownMap { pc })?;
+                let class = MapClass::of(def.kind);
+                if classes.contains(&class) {
+                    Ok(m)
+                } else {
+                    Err(bad("map of compatible kind"))
+                }
+            }
+            _ => Err(bad("map handle")),
+        }
+    }
+
+    fn arg_ptr(
+        &self,
+        st: &mut State,
+        pc: usize,
+        helper: Helper,
+        arg: u8,
+        size: usize,
+        write: bool,
+    ) -> Result<(), VerifyError> {
+        let t = st.regs[arg as usize];
+        if !t.is_init() {
+            return Err(VerifyError::UninitRead { pc, reg: arg });
+        }
+        self.check_access(st, pc, t, 0, size, write).map_err(|e| match e {
+            VerifyError::NotAPointer { .. } => VerifyError::BadHelperArg {
+                pc,
+                helper,
+                arg,
+                expected: "pointer to memory",
+            },
+            other => other,
+        })?;
+        if write {
+            if let RegType::PtrStack { off } = t {
+                st.mark_stack_init(off, size);
+            }
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MapClass {
+    Keyed,
+    Stack,
+    Ring,
+}
+
+impl MapClass {
+    fn of(kind: MapKind) -> Self {
+        match kind {
+            MapKind::Hash { .. } | MapKind::Array { .. } => MapClass::Keyed,
+            MapKind::Stack { .. } => MapClass::Stack,
+            MapKind::PerfEventArray { .. } => MapClass::Ring,
+        }
+    }
+}
+
+fn apply_off(pc: usize, op: AluOp, off: i64, c: i64) -> Result<i64, VerifyError> {
+    let next = if op == AluOp::Add { off.wrapping_add(c) } else { off.wrapping_sub(c) };
+    // Keep offsets sane; real verifier bounds these too.
+    if next.abs() > 1 << 29 {
+        Err(VerifyError::PointerArithmetic { pc })
+    } else {
+        Ok(next)
+    }
+}
+
+fn fold(op: AluOp, a: i64, b: i64) -> i64 {
+    match op {
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Lsh => ((a as u64) << (b as u64 & 63)) as i64,
+        AluOp::Rsh => ((a as u64) >> (b as u64 & 63)) as i64,
+        AluOp::Arsh => a >> (b as u64 & 63),
+        _ => unreachable!("fold called for non-foldable op"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::insn::{Size, R0, R1, R2, R3, R4, R6, R10};
+    use crate::maps::MapDef;
+
+    fn maps() -> (MapRegistry, MapId, MapId, MapId) {
+        let mut r = MapRegistry::new();
+        let h = r.create(MapDef::hash("h", 8, 16, 64));
+        let s = r.create(MapDef::stack("s", 8, 8));
+        let ring = r.create(MapDef::perf_event_array("ring", 16));
+        (r, h, s, ring)
+    }
+
+    fn ok(prog: Vec<Insn>, maps: &MapRegistry, ctx: usize) {
+        if let Err(e) = verify(&prog, maps, ctx) {
+            panic!("expected OK, got {e}\n{}", crate::insn::disassemble(&prog));
+        }
+    }
+
+    fn rejected(prog: Vec<Insn>, maps: &MapRegistry, ctx: usize) -> VerifyError {
+        verify(&prog, maps, ctx).expect_err("expected rejection")
+    }
+
+    #[test]
+    fn minimal_program_verifies() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 0).exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn empty_program_rejected() {
+        let (m, ..) = maps();
+        assert_eq!(rejected(vec![], &m, 0), VerifyError::EmptyProgram);
+    }
+
+    #[test]
+    fn exit_with_uninit_r0_rejected() {
+        let (m, ..) = maps();
+        assert!(matches!(
+            rejected(vec![Insn::Exit], &m, 0),
+            VerifyError::ExitWithoutScalarR0 { .. }
+        ));
+    }
+
+    #[test]
+    fn uninit_register_read_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_reg(R0, R6).exit();
+        assert!(matches!(rejected(b.resolve().unwrap(), &m, 0), VerifyError::UninitRead { .. }));
+    }
+
+    #[test]
+    fn back_edge_rejected() {
+        let (m, ..) = maps();
+        let prog = vec![
+            Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) },
+            Insn::Jump { cond: None, off: -2 },
+            Insn::Exit,
+        ];
+        assert!(matches!(rejected(prog, &m, 0), VerifyError::BackEdge { .. }));
+    }
+
+    #[test]
+    fn fall_off_end_rejected() {
+        let (m, ..) = maps();
+        let prog = vec![Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) }];
+        assert!(matches!(rejected(prog, &m, 0), VerifyError::FellOffEnd { .. }));
+    }
+
+    #[test]
+    fn stack_write_then_read_ok() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 7);
+        b.load(Size::B8, R0, R10, -8);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn uninit_stack_read_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R10, -8);
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::UninitStackRead { .. }
+        ));
+    }
+
+    #[test]
+    fn stack_out_of_bounds_rejected() {
+        let (m, ..) = maps();
+        for off in [-520, 0, 8] {
+            let mut b = ProgramBuilder::new();
+            b.store_imm(Size::B8, R10, off, 7);
+            b.mov_imm(R0, 0).exit();
+            assert!(
+                matches!(
+                    rejected(b.resolve().unwrap(), &m, 0),
+                    VerifyError::OutOfBounds { region: "stack", .. }
+                ),
+                "offset {off} should be rejected"
+            );
+        }
+        // -512 .. -505 is the deepest valid 8-byte slot.
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -512, 7);
+        b.mov_imm(R0, 0).exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn ctx_read_ok_write_rejected_oob_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R1, 0);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 16);
+
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R1, 0, 1);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(rejected(b.resolve().unwrap(), &m, 16), VerifyError::CtxWrite { .. }));
+
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R1, 16);
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 16),
+            VerifyError::OutOfBounds { region: "ctx", .. }
+        ));
+    }
+
+    fn lookup_prog(check_null: bool) -> (MapRegistry, Vec<Insn>) {
+        let (m, h, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 1); // key = 1
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapLookup);
+        if check_null {
+            let miss = b.label();
+            b.jump_if_imm(Cond::Eq, R0, 0, miss);
+            b.load(Size::B8, R3, R0, 0); // deref value
+            b.bind(miss);
+        } else {
+            b.load(Size::B8, R3, R0, 0);
+        }
+        b.mov_imm(R0, 0).exit();
+        (m, b.resolve().unwrap())
+    }
+
+    #[test]
+    fn map_lookup_with_null_check_ok() {
+        let (m, prog) = lookup_prog(true);
+        ok(prog, &m, 0);
+    }
+
+    #[test]
+    fn map_lookup_without_null_check_rejected() {
+        let (m, prog) = lookup_prog(false);
+        assert!(matches!(verify(&prog, &m, 0), Err(VerifyError::PossiblyNullDeref { .. })));
+    }
+
+    #[test]
+    fn map_value_oob_rejected() {
+        let (m, h, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 1);
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapLookup);
+        let miss = b.label();
+        b.jump_if_imm(Cond::Eq, R0, 0, miss);
+        b.load(Size::B8, R3, R0, 16); // value_size is 16: off 16 is OOB
+        b.bind(miss);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::OutOfBounds { region: "map value", .. }
+        ));
+    }
+
+    #[test]
+    fn pointer_arithmetic_with_unknown_scalar_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.call(Helper::KtimeGetNs); // R0 = unknown scalar
+        b.mov_reg(R2, R10);
+        b.alu_reg(AluOp::Add, R2, R0); // fp + unknown
+        b.store_imm(Size::B8, R2, -8, 1);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::PointerArithmetic { .. }
+        ));
+    }
+
+    #[test]
+    fn pointer_comparison_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.mov_reg(R2, R10);
+        b.jump_if_reg(Cond::Eq, R2, R10, l);
+        b.bind(l);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::PointerComparison { .. }
+        ));
+    }
+
+    #[test]
+    fn pointer_store_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_reg(Size::B8, R10, -8, R10);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(rejected(b.resolve().unwrap(), &m, 0), VerifyError::PointerStore { .. }));
+    }
+
+    #[test]
+    fn write_to_r10_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R10, 0);
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::WriteToFramePointer { .. }
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_imm_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 10);
+        b.alu_imm(AluOp::Div, R0, 0);
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::DivisionByZero { .. }
+        ));
+    }
+
+    #[test]
+    fn helper_clobbers_caller_saved_registers() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R1, 5);
+        b.call(Helper::KtimeGetNs);
+        b.mov_reg(R2, R1); // R1 was clobbered by the call
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::UninitRead { reg: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn callee_saved_registers_survive_calls() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R6, 5);
+        b.call(Helper::KtimeGetNs);
+        b.mov_reg(R0, R6);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn helper_wrong_map_class_rejected() {
+        let (m, h, ..) = maps();
+        // MapPush on a hash map.
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 1);
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapPush);
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::BadHelperArg { .. }
+        ));
+    }
+
+    #[test]
+    fn perf_event_output_requires_const_len() {
+        let (m, _, _, ring) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 0);
+        b.load_map(R1, ring);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::KtimeGetNs); // clobbers R1..R5!
+        b.load_map(R1, ring);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.mov_reg(R3, R0); // unknown scalar length
+        b.call(Helper::PerfEventOutput);
+        b.exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::BadHelperArg { arg: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn perf_event_output_ok_with_const_len() {
+        let (m, _, _, ring) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -16, 1);
+        b.store_imm(Size::B8, R10, -8, 2);
+        b.load_map(R1, ring);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -16);
+        b.mov_imm(R3, 16);
+        b.call(Helper::PerfEventOutput);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn map_update_full_signature_ok() {
+        let (m, h, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 1); // key
+        for i in 0..2 {
+            b.store_imm(Size::B8, R10, -24 + i * 8, 0); // 16-byte value
+        }
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.mov_reg(R3, R10);
+        b.alu_imm(AluOp::Add, R3, -24);
+        b.mov_imm(R4, 0);
+        b.call(Helper::MapUpdate);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn map_pop_marks_destination_initialized() {
+        let (m, _, s, _) = maps();
+        let mut b = ProgramBuilder::new();
+        b.load_map(R1, s);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapPop);
+        // Reading the popped value must now be legal.
+        b.load(Size::B8, R0, R10, -8);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn unknown_map_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.load_map(R1, MapId(99));
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(rejected(b.resolve().unwrap(), &m, 0), VerifyError::UnknownMap { .. }));
+    }
+
+    #[test]
+    fn too_long_program_rejected() {
+        let (m, ..) = maps();
+        let mut prog = vec![Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) }; MAX_INSNS + 1];
+        prog.push(Insn::Exit);
+        assert!(matches!(verify(&prog, &m, 0), Err(VerifyError::TooLong { .. })));
+    }
+
+    #[test]
+    fn const_folding_keeps_lengths_checkable() {
+        let (m, _, _, ring) = maps();
+        // Length computed via const arithmetic still counts as constant.
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 0);
+        b.load_map(R1, ring);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.mov_imm(R3, 4);
+        b.alu_imm(AluOp::Mul, R3, 2);
+        b.call(Helper::PerfEventOutput);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+}

@@ -1,0 +1,647 @@
+//! The interpreter ("JIT" stage of the loader pipeline).
+//!
+//! The kernel JIT-compiles verified bytecode to machine code; we interpret
+//! it. The interpreter *trusts* the verifier for performance in real BPF,
+//! but ours stays defensive: every memory access is still checked, so a
+//! verifier bug surfaces as a [`VmError`] instead of undefined behavior —
+//! a property the cross-checking property tests rely on.
+//!
+//! ## Memory model
+//!
+//! Pointers are plain `u64`s in disjoint address windows, so pointer
+//! arithmetic works with ordinary ALU instructions:
+//!
+//! * stack:      `0x1000_0000_0000 ..+ 512` (R10 starts at the top),
+//! * context:    `0x2000_0000_0000 ..+ ctx_len` (read-only),
+//! * map values: `0x3000_0000_0000 + (entry << 32) ..+ value_size`, where
+//!   `entry` indexes a per-execution dereference table created by
+//!   `map_lookup_elem` — giving BPF's in-place value-update semantics,
+//! * map handles: `0x4000_0000_0000 | map_id` (opaque; only helpers use
+//!   them).
+
+use crate::insn::{AluOp, Helper, Insn, Src};
+use crate::maps::{MapError, MapId, MapRegistry};
+
+pub const STACK_BASE: u64 = 0x1000_0000_0000;
+pub const STACK_SIZE: usize = 512;
+pub const CTX_BASE: u64 = 0x2000_0000_0000;
+pub const MAPV_BASE: u64 = 0x3000_0000_0000;
+pub const HANDLE_BASE: u64 = 0x4000_0000_0000;
+/// Interpreter fuel: far above the verifier's path lengths, so exhausting
+/// it indicates a bug rather than a slow program.
+pub const FUEL: u64 = 4_000_000;
+
+/// Runtime faults. A verified program should never produce one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    BadAddress { pc: usize, addr: u64 },
+    ReadOnly { pc: usize, addr: u64 },
+    StaleMapValue { pc: usize },
+    BadMapHandle { pc: usize },
+    OutOfFuel,
+    PcOutOfBounds { pc: usize },
+    BadHelperArgs { pc: usize, helper: Helper },
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::BadAddress { pc, addr } => write!(f, "bad address {addr:#x} at pc {pc}"),
+            VmError::ReadOnly { pc, addr } => write!(f, "write to read-only {addr:#x} at pc {pc}"),
+            VmError::StaleMapValue { pc } => write!(f, "stale map value pointer at pc {pc}"),
+            VmError::BadMapHandle { pc } => write!(f, "bad map handle at pc {pc}"),
+            VmError::OutOfFuel => write!(f, "out of fuel"),
+            VmError::PcOutOfBounds { pc } => write!(f, "pc {pc} out of bounds"),
+            VmError::BadHelperArgs { pc, helper } => {
+                write!(f, "bad args for helper {} at pc {pc}", helper.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+/// Counters the caller uses to charge kernel time for the program run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    pub insns: u64,
+    pub helper_calls: u64,
+    /// Records published via `perf_event_output` during this run.
+    pub ring_publishes: u64,
+}
+
+/// The kernel facilities helpers read. Implemented by the `tscout` runtime
+/// over the simulated kernel; kept as a trait so this crate stays
+/// dependency-free and unit-testable with mock worlds.
+pub trait HelperWorld {
+    /// Current task-local monotonic time in ns.
+    fn ktime_ns(&mut self) -> u64;
+    /// `(pid << 32) | tid` of the task that hit the tracepoint.
+    fn current_pid_tgid(&mut self) -> u64;
+    /// Read PMU counter `idx`: `[value, time_enabled, time_running]`.
+    fn perf_event_read(&mut self, idx: u64) -> Option<[u64; 3]>;
+    /// Task I/O accounting: `[read_bytes, write_bytes, read_syscalls, write_syscalls]`.
+    fn read_task_io(&mut self) -> [u64; 4];
+    /// Socket stats: `[bytes_sent, bytes_received, segs_out, segs_in]`.
+    fn read_tcp_sock(&mut self) -> [u64; 4];
+}
+
+/// A no-op world for tests.
+#[derive(Debug, Default)]
+pub struct NullWorld {
+    pub time_ns: u64,
+    pub pid_tgid: u64,
+}
+
+impl HelperWorld for NullWorld {
+    fn ktime_ns(&mut self) -> u64 {
+        self.time_ns
+    }
+    fn current_pid_tgid(&mut self) -> u64 {
+        self.pid_tgid
+    }
+    fn perf_event_read(&mut self, idx: u64) -> Option<[u64; 3]> {
+        Some([idx * 100, 1000, 1000])
+    }
+    fn read_task_io(&mut self) -> [u64; 4] {
+        [0; 4]
+    }
+    fn read_tcp_sock(&mut self) -> [u64; 4] {
+        [0; 4]
+    }
+}
+
+/// The interpreter.
+pub struct Vm;
+
+struct Exec<'a> {
+    stack: [u8; STACK_SIZE],
+    ctx: &'a [u8],
+    maps: &'a mut MapRegistry,
+    /// Live map-value pointers: `(map, key)` per dereference window.
+    deref: Vec<(MapId, Vec<u8>)>,
+}
+
+impl<'a> Exec<'a> {
+    fn read_bytes(&self, pc: usize, addr: u64, len: usize) -> Result<Vec<u8>, VmError> {
+        let mut out = vec![0u8; len];
+        self.read_into(pc, addr, &mut out)?;
+        Ok(out)
+    }
+
+    fn read_into(&self, pc: usize, addr: u64, out: &mut [u8]) -> Result<(), VmError> {
+        let len = out.len();
+        if in_window(addr, STACK_BASE, STACK_SIZE as u64, len) {
+            let off = (addr - STACK_BASE) as usize;
+            out.copy_from_slice(&self.stack[off..off + len]);
+            return Ok(());
+        }
+        if in_window(addr, CTX_BASE, self.ctx.len() as u64, len) {
+            let off = (addr - CTX_BASE) as usize;
+            out.copy_from_slice(&self.ctx[off..off + len]);
+            return Ok(());
+        }
+        if let Some((entry, off)) = mapv_decode(addr) {
+            let (map, key) = self.deref.get(entry).ok_or(VmError::BadAddress { pc, addr })?;
+            let val = self.maps.lookup(*map, key).ok_or(VmError::StaleMapValue { pc })?;
+            if off + len > val.len() {
+                return Err(VmError::BadAddress { pc, addr });
+            }
+            out.copy_from_slice(&val[off..off + len]);
+            return Ok(());
+        }
+        Err(VmError::BadAddress { pc, addr })
+    }
+
+    fn write_bytes(&mut self, pc: usize, addr: u64, data: &[u8]) -> Result<(), VmError> {
+        let len = data.len();
+        if in_window(addr, STACK_BASE, STACK_SIZE as u64, len) {
+            let off = (addr - STACK_BASE) as usize;
+            self.stack[off..off + len].copy_from_slice(data);
+            return Ok(());
+        }
+        if in_window(addr, CTX_BASE, self.ctx.len() as u64, len) {
+            return Err(VmError::ReadOnly { pc, addr });
+        }
+        if let Some((entry, off)) = mapv_decode(addr) {
+            let (map, key) = self.deref.get(entry).cloned().ok_or(VmError::BadAddress { pc, addr })?;
+            let val = self.maps.lookup_mut(map, &key).ok_or(VmError::StaleMapValue { pc })?;
+            if off + len > val.len() {
+                return Err(VmError::BadAddress { pc, addr });
+            }
+            val[off..off + len].copy_from_slice(data);
+            return Ok(());
+        }
+        Err(VmError::BadAddress { pc, addr })
+    }
+}
+
+fn in_window(addr: u64, base: u64, window: u64, len: usize) -> bool {
+    addr >= base && addr.saturating_add(len as u64) <= base + window
+}
+
+fn mapv_decode(addr: u64) -> Option<(usize, usize)> {
+    if (MAPV_BASE..HANDLE_BASE).contains(&addr) {
+        let rel = addr - MAPV_BASE;
+        Some(((rel >> 32) as usize, (rel & 0xFFFF_FFFF) as usize))
+    } else {
+        None
+    }
+}
+
+fn handle_decode(v: u64) -> Option<MapId> {
+    if (HANDLE_BASE..HANDLE_BASE + (1 << 32)).contains(&v) {
+        Some(MapId((v - HANDLE_BASE) as u32))
+    } else {
+        None
+    }
+}
+
+impl Vm {
+    /// Execute a (verified) program. Returns `R0` and execution stats.
+    pub fn run(
+        prog: &[Insn],
+        ctx: &[u8],
+        maps: &mut MapRegistry,
+        world: &mut dyn HelperWorld,
+    ) -> Result<(u64, ExecStats), VmError> {
+        let mut regs = [0u64; 11];
+        regs[1] = CTX_BASE;
+        regs[10] = STACK_BASE + STACK_SIZE as u64;
+        let mut exec = Exec { stack: [0; STACK_SIZE], ctx, maps, deref: Vec::new() };
+        let mut stats = ExecStats::default();
+        let mut pc = 0usize;
+        let mut fuel = FUEL;
+
+        loop {
+            if fuel == 0 {
+                return Err(VmError::OutOfFuel);
+            }
+            fuel -= 1;
+            stats.insns += 1;
+            let insn = *prog.get(pc).ok_or(VmError::PcOutOfBounds { pc })?;
+            match insn {
+                Insn::Alu { op, dst, src } => {
+                    let s = match src {
+                        Src::Imm(i) => i as u64,
+                        Src::Reg(r) => regs[r.index()],
+                    };
+                    let d = regs[dst.index()];
+                    regs[dst.index()] = alu(op, d, s);
+                    pc += 1;
+                }
+                Insn::Load { size, dst, base, off } => {
+                    let addr = regs[base.index()].wrapping_add(off as i64 as u64);
+                    let bytes = exec.read_bytes(pc, addr, size.bytes())?;
+                    regs[dst.index()] = zext(&bytes);
+                    pc += 1;
+                }
+                Insn::Store { size, base, off, src } => {
+                    let addr = regs[base.index()].wrapping_add(off as i64 as u64);
+                    let v = match src {
+                        Src::Imm(i) => i as u64,
+                        Src::Reg(r) => regs[r.index()],
+                    };
+                    let bytes = v.to_le_bytes();
+                    exec.write_bytes(pc, addr, &bytes[..size.bytes()])?;
+                    pc += 1;
+                }
+                Insn::Jump { cond, off } => {
+                    let taken = match cond {
+                        None => true,
+                        Some((c, dst, src)) => {
+                            let s = match src {
+                                Src::Imm(i) => i as u64,
+                                Src::Reg(r) => regs[r.index()],
+                            };
+                            c.eval(regs[dst.index()], s)
+                        }
+                    };
+                    pc = if taken {
+                        (pc as i64 + 1 + off as i64) as usize
+                    } else {
+                        pc + 1
+                    };
+                }
+                Insn::Call { helper } => {
+                    stats.helper_calls += 1;
+                    Self::call(helper, &mut regs, &mut exec, world, &mut stats, pc)?;
+                    pc += 1;
+                }
+                Insn::LoadMap { dst, map } => {
+                    regs[dst.index()] = HANDLE_BASE | map.0 as u64;
+                    pc += 1;
+                }
+                Insn::Exit => return Ok((regs[0], stats)),
+            }
+        }
+    }
+
+    fn call(
+        helper: Helper,
+        regs: &mut [u64; 11],
+        exec: &mut Exec<'_>,
+        world: &mut dyn HelperWorld,
+        stats: &mut ExecStats,
+        pc: usize,
+    ) -> Result<(), VmError> {
+        let bad = || VmError::BadHelperArgs { pc, helper };
+        let r0 = match helper {
+            Helper::KtimeGetNs => world.ktime_ns(),
+            Helper::GetCurrentPidTgid => world.current_pid_tgid(),
+            Helper::MapLookup => {
+                let map = handle_decode(regs[1]).ok_or_else(bad)?;
+                let key_size = exec.maps.def(map).ok_or_else(bad)?.key_size;
+                let key = exec.read_bytes(pc, regs[2], key_size)?;
+                if exec.maps.lookup(map, &key).is_some() {
+                    let entry = exec.deref.len();
+                    exec.deref.push((map, key));
+                    MAPV_BASE + ((entry as u64) << 32)
+                } else {
+                    0
+                }
+            }
+            Helper::MapUpdate => {
+                let map = handle_decode(regs[1]).ok_or_else(bad)?;
+                let (ks, vs) = {
+                    let d = exec.maps.def(map).ok_or_else(bad)?;
+                    (d.key_size, d.value_size)
+                };
+                let key = exec.read_bytes(pc, regs[2], ks)?;
+                let val = exec.read_bytes(pc, regs[3], vs)?;
+                errno(exec.maps.update(map, &key, &val))
+            }
+            Helper::MapDelete => {
+                let map = handle_decode(regs[1]).ok_or_else(bad)?;
+                let ks = exec.maps.def(map).ok_or_else(bad)?.key_size;
+                let key = exec.read_bytes(pc, regs[2], ks)?;
+                errno(exec.maps.delete(map, &key))
+            }
+            Helper::MapPush => {
+                let map = handle_decode(regs[1]).ok_or_else(bad)?;
+                let vs = exec.maps.def(map).ok_or_else(bad)?.value_size;
+                let val = exec.read_bytes(pc, regs[2], vs)?;
+                errno(exec.maps.push(map, &val))
+            }
+            Helper::MapPop => {
+                let map = handle_decode(regs[1]).ok_or_else(bad)?;
+                match exec.maps.pop(map) {
+                    Ok(val) => {
+                        exec.write_bytes(pc, regs[2], &val)?;
+                        0
+                    }
+                    Err(e) => e.errno() as u64,
+                }
+            }
+            Helper::PerfEventReadBuf => {
+                match world.perf_event_read(regs[1]) {
+                    Some(triple) => {
+                        let mut buf = [0u8; 24];
+                        for (i, v) in triple.iter().enumerate() {
+                            buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                        }
+                        exec.write_bytes(pc, regs[2], &buf)?;
+                        0
+                    }
+                    None => (-2i64) as u64,
+                }
+            }
+            Helper::ReadTaskIo | Helper::ReadTcpSock => {
+                let quad = if helper == Helper::ReadTaskIo {
+                    world.read_task_io()
+                } else {
+                    world.read_tcp_sock()
+                };
+                let mut buf = [0u8; 32];
+                for (i, v) in quad.iter().enumerate() {
+                    buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                exec.write_bytes(pc, regs[1], &buf)?;
+                0
+            }
+            Helper::PerfEventOutput => {
+                let map = handle_decode(regs[1]).ok_or_else(bad)?;
+                let len = regs[3] as usize;
+                let data = exec.read_bytes(pc, regs[2], len)?;
+                stats.ring_publishes += 1;
+                errno(exec.maps.ring_push(map, &data))
+            }
+        };
+        // Clobber caller-saved registers exactly as the ABI specifies.
+        for r in regs.iter_mut().take(6).skip(1) {
+            *r = 0xDEAD_BEEF_DEAD_BEEF;
+        }
+        regs[0] = r0;
+        Ok(())
+    }
+}
+
+fn errno(r: Result<(), MapError>) -> u64 {
+    match r {
+        Ok(()) => 0,
+        Err(e) => e.errno() as u64,
+    }
+}
+
+fn zext(bytes: &[u8]) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..bytes.len()].copy_from_slice(bytes);
+    u64::from_le_bytes(buf)
+}
+
+fn alu(op: AluOp, d: u64, s: u64) -> u64 {
+    match op {
+        AluOp::Add => d.wrapping_add(s),
+        AluOp::Sub => d.wrapping_sub(s),
+        AluOp::Mul => d.wrapping_mul(s),
+        // eBPF semantics: division by zero yields 0, modulo by zero keeps dst.
+        AluOp::Div => d.checked_div(s).unwrap_or(0),
+        AluOp::Mod => d.checked_rem(s).unwrap_or(d),
+        AluOp::And => d & s,
+        AluOp::Or => d | s,
+        AluOp::Xor => d ^ s,
+        AluOp::Lsh => d << (s & 63),
+        AluOp::Rsh => d >> (s & 63),
+        AluOp::Arsh => ((d as i64) >> (s & 63)) as u64,
+        AluOp::Mov => s,
+        AluOp::Neg => (d as i64).wrapping_neg() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::insn::{Cond, Size, R0, R1, R2, R3, R4, R6, R10};
+    use crate::maps::MapDef;
+
+    fn run(prog: Vec<Insn>, ctx: &[u8], maps: &mut MapRegistry) -> u64 {
+        let mut world = NullWorld::default();
+        let (r0, _) = Vm::run(&prog, ctx, maps, &mut world).unwrap();
+        r0
+    }
+
+    #[test]
+    fn arithmetic_works() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 10);
+        b.alu_imm(AluOp::Mul, R0, 7);
+        b.alu_imm(AluOp::Add, R0, 2);
+        b.alu_imm(AluOp::Div, R0, 8); // 72 / 8 = 9
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 9);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero_mod_keeps_dst() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 42);
+        b.mov_imm(R6, 0);
+        b.alu_reg(AluOp::Div, R0, R6);
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 0);
+
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 42);
+        b.mov_imm(R6, 0);
+        b.alu_reg(AluOp::Mod, R0, R6);
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 42);
+    }
+
+    #[test]
+    fn stack_store_load_round_trip() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R6, 0x1122334455667788);
+        b.store_reg(Size::B8, R10, -8, R6);
+        b.load(Size::B4, R0, R10, -8); // low 4 bytes, zero-extended
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 0x55667788);
+    }
+
+    #[test]
+    fn ctx_reads_work_and_writes_fault() {
+        let mut maps = MapRegistry::new();
+        let ctx = 0xABCDu64.to_le_bytes();
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R1, 0);
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &ctx, &mut maps), 0xABCD);
+
+        let prog = vec![
+            Insn::Store { size: Size::B1, base: R1, off: 0, src: Src::Imm(1) },
+            Insn::Exit,
+        ];
+        let mut world = NullWorld::default();
+        let err = Vm::run(&prog, &ctx, &mut maps, &mut world).unwrap_err();
+        assert!(matches!(err, VmError::ReadOnly { .. }));
+    }
+
+    #[test]
+    fn conditional_jump_selects_branch() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        let else_ = b.label();
+        let end = b.label();
+        b.mov_imm(R6, 5);
+        b.jump_if_imm(Cond::Gt, R6, 10, else_);
+        b.mov_imm(R0, 111);
+        b.jump(end);
+        b.bind(else_);
+        b.mov_imm(R0, 222);
+        b.bind(end);
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 111);
+    }
+
+    #[test]
+    fn map_update_lookup_and_in_place_mutation() {
+        let mut maps = MapRegistry::new();
+        let h = maps.create(MapDef::hash("h", 8, 8, 8));
+        let mut b = ProgramBuilder::new();
+        // key=7 at fp-8, value=100 at fp-16
+        b.store_imm(Size::B8, R10, -8, 7);
+        b.store_imm(Size::B8, R10, -16, 100);
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.mov_reg(R3, R10);
+        b.alu_imm(AluOp::Add, R3, -16);
+        b.mov_imm(R4, 0);
+        b.call(Helper::MapUpdate);
+        // lookup and bump the value in place
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapLookup);
+        let miss = b.label();
+        b.jump_if_imm(Cond::Eq, R0, 0, miss);
+        b.load(Size::B8, R6, R0, 0);
+        b.alu_imm(AluOp::Add, R6, 1);
+        b.store_reg(Size::B8, R0, 0, R6);
+        b.bind(miss);
+        b.mov_imm(R0, 0);
+        b.exit();
+        let prog = b.resolve().unwrap();
+        crate::verifier::verify(&prog, &maps, 0).unwrap();
+        run(prog, &[], &mut maps);
+        let stored = maps.lookup(h, &7u64.to_le_bytes()).unwrap();
+        assert_eq!(zext(stored), 101);
+    }
+
+    #[test]
+    fn lookup_miss_returns_null() {
+        let mut maps = MapRegistry::new();
+        let h = maps.create(MapDef::hash("h", 8, 8, 8));
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 999);
+        b.load_map(R1, h);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapLookup);
+        b.exit(); // R0 = lookup result
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 0);
+    }
+
+    #[test]
+    fn stack_map_push_pop_through_helpers() {
+        let mut maps = MapRegistry::new();
+        let s = maps.create(MapDef::stack("s", 8, 4));
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -8, 41);
+        b.load_map(R1, s);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -8);
+        b.call(Helper::MapPush);
+        b.load_map(R1, s);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -16);
+        b.call(Helper::MapPop);
+        b.load(Size::B8, R0, R10, -16);
+        b.alu_imm(AluOp::Add, R0, 1);
+        b.exit();
+        let prog = b.resolve().unwrap();
+        crate::verifier::verify(&prog, &maps, 0).unwrap();
+        assert_eq!(run(prog, &[], &mut maps), 42);
+    }
+
+    #[test]
+    fn perf_event_output_publishes_to_ring() {
+        let mut maps = MapRegistry::new();
+        let ring = maps.create(MapDef::perf_event_array("ring", 4));
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -16, 0xAAAA);
+        b.store_imm(Size::B8, R10, -8, 0xBBBB);
+        b.load_map(R1, ring);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -16);
+        b.mov_imm(R3, 16);
+        b.call(Helper::PerfEventOutput);
+        b.exit();
+        let prog = b.resolve().unwrap();
+        crate::verifier::verify(&prog, &maps, 0).unwrap();
+        let mut world = NullWorld::default();
+        let (_, stats) = Vm::run(&prog, &[], &mut maps, &mut world).unwrap();
+        assert_eq!(stats.ring_publishes, 1);
+        let records = maps.ring_drain(ring, 10);
+        assert_eq!(records.len(), 1);
+        assert_eq!(zext(&records[0][0..8]), 0xAAAA);
+        assert_eq!(zext(&records[0][8..16]), 0xBBBB);
+    }
+
+    #[test]
+    fn perf_event_read_buf_writes_triple() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R1, 3);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -24);
+        b.call(Helper::PerfEventReadBuf);
+        b.load(Size::B8, R0, R10, -24); // value = idx * 100 in NullWorld
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps), 300);
+    }
+
+    #[test]
+    fn helper_ktime_and_pid() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        b.call(Helper::KtimeGetNs);
+        b.mov_reg(R6, R0);
+        b.call(Helper::GetCurrentPidTgid);
+        b.alu_reg(AluOp::Add, R0, R6);
+        b.exit();
+        let prog = b.resolve().unwrap();
+        let mut world = NullWorld { time_ns: 1000, pid_tgid: 24 };
+        let (r0, stats) = Vm::run(&prog, &[], &mut maps, &mut world).unwrap();
+        assert_eq!(r0, 1024);
+        assert_eq!(stats.helper_calls, 2);
+        assert_eq!(stats.insns, 5);
+    }
+
+    #[test]
+    fn unverified_garbage_faults_safely() {
+        // The VM must return an error, not panic, on wild pointers.
+        let mut maps = MapRegistry::new();
+        let prog = vec![
+            Insn::Load { size: Size::B8, dst: R0, base: R1, off: 4096 },
+            Insn::Exit,
+        ];
+        let mut world = NullWorld::default();
+        let err = Vm::run(&prog, &[], &mut maps, &mut world).unwrap_err();
+        assert!(matches!(err, VmError::BadAddress { .. }));
+    }
+
+    #[test]
+    fn signed_shift_behaves() {
+        let mut maps = MapRegistry::new();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, -16);
+        b.alu_imm(AluOp::Arsh, R0, 2);
+        b.exit();
+        assert_eq!(run(b.resolve().unwrap(), &[], &mut maps) as i64, -4);
+    }
+}

@@ -1,0 +1,252 @@
+//! The Processor: user-space extraction and archival of training data
+//! (paper §3.2).
+//!
+//! The Processor drains finished samples from the Collector's perf ring
+//! buffer, transforms them (type conversion, fused-pipeline
+//! de-aggregation), and writes them to an output target. It runs as its
+//! own (virtual) task so its throughput is bounded: when the DBMS
+//! generates samples faster than the Processor's per-sample cost allows,
+//! the ring fills and the Collector overwrites — data is dropped without
+//! back pressure, exactly the design property of §3. A feedback hook
+//! recommends lowering the sampling rate when that happens.
+
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+use tscout_kernel::{Kernel, TaskId};
+
+use crate::collector::TScout;
+use crate::data::{decode_record, split_record, TrainingPoint};
+
+/// Where processed training data goes.
+pub enum Sink {
+    /// Keep decoded points in memory (model training pipelines).
+    Memory(Vec<TrainingPoint>),
+    /// Append CSV rows to a file on local disk.
+    Csv(BufWriter<File>),
+    /// Count only (overhead experiments).
+    Discard,
+}
+
+impl Sink {
+    /// Open a CSV sink, writing the header row.
+    pub fn csv(path: &Path) -> std::io::Result<Sink> {
+        let mut w = BufWriter::new(File::create(path)?);
+        writeln!(w, "ou,subsystem,tid,start_ns,elapsed_ns,metrics,features,user_metrics")?;
+        Ok(Sink::Csv(w))
+    }
+}
+
+/// The user-space Processor component.
+pub struct Processor {
+    /// The Processor's own kernel task (it consumes CPU too).
+    pub task: TaskId,
+    pub sink: Sink,
+    /// Samples fully processed.
+    pub processed: u64,
+    /// Ring records that failed to decode (overwritten mid-read etc.).
+    pub malformed: u64,
+}
+
+fn join<T: std::fmt::Display>(xs: &[T]) -> String {
+    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|")
+}
+
+impl Processor {
+    pub fn new(kernel: &mut Kernel, sink: Sink) -> Processor {
+        Processor { task: kernel.create_task(), sink, processed: 0, malformed: 0 }
+    }
+
+    /// Process ring records until the Processor's virtual clock reaches
+    /// `until_ns` or the ring is empty. Returns samples processed.
+    ///
+    /// The per-sample transform cost comes from the kernel cost model, so
+    /// a single-threaded Processor saturates at
+    /// `1 / processor_per_sample_ns` samples per second — the Fig. 6
+    /// plateau.
+    pub fn poll(&mut self, kernel: &mut Kernel, ts: &mut TScout, until_ns: f64) -> usize {
+        let mut n = 0;
+        while kernel.now(self.task) < until_ns {
+            let recs = ts.drain_ring(1);
+            if recs.is_empty() {
+                kernel.advance_to(self.task, until_ns);
+                break;
+            }
+            kernel.charge_overhead(self.task, kernel.cost.processor_per_sample_ns);
+            self.consume(&recs[0], ts);
+            n += 1;
+        }
+        n
+    }
+
+    /// Drain and process everything regardless of virtual time (offline
+    /// analysis / end-of-run flush). Still charges the Processor's task.
+    pub fn drain_all(&mut self, kernel: &mut Kernel, ts: &mut TScout) -> usize {
+        let mut n = 0;
+        loop {
+            let recs = ts.drain_ring(64);
+            if recs.is_empty() {
+                return n;
+            }
+            for r in &recs {
+                kernel.charge_overhead(self.task, kernel.cost.processor_per_sample_ns);
+                self.consume(r, ts);
+                n += 1;
+            }
+        }
+    }
+
+    fn consume(&mut self, bytes: &[u8], ts: &TScout) {
+        let Some(raw) = decode_record(bytes) else {
+            self.malformed += 1;
+            return;
+        };
+        let points = split_record(&raw, &ts.registry);
+        if points.is_empty() {
+            self.malformed += 1;
+            return;
+        }
+        for p in points {
+            match &mut self.sink {
+                Sink::Memory(v) => v.push(p),
+                Sink::Csv(w) => {
+                    let _ = writeln!(
+                        w,
+                        "{},{},{},{},{},{},{},{}",
+                        p.ou_name,
+                        p.subsystem,
+                        p.tid,
+                        p.start_ns,
+                        p.elapsed_ns,
+                        join(&p.metrics),
+                        join(&p.features),
+                        join(&p.user_metrics),
+                    );
+                }
+                Sink::Discard => {}
+            }
+        }
+        self.processed += 1;
+    }
+
+    /// Feedback mechanism (§3.2): when the ring has overwritten data since
+    /// the last check, recommend halving the sampling rate; when it is
+    /// nearly empty, the current rate is sustainable.
+    pub fn recommended_rate(&self, ts: &TScout, current: u8, last_dropped: u64) -> u8 {
+        if ts.ring_dropped() > last_dropped {
+            (current / 2).max(1)
+        } else {
+            current
+        }
+    }
+
+    /// Take the in-memory points (empties the sink).
+    pub fn take_points(&mut self) -> Vec<TrainingPoint> {
+        match &mut self.sink {
+            Sink::Memory(v) => std::mem::take(v),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flush file-backed sinks.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if let Sink::Csv(w) = &mut self.sink {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::{CollectionMode, ProbeSet, TsConfig};
+    use crate::ou::Subsystem;
+    use tscout_kernel::HardwareProfile;
+
+    fn harness() -> (Kernel, TScout, TaskId, crate::ou::OuId) {
+        let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 3);
+        k.noise_frac = 0.0;
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.enable_subsystem(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
+        let mut ts = TScout::deploy(&mut k, cfg).unwrap();
+        let ou = ts.register_ou("scan", Subsystem::ExecutionEngine, 1);
+        ts.set_sampling_rate(Subsystem::ExecutionEngine, 100);
+        let t = k.create_task();
+        ts.register_thread(&mut k, t);
+        (k, ts, t, ou)
+    }
+
+    fn emit(k: &mut Kernel, ts: &mut TScout, t: TaskId, ou: crate::ou::OuId, n: usize) {
+        for i in 0..n {
+            ts.ou_begin(k, t, ou);
+            k.charge_cpu(t, 5_000.0, 64);
+            ts.ou_end(k, t, ou);
+            ts.ou_features(k, t, ou, &[i as u64], &[]);
+        }
+    }
+
+    #[test]
+    fn poll_respects_virtual_time_budget() {
+        let (mut k, mut ts, t, ou) = harness();
+        emit(&mut k, &mut ts, t, ou, 50);
+        let mut p = Processor::new(&mut k, Sink::Memory(Vec::new()));
+        // Give the Processor time for exactly ~10 samples.
+        let budget = 10.0 * k.cost.processor_per_sample_ns;
+        let n = p.poll(&mut k, &mut ts, budget);
+        assert!((9..=11).contains(&n), "processed {n}");
+        assert_eq!(ts.ring_len(), 50 - n);
+    }
+
+    #[test]
+    fn drain_all_empties_ring() {
+        let (mut k, mut ts, t, ou) = harness();
+        emit(&mut k, &mut ts, t, ou, 20);
+        let mut p = Processor::new(&mut k, Sink::Memory(Vec::new()));
+        assert_eq!(p.drain_all(&mut k, &mut ts), 20);
+        assert_eq!(ts.ring_len(), 0);
+        let pts = p.take_points();
+        assert_eq!(pts.len(), 20);
+        assert_eq!(pts[3].features, vec![3.0]);
+        assert_eq!(p.take_points().len(), 0, "take empties the sink");
+    }
+
+    #[test]
+    fn csv_sink_writes_rows() {
+        let dir = std::env::temp_dir().join("tscout_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.csv");
+        let (mut k, mut ts, t, ou) = harness();
+        emit(&mut k, &mut ts, t, ou, 3);
+        let mut p = Processor::new(&mut k, Sink::csv(&path).unwrap());
+        p.drain_all(&mut k, &mut ts);
+        p.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 rows
+        assert!(lines[0].starts_with("ou,subsystem"));
+        assert!(lines[1].starts_with("scan,execution_engine"));
+    }
+
+    #[test]
+    fn malformed_records_are_counted_not_fatal() {
+        let (mut k, mut ts, _, _) = harness();
+        let mut p = Processor::new(&mut k, Sink::Discard);
+        p.consume(&[1, 2, 3], &ts);
+        assert_eq!(p.malformed, 1);
+        assert_eq!(p.processed, 0);
+        let _ = &mut ts;
+    }
+
+    #[test]
+    fn feedback_recommends_lower_rate_on_drops() {
+        let (mut k, mut ts, t, ou) = harness();
+        let p = Processor::new(&mut k, Sink::Discard);
+        assert_eq!(p.recommended_rate(&ts, 40, 0), 40);
+        // Overflow the ring (capacity 4096) to force drops.
+        emit(&mut k, &mut ts, t, ou, 5000);
+        assert!(ts.ring_dropped() > 0);
+        assert_eq!(p.recommended_rate(&ts, 40, 0), 20);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-subsystem adjustable sampling (paper §5.3).
+//!
+//! "TS maintains a 100-bit field for each subsystem to represent its
+//! sampling rate. [...] a rate of 20% will have 20 random bits set to one.
+//! The random distribution of ones reduces the burstiness of collection.
+//! [...] each thread maintains offsets to index into the bit fields. On a
+//! candidate collection event, the thread checks the bit value at its
+//! offset, uses the value to enable or disable training data for the
+//! event, and then increments the offset until it wraps around to zero."
+
+use crate::ou::Subsystem;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Width of the sampling bit field.
+pub const FIELD_BITS: usize = 100;
+
+#[derive(Debug, Clone)]
+struct Field {
+    bits: [bool; FIELD_BITS],
+    rate: u8,
+}
+
+/// The per-subsystem sampler.
+#[derive(Debug)]
+pub struct Sampler {
+    fields: [Field; 6],
+    /// Per-thread, per-subsystem offsets. Indexed by a small thread slot.
+    offsets: Vec<[usize; 6]>,
+    rng: StdRng,
+    /// When false, bits are set contiguously from the start instead of
+    /// shuffled — the ablation configuration showing why shuffling matters
+    /// (burstiness → tail latency).
+    pub shuffle: bool,
+}
+
+impl Sampler {
+    pub fn new(seed: u64) -> Self {
+        Sampler {
+            fields: std::array::from_fn(|_| Field { bits: [false; FIELD_BITS], rate: 0 }),
+            offsets: Vec::new(),
+            rng: StdRng::seed_from_u64(seed),
+            shuffle: true,
+        }
+    }
+
+    /// Set a subsystem's sampling rate in percent (0–100). Rebuilds the
+    /// bit field; existing thread offsets are preserved.
+    pub fn set_rate(&mut self, subsystem: Subsystem, rate: u8) {
+        let rate = rate.min(100);
+        let field = &mut self.fields[subsystem.index()];
+        field.rate = rate;
+        field.bits = [false; FIELD_BITS];
+        if self.shuffle {
+            // Floyd-style sample of `rate` distinct positions.
+            let mut chosen = 0usize;
+            while chosen < rate as usize {
+                let pos = self.rng.random_range(0..FIELD_BITS);
+                if !field.bits[pos] {
+                    field.bits[pos] = true;
+                    chosen += 1;
+                }
+            }
+        } else {
+            for bit in field.bits.iter_mut().take(rate as usize) {
+                *bit = true;
+            }
+        }
+    }
+
+    pub fn rate(&self, subsystem: Subsystem) -> u8 {
+        self.fields[subsystem.index()].rate
+    }
+
+    fn slot(&mut self, thread: usize) -> &mut [usize; 6] {
+        if thread >= self.offsets.len() {
+            self.offsets.resize(thread + 1, [0; 6]);
+        }
+        &mut self.offsets[thread]
+    }
+
+    /// The per-event sampling decision: read the bit at this thread's
+    /// offset and advance the offset (wrapping).
+    pub fn decide(&mut self, thread: usize, subsystem: Subsystem) -> bool {
+        let idx = subsystem.index();
+        let off = {
+            let slot = self.slot(thread);
+            let off = slot[idx];
+            slot[idx] = (off + 1) % FIELD_BITS;
+            off
+        };
+        self.fields[idx].bits[off]
+    }
+
+    /// Number of set bits — always exactly the rate.
+    pub fn set_bits(&self, subsystem: Subsystem) -> usize {
+        self.fields[subsystem.index()].bits.iter().filter(|b| **b).count()
+    }
+
+    /// Longest run of consecutive `true` bits (burstiness measure used by
+    /// the sampling-shuffle ablation).
+    pub fn longest_run(&self, subsystem: Subsystem) -> usize {
+        let bits = &self.fields[subsystem.index()].bits;
+        let mut best = 0;
+        let mut cur = 0;
+        for &b in bits {
+            if b {
+                cur += 1;
+                best = best.max(cur);
+            } else {
+                cur = 0;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_sets_exact_bit_count() {
+        let mut s = Sampler::new(1);
+        for rate in [0u8, 1, 20, 50, 99, 100] {
+            s.set_rate(Subsystem::ExecutionEngine, rate);
+            assert_eq!(s.set_bits(Subsystem::ExecutionEngine), rate as usize);
+        }
+    }
+
+    #[test]
+    fn rate_above_100_clamps() {
+        let mut s = Sampler::new(1);
+        s.set_rate(Subsystem::Networking, 250);
+        assert_eq!(s.rate(Subsystem::Networking), 100);
+        assert_eq!(s.set_bits(Subsystem::Networking), 100);
+    }
+
+    #[test]
+    fn decisions_over_full_cycle_match_rate() {
+        let mut s = Sampler::new(7);
+        s.set_rate(Subsystem::LogSerializer, 37);
+        let hits = (0..FIELD_BITS)
+            .filter(|_| s.decide(0, Subsystem::LogSerializer))
+            .count();
+        assert_eq!(hits, 37);
+    }
+
+    #[test]
+    fn zero_and_full_rates() {
+        let mut s = Sampler::new(7);
+        s.set_rate(Subsystem::DiskWriter, 0);
+        assert!((0..300).all(|_| !s.decide(0, Subsystem::DiskWriter)));
+        s.set_rate(Subsystem::DiskWriter, 100);
+        assert!((0..300).all(|_| s.decide(0, Subsystem::DiskWriter)));
+    }
+
+    #[test]
+    fn threads_have_independent_offsets() {
+        let mut s = Sampler::new(3);
+        s.set_rate(Subsystem::ExecutionEngine, 50);
+        // Walk thread 0 forward; thread 1 should start from offset 0.
+        let t0_first = s.decide(0, Subsystem::ExecutionEngine);
+        for _ in 0..13 {
+            s.decide(0, Subsystem::ExecutionEngine);
+        }
+        let t1_first = s.decide(1, Subsystem::ExecutionEngine);
+        assert_eq!(t0_first, t1_first, "both read bit 0 first");
+    }
+
+    #[test]
+    fn subsystems_are_independent() {
+        let mut s = Sampler::new(3);
+        s.set_rate(Subsystem::ExecutionEngine, 100);
+        s.set_rate(Subsystem::Networking, 0);
+        assert!(s.decide(0, Subsystem::ExecutionEngine));
+        assert!(!s.decide(0, Subsystem::Networking));
+    }
+
+    #[test]
+    fn shuffled_field_is_less_bursty_than_contiguous() {
+        let mut shuffled = Sampler::new(11);
+        shuffled.set_rate(Subsystem::ExecutionEngine, 30);
+        let mut contiguous = Sampler::new(11);
+        contiguous.shuffle = false;
+        contiguous.set_rate(Subsystem::ExecutionEngine, 30);
+        assert_eq!(contiguous.longest_run(Subsystem::ExecutionEngine), 30);
+        assert!(shuffled.longest_run(Subsystem::ExecutionEngine) < 30);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let pattern = |seed| {
+            let mut s = Sampler::new(seed);
+            s.set_rate(Subsystem::ExecutionEngine, 40);
+            (0..FIELD_BITS)
+                .map(|_| s.decide(0, Subsystem::ExecutionEngine))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pattern(9), pattern(9));
+    }
+}

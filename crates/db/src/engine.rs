@@ -1,0 +1,828 @@
+//! The `Database` façade: sessions, SQL execution, transactions, WAL,
+//! GC, and the simulated client/server networking layer.
+
+use tscout::{TScout, TsConfig, TsError};
+use tscout_kernel::{Kernel, TaskId};
+
+use crate::catalog::Catalog;
+use crate::exec::ou::{work_for, EngineOu, OuMap};
+use crate::exec::plan::Plan;
+use crate::exec::{execute, EngineMode, ExecCtx, ExecError, ExecOutcome};
+use crate::index::{key_from_row, Index, IndexKind};
+use crate::sql::parser::{parse, ParseError};
+use crate::sql::planner::{plan as plan_stmt, PlanError};
+use crate::storage::VersionedTable;
+use crate::txn::{TxnHandle, TxnManager};
+use crate::types::{row_bytes, Schema, Value};
+use crate::wal::{Wal, WalRecord};
+
+/// A client session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SessionId(pub usize);
+
+/// A prepared statement handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatementId(pub usize);
+
+/// Database errors.
+#[derive(Debug)]
+pub enum DbError {
+    Parse(ParseError),
+    Plan(PlanError),
+    Catalog(crate::catalog::CatalogError),
+    /// The statement failed and the enclosing transaction was aborted.
+    Aborted(ExecError),
+    NoSuchStatement,
+    NoTransaction,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Parse(e) => write!(f, "parse error: {e}"),
+            DbError::Plan(e) => write!(f, "plan error: {e}"),
+            DbError::Catalog(e) => write!(f, "catalog error: {e}"),
+            DbError::Aborted(e) => write!(f, "transaction aborted: {e}"),
+            DbError::NoSuchStatement => write!(f, "no such prepared statement"),
+            DbError::NoTransaction => write!(f, "no open transaction"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+#[derive(Debug)]
+struct Session {
+    task: TaskId,
+    txn: Option<TxnHandle>,
+}
+
+struct Prepared {
+    #[allow(dead_code)]
+    sql: String,
+    plan: Plan,
+}
+
+/// The NoiseTap DBMS instance.
+pub struct Database {
+    pub kernel: Kernel,
+    ts: Option<TScout>,
+    ous: Option<OuMap>,
+    catalog: Catalog,
+    tables: Vec<VersionedTable>,
+    indexes: Vec<Index>,
+    txns: TxnManager,
+    pub wal: Wal,
+    gc_task: TaskId,
+    sessions: Vec<Session>,
+    stmts: Vec<Prepared>,
+    /// Marker placement (per-operator vs fused pipelines, §5.2).
+    pub mode: EngineMode,
+    /// Versions pruned by GC so far.
+    pub gc_pruned: u64,
+}
+
+impl Database {
+    pub fn new(kernel: Kernel) -> Database {
+        let mut kernel = kernel;
+        let wal = Wal::new(&mut kernel);
+        let gc_task = kernel.create_task();
+        Database {
+            kernel,
+            ts: None,
+            ous: None,
+            catalog: Catalog::new(),
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            txns: TxnManager::new(),
+            wal,
+            gc_task,
+            sessions: Vec::new(),
+            stmts: Vec::new(),
+            mode: EngineMode::PerOperator,
+            gc_pruned: 0,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // TScout lifecycle
+    // ------------------------------------------------------------------
+
+    /// Deploy TScout against this DBMS (Setup Phase): registers all engine
+    /// OUs and instruments every existing task.
+    pub fn attach_tscout(&mut self, config: TsConfig) -> Result<(), TsError> {
+        let mut ts = TScout::deploy(&mut self.kernel, config)?;
+        let ous = OuMap::register(&mut ts);
+        ts.register_thread(&mut self.kernel, self.wal.task);
+        ts.register_thread(&mut self.kernel, self.gc_task);
+        for s in &self.sessions {
+            ts.register_thread(&mut self.kernel, s.task);
+        }
+        self.ts = Some(ts);
+        self.ous = Some(ous);
+        Ok(())
+    }
+
+    /// Unload TScout (dynamic reconfiguration, §5.4). Returns the config
+    /// for modification and redeployment.
+    pub fn detach_tscout(&mut self) -> Option<TsConfig> {
+        self.ous = None;
+        self.ts.take().map(|ts| ts.teardown(&mut self.kernel))
+    }
+
+    pub fn tscout(&self) -> Option<&TScout> {
+        self.ts.as_ref()
+    }
+
+    pub fn tscout_mut(&mut self) -> Option<&mut TScout> {
+        self.ts.as_mut()
+    }
+
+    /// Split borrow for the Processor: `(kernel, tscout)`.
+    pub fn collection_parts(&mut self) -> (&mut Kernel, Option<&mut TScout>) {
+        (&mut self.kernel, self.ts.as_mut())
+    }
+
+    // ------------------------------------------------------------------
+    // Sessions and statements
+    // ------------------------------------------------------------------
+
+    pub fn create_session(&mut self) -> SessionId {
+        let task = self.kernel.create_task();
+        if let Some(ts) = &mut self.ts {
+            ts.register_thread(&mut self.kernel, task);
+        }
+        self.sessions.push(Session { task, txn: None });
+        SessionId(self.sessions.len() - 1)
+    }
+
+    pub fn session_task(&self, sid: SessionId) -> TaskId {
+        self.sessions[sid.0].task
+    }
+
+    /// The session's current virtual time in nanoseconds.
+    pub fn now(&self, sid: SessionId) -> f64 {
+        self.kernel.now(self.session_task(sid))
+    }
+
+    pub fn prepare(&mut self, sql: &str) -> Result<StatementId, DbError> {
+        let stmt = parse(sql).map_err(DbError::Parse)?;
+        let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
+        self.stmts.push(Prepared { sql: sql.to_string(), plan });
+        Ok(StatementId(self.stmts.len() - 1))
+    }
+
+    /// Parse, plan, and execute one statement (ad-hoc path).
+    pub fn execute(
+        &mut self,
+        sid: SessionId,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        let stmt = parse(sql).map_err(DbError::Parse)?;
+        let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
+        self.run_plan(sid, &plan, params)
+    }
+
+    /// Execute a prepared statement.
+    pub fn execute_prepared(
+        &mut self,
+        sid: SessionId,
+        stmt: StatementId,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        let plan = self
+            .stmts
+            .get(stmt.0)
+            .ok_or(DbError::NoSuchStatement)?
+            .plan
+            .clone();
+        self.run_plan(sid, &plan, params)
+    }
+
+    // ------------------------------------------------------------------
+    // Transactions
+    // ------------------------------------------------------------------
+
+    pub fn begin(&mut self, sid: SessionId) {
+        if self.sessions[sid.0].txn.is_none() {
+            self.sessions[sid.0].txn = Some(self.txns.begin());
+        }
+    }
+
+    pub fn in_txn(&self, sid: SessionId) -> bool {
+        self.sessions[sid.0].txn.is_some()
+    }
+
+    /// Commit the session's transaction: stamps versions, emits the
+    /// TXN_COMMIT OU, and hands redo records to the WAL (asynchronous
+    /// group commit — control returns before the flush).
+    pub fn commit(&mut self, sid: SessionId) -> Result<(), DbError> {
+        let txn = self.sessions[sid.0].txn.take().ok_or(DbError::NoTransaction)?;
+        let task = self.sessions[sid.0].task;
+        let (commit_ts, writes) = self.txns.commit(txn);
+        for w in &writes {
+            self.tables[w.table.0 as usize].commit_slot(w.slot, txn.id, commit_ts);
+        }
+        // TXN_COMMIT OU.
+        let feats = vec![writes.len() as u64];
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::TxnCommit));
+        }
+        let w = work_for(EngineOu::TxnCommit, &feats);
+        self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            let id = ous.id(EngineOu::TxnCommit);
+            ts.ou_end(&mut self.kernel, task, id);
+            ts.ou_features(&mut self.kernel, task, id, &feats, &[0]);
+        }
+        if !writes.is_empty() {
+            let bytes: u64 = writes.iter().map(|w| w.redo_bytes).sum();
+            self.wal.append(WalRecord {
+                commit_ts,
+                bytes,
+                writes: writes.len() as u64,
+                arrival_ns: self.kernel.now(task),
+            });
+        }
+        Ok(())
+    }
+
+    /// Roll back the session's transaction.
+    pub fn rollback(&mut self, sid: SessionId) -> Result<(), DbError> {
+        let txn = self.sessions[sid.0].txn.take().ok_or(DbError::NoTransaction)?;
+        let writes = self.txns.abort(txn);
+        for w in writes.iter().rev() {
+            self.tables[w.table.0 as usize].abort_slot(w.slot, txn.id);
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statement execution
+    // ------------------------------------------------------------------
+
+    fn run_plan(
+        &mut self,
+        sid: SessionId,
+        plan: &Plan,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        match plan {
+            Plan::Begin => {
+                self.begin(sid);
+                Ok(ExecOutcome::default())
+            }
+            Plan::Commit => {
+                self.commit(sid)?;
+                Ok(ExecOutcome::default())
+            }
+            Plan::Rollback => {
+                self.rollback(sid)?;
+                Ok(ExecOutcome::default())
+            }
+            Plan::Explain(inner) => {
+                // EXPLAIN never executes (and unlike the paper's external
+                // approach, our internal collection never needs it).
+                let rows = crate::exec::plan::explain(inner, &self.catalog)
+                    .into_iter()
+                    .map(|l| vec![Value::Text(l)])
+                    .collect::<Vec<_>>();
+                Ok(ExecOutcome { rows_affected: rows.len() as u64, rows })
+            }
+            Plan::CreateTable { name, columns, primary_key } => {
+                self.create_table(name, columns, primary_key)?;
+                Ok(ExecOutcome::default())
+            }
+            Plan::CreateIndex { name, table, columns, kind, unique } => {
+                self.create_index(name, *table, columns.clone(), *kind, *unique)?;
+                Ok(ExecOutcome::default())
+            }
+            dml => {
+                let implicit = self.sessions[sid.0].txn.is_none();
+                if implicit {
+                    self.begin(sid);
+                }
+                let txn = self.sessions[sid.0].txn.unwrap();
+                let task = self.sessions[sid.0].task;
+                let result = {
+                    let mut ctx = ExecCtx::new(
+                        &mut self.kernel,
+                        self.ts.as_mut(),
+                        self.ous.as_ref(),
+                        task,
+                        &self.catalog,
+                        &mut self.tables,
+                        &mut self.indexes,
+                        &mut self.txns,
+                        txn,
+                        self.mode,
+                    );
+                    execute(&mut ctx, dml, params)
+                };
+                match result {
+                    Ok(outcome) => {
+                        if implicit {
+                            self.commit(sid)?;
+                        }
+                        Ok(outcome)
+                    }
+                    Err(e) => {
+                        // Statement failure aborts the whole transaction
+                        // (first-writer-wins MVCC has no partial rollback).
+                        let _ = self.rollback(sid);
+                        Err(DbError::Aborted(e))
+                    }
+                }
+            }
+        }
+    }
+
+    fn create_table(
+        &mut self,
+        name: &str,
+        columns: &[(String, crate::types::DataType)],
+        primary_key: &[String],
+    ) -> Result<(), DbError> {
+        let schema = Schema {
+            columns: columns
+                .iter()
+                .map(|(n, t)| crate::types::ColumnDef { name: n.clone(), dtype: *t })
+                .collect(),
+        };
+        let pk_cols: Vec<usize> = primary_key
+            .iter()
+            .map(|c| {
+                schema.column_index(c).ok_or_else(|| {
+                    DbError::Plan(PlanError::NoSuchColumn(c.clone()))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let id = self
+            .catalog
+            .create_table(name, schema.clone(), pk_cols.clone())
+            .map_err(DbError::Catalog)?;
+        self.tables.push(VersionedTable::new(schema));
+        debug_assert_eq!(self.tables.len() - 1, id.0 as usize);
+        if !pk_cols.is_empty() {
+            self.create_index(&format!("{name}_pkey"), id, pk_cols, IndexKind::BTree, true)?;
+        }
+        Ok(())
+    }
+
+    fn create_index(
+        &mut self,
+        name: &str,
+        table: crate::catalog::TableId,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    ) -> Result<(), DbError> {
+        let id = self
+            .catalog
+            .create_index(name, table, columns.clone(), kind, unique)
+            .map_err(DbError::Catalog)?;
+        let mut index = Index::new(kind);
+        // Backfill from the latest visible versions.
+        let read_ts = self.txns.oldest_read_ts().max(u64::MAX >> 1); // latest snapshot
+        let t = &self.tables[table.0 as usize];
+        for slot in t.scan_slots() {
+            if let Some(row) = t.read(slot, read_ts, 0) {
+                index.insert(key_from_row(row, &columns), slot);
+            }
+        }
+        self.indexes.push(index);
+        debug_assert_eq!(self.indexes.len() - 1, id.0 as usize);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Networking layer (simulated pgwire)
+    // ------------------------------------------------------------------
+
+    /// Execute a prepared statement as a *client request*: the session
+    /// task reads the request from its socket (NETWORK_READ OU), executes,
+    /// and writes the response (NETWORK_WRITE OU). Context switches at the
+    /// blocking socket boundaries pay the PMU tax under User-Continuous
+    /// collection (§6.2).
+    pub fn client_request(
+        &mut self,
+        sid: SessionId,
+        stmt: StatementId,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        let task = self.sessions[sid.0].task;
+        let pmu_tax = self.ts.as_ref().map(|t| t.pmu_cs_tax()).unwrap_or(false);
+        let req_bytes =
+            (32 + params.iter().map(Value::byte_size).sum::<usize>()) as u64;
+
+        // NETWORK_READ: the request arrives.
+        self.kernel.context_switch(task, pmu_tax);
+        let feats = vec![req_bytes, 1];
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::NetworkRead));
+        }
+        self.kernel.net_recv(task, req_bytes);
+        let w = work_for(EngineOu::NetworkRead, &feats);
+        self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            let id = ous.id(EngineOu::NetworkRead);
+            ts.ou_end(&mut self.kernel, task, id);
+            ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
+        }
+
+        let result = self.execute_prepared(sid, stmt, params);
+
+        // NETWORK_WRITE: ship the response (errors ship a small packet too).
+        let resp_bytes = match &result {
+            Ok(o) => (64 + o.rows.iter().map(row_bytes).sum::<usize>()) as u64,
+            Err(_) => 64,
+        };
+        let feats = vec![resp_bytes, 1];
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::NetworkWrite));
+        }
+        self.kernel.net_send(task, resp_bytes);
+        let w = work_for(EngineOu::NetworkWrite, &feats);
+        self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            let id = ous.id(EngineOu::NetworkWrite);
+            ts.ou_end(&mut self.kernel, task, id);
+            ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
+        }
+        self.kernel.context_switch(task, pmu_tax);
+        result
+    }
+
+    // ------------------------------------------------------------------
+    // Background tasks
+    // ------------------------------------------------------------------
+
+    /// Pump the WAL (log serializer + disk writer) to `until_ns`.
+    pub fn pump_wal(&mut self, until_ns: f64) -> usize {
+        self.wal.pump(&mut self.kernel, self.ts.as_mut(), self.ous.as_ref(), until_ns)
+    }
+
+    /// One GC sweep over all tables (GC_SWEEP OU). Returns versions pruned.
+    pub fn run_gc(&mut self) -> u64 {
+        let oldest = self.txns.oldest_read_ts();
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            ts.ou_begin(&mut self.kernel, self.gc_task, ous.id(EngineOu::GcSweep));
+        }
+        let mut pruned = 0u64;
+        for (t_idx, table) in self.tables.iter_mut().enumerate() {
+            let n = table.num_slots();
+            for s in 0..n {
+                let slot = crate::storage::SlotId(s as u64);
+                let (p, freed_row) = table.gc_slot_with_row(slot, oldest);
+                pruned += p as u64;
+                if let Some(row) = freed_row {
+                    for im in self.catalog.table_indexes(crate::catalog::TableId(t_idx as u32)) {
+                        let key = key_from_row(&row, &im.columns);
+                        self.indexes[im.id.0 as usize].remove(&key, slot);
+                    }
+                }
+            }
+        }
+        let feats = vec![pruned];
+        let w = work_for(EngineOu::GcSweep, &feats);
+        self.kernel.charge_cpu(self.gc_task, w.instructions, w.ws_bytes);
+        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+            let id = ous.id(EngineOu::GcSweep);
+            ts.ou_end(&mut self.kernel, self.gc_task, id);
+            ts.ou_features(&mut self.kernel, self.gc_task, id, &feats, &[0]);
+        }
+        self.gc_pruned += pruned;
+        pruned
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn table_live_tuples(&self, name: &str) -> Option<u64> {
+        self.catalog.table_by_name(name).map(|m| self.tables[m.id.0 as usize].live_tuples())
+    }
+
+    pub fn committed_txns(&self) -> u64 {
+        self.txns.committed
+    }
+
+    pub fn aborted_txns(&self) -> u64 {
+        self.txns.aborted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscout::{CollectionMode, ProbeSet, Subsystem};
+    use tscout_kernel::HardwareProfile;
+
+    fn db() -> (Database, SessionId) {
+        let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 11);
+        k.noise_frac = 0.0;
+        let mut db = Database::new(k);
+        let sid = db.create_session();
+        db.execute(sid, "CREATE TABLE acct (id INT PRIMARY KEY, branch INT, bal FLOAT)", &[])
+            .unwrap();
+        db.execute(sid, "CREATE INDEX acct_branch ON acct (branch)", &[]).unwrap();
+        for i in 0..100 {
+            db.execute(
+                sid,
+                "INSERT INTO acct VALUES ($1, $2, $3)",
+                &[Value::Int(i), Value::Int(i % 10), Value::Float(100.0)],
+            )
+            .unwrap();
+        }
+        (db, sid)
+    }
+
+    #[test]
+    fn point_select_via_pk() {
+        let (mut db, sid) = db();
+        let out = db
+            .execute(sid, "SELECT bal FROM acct WHERE id = $1", &[Value::Int(42)])
+            .unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Float(100.0)]]);
+    }
+
+    #[test]
+    fn secondary_index_and_filter() {
+        let (mut db, sid) = db();
+        let out = db
+            .execute(sid, "SELECT id FROM acct WHERE branch = 3 AND id > 50", &[])
+            .unwrap();
+        assert_eq!(out.rows.len(), 5); // 53, 63, 73, 83, 93
+    }
+
+    #[test]
+    fn aggregate_query() {
+        let (mut db, sid) = db();
+        let out = db
+            .execute(sid, "SELECT branch, count(*), sum(bal) FROM acct GROUP BY branch", &[])
+            .unwrap();
+        assert_eq!(out.rows.len(), 10);
+        assert_eq!(out.rows[0][1], Value::Int(10));
+        assert_eq!(out.rows[0][2], Value::Float(1000.0));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let (mut db, sid) = db();
+        let out = db
+            .execute(sid, "SELECT id FROM acct ORDER BY id DESC LIMIT 3", &[])
+            .unwrap();
+        let ids: Vec<i64> = out.rows.iter().map(|r| r[0].as_int().unwrap()).collect();
+        assert_eq!(ids, vec![99, 98, 97]);
+    }
+
+    #[test]
+    fn update_and_read_back() {
+        let (mut db, sid) = db();
+        let out = db
+            .execute(
+                sid,
+                "UPDATE acct SET bal = bal + $1 WHERE id = $2",
+                &[Value::Float(50.0), Value::Int(7)],
+            )
+            .unwrap();
+        assert_eq!(out.rows_affected, 1);
+        let out = db
+            .execute(sid, "SELECT bal FROM acct WHERE id = 7", &[])
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(150.0));
+    }
+
+    #[test]
+    fn delete_and_gc() {
+        let (mut db, sid) = db();
+        db.execute(sid, "DELETE FROM acct WHERE branch = 0", &[]).unwrap();
+        let out = db.execute(sid, "SELECT count(*) FROM acct", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(90));
+        let pruned = db.run_gc();
+        assert!(pruned >= 10, "deleted rows should be collected: {pruned}");
+        // Index entries for collected slots are gone; queries still work.
+        let out = db.execute(sid, "SELECT count(*) FROM acct WHERE branch = 0", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn explicit_transaction_rollback() {
+        let (mut db, sid) = db();
+        db.execute(sid, "BEGIN", &[]).unwrap();
+        db.execute(sid, "UPDATE acct SET bal = 0.0 WHERE id = 1", &[]).unwrap();
+        db.execute(sid, "ROLLBACK", &[]).unwrap();
+        let out = db.execute(sid, "SELECT bal FROM acct WHERE id = 1", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(100.0));
+    }
+
+    #[test]
+    fn snapshot_isolation_across_sessions() {
+        let (mut db, s1) = db();
+        let s2 = db.create_session();
+        db.execute(s1, "BEGIN", &[]).unwrap();
+        // s1 opened its snapshot; now s2 commits an update.
+        db.execute(s2, "UPDATE acct SET bal = 999.0 WHERE id = 5", &[]).unwrap();
+        // s1 still sees the old value.
+        let out = db.execute(s1, "SELECT bal FROM acct WHERE id = 5", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(100.0));
+        db.execute(s1, "COMMIT", &[]).unwrap();
+        let out = db.execute(s1, "SELECT bal FROM acct WHERE id = 5", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(999.0));
+    }
+
+    #[test]
+    fn write_write_conflict_aborts() {
+        let (mut db, s1) = db();
+        let s2 = db.create_session();
+        db.execute(s1, "BEGIN", &[]).unwrap();
+        db.execute(s2, "BEGIN", &[]).unwrap();
+        db.execute(s1, "UPDATE acct SET bal = 1.0 WHERE id = 9", &[]).unwrap();
+        let err = db.execute(s2, "UPDATE acct SET bal = 2.0 WHERE id = 9", &[]);
+        assert!(matches!(err, Err(DbError::Aborted(ExecError::Conflict))));
+        assert!(!db.in_txn(s2), "conflicting txn rolled back");
+        db.execute(s1, "COMMIT", &[]).unwrap();
+        let out = db.execute(s1, "SELECT bal FROM acct WHERE id = 9", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Float(1.0));
+    }
+
+    #[test]
+    fn unique_violation_aborts() {
+        let (mut db, sid) = db();
+        let err = db.execute(
+            sid,
+            "INSERT INTO acct VALUES (5, 1, 0.0)",
+            &[],
+        );
+        assert!(matches!(err, Err(DbError::Aborted(ExecError::UniqueViolation(_)))));
+        // The table is unchanged.
+        let out = db.execute(sid, "SELECT count(*) FROM acct", &[]).unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(100));
+    }
+
+    #[test]
+    fn join_query() {
+        let (mut db, sid) = db();
+        db.execute(sid, "CREATE TABLE tx (tid INT PRIMARY KEY, acct INT, amt FLOAT)", &[])
+            .unwrap();
+        for i in 0..20 {
+            db.execute(
+                sid,
+                "INSERT INTO tx VALUES ($1, $2, $3)",
+                &[Value::Int(i), Value::Int(i % 5), Value::Float(i as f64)],
+            )
+            .unwrap();
+        }
+        let out = db
+            .execute(
+                sid,
+                "SELECT a.id, t.amt FROM acct a JOIN tx t ON a.id = t.acct WHERE a.id = 2",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(out.rows.len(), 4); // tx 2, 7, 12, 17
+    }
+
+    #[test]
+    fn prepared_statements_and_client_requests() {
+        let (mut db, sid) = db();
+        let q = db.prepare("SELECT bal FROM acct WHERE id = $1").unwrap();
+        let out = db.client_request(sid, q, &[Value::Int(3)]).unwrap();
+        assert_eq!(out.rows.len(), 1);
+        // Network stats got charged to the session task.
+        let tcp = db.kernel.task(db.session_task(sid)).tcp;
+        assert!(tcp.bytes_sent > 0 && tcp.bytes_received > 0);
+    }
+
+    #[test]
+    fn wal_receives_commit_records_and_flushes() {
+        let (mut db, sid) = db();
+        assert!(db.wal.pending() > 0 || db.wal.flushed_records > 0);
+        db.execute(sid, "UPDATE acct SET bal = 1.0 WHERE id = 1", &[]).unwrap();
+        let pending = db.wal.pending();
+        assert!(pending > 0);
+        let horizon = db.now(sid) + 1e9;
+        db.pump_wal(horizon);
+        assert_eq!(db.wal.pending(), 0);
+        assert!(db.wal.flushed_batches > 0);
+        assert!(
+            db.wal.flushed_records as usize >= pending,
+            "all pending records flushed"
+        );
+    }
+
+    #[test]
+    fn collection_end_to_end_with_tscout() {
+        let (mut db, sid) = db();
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.enable_all_subsystems();
+        db.attach_tscout(cfg).unwrap();
+        {
+            let ts = db.tscout_mut().unwrap();
+            for s in tscout::ALL_SUBSYSTEMS {
+                ts.set_sampling_rate(s, 100);
+            }
+        }
+        let q = db.prepare("SELECT bal FROM acct WHERE id = $1").unwrap();
+        let u = db.prepare("UPDATE acct SET bal = bal + 1.0 WHERE id = $1").unwrap();
+        for i in 0..10 {
+            db.client_request(sid, q, &[Value::Int(i)]).unwrap();
+            db.client_request(sid, u, &[Value::Int(i)]).unwrap();
+        }
+        let horizon = db.now(sid) + 1e9;
+        db.pump_wal(horizon);
+        db.run_gc();
+        let ts = db.tscout_mut().unwrap();
+        assert_eq!(ts.stats.state_machine_errors, 0);
+        let pts = ts.drain_decoded();
+        let subs: std::collections::HashSet<_> = pts.iter().map(|p| p.subsystem).collect();
+        assert!(subs.contains(&Subsystem::ExecutionEngine));
+        assert!(subs.contains(&Subsystem::Networking));
+        assert!(subs.contains(&Subsystem::LogSerializer));
+        assert!(subs.contains(&Subsystem::DiskWriter));
+        assert!(subs.contains(&Subsystem::Transactions));
+        // Nested markers: UPDATE wraps its scan.
+        assert!(pts.iter().any(|p| p.ou_name == "update"));
+        assert!(pts.iter().any(|p| p.ou_name == "idx_lookup"));
+    }
+
+    #[test]
+    fn fused_mode_emits_pipeline_samples() {
+        let (mut db, sid) = db();
+        db.mode = EngineMode::Fused;
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.enable_subsystem(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
+        db.attach_tscout(cfg).unwrap();
+        db.tscout_mut().unwrap().set_sampling_rate(Subsystem::ExecutionEngine, 100);
+        db.execute(sid, "SELECT bal FROM acct WHERE id = 1", &[]).unwrap();
+        let pts = db.tscout_mut().unwrap().drain_decoded();
+        // The pipeline sample was de-aggregated into per-OU points.
+        assert!(pts.len() >= 2, "expected idx_lookup + output, got {pts:?}");
+        assert!(pts.iter().any(|p| p.ou_name == "idx_lookup"));
+        assert!(pts.iter().any(|p| p.ou_name == "output"));
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use tscout_kernel::HardwareProfile;
+
+    fn db() -> (Database, SessionId) {
+        let mut db =
+            Database::new(Kernel::with_seed(HardwareProfile::server_2x20(), 1));
+        let sid = db.create_session();
+        db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, b INT, v FLOAT)", &[]).unwrap();
+        db.execute(sid, "CREATE INDEX t_b ON t (b)", &[]).unwrap();
+        (db, sid)
+    }
+
+    fn lines(db: &mut Database, sid: SessionId, sql: &str) -> Vec<String> {
+        db.execute(sid, sql, &[])
+            .unwrap()
+            .rows
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn explain_shows_access_paths() {
+        let (mut db, sid) = db();
+        let out = lines(&mut db, sid, "EXPLAIN SELECT v FROM t WHERE id = $1");
+        assert!(out[0].starts_with("Project"), "{out:?}");
+        assert!(out[1].contains("IndexPointLookup on t using t_pkey"), "{out:?}");
+
+        let out = lines(&mut db, sid, "EXPLAIN SELECT * FROM t WHERE b >= 1 AND b <= 5");
+        assert!(out[0].contains("IndexRangeScan on t using t_b"), "{out:?}");
+
+        let out = lines(&mut db, sid, "EXPLAIN SELECT * FROM t WHERE v > 0.0");
+        assert!(out[0].contains("SeqScan on t"), "{out:?}");
+        assert!(out[1].contains("Filter:"), "{out:?}");
+    }
+
+    #[test]
+    fn explain_dml_and_aggregates() {
+        let (mut db, sid) = db();
+        let out = lines(&mut db, sid, "EXPLAIN UPDATE t SET v = v + 1.0 WHERE id = 3");
+        assert!(out[0].starts_with("Update t"), "{out:?}");
+        assert!(out[1].contains("IndexPointLookup"), "{out:?}");
+
+        let out = lines(&mut db, sid, "EXPLAIN SELECT b, count(*) FROM t GROUP BY b");
+        assert!(out.iter().any(|l| l.contains("Aggregate")), "{out:?}");
+        assert!(out.iter().any(|l| l.contains("count(*)")), "{out:?}");
+    }
+
+    #[test]
+    fn explain_does_not_execute() {
+        let (mut db, sid) = db();
+        db.execute(sid, "INSERT INTO t VALUES (1, 2, 3.0)", &[]).unwrap();
+        db.execute(sid, "EXPLAIN DELETE FROM t", &[]).unwrap();
+        assert_eq!(db.table_live_tuples("t"), Some(1), "EXPLAIN must not delete");
+    }
+}

@@ -1,0 +1,301 @@
+//! Physical plans: name-resolved, access-path-selected statement forms.
+
+use crate::catalog::{IndexId, TableId};
+use crate::index::IndexKind;
+use crate::sql::ast::{AggFunc, BinOp};
+use crate::types::{DataType, Value};
+
+/// A resolved expression: columns are positional offsets into the
+/// operator's input row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PExpr {
+    Col(usize),
+    Lit(Value),
+    Param(usize),
+    Bin(Box<PExpr>, BinOp, Box<PExpr>),
+}
+
+impl PExpr {
+    pub fn bin(l: PExpr, op: BinOp, r: PExpr) -> PExpr {
+        PExpr::Bin(Box::new(l), op, Box::new(r))
+    }
+
+    /// Conjunction of multiple predicates (`None` when empty).
+    pub fn conjoin(mut preds: Vec<PExpr>) -> Option<PExpr> {
+        let first = preds.pop()?;
+        Some(preds.into_iter().fold(first, |acc, p| PExpr::bin(acc, BinOp::And, p)))
+    }
+
+    /// Does this expression reference any column?
+    pub fn references_columns(&self) -> bool {
+        match self {
+            PExpr::Col(_) => true,
+            PExpr::Lit(_) | PExpr::Param(_) => false,
+            PExpr::Bin(l, _, r) => l.references_columns() || r.references_columns(),
+        }
+    }
+}
+
+/// How a scan reaches its tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Access {
+    /// Full sequential scan.
+    Full,
+    /// Point lookup on a (hash or btree) index covering all key columns.
+    Point { index: IndexId, key: Vec<PExpr> },
+    /// Prefix scan on a composite btree index.
+    Prefix { index: IndexId, key: Vec<PExpr> },
+    /// Range scan on a single-column btree index.
+    Range {
+        index: IndexId,
+        lo: Option<PExpr>,
+        hi: Option<PExpr>,
+    },
+}
+
+/// A table scan with residual filter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScanNode {
+    pub table: TableId,
+    pub access: Access,
+    pub residual: Option<PExpr>,
+}
+
+/// Query plan operators.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    Scan(ScanNode),
+    HashJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        /// Key expressions over the respective child outputs.
+        left_key: PExpr,
+        right_key: PExpr,
+        /// Post-join filter over the concatenated row.
+        residual: Option<PExpr>,
+    },
+    Aggregate {
+        input: Box<PlanNode>,
+        /// Grouping column offsets in the input.
+        group_by: Vec<usize>,
+        /// Aggregates: function + input column (None = COUNT(*)).
+        aggs: Vec<(AggFunc, Option<usize>)>,
+    },
+    Sort {
+        input: Box<PlanNode>,
+        /// (column offset, descending).
+        by: Vec<(usize, bool)>,
+    },
+    Limit {
+        input: Box<PlanNode>,
+        n: u64,
+    },
+    Project {
+        input: Box<PlanNode>,
+        exprs: Vec<PExpr>,
+    },
+}
+
+impl PlanNode {
+    /// Iterate the operators of the plan tree (pre-order).
+    pub fn walk(&self, f: &mut impl FnMut(&PlanNode)) {
+        f(self);
+        match self {
+            PlanNode::Scan(_) => {}
+            PlanNode::HashJoin { left, right, .. } => {
+                left.walk(f);
+                right.walk(f);
+            }
+            PlanNode::Aggregate { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Project { input, .. } => input.walk(f),
+        }
+    }
+}
+
+/// A fully planned statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Plan {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        primary_key: Vec<String>,
+    },
+    CreateIndex {
+        name: String,
+        table: TableId,
+        columns: Vec<usize>,
+        kind: IndexKind,
+        unique: bool,
+    },
+    Insert {
+        table: TableId,
+        rows: Vec<Vec<PExpr>>,
+    },
+    Update {
+        scan: ScanNode,
+        /// (column offset, new-value expression over the old row).
+        sets: Vec<(usize, PExpr)>,
+    },
+    Delete {
+        scan: ScanNode,
+    },
+    Query {
+        root: PlanNode,
+    },
+    Begin,
+    Commit,
+    Rollback,
+    Explain(Box<Plan>),
+}
+
+/// Render a physical plan as `EXPLAIN` output lines (one per operator,
+/// indented by tree depth) — the human-readable plan description the
+/// paper's §2.2 external collection approach decomposes into features.
+pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
+    fn expr(e: &PExpr) -> String {
+        match e {
+            PExpr::Col(i) => format!("#{i}"),
+            PExpr::Lit(v) => v.to_string(),
+            PExpr::Param(p) => format!("${}", p + 1),
+            PExpr::Bin(l, op, r) => format!("({} {op:?} {})", expr(l), expr(r)),
+        }
+    }
+    fn scan(s: &ScanNode, catalog: &crate::catalog::Catalog, depth: usize, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        let table = &catalog.table(s.table).name;
+        let line = match &s.access {
+            Access::Full => format!("{pad}SeqScan on {table}"),
+            Access::Point { index, key } => format!(
+                "{pad}IndexPointLookup on {table} using {} key=[{}]",
+                catalog.index(*index).name,
+                key.iter().map(expr).collect::<Vec<_>>().join(", ")
+            ),
+            Access::Prefix { index, key } => format!(
+                "{pad}IndexPrefixScan on {table} using {} prefix=[{}]",
+                catalog.index(*index).name,
+                key.iter().map(expr).collect::<Vec<_>>().join(", ")
+            ),
+            Access::Range { index, lo, hi } => format!(
+                "{pad}IndexRangeScan on {table} using {} lo={} hi={}",
+                catalog.index(*index).name,
+                lo.as_ref().map(expr).unwrap_or_else(|| "-inf".into()),
+                hi.as_ref().map(expr).unwrap_or_else(|| "+inf".into()),
+            ),
+        };
+        out.push(line);
+        if let Some(f) = &s.residual {
+            out.push(format!("{}Filter: {}", "  ".repeat(depth + 1), expr(f)));
+        }
+    }
+    fn node(n: &PlanNode, catalog: &crate::catalog::Catalog, depth: usize, out: &mut Vec<String>) {
+        let pad = "  ".repeat(depth);
+        match n {
+            PlanNode::Scan(s) => scan(s, catalog, depth, out),
+            PlanNode::HashJoin { left, right, left_key, right_key, residual } => {
+                out.push(format!(
+                    "{pad}HashJoin build_key={} probe_key={}",
+                    expr(left_key),
+                    expr(right_key)
+                ));
+                if let Some(f) = residual {
+                    out.push(format!("{pad}  Filter: {}", expr(f)));
+                }
+                node(left, catalog, depth + 1, out);
+                node(right, catalog, depth + 1, out);
+            }
+            PlanNode::Aggregate { input, group_by, aggs } => {
+                out.push(format!(
+                    "{pad}Aggregate group_by={group_by:?} aggs=[{}]",
+                    aggs.iter()
+                        .map(|(f, c)| match c {
+                            Some(c) => format!("{}(#{c})", f.name()),
+                            None => format!("{}(*)", f.name()),
+                        })
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+                node(input, catalog, depth + 1, out);
+            }
+            PlanNode::Sort { input, by } => {
+                out.push(format!("{pad}Sort by={by:?}"));
+                node(input, catalog, depth + 1, out);
+            }
+            PlanNode::Limit { input, n } => {
+                out.push(format!("{pad}Limit {n}"));
+                node(input, catalog, depth + 1, out);
+            }
+            PlanNode::Project { input, exprs } => {
+                out.push(format!(
+                    "{pad}Project [{}]",
+                    exprs.iter().map(expr).collect::<Vec<_>>().join(", ")
+                ));
+                node(input, catalog, depth + 1, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    match plan {
+        Plan::Query { root } => node(root, catalog, 0, &mut out),
+        Plan::Insert { table, rows } => out.push(format!(
+            "Insert into {} ({} rows)",
+            catalog.table(*table).name,
+            rows.len()
+        )),
+        Plan::Update { scan: s, sets } => {
+            out.push(format!(
+                "Update {} set=[{}]",
+                catalog.table(s.table).name,
+                sets.iter()
+                    .map(|(c, e)| format!("#{c} = {}", expr(e)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+            scan(s, catalog, 1, &mut out);
+        }
+        Plan::Delete { scan: s } => {
+            out.push(format!("Delete from {}", catalog.table(s.table).name));
+            scan(s, catalog, 1, &mut out);
+        }
+        other => out.push(format!("{other:?}")),
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjoin_builds_and_tree() {
+        assert_eq!(PExpr::conjoin(vec![]), None);
+        let one = PExpr::conjoin(vec![PExpr::Lit(Value::Bool(true))]).unwrap();
+        assert_eq!(one, PExpr::Lit(Value::Bool(true)));
+        let two = PExpr::conjoin(vec![PExpr::Col(0), PExpr::Col(1)]).unwrap();
+        assert!(matches!(two, PExpr::Bin(_, BinOp::And, _)));
+    }
+
+    #[test]
+    fn references_columns_detects() {
+        assert!(PExpr::Col(0).references_columns());
+        assert!(!PExpr::bin(PExpr::Lit(Value::Int(1)), BinOp::Add, PExpr::Param(0))
+            .references_columns());
+    }
+
+    #[test]
+    fn walk_visits_all_nodes() {
+        let plan = PlanNode::Limit {
+            input: Box::new(PlanNode::Scan(ScanNode {
+                table: TableId(0),
+                access: Access::Full,
+                residual: None,
+            })),
+            n: 5,
+        };
+        let mut count = 0;
+        plan.walk(&mut |_| count += 1);
+        assert_eq!(count, 2);
+    }
+}
+

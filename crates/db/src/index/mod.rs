@@ -1,0 +1,134 @@
+//! Index access methods: B+-tree (ordered) and hash (point lookups).
+
+pub mod btree;
+pub mod hash;
+
+pub use btree::{BTreeIndex, IndexKey};
+pub use hash::HashIndex;
+
+use crate::storage::SlotId;
+use crate::types::{Row, Value};
+
+/// Index kind selected at `CREATE INDEX` time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    BTree,
+    Hash,
+}
+
+/// A live index structure.
+#[derive(Debug)]
+pub enum Index {
+    BTree(BTreeIndex),
+    Hash(HashIndex),
+}
+
+impl Index {
+    pub fn new(kind: IndexKind) -> Index {
+        match kind {
+            IndexKind::BTree => Index::BTree(BTreeIndex::new()),
+            IndexKind::Hash => Index::Hash(HashIndex::new()),
+        }
+    }
+
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            Index::BTree(_) => IndexKind::BTree,
+            Index::Hash(_) => IndexKind::Hash,
+        }
+    }
+
+    pub fn insert(&mut self, key: IndexKey, slot: SlotId) {
+        match self {
+            Index::BTree(t) => t.insert(key, slot),
+            Index::Hash(h) => h.insert(key, slot),
+        }
+    }
+
+    pub fn remove(&mut self, key: &IndexKey, slot: SlotId) -> bool {
+        match self {
+            Index::BTree(t) => t.remove(key, slot),
+            Index::Hash(h) => h.remove(key, slot),
+        }
+    }
+
+    /// Point lookup: `(postings, entries_examined)`.
+    pub fn get(&self, key: &IndexKey) -> (Vec<SlotId>, usize) {
+        match self {
+            Index::BTree(t) => t.get(key),
+            Index::Hash(h) => h.get(key),
+        }
+    }
+
+    /// Inclusive range scan (B-tree only; hash indexes return empty).
+    pub fn range(&self, lo: Option<&IndexKey>, hi: Option<&IndexKey>) -> (Vec<SlotId>, usize) {
+        match self {
+            Index::BTree(t) => t.range(lo, hi),
+            Index::Hash(_) => (Vec::new(), 0),
+        }
+    }
+
+    /// Prefix scan (B-tree only).
+    pub fn prefix(&self, prefix: &[Value]) -> (Vec<SlotId>, usize) {
+        match self {
+            Index::BTree(t) => t.prefix(prefix),
+            Index::Hash(_) => (Vec::new(), 0),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Index::BTree(t) => t.len(),
+            Index::Hash(h) => h.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural depth (B-tree height; 1 for hash) — an OU feature.
+    pub fn depth(&self) -> usize {
+        match self {
+            Index::BTree(t) => t.depth(),
+            Index::Hash(_) => 1,
+        }
+    }
+}
+
+/// Extract an index key from a row given the indexed column positions.
+pub fn key_from_row(row: &Row, cols: &[usize]) -> IndexKey {
+    cols.iter().map(|c| row[*c].clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_works_for_both_kinds() {
+        for kind in [IndexKind::BTree, IndexKind::Hash] {
+            let mut idx = Index::new(kind);
+            assert_eq!(idx.kind(), kind);
+            idx.insert(vec![Value::Int(1)], SlotId(7));
+            assert_eq!(idx.get(&vec![Value::Int(1)]).0, vec![SlotId(7)]);
+            assert_eq!(idx.len(), 1);
+            assert!(idx.depth() >= 1);
+            assert!(idx.remove(&vec![Value::Int(1)], SlotId(7)));
+            assert!(idx.is_empty());
+        }
+    }
+
+    #[test]
+    fn range_on_hash_is_empty() {
+        let mut idx = Index::new(IndexKind::Hash);
+        idx.insert(vec![Value::Int(1)], SlotId(1));
+        assert!(idx.range(None, None).0.is_empty());
+    }
+
+    #[test]
+    fn key_extraction() {
+        let row: Row = vec![Value::Int(1), Value::Text("x".into()), Value::Int(3)];
+        assert_eq!(key_from_row(&row, &[2, 0]), vec![Value::Int(3), Value::Int(1)]);
+    }
+}

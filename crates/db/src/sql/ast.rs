@@ -1,0 +1,187 @@
+//! The abstract syntax tree for NoiseTap's SQL dialect.
+//!
+//! The dialect covers what the benchmark workloads (YCSB, SmallBank,
+//! TATP, TPC-C, CH-benCHmark) and the examples need: DDL, single- and
+//! two-table SELECT with filters/joins/aggregates/ordering/limits,
+//! parameterized DML, and transaction control.
+
+use crate::index::IndexKind;
+use crate::types::{DataType, Value};
+
+/// Binary operators, loosest-binding last.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    Or,
+    And,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Add,
+    Sub,
+    Mul,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::Sum => "sum",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        }
+    }
+}
+
+/// An (unresolved) expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// `[table.]column`
+    Column(Option<String>, String),
+    Literal(Value),
+    /// `$1`-style placeholder (0-based index).
+    Param(usize),
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// `AGG(column)` or `COUNT(*)` (`None`).
+    Agg(AggFunc, Option<String>),
+}
+
+impl Expr {
+    pub fn col(name: &str) -> Expr {
+        Expr::Column(None, name.into())
+    }
+
+    pub fn lit(v: Value) -> Expr {
+        Expr::Literal(v)
+    }
+
+    pub fn bin(lhs: Expr, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// Flatten a conjunction into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary(l, BinOp::And, r) => {
+                let mut out = l.conjuncts();
+                out.extend(r.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+}
+
+/// A projection item.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    Star,
+    Expr(Expr),
+}
+
+/// A table reference with optional alias.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    pub name: String,
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name this table binds in the query's scope.
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStmt {
+    pub projections: Vec<Projection>,
+    pub from: TableRef,
+    /// `JOIN <table> ON <expr>`; at most one join (two-table queries).
+    pub join: Option<(TableRef, Expr)>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<String>,
+    pub order_by: Vec<(String, bool)>, // (column, descending)
+    pub limit: Option<u64>,
+    pub for_update: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, DataType)>,
+        primary_key: Vec<String>,
+    },
+    CreateIndex {
+        name: String,
+        table: String,
+        columns: Vec<String>,
+        kind: IndexKind,
+        unique: bool,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Expr>>,
+    },
+    Select(SelectStmt),
+    Update {
+        table: String,
+        sets: Vec<(String, Expr)>,
+        where_clause: Option<Expr>,
+    },
+    Delete {
+        table: String,
+        where_clause: Option<Expr>,
+    },
+    Begin,
+    Commit,
+    Rollback,
+    /// `EXPLAIN <statement>` — the paper's §2.2 external feature-collection
+    /// path: returns the physical plan instead of executing.
+    Explain(Box<Stmt>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conjunct_flattening() {
+        let e = Expr::bin(
+            Expr::bin(Expr::col("a"), BinOp::Eq, Expr::lit(Value::Int(1))),
+            BinOp::And,
+            Expr::bin(
+                Expr::bin(Expr::col("b"), BinOp::Gt, Expr::lit(Value::Int(2))),
+                BinOp::And,
+                Expr::bin(Expr::col("c"), BinOp::Lt, Expr::lit(Value::Int(3))),
+            ),
+        );
+        assert_eq!(e.conjuncts().len(), 3);
+        let single = Expr::bin(Expr::col("a"), BinOp::Or, Expr::col("b"));
+        assert_eq!(single.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn table_ref_binding() {
+        let t = TableRef { name: "orders".into(), alias: Some("o".into()) };
+        assert_eq!(t.binding(), "o");
+        let t2 = TableRef { name: "orders".into(), alias: None };
+        assert_eq!(t2.binding(), "orders");
+    }
+}

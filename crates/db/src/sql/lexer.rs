@@ -1,0 +1,298 @@
+//! The SQL lexer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Bare identifier or keyword (kept verbatim; parser matches
+    /// case-insensitively).
+    Ident(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `$n` placeholder, 0-based after lexing (`$1` → `Param(0)`).
+    Param(usize),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Semicolon,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param(p) => write!(f, "${}", p + 1),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::Comma => write!(f, ","),
+            Token::Dot => write!(f, "."),
+            Token::Star => write!(f, "*"),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Eq => write!(f, "="),
+            Token::Ne => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Semicolon => write!(f, ";"),
+        }
+    }
+}
+
+/// Lexing errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    pub pos: usize,
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a SQL string.
+pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
+    let bytes = input.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '-' => {
+                // `--` comment to end of line.
+                if bytes.get(i + 1) == Some(&b'-') {
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if bytes.get(i + 1) == Some(&b'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => match bytes.get(i + 1) {
+                Some(b'=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some(b'>') => {
+                    out.push(Token::Ne);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                let mut s = String::new();
+                loop {
+                    match bytes.get(j) {
+                        Some(b'\'') if bytes.get(j + 1) == Some(&b'\'') => {
+                            s.push('\'');
+                            j += 2;
+                        }
+                        Some(b'\'') => break,
+                        Some(b) => {
+                            s.push(*b as char);
+                            j += 1;
+                        }
+                        None => {
+                            return Err(LexError {
+                                pos: i,
+                                message: "unterminated string literal".into(),
+                            })
+                        }
+                    }
+                }
+                out.push(Token::Str(s));
+                i = j + 1;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j].is_ascii_digit() {
+                    j += 1;
+                }
+                if j == start {
+                    return Err(LexError { pos: i, message: "expected digits after $".into() });
+                }
+                let n: usize = input[start..j].parse().map_err(|_| LexError {
+                    pos: i,
+                    message: "parameter number out of range".into(),
+                })?;
+                if n == 0 {
+                    return Err(LexError { pos: i, message: "parameters start at $1".into() });
+                }
+                out.push(Token::Param(n - 1));
+                i = j;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len()
+                    && (bytes[j].is_ascii_digit()
+                        || (bytes[j] == b'.' && bytes.get(j + 1).is_some_and(u8::is_ascii_digit)))
+                {
+                    if bytes[j] == b'.' {
+                        is_float = true;
+                    }
+                    j += 1;
+                }
+                let text = &input[start..j];
+                if is_float {
+                    out.push(Token::Float(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad float literal {text}"),
+                    })?));
+                } else {
+                    out.push(Token::Int(text.parse().map_err(|_| LexError {
+                        pos: start,
+                        message: format!("bad int literal {text}"),
+                    })?));
+                }
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && ((bytes[j] as char).is_ascii_alphanumeric() || bytes[j] == b'_')
+                {
+                    j += 1;
+                }
+                out.push(Token::Ident(input[start..j].to_string()));
+                i = j;
+            }
+            other => {
+                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_query() {
+        let toks = lex("SELECT a.x, 'it''s' FROM t WHERE y >= $2 AND z <> 1.5;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("SELECT".into()),
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("x".into()),
+                Token::Comma,
+                Token::Str("it's".into()),
+                Token::Ident("FROM".into()),
+                Token::Ident("t".into()),
+                Token::Ident("WHERE".into()),
+                Token::Ident("y".into()),
+                Token::Ge,
+                Token::Param(1),
+                Token::Ident("AND".into()),
+                Token::Ident("z".into()),
+                Token::Ne,
+                Token::Float(1.5),
+                Token::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("SELECT 1 -- trailing\n , 2").unwrap();
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn minus_vs_comment() {
+        assert_eq!(lex("1 - 2").unwrap(), vec![Token::Int(1), Token::Minus, Token::Int(2)]);
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        let err = lex("SELECT 'oops").unwrap_err();
+        assert_eq!(err.pos, 7);
+        assert!(lex("SELECT $0").is_err());
+        assert!(lex("SELECT #").is_err());
+    }
+
+    #[test]
+    fn ne_variants() {
+        assert_eq!(lex("a != b").unwrap()[1], Token::Ne);
+        assert_eq!(lex("a <> b").unwrap()[1], Token::Ne);
+    }
+}

@@ -1,0 +1,6 @@
+//! SQL front end: lexer, parser, AST, and planner.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod planner;

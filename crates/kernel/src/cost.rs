@@ -1,0 +1,200 @@
+//! The cost model: every tunable constant of the simulation in one place.
+//!
+//! All figure calibration happens here. The *absolute* values are rough
+//! (the paper's testbed is real silicon; ours is a simulator) but the
+//! *relationships* between them encode the mechanisms the paper measures:
+//!
+//! * a user→kernel mode switch is expensive; a syscall is a mode switch
+//!   plus kernel work; toggling perf counters reprograms the PMU and is the
+//!   most expensive of all (paper §2.3, Figs. 1/5);
+//! * leaving counters enabled continuously makes every context switch pay a
+//!   PMU save/restore (paper §6.2, the 2–8% User-Continuous floor);
+//! * a BPF program execution costs one mode switch plus its instruction
+//!   count — far cheaper than three toggling syscalls (Fig. 1);
+//! * CPU work suffers contention when runnable tasks exceed cores and when
+//!   the working set outgrows L3 (Figs. 7/11/12 generalization gaps).
+
+use crate::hw::HardwareProfile;
+
+/// Cost constants, independent of the hardware profile (expressed in cycles
+/// or nanoseconds as noted). Scaled by the profile's clock where relevant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModel {
+    /// One user↔kernel mode switch, ns.
+    pub mode_switch_ns: f64,
+    /// Kernel-side overhead of a generic syscall beyond the mode switch, ns.
+    pub syscall_body_ns: f64,
+    /// Reprogramming PMU control registers on enable/disable, ns.
+    pub pmu_toggle_ns: f64,
+    /// Reading one perf counter from user space (rdpmc-less path), ns.
+    pub pmu_read_user_ns: f64,
+    /// Reading one perf counter from inside the kernel (BPF helper), ns.
+    pub pmu_read_kernel_ns: f64,
+    /// Extra context-switch cost when counters are continuously enabled
+    /// (PMU state save/restore), ns per switch.
+    pub cs_pmu_save_ns: f64,
+    /// Base context switch cost, ns.
+    pub context_switch_ns: f64,
+    /// Cost per interpreted BPF instruction, ns.
+    pub bpf_insn_ns: f64,
+    /// Publishing one record into the perf ring buffer from BPF, ns
+    /// (per-CPU buffer, no locks — the RCU advantage of §6.2).
+    pub ringbuf_publish_ns: f64,
+    /// User-space emission of one sample through the shared, locked
+    /// collection buffer, ns of *lock hold time* (serialized across all
+    /// DBMS threads — the bottleneck that caps user-space data rates).
+    pub user_emit_lock_ns: f64,
+    /// Processor cost to transform + archive one drained sample, ns.
+    pub processor_per_sample_ns: f64,
+    /// Sampling-decision cost paid at every candidate event even when
+    /// collection is off (one bit test + offset bump), ns.
+    pub sampling_check_ns: f64,
+    /// Instructions-per-cycle the simulated pipeline sustains on ALU work.
+    pub ipc: f64,
+    /// Contention coefficient: CPU work inflates by
+    /// `1 + alpha * max(0, (runnable - cores) / cores)` plus a shared-lock
+    /// term that grows with runnable tasks.
+    pub contention_alpha: f64,
+    /// Shared-structure (latch/lock) interference per extra runnable task.
+    pub contention_lock_per_task: f64,
+    /// Fraction of data accesses that miss LLC once the per-query working
+    /// set exceeds the L3 share available to a task.
+    pub llc_pressure_miss_rate: f64,
+    /// Baseline LLC miss rate when the working set fits.
+    pub base_miss_rate: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            mode_switch_ns: 220.0,
+            syscall_body_ns: 180.0,
+            pmu_toggle_ns: 1_900.0,
+            pmu_read_user_ns: 95.0,
+            pmu_read_kernel_ns: 62.0,
+            cs_pmu_save_ns: 1_250.0,
+            context_switch_ns: 1_400.0,
+            bpf_insn_ns: 4.2,
+            ringbuf_publish_ns: 420.0,
+            user_emit_lock_ns: 68_000.0,
+            processor_per_sample_ns: 21_000.0,
+            sampling_check_ns: 4.0,
+            ipc: 1.6,
+            contention_alpha: 0.9,
+            contention_lock_per_task: 0.06,
+            llc_pressure_miss_rate: 0.42,
+            base_miss_rate: 0.04,
+        }
+    }
+}
+
+impl CostModel {
+    /// Full syscall cost: two mode switches (enter + exit) plus kernel body.
+    pub fn syscall_ns(&self) -> f64 {
+        2.0 * self.mode_switch_ns + self.syscall_body_ns
+    }
+
+    /// Cost of toggling (enable or disable) perf counters via ioctl.
+    pub fn perf_toggle_syscall_ns(&self) -> f64 {
+        self.syscall_ns() + self.pmu_toggle_ns
+    }
+
+    /// Cost of reading `n` perf counters via a read() syscall group —
+    /// one syscall, then per-counter copy-out.
+    pub fn perf_read_syscall_ns(&self, n: usize) -> f64 {
+        self.syscall_ns() + n as f64 * self.pmu_read_user_ns
+    }
+
+    /// CPU-work inflation factor under concurrency.
+    ///
+    /// `runnable` is the number of tasks actively executing DBMS work;
+    /// contention has two components: core oversubscription and shared
+    /// data-structure interference (latches, allocator, MVCC tables). The
+    /// latter grows even below core saturation — this is what the paper's
+    /// offline runners (single-threaded) fail to capture (Fig. 11).
+    pub fn contention_factor(&self, hw: &HardwareProfile, runnable: u32) -> f64 {
+        let r = runnable.max(1) as f64;
+        let cores = hw.cores as f64;
+        let oversub = ((r - cores) / cores).max(0.0);
+        1.0 + self.contention_alpha * oversub + self.contention_lock_per_task * (r - 1.0)
+    }
+
+    /// Effective LLC miss rate for a working set of `ws_bytes` shared by
+    /// `runnable` tasks on `hw`.
+    pub fn miss_rate(&self, hw: &HardwareProfile, ws_bytes: u64, runnable: u32) -> f64 {
+        let share = hw.l3_bytes as f64 / runnable.max(1) as f64;
+        if (ws_bytes as f64) <= share {
+            self.base_miss_rate
+        } else {
+            // Smooth ramp between fitting and thrashing.
+            let over = (ws_bytes as f64 / share).min(8.0);
+            let t = ((over - 1.0) / 7.0).clamp(0.0, 1.0);
+            self.base_miss_rate + t * (self.llc_pressure_miss_rate - self.base_miss_rate)
+        }
+    }
+
+    /// Nanoseconds for a block of CPU work: `instructions` at the model IPC
+    /// plus `misses` LLC misses paying DRAM latency.
+    pub fn cpu_ns(&self, hw: &HardwareProfile, instructions: f64, misses: f64) -> f64 {
+        let cycles = instructions / self.ipc;
+        hw.cycles_to_ns(cycles) + misses * hw.dram_latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toggle_costs_more_than_kernel_read() {
+        let c = CostModel::default();
+        // Three toggling syscalls (enable, disable, read) must exceed one
+        // tracepoint mode switch + in-kernel reads — the Fig. 1 mechanism.
+        let user_toggle = 2.0 * c.perf_toggle_syscall_ns() + c.perf_read_syscall_ns(7);
+        let kernel = c.mode_switch_ns + 7.0 * c.pmu_read_kernel_ns + 200.0 * c.bpf_insn_ns;
+        assert!(user_toggle > 2.0 * kernel, "user toggle {user_toggle} kernel {kernel}");
+    }
+
+    #[test]
+    fn contention_grows_with_runnable_tasks() {
+        let c = CostModel::default();
+        let hw = HardwareProfile::laptop_6core();
+        let f1 = c.contention_factor(&hw, 1);
+        let f6 = c.contention_factor(&hw, 6);
+        let f20 = c.contention_factor(&hw, 20);
+        assert_eq!(f1, 1.0);
+        assert!(f6 > f1);
+        assert!(f20 > f6);
+        // Oversubscription kicks in past the core count.
+        assert!(f20 - f6 > (f6 - f1));
+    }
+
+    #[test]
+    fn miss_rate_ramps_with_working_set() {
+        let c = CostModel::default();
+        let hw = HardwareProfile::server_2x20();
+        let fits = c.miss_rate(&hw, 1 << 20, 1);
+        let thrash = c.miss_rate(&hw, 64 * hw.l3_bytes, 1);
+        assert_eq!(fits, c.base_miss_rate);
+        assert!(thrash > 5.0 * fits);
+        assert!(thrash <= c.llc_pressure_miss_rate + 1e-12);
+    }
+
+    #[test]
+    fn smaller_l3_misses_more_at_same_working_set() {
+        let c = CostModel::default();
+        let big = HardwareProfile::server_2x20();
+        let small = HardwareProfile::laptop_6core();
+        let ws = 20_000_000; // 20 MB: fits in the server's share, not the laptop's
+        assert!(c.miss_rate(&small, ws, 1) > c.miss_rate(&big, ws, 1));
+    }
+
+    #[test]
+    fn cpu_ns_accounts_for_dram_stalls() {
+        let c = CostModel::default();
+        let hw = HardwareProfile::server_2x20();
+        let no_miss = c.cpu_ns(&hw, 10_000.0, 0.0);
+        let with_miss = c.cpu_ns(&hw, 10_000.0, 100.0);
+        assert!((with_miss - no_miss - 100.0 * hw.dram_latency_ns).abs() < 1e-6);
+    }
+}

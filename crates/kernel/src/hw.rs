@@ -1,0 +1,149 @@
+//! Hardware profiles: the simulated machines the DBMS runs on.
+//!
+//! The paper evaluates on two machines:
+//!
+//! * "Larger HW": 2×20-core Intel Xeon Gold 5218R (2.1 GHz, 27.5 MB L3),
+//!   196 GB DRAM, Samsung PM983 SSD.
+//! * "Smaller HW": 6-core Intel Core i7-10710U (1.1 GHz base, 12 MB L3),
+//!   64 GB DRAM, Samsung 970 EVO+ SSD.
+//!
+//! A [`HardwareProfile`] is the *environment* input to the cost model. The
+//! behaviour models in `tscout-models` only see the clock frequency as a
+//! hardware-context feature (as in the paper, §6.4), which is what makes the
+//! execution-engine model fail to generalize across machines with different
+//! cache hierarchies — a result Fig. 7a reproduces.
+
+/// A simulated block-storage device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StorageDevice {
+    /// Marketing name, for documentation/debugging only.
+    pub name: &'static str,
+    /// Sequential write throughput in bytes per second.
+    pub write_bytes_per_sec: f64,
+    /// Fixed latency per I/O request in nanoseconds (queueing + device).
+    pub io_latency_ns: f64,
+}
+
+impl StorageDevice {
+    /// Samsung PM983 enterprise NVMe (the paper's server SSD).
+    pub fn pm983() -> Self {
+        StorageDevice {
+            name: "Samsung PM983",
+            write_bytes_per_sec: 1.4e9,
+            io_latency_ns: 28_000.0,
+        }
+    }
+
+    /// Samsung 970 EVO Plus consumer NVMe (the paper's laptop SSD).
+    pub fn evo970plus() -> Self {
+        StorageDevice {
+            name: "Samsung 970 EVO Plus",
+            write_bytes_per_sec: 0.9e9,
+            io_latency_ns: 45_000.0,
+        }
+    }
+
+    /// Virtual time to complete one write of `bytes` bytes.
+    pub fn write_time_ns(&self, bytes: u64) -> f64 {
+        self.io_latency_ns + bytes as f64 / self.write_bytes_per_sec * 1e9
+    }
+}
+
+/// A simulated machine.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HardwareProfile {
+    /// Human-readable name.
+    pub name: &'static str,
+    /// Total hardware threads available to the DBMS.
+    pub cores: u32,
+    /// Core clock in GHz. The *only* hardware feature exposed to behaviour
+    /// models (paper §6.4).
+    pub clock_ghz: f64,
+    /// Last-level cache size in bytes. Affects the effective cache-miss
+    /// rate of scans — a hardware effect the models cannot see.
+    pub l3_bytes: u64,
+    /// DRAM access penalty for a last-level miss, in nanoseconds.
+    pub dram_latency_ns: f64,
+    /// Storage device backing the write-ahead log.
+    pub storage: StorageDevice,
+    /// Network round-trip cost per kilobyte in nanoseconds (loopback-ish).
+    pub net_ns_per_kb: f64,
+    /// Number of programmable PMU counter slots. Intel server parts expose
+    /// 4 programmable counters per hyperthread; enabling more events than
+    /// this engages multiplexing.
+    pub pmu_slots: usize,
+}
+
+impl HardwareProfile {
+    /// The paper's "Larger HW": dual-socket 2×20-core Xeon Gold 5218R.
+    pub fn server_2x20() -> Self {
+        HardwareProfile {
+            name: "server-2x20 (Xeon Gold 5218R)",
+            cores: 40,
+            clock_ghz: 2.1,
+            l3_bytes: 27_500_000 * 2,
+            dram_latency_ns: 84.0,
+            storage: StorageDevice::pm983(),
+            net_ns_per_kb: 620.0,
+            pmu_slots: 4,
+        }
+    }
+
+    /// The paper's "Smaller HW": 6-core i7-10710U laptop-class machine.
+    pub fn laptop_6core() -> Self {
+        HardwareProfile {
+            name: "laptop-6core (i7-10710U)",
+            cores: 6,
+            clock_ghz: 1.1,
+            l3_bytes: 12_000_000,
+            dram_latency_ns: 96.0,
+            storage: StorageDevice::evo970plus(),
+            net_ns_per_kb: 840.0,
+            pmu_slots: 4,
+        }
+    }
+
+    /// Nanoseconds for `cycles` CPU cycles on this machine.
+    pub fn cycles_to_ns(&self, cycles: f64) -> f64 {
+        cycles / self.clock_ghz
+    }
+
+    /// Cycles executed in `ns` nanoseconds.
+    pub fn ns_to_cycles(&self, ns: f64) -> f64 {
+        ns * self.clock_ghz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_ns_round_trip() {
+        let hw = HardwareProfile::server_2x20();
+        let ns = hw.cycles_to_ns(2100.0);
+        assert!((ns - 1000.0).abs() < 1e-9);
+        assert!((hw.ns_to_cycles(ns) - 2100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profiles_differ_in_ways_models_cannot_see() {
+        let big = HardwareProfile::server_2x20();
+        let small = HardwareProfile::laptop_6core();
+        // Clock differs (visible to models)...
+        assert!(big.clock_ghz > small.clock_ghz);
+        // ...but so do L3 and the storage device (invisible to models).
+        assert!(big.l3_bytes > 2 * small.l3_bytes);
+        assert!(big.storage.write_bytes_per_sec > small.storage.write_bytes_per_sec);
+    }
+
+    #[test]
+    fn storage_write_time_scales_with_bytes() {
+        let dev = StorageDevice::pm983();
+        let t1 = dev.write_time_ns(4096);
+        let t2 = dev.write_time_ns(4096 * 64);
+        assert!(t2 > t1);
+        // Fixed latency dominates small writes.
+        assert!(t1 < 2.0 * dev.io_latency_ns);
+    }
+}

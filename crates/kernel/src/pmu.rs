@@ -1,0 +1,289 @@
+//! Simulated performance-monitoring unit (PMU).
+//!
+//! Real CPUs expose a small number of programmable counter slots (four per
+//! hyperthread on the paper's Xeons). When software enables more events than
+//! slots, the kernel time-multiplexes the events across the slots: each event
+//! only counts while it is scheduled on a slot, and `perf_event` reads return
+//! `(raw_value, time_enabled, time_running)` so the reader can scale the raw
+//! value by `enabled / running` to estimate the true count.
+//!
+//! TScout's CPU probe performs exactly that normalization (paper §4.1), so
+//! the simulation must reproduce the mechanism: with `n` enabled events and
+//! `s` slots, each event accumulates only `s/n` of the work charged while
+//! multiplexed, and accumulates `time_running = time_enabled * s/n`.
+
+/// Hardware event kinds supported by the simulated PMU.
+///
+/// These are the pipeline and cache events TScout's CPU probe collects
+/// (paper §4.1: cycles, instructions, reference cycles, cache references,
+/// cache misses; we also expose branch events as the Linux perf API does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CounterKind {
+    Cycles,
+    Instructions,
+    RefCycles,
+    CacheReferences,
+    CacheMisses,
+    Branches,
+    BranchMisses,
+}
+
+/// All counters, in the canonical order used by generated BPF programs.
+pub const ALL_COUNTERS: [CounterKind; 7] = [
+    CounterKind::Cycles,
+    CounterKind::Instructions,
+    CounterKind::RefCycles,
+    CounterKind::CacheReferences,
+    CounterKind::CacheMisses,
+    CounterKind::Branches,
+    CounterKind::BranchMisses,
+];
+
+impl CounterKind {
+    /// Index into per-event arrays.
+    pub fn index(self) -> usize {
+        match self {
+            CounterKind::Cycles => 0,
+            CounterKind::Instructions => 1,
+            CounterKind::RefCycles => 2,
+            CounterKind::CacheReferences => 3,
+            CounterKind::CacheMisses => 4,
+            CounterKind::Branches => 5,
+            CounterKind::BranchMisses => 6,
+        }
+    }
+
+    pub fn from_index(i: usize) -> Option<Self> {
+        ALL_COUNTERS.get(i).copied()
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            CounterKind::Cycles => "cpu_cycles",
+            CounterKind::Instructions => "instructions",
+            CounterKind::RefCycles => "ref_cycles",
+            CounterKind::CacheReferences => "cache_references",
+            CounterKind::CacheMisses => "cache_misses",
+            CounterKind::Branches => "branches",
+            CounterKind::BranchMisses => "branch_misses",
+        }
+    }
+}
+
+/// A `perf_event` style reading: raw value plus multiplexing bookkeeping.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PmuReading {
+    /// Raw accumulated count (already scaled down by multiplexing).
+    pub value: u64,
+    /// Nanoseconds the event has been enabled.
+    pub time_enabled: u64,
+    /// Nanoseconds the event was actually scheduled on a hardware slot.
+    pub time_running: u64,
+}
+
+impl PmuReading {
+    /// Scale the raw value by `enabled / running` — the normalization
+    /// TScout's CPU probe performs transparently (paper §4.1).
+    pub fn normalized(&self) -> f64 {
+        if self.time_running == 0 {
+            0.0
+        } else {
+            self.value as f64 * self.time_enabled as f64 / self.time_running as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct EventState {
+    enabled: bool,
+    raw: f64,
+    time_enabled: f64,
+    time_running: f64,
+}
+
+impl Default for EventState {
+    fn default() -> Self {
+        EventState { enabled: false, raw: 0.0, time_enabled: 0.0, time_running: 0.0 }
+    }
+}
+
+/// Per-task simulated PMU.
+#[derive(Debug, Clone)]
+pub struct Pmu {
+    slots: usize,
+    events: [EventState; 7],
+}
+
+/// True counts accrued by one charge, before multiplexing.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CounterDelta {
+    pub cycles: f64,
+    pub instructions: f64,
+    pub ref_cycles: f64,
+    pub cache_references: f64,
+    pub cache_misses: f64,
+    pub branches: f64,
+    pub branch_misses: f64,
+}
+
+impl CounterDelta {
+    fn get(&self, kind: CounterKind) -> f64 {
+        match kind {
+            CounterKind::Cycles => self.cycles,
+            CounterKind::Instructions => self.instructions,
+            CounterKind::RefCycles => self.ref_cycles,
+            CounterKind::CacheReferences => self.cache_references,
+            CounterKind::CacheMisses => self.cache_misses,
+            CounterKind::Branches => self.branches,
+            CounterKind::BranchMisses => self.branch_misses,
+        }
+    }
+}
+
+impl Pmu {
+    pub fn new(slots: usize) -> Self {
+        assert!(slots > 0, "a PMU needs at least one counter slot");
+        Pmu { slots, events: Default::default() }
+    }
+
+    fn enabled_count(&self) -> usize {
+        self.events.iter().filter(|e| e.enabled).count()
+    }
+
+    /// Fraction of the time a given enabled event holds a hardware slot.
+    pub fn running_fraction(&self) -> f64 {
+        let n = self.enabled_count();
+        if n == 0 {
+            0.0
+        } else {
+            (self.slots as f64 / n as f64).min(1.0)
+        }
+    }
+
+    /// Enable an event (idempotent). Mirrors `ioctl(PERF_EVENT_IOC_ENABLE)`.
+    pub fn enable(&mut self, kind: CounterKind) {
+        self.events[kind.index()].enabled = true;
+    }
+
+    /// Disable an event (idempotent). Accumulated values are retained, as
+    /// with real perf fds.
+    pub fn disable(&mut self, kind: CounterKind) {
+        self.events[kind.index()].enabled = false;
+    }
+
+    pub fn is_enabled(&self, kind: CounterKind) -> bool {
+        self.events[kind.index()].enabled
+    }
+
+    /// Charge work to the PMU: `delta` holds *true* counts over `elapsed_ns`
+    /// of task time. Each enabled event accrues only its multiplexed share.
+    pub fn charge(&mut self, delta: &CounterDelta, elapsed_ns: f64) {
+        let frac = self.running_fraction();
+        for kind in ALL_COUNTERS {
+            let ev = &mut self.events[kind.index()];
+            if ev.enabled {
+                ev.raw += delta.get(kind) * frac;
+                ev.time_enabled += elapsed_ns;
+                ev.time_running += elapsed_ns * frac;
+            }
+        }
+    }
+
+    /// Read an event, `perf_event` style. Reading a disabled (never enabled)
+    /// event returns zeros, as a freshly opened fd would.
+    pub fn read(&self, kind: CounterKind) -> PmuReading {
+        let ev = &self.events[kind.index()];
+        PmuReading {
+            value: ev.raw as u64,
+            time_enabled: ev.time_enabled as u64,
+            time_running: ev.time_running as u64,
+        }
+    }
+
+    /// Reset all counters (used by toggled user-space collection between
+    /// operating units).
+    pub fn reset(&mut self) {
+        for ev in &mut self.events {
+            ev.raw = 0.0;
+            ev.time_enabled = 0.0;
+            ev.time_running = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta(cycles: f64) -> CounterDelta {
+        CounterDelta { cycles, instructions: cycles * 1.5, ..Default::default() }
+    }
+
+    #[test]
+    fn no_multiplexing_within_slot_budget() {
+        let mut pmu = Pmu::new(4);
+        pmu.enable(CounterKind::Cycles);
+        pmu.enable(CounterKind::Instructions);
+        pmu.charge(&delta(1000.0), 500.0);
+        let r = pmu.read(CounterKind::Cycles);
+        assert_eq!(r.value, 1000);
+        assert_eq!(r.time_enabled, r.time_running);
+        assert!((r.normalized() - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiplexing_scales_raw_but_normalization_recovers() {
+        let mut pmu = Pmu::new(4);
+        for kind in ALL_COUNTERS {
+            pmu.enable(kind);
+        }
+        // 7 events on 4 slots: running fraction 4/7.
+        assert!((pmu.running_fraction() - 4.0 / 7.0).abs() < 1e-12);
+        pmu.charge(&delta(7000.0), 700.0);
+        let r = pmu.read(CounterKind::Cycles);
+        assert_eq!(r.value, 4000); // 7000 * 4/7
+        assert_eq!(r.time_enabled, 700);
+        assert_eq!(r.time_running, 400);
+        assert!((r.normalized() - 7000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn disabled_events_do_not_accumulate() {
+        let mut pmu = Pmu::new(4);
+        pmu.enable(CounterKind::Cycles);
+        pmu.charge(&delta(100.0), 10.0);
+        pmu.disable(CounterKind::Cycles);
+        pmu.charge(&delta(100.0), 10.0);
+        assert_eq!(pmu.read(CounterKind::Cycles).value, 100);
+        assert_eq!(pmu.read(CounterKind::Instructions).value, 0);
+    }
+
+    #[test]
+    fn reset_clears_values() {
+        let mut pmu = Pmu::new(4);
+        pmu.enable(CounterKind::Cycles);
+        pmu.charge(&delta(100.0), 10.0);
+        pmu.reset();
+        let r = pmu.read(CounterKind::Cycles);
+        assert_eq!(r.value, 0);
+        assert_eq!(r.time_enabled, 0);
+        assert!(pmu.is_enabled(CounterKind::Cycles));
+    }
+
+    #[test]
+    fn never_enabled_reads_zero() {
+        let pmu = Pmu::new(4);
+        let r = pmu.read(CounterKind::CacheMisses);
+        assert_eq!(r, PmuReading { value: 0, time_enabled: 0, time_running: 0 });
+        assert_eq!(r.normalized(), 0.0);
+    }
+
+    #[test]
+    fn counter_kind_index_round_trip() {
+        for (i, k) in ALL_COUNTERS.iter().enumerate() {
+            assert_eq!(k.index(), i);
+            assert_eq!(CounterKind::from_index(i), Some(*k));
+        }
+        assert_eq!(CounterKind::from_index(7), None);
+    }
+}

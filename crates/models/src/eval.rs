@@ -1,0 +1,196 @@
+//! Model evaluation: the paper's accuracy statistics.
+//!
+//! "OLTP transactions are short-lived and result in noisy runtime
+//! measurements, so we measure the absolute error (|Actual − Predict|)
+//! for each query template and then compute the average" (§6). All
+//! errors are reported in microseconds, matching the paper's figures.
+
+use std::collections::BTreeMap;
+
+use crate::dataset::OuData;
+use crate::{ModelKind, Regressor};
+
+/// One trained model per OU.
+pub struct OuModelSet {
+    models: BTreeMap<String, Box<dyn Regressor>>,
+    kind: ModelKind,
+    seed: u64,
+}
+
+impl OuModelSet {
+    /// Train one model per OU dataset.
+    pub fn train(kind: ModelKind, seed: u64, data: &[OuData]) -> OuModelSet {
+        let mut models = BTreeMap::new();
+        for d in data {
+            if d.is_empty() {
+                continue;
+            }
+            let (x, y) = d.matrices();
+            let mut m = kind.build(seed);
+            m.fit(&x, &y);
+            models.insert(d.name.clone(), m);
+        }
+        OuModelSet { models, kind, seed }
+    }
+
+    /// Predict elapsed ns for one OU invocation; `None` when no model
+    /// exists for that OU (no training data seen).
+    pub fn predict_ns(&self, ou: &str, features: &[f64]) -> Option<f64> {
+        self.models.get(ou).map(|m| m.predict(features).max(0.0))
+    }
+
+    pub fn ou_names(&self) -> Vec<&str> {
+        self.models.keys().map(String::as_str).collect()
+    }
+
+    /// Retrain this set's OU model on augmented data (online refinement).
+    pub fn retrain_ou(&mut self, data: &OuData) {
+        if data.is_empty() {
+            return;
+        }
+        let (x, y) = data.matrices();
+        let mut m = self.kind.build(self.seed);
+        m.fit(&x, &y);
+        self.models.insert(data.name.clone(), m);
+    }
+}
+
+/// Average absolute error per query template, in microseconds.
+///
+/// Groups the test set by template, computes each template's mean
+/// absolute prediction error summed over the OUs in the template, and
+/// averages across templates. Test points whose OU has no model
+/// contribute their full actual time as error (the model predicts 0).
+pub fn avg_abs_error_per_template_us(models: &OuModelSet, test: &[OuData]) -> f64 {
+    // template -> (sum of |err| in ns, count)
+    let mut by_template: BTreeMap<u32, (f64, u64)> = BTreeMap::new();
+    for d in test {
+        for p in &d.points {
+            let predicted = models.predict_ns(&d.name, &p.features).unwrap_or(0.0);
+            let err = (p.target_ns - predicted).abs();
+            let e = by_template.entry(p.template).or_insert((0.0, 0));
+            e.0 += err;
+            e.1 += 1;
+        }
+    }
+    if by_template.is_empty() {
+        return 0.0;
+    }
+    let per_template: Vec<f64> =
+        by_template.values().map(|(sum, n)| sum / *n as f64).collect();
+    per_template.iter().sum::<f64>() / per_template.len() as f64 / 1000.0
+}
+
+/// K-fold cross-validated error for a set of OU datasets: trains on each
+/// fold's training split and evaluates on its test split, averaging.
+pub fn cross_validated_error_us(
+    kind: ModelKind,
+    seed: u64,
+    data: &[OuData],
+    k: usize,
+) -> f64 {
+    let mut total = 0.0;
+    for fold in 0..k {
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for d in data {
+            let folds = crate::dataset::kfold(d, k, seed);
+            let (tr, te) = &folds[fold];
+            train.push(tr.clone());
+            test.push(te.clone());
+        }
+        let models = OuModelSet::train(kind, seed, &train);
+        total += avg_abs_error_per_template_us(&models, &test);
+    }
+    total / k as f64
+}
+
+/// Percentage reduction in error from `baseline` to `improved`
+/// (the statistic of Figs. 2 and 11). Positive = improvement.
+pub fn error_reduction_pct(baseline_us: f64, improved_us: f64) -> f64 {
+    if baseline_us <= 0.0 {
+        return 0.0;
+    }
+    (baseline_us - improved_us) / baseline_us * 100.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::LabeledPoint;
+
+    fn linear_ou(name: &str, n: usize, noise: f64) -> OuData {
+        let mut d = OuData::new(name);
+        for i in 0..n {
+            let f = (i % 64) as f64;
+            let jitter = ((i * 37) % 11) as f64 * noise;
+            d.points.push(LabeledPoint {
+                features: vec![f],
+                target_ns: 1000.0 + 500.0 * f + jitter,
+                template: (i % 3) as u32,
+            });
+        }
+        d
+    }
+
+    #[test]
+    fn trained_models_predict_well() {
+        let data = vec![linear_ou("scan", 500, 0.0), linear_ou("filter", 300, 0.0)];
+        let models = OuModelSet::train(ModelKind::Forest, 1, &data);
+        assert_eq!(models.ou_names(), vec!["filter", "scan"]);
+        let err = avg_abs_error_per_template_us(&models, &data);
+        assert!(err < 1.0, "training error should be tiny: {err} us");
+    }
+
+    #[test]
+    fn unknown_ou_counts_full_error() {
+        let train = vec![linear_ou("scan", 100, 0.0)];
+        let models = OuModelSet::train(ModelKind::Ridge, 1, &train);
+        let test = vec![linear_ou("mystery", 10, 0.0)];
+        let err = avg_abs_error_per_template_us(&models, &test);
+        assert!(err > 1.0, "no model → predicts 0 → large error");
+    }
+
+    #[test]
+    fn per_template_averaging_weights_templates_equally() {
+        // Template 0: huge errors, 1 point. Template 1: zero error, 99 pts.
+        let mut d = OuData::new("x");
+        d.points.push(LabeledPoint { features: vec![0.0], target_ns: 1_000_000.0, template: 0 });
+        for _ in 0..99 {
+            d.points.push(LabeledPoint { features: vec![1.0], target_ns: 0.0, template: 1 });
+        }
+        // Model that always predicts 0: train on empty-ish... use unknown OU.
+        let models = OuModelSet::train(ModelKind::Ridge, 1, &[]);
+        let err = avg_abs_error_per_template_us(&models, &[d]);
+        // Per-template: (1e6 ns, 0 ns) → mean 5e5 ns = 500 µs.
+        assert!((err - 500.0).abs() < 1e-6, "{err}");
+    }
+
+    #[test]
+    fn cross_validation_runs_and_is_reasonable() {
+        let data = vec![linear_ou("scan", 400, 1.0)];
+        let err = cross_validated_error_us(ModelKind::Forest, 2, &data, 5);
+        assert!(err < 2.0, "cv error {err} us");
+    }
+
+    #[test]
+    fn error_reduction_math() {
+        assert!((error_reduction_pct(100.0, 2.0) - 98.0).abs() < 1e-9);
+        assert!(error_reduction_pct(100.0, 150.0) < 0.0);
+        assert_eq!(error_reduction_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn retrain_ou_replaces_model() {
+        let mut models = OuModelSet::train(ModelKind::Ridge, 1, &[linear_ou("scan", 50, 0.0)]);
+        let before = models.predict_ns("scan", &[10.0]).unwrap();
+        // Retrain with doubled targets.
+        let mut d = linear_ou("scan", 50, 0.0);
+        for p in &mut d.points {
+            p.target_ns *= 2.0;
+        }
+        models.retrain_ou(&d);
+        let after = models.predict_ns("scan", &[10.0]).unwrap();
+        assert!(after > 1.5 * before);
+    }
+}

@@ -1,0 +1,58 @@
+//! # tscout-models — OU behavior models
+//!
+//! The paper's behavior models (ModelBot2-style, [29]) map an operating
+//! unit's *input features* to its *output metrics* — primarily elapsed
+//! execution time. This crate provides the model substrate the
+//! reproduction's accuracy experiments (Figs. 2, 7, 9–12) run on:
+//!
+//! * [`forest::RandomForest`] — the default regressor: bagged CART trees
+//!   with variance-reduction splits and feature subsampling;
+//! * [`linreg::Ridge`] — ridge regression via normal equations;
+//! * [`knn::Knn`] — k-nearest-neighbor regression;
+//! * [`dataset`] — labeled per-OU datasets with query-template tags,
+//!   train/test splits, and k-fold cross-validation;
+//! * [`eval`] — the paper's accuracy statistic: **average absolute error
+//!   per query template**, plus error-reduction percentages.
+//!
+//! Models are deterministic for a fixed seed.
+
+pub mod dataset;
+pub mod eval;
+pub mod forest;
+pub mod knn;
+pub mod linreg;
+
+pub use dataset::{kfold, LabeledPoint, OuData};
+pub use eval::{avg_abs_error_per_template_us, error_reduction_pct, OuModelSet};
+pub use forest::RandomForest;
+pub use knn::Knn;
+pub use linreg::Ridge;
+
+/// A trained regression model.
+pub trait Regressor: Send {
+    /// Fit on rows of `(features, target)`.
+    fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
+    /// Predict one target.
+    fn predict(&self, x: &[f64]) -> f64;
+    /// Model family name (reporting).
+    fn name(&self) -> &'static str;
+}
+
+/// Model families available to the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelKind {
+    Forest,
+    Ridge,
+    Knn,
+}
+
+impl ModelKind {
+    /// Instantiate with default hyperparameters.
+    pub fn build(self, seed: u64) -> Box<dyn Regressor> {
+        match self {
+            ModelKind::Forest => Box::new(RandomForest::new(24, 10, 4, seed)),
+            ModelKind::Ridge => Box::new(Ridge::new(1e-3)),
+            ModelKind::Knn => Box::new(Knn::new(5)),
+        }
+    }
+}

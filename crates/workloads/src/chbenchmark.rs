@@ -1,0 +1,141 @@
+//! CH-benCHmark — the hybrid (HTAP) workload (paper §6.1): the TPC-C
+//! OLTP schema and transactions, plus analytical queries adapted from
+//! TPC-H, executed by dedicated analytical terminals.
+//!
+//! The paper runs 16 TPC-C terminals and 4 analytical terminals; here one
+//! in every `analytic_every` terminals runs the analytical mix.
+
+use rand::RngExt;
+
+use noisetap::engine::{Database, StatementId};
+use noisetap::Value;
+
+use crate::driver::{TxnCtx, Workload};
+use crate::tpcc::Tpcc;
+
+/// CH-benCHmark workload.
+pub struct ChBenchmark {
+    pub tpcc: Tpcc,
+    /// Terminals whose session id satisfies `sid % analytic_every ==
+    /// analytic_every - 1` run analytical queries (default 5 → a 4:1
+    /// OLTP:OLAP split at 20 terminals, as in the paper).
+    pub analytic_every: usize,
+    queries: Vec<StatementId>,
+}
+
+impl ChBenchmark {
+    pub fn new(warehouses: u64) -> ChBenchmark {
+        ChBenchmark { tpcc: Tpcc::new(warehouses), analytic_every: 5, queries: Vec::new() }
+    }
+}
+
+impl Workload for ChBenchmark {
+    fn name(&self) -> &'static str {
+        "chbenchmark"
+    }
+
+    fn setup(&mut self, db: &mut Database) {
+        self.tpcc.setup(db);
+        // TPC-H-flavored analytical queries over the TPC-C schema,
+        // restricted to the SQL subset (single join, group-by, no
+        // order-by-with-aggregates).
+        self.queries = vec![
+            // Q1-flavored: pricing summary over recent order lines.
+            db.prepare(
+                "SELECT ol_number, count(*), sum(ol_qty), sum(ol_amount), avg(ol_amount) \
+                 FROM orderline WHERE ol_delivery_d >= $1 GROUP BY ol_number",
+            )
+            .unwrap(),
+            // Q6-flavored: revenue from mid-quantity lines.
+            db.prepare(
+                "SELECT sum(ol_amount) FROM orderline WHERE ol_qty BETWEEN $1 AND $2",
+            )
+            .unwrap(),
+            // Q12-flavored: orders joined with their lines in one district.
+            db.prepare(
+                "SELECT o.o_ol_cnt, count(*) FROM orders o \
+                 JOIN orderline ol ON o.o_id = ol.ol_o_id \
+                 WHERE o.o_w_id = $1 AND o.o_d_id = $2 AND ol.ol_w_id = $1 \
+                 GROUP BY o.o_ol_cnt",
+            )
+            .unwrap(),
+            // Q14-flavored: revenue by item price class.
+            db.prepare(
+                "SELECT sum(ol.ol_amount) FROM orderline ol \
+                 JOIN item i ON ol.ol_i_id = i.i_id WHERE i.i_price > $1",
+            )
+            .unwrap(),
+        ];
+    }
+
+    fn txn(&mut self, ctx: &mut TxnCtx<'_>) -> bool {
+        let analytical = self.analytic_every > 0
+            && ctx.sid.0 % self.analytic_every == self.analytic_every - 1;
+        if !analytical {
+            return self.tpcc.txn(ctx);
+        }
+        let q = self.queries[ctx.rng.random_range(0..self.queries.len())];
+        let w = ctx.rng.random_range(0..self.tpcc.warehouses) as i64;
+        let d = ctx.rng.random_range(0..crate::tpcc::DISTRICTS_PER_WAREHOUSE) as i64;
+        let params: Vec<Value> = match self.queries.iter().position(|s| *s == q).unwrap() {
+            0 => vec![Value::Int(0)],
+            1 => vec![Value::Int(3), Value::Int(8)],
+            2 => vec![Value::Int(w), Value::Int(d)],
+            _ => vec![Value::Float(50.0)],
+        };
+        ctx.begin();
+        let ok = ctx.request(q, &params).is_ok();
+        if ok {
+            ctx.commit().is_ok()
+        } else {
+            ctx.rollback();
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{run, RunOptions};
+    use tscout_kernel::{HardwareProfile, Kernel};
+
+    #[test]
+    fn hybrid_mix_runs_both_sides() {
+        let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 31);
+        k.noise_frac = 0.0;
+        let mut db = Database::new(k);
+        let mut w = ChBenchmark::new(1);
+        w.setup(&mut db);
+        let stats = run(
+            &mut db,
+            &mut w,
+            &RunOptions { terminals: 5, duration_ns: 40e6, ..Default::default() },
+        );
+        assert!(stats.committed > 10, "committed {}", stats.committed);
+        // The trace must contain both short OLTP templates and the heavy
+        // analytical templates (larger statement ids).
+        let max_template = stats.trace.iter().map(|s| s.template).max().unwrap();
+        let min_template = stats.trace.iter().map(|s| s.template).min().unwrap();
+        assert!(max_template > min_template, "expected a template mix");
+    }
+
+    #[test]
+    fn analytical_queries_return_aggregates() {
+        let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 32);
+        k.noise_frac = 0.0;
+        let mut db = Database::new(k);
+        let mut w = ChBenchmark::new(1);
+        w.setup(&mut db);
+        let sid = db.create_session();
+        let out = db
+            .execute_prepared(sid, w.queries[1], &[Value::Int(3), Value::Int(8)])
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert!(out.rows[0][0].as_float().unwrap() > 0.0);
+        let out = db
+            .execute_prepared(sid, w.queries[3], &[Value::Float(50.0)])
+            .unwrap();
+        assert!(out.rows[0][0].as_float().unwrap() > 0.0);
+    }
+}

@@ -1,0 +1,391 @@
+//! The virtual-time workload driver.
+//!
+//! Plays the role of BenchBase in the paper's evaluation: N closed-loop
+//! terminals issue transactions against the DBMS. Scheduling is
+//! earliest-first over the terminals' virtual clocks, which yields one
+//! coherent global timeline: group-commit batches form from real arrival
+//! patterns, the Processor drains concurrently, and throughput/latency
+//! come from the clocks — deterministic for a fixed seed.
+//!
+//! The driver also captures a *query span trace* — which statement
+//! template each session executed, and when — used afterwards to tag
+//! every collected training point with its query template (the paper's
+//! per-template accuracy statistic).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use noisetap::engine::{Database, DbError, SessionId, StatementId};
+use noisetap::{ExecOutcome, Value};
+use tscout::{Processor, Sink, TrainingPoint};
+use tscout_models::dataset::{LabeledPoint, OuData};
+
+/// One traced client request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuerySpan {
+    pub tid: u32,
+    pub template: u32,
+    pub start_ns: f64,
+    pub end_ns: f64,
+}
+
+/// Per-transaction context handed to workload transaction bodies.
+pub struct TxnCtx<'a> {
+    pub db: &'a mut Database,
+    pub sid: SessionId,
+    pub rng: &'a mut StdRng,
+    trace: &'a mut Vec<QuerySpan>,
+}
+
+impl<'a> TxnCtx<'a> {
+    /// Build a transaction context (the driver does this per terminal;
+    /// exposed for tests and custom harnesses).
+    pub fn new(
+        db: &'a mut Database,
+        sid: SessionId,
+        rng: &'a mut StdRng,
+        trace: &'a mut Vec<QuerySpan>,
+    ) -> TxnCtx<'a> {
+        TxnCtx { db, sid, rng, trace }
+    }
+
+    /// Issue a traced client request.
+    pub fn request(
+        &mut self,
+        stmt: StatementId,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        let task = self.db.session_task(self.sid);
+        let start_ns = self.db.now(self.sid);
+        let r = self.db.client_request(self.sid, stmt, params);
+        self.trace.push(QuerySpan {
+            tid: task.0,
+            template: stmt.0 as u32 + 1,
+            start_ns,
+            end_ns: self.db.now(self.sid),
+        });
+        r
+    }
+
+    pub fn begin(&mut self) {
+        self.db.begin(self.sid);
+    }
+
+    pub fn commit(&mut self) -> Result<(), DbError> {
+        self.db.commit(self.sid)
+    }
+
+    pub fn rollback(&mut self) {
+        let _ = self.db.rollback(self.sid);
+    }
+}
+
+/// A benchmark workload.
+pub trait Workload {
+    fn name(&self) -> &'static str;
+    /// Create schema, load data, prepare statements. Runs untraced on a
+    /// bootstrap session.
+    fn setup(&mut self, db: &mut Database);
+    /// Execute one transaction; returns false when it aborted.
+    fn txn(&mut self, ctx: &mut TxnCtx<'_>) -> bool;
+}
+
+/// Driver options.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    pub terminals: usize,
+    /// Virtual duration of the measured run, ns.
+    pub duration_ns: f64,
+    /// RNG seed (terminal behavior + workload parameters).
+    pub seed: u64,
+    /// Pump background tasks (WAL, Processor) every this many ns.
+    pub pump_every_ns: f64,
+    /// Run GC every this many ns (0 = never).
+    pub gc_every_ns: f64,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            terminals: 1,
+            duration_ns: 1e9,
+            seed: 0xBEEF,
+            pump_every_ns: 2e6,
+            gc_every_ns: 250e6,
+        }
+    }
+}
+
+/// Results of one run.
+#[derive(Debug)]
+pub struct RunStats {
+    pub committed: u64,
+    pub aborted: u64,
+    pub duration_ns: f64,
+    /// Committed transactions per virtual second.
+    pub throughput: f64,
+    /// Transaction latencies, ns (committed only).
+    pub latencies_ns: Vec<f64>,
+    /// Completion times of committed transactions, ns (timeline plots).
+    pub txn_ends_ns: Vec<f64>,
+    /// Query span trace for template assignment.
+    pub trace: Vec<QuerySpan>,
+    /// Decoded training points collected during the run.
+    pub points: Vec<TrainingPoint>,
+    /// Samples the Processor archived.
+    pub samples_processed: u64,
+    /// Samples lost to ring overwrites.
+    pub samples_dropped: u64,
+}
+
+impl RunStats {
+    /// Latency percentile in milliseconds (e.g. `p(99.0)` for p99).
+    pub fn latency_percentile_ms(&self, pct: f64) -> f64 {
+        if self.latencies_ns.is_empty() {
+            return 0.0;
+        }
+        let mut l = self.latencies_ns.clone();
+        l.sort_by(f64::total_cmp);
+        let idx = ((pct / 100.0) * (l.len() - 1) as f64).round() as usize;
+        l[idx.min(l.len() - 1)] / 1e6
+    }
+
+    /// Throughput in thousands of transactions per second.
+    pub fn ktps(&self) -> f64 {
+        self.throughput / 1000.0
+    }
+}
+
+/// Run a workload for a virtual duration.
+pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) -> RunStats {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let terminals: Vec<SessionId> = (0..opts.terminals).map(|_| db.create_session()).collect();
+    // Align all terminal clocks to the same start line.
+    let start_ns = terminals
+        .iter()
+        .map(|s| db.now(*s))
+        .fold(0.0f64, f64::max)
+        .max(db.kernel.now(db.wal.task));
+    for s in &terminals {
+        let task = db.session_task(*s);
+        db.kernel.advance_to(task, start_ns);
+    }
+    db.kernel.set_runnable(opts.terminals as u32 + 1); // +1 for background
+
+    let mut processor = Processor::new(&mut db.kernel, Sink::Memory(Vec::new()));
+    db.kernel.advance_to(processor.task, start_ns);
+
+    let end_ns = start_ns + opts.duration_ns;
+    let mut trace: Vec<QuerySpan> = Vec::new();
+    let mut committed = 0u64;
+    let mut aborted = 0u64;
+    let mut latencies = Vec::new();
+    let mut txn_ends = Vec::new();
+    let mut next_pump = start_ns + opts.pump_every_ns;
+    let mut next_gc = if opts.gc_every_ns > 0.0 { start_ns + opts.gc_every_ns } else { f64::MAX };
+
+    loop {
+        // Earliest-first: advance the terminal with the smallest clock.
+        let (&sid, now) = terminals
+            .iter()
+            .map(|s| (s, db.now(*s)))
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .unwrap();
+        if now >= end_ns {
+            break;
+        }
+        // Background pumping keeps the WAL and Processor in lockstep with
+        // the foreground timeline.
+        if now >= next_pump {
+            db.pump_wal(now);
+            let (kernel, ts) = db.collection_parts();
+            if let Some(ts) = ts {
+                processor.poll(kernel, ts, now);
+            }
+            next_pump = now + opts.pump_every_ns;
+        }
+        if now >= next_gc {
+            db.run_gc();
+            next_gc = now + opts.gc_every_ns;
+        }
+
+        let t0 = db.now(sid);
+        let ok = {
+            let mut ctx = TxnCtx { db, sid, rng: &mut rng, trace: &mut trace };
+            workload.txn(&mut ctx)
+        };
+        let t1 = db.now(sid);
+        if ok {
+            committed += 1;
+            latencies.push(t1 - t0);
+            txn_ends.push(t1);
+        } else {
+            aborted += 1;
+        }
+    }
+
+    // Final flush. `samples_processed` is measured at the run horizon —
+    // the Processor may not keep up (that is the Fig. 6 ceiling) — and
+    // only then is the remaining ring drained so accuracy experiments
+    // keep every surviving sample.
+    db.pump_wal(end_ns + 1e9);
+    let (samples_processed, samples_dropped, points) = {
+        let (kernel, ts) = db.collection_parts();
+        match ts {
+            Some(ts) => {
+                processor.poll(kernel, ts, end_ns);
+                let in_run = processor.processed;
+                processor.drain_all(kernel, ts);
+                (in_run, ts.ring_dropped(), processor.take_points())
+            }
+            None => (0, 0, Vec::new()),
+        }
+    };
+
+    let duration_ns = opts.duration_ns;
+    RunStats {
+        committed,
+        aborted,
+        duration_ns,
+        throughput: committed as f64 / (duration_ns / 1e9),
+        latencies_ns: latencies,
+        txn_ends_ns: txn_ends,
+        trace,
+        points,
+        samples_processed,
+        samples_dropped,
+    }
+}
+
+/// Tag each training point with the query template whose span contains
+/// it (same thread, start time within the span). Background subsystems
+/// (WAL, GC) fall outside any span and get template 0.
+pub fn assign_templates(points: &[TrainingPoint], trace: &[QuerySpan]) -> Vec<(TrainingPoint, u32)> {
+    // Per-tid spans sorted by start.
+    let mut by_tid: std::collections::HashMap<u32, Vec<&QuerySpan>> =
+        std::collections::HashMap::new();
+    for s in trace {
+        by_tid.entry(s.tid).or_default().push(s);
+    }
+    for spans in by_tid.values_mut() {
+        spans.sort_by(|a, b| a.start_ns.total_cmp(&b.start_ns));
+    }
+    points
+        .iter()
+        .map(|p| {
+            let template = by_tid
+                .get(&p.tid)
+                .and_then(|spans| {
+                    let t = p.start_ns as f64;
+                    let i = spans.partition_point(|s| s.start_ns <= t);
+                    i.checked_sub(1).map(|i| spans[i]).filter(|s| t <= s.end_ns)
+                })
+                .map(|s| s.template)
+                .unwrap_or(0);
+            (p.clone(), template)
+        })
+        .collect()
+}
+
+/// Build per-OU labeled datasets from tagged points. Two context features
+/// are appended to every vector, mirroring §2.2's internally-collected
+/// temporal features: the CPU clock in GHz (the *only* hardware
+/// descriptor, §6.4) and the number of concurrent workers.
+pub fn build_datasets(
+    tagged: &[(TrainingPoint, u32)],
+    clock_ghz: f64,
+    concurrency: usize,
+) -> Vec<OuData> {
+    let mut by_ou: std::collections::BTreeMap<String, OuData> = Default::default();
+    for (p, template) in tagged {
+        let d = by_ou
+            .entry(p.ou_name.clone())
+            .or_insert_with(|| OuData::new(&p.ou_name));
+        let mut features = p.features.clone();
+        features.push(clock_ghz);
+        features.push(concurrency as f64);
+        d.points.push(LabeledPoint {
+            features,
+            target_ns: p.elapsed_ns as f64,
+            template: *template,
+        });
+    }
+    by_ou.into_values().collect()
+}
+
+/// Convenience: run + tag + build datasets in one call.
+pub fn collect_datasets(
+    db: &mut Database,
+    workload: &mut dyn Workload,
+    opts: &RunOptions,
+) -> (RunStats, Vec<OuData>) {
+    let clock = db.kernel.hw.clock_ghz;
+    let stats = run(db, workload, opts);
+    let tagged = assign_templates(&stats.points, &stats.trace);
+    let data = build_datasets(&tagged, clock, opts.terminals);
+    (stats, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn template_assignment_picks_enclosing_span() {
+        let mk = |tid, template, s, e| QuerySpan { tid, template, start_ns: s, end_ns: e };
+        let trace = vec![mk(1, 10, 0.0, 100.0), mk(1, 20, 200.0, 300.0), mk(2, 30, 0.0, 50.0)];
+        let pt = |tid, start| TrainingPoint {
+            ou: 0,
+            ou_name: "x".into(),
+            subsystem: tscout::Subsystem::ExecutionEngine,
+            tid,
+            start_ns: start,
+            elapsed_ns: 1,
+            metrics: vec![],
+            features: vec![],
+            user_metrics: vec![],
+        };
+        let pts = vec![pt(1, 50), pt(1, 250), pt(1, 150), pt(2, 10), pt(3, 10)];
+        let tagged = assign_templates(&pts, &trace);
+        let ts: Vec<u32> = tagged.iter().map(|(_, t)| *t).collect();
+        assert_eq!(ts, vec![10, 20, 0, 30, 0]);
+    }
+
+    #[test]
+    fn build_datasets_appends_hw_feature() {
+        let p = TrainingPoint {
+            ou: 0,
+            ou_name: "scan".into(),
+            subsystem: tscout::Subsystem::ExecutionEngine,
+            tid: 1,
+            start_ns: 0,
+            elapsed_ns: 500,
+            metrics: vec![],
+            features: vec![10.0, 20.0],
+            user_metrics: vec![],
+        };
+        let data = build_datasets(&[(p, 3)], 2.1, 4);
+        assert_eq!(data.len(), 1);
+        assert_eq!(data[0].points[0].features, vec![10.0, 20.0, 2.1, 4.0]);
+        assert_eq!(data[0].points[0].template, 3);
+        assert_eq!(data[0].points[0].target_ns, 500.0);
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let stats = RunStats {
+            committed: 0,
+            aborted: 0,
+            duration_ns: 1e9,
+            throughput: 0.0,
+            latencies_ns: (1..=100).map(|i| i as f64 * 1e6).collect(),
+            txn_ends_ns: vec![],
+            trace: vec![],
+            points: vec![],
+            samples_processed: 0,
+            samples_dropped: 0,
+        };
+        assert!((stats.latency_percentile_ms(99.0) - 99.0).abs() < 1.5);
+        assert!((stats.latency_percentile_ms(50.0) - 50.0).abs() < 1.5);
+    }
+}

@@ -1,0 +1,91 @@
+//! Shared workload utilities.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use noisetap::engine::{Database, SessionId};
+use noisetap::Value;
+
+/// Deterministic alphanumeric string of the given length.
+pub fn rand_string(rng: &mut StdRng, len: usize) -> String {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    (0..len).map(|_| CHARS[rng.random_range(0..CHARS.len())] as char).collect()
+}
+
+/// NURand-style non-uniform pick in `[0, n)` (hot-spot skew à la TPC-C).
+pub fn nurand(rng: &mut StdRng, a: u64, n: u64) -> u64 {
+    let x = rng.random_range(0..=a);
+    let y = rng.random_range(0..n);
+    ((x.wrapping_mul(8191).wrapping_add(y)) % n).min(n - 1)
+}
+
+/// Pick an index by weight.
+pub fn pick_weighted(rng: &mut StdRng, weights: &[u32]) -> usize {
+    let total: u32 = weights.iter().sum();
+    let mut roll = rng.random_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if roll < *w {
+            return i;
+        }
+        roll -= w;
+    }
+    weights.len() - 1
+}
+
+/// Bulk-load rows through a prepared INSERT inside batched transactions.
+pub fn bulk_load(
+    db: &mut Database,
+    sid: SessionId,
+    stmt: noisetap::engine::StatementId,
+    rows: impl Iterator<Item = Vec<Value>>,
+    batch: usize,
+) {
+    let mut in_batch = 0usize;
+    db.begin(sid);
+    for row in rows {
+        db.execute_prepared(sid, stmt, &row).expect("bulk load insert failed");
+        in_batch += 1;
+        if in_batch >= batch {
+            db.commit(sid).unwrap();
+            db.begin(sid);
+            in_batch = 0;
+        }
+    }
+    db.commit(sid).unwrap();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rand_string_len_and_determinism() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(1);
+        let s1 = rand_string(&mut a, 100);
+        let s2 = rand_string(&mut b, 100);
+        assert_eq!(s1.len(), 100);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn nurand_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = nurand(&mut rng, 255, 100);
+            assert!(v < 100);
+        }
+    }
+
+    #[test]
+    fn weighted_pick_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[pick_weighted(&mut rng, &[80, 15, 5])] += 1;
+        }
+        assert!(counts[0] > counts[1] && counts[1] > counts[2]);
+        assert!(counts[0] > 7_000 && counts[0] < 9_000);
+    }
+}

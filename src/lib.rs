@@ -1,0 +1,22 @@
+//! # tscout-suite — the TScout reproduction, in one import
+//!
+//! Umbrella crate re-exporting the whole workspace:
+//!
+//! * [`kernel`] (`tscout-kernel`) — the simulated OS substrate;
+//! * [`bpf`] (`tscout-bpf`) — the BPF-style VM, verifier, and maps;
+//! * [`tscout`] — the TScout framework itself (the paper's contribution);
+//! * [`noisetap`] — the NoisePage-style DBMS substrate;
+//! * [`models`] (`tscout-models`) — OU behavior models;
+//! * [`workloads`] (`tscout-workloads`) — YCSB/SmallBank/TATP/TPC-C/
+//!   CH-benCHmark, offline runners, and the virtual-time driver.
+//!
+//! See `examples/quickstart.rs` for the fastest path to collecting
+//! training data, and the `tscout-bench` binaries for the paper's
+//! figures.
+
+pub use noisetap;
+pub use tscout;
+pub use tscout_bpf as bpf;
+pub use tscout_kernel as kernel;
+pub use tscout_models as models;
+pub use tscout_workloads as workloads;

