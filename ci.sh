@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, release build, full test suite.
+# No network access required — the workspace has no external
+# dependencies (see DESIGN.md §5).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI gate passed."

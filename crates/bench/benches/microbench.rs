@@ -1,11 +1,16 @@
-//! Criterion microbenchmarks for the hot paths of the reproduction:
-//! marker emission (sampled and unsampled), the generated BPF Collector
-//! programs, the verifier, map operations, the sampler's per-event
-//! decision, B+-tree and hash-index operations, and record
-//! encode/decode.
+//! Microbenchmarks for the hot paths of the reproduction: marker
+//! emission (sampled and unsampled), the generated BPF Collector
+//! programs, the verifier, the sampler's per-event decision, B+-tree and
+//! hash-index operations, record encode/decode, and SQL execution.
+//!
+//! Formerly Criterion-based; now a plain self-timed harness (the bench
+//! target already had `harness = false`) so the workspace builds with no
+//! crates.io access. Each case is warmed up, then timed over enough
+//! iterations to smooth scheduler noise; results print as
+//! `name: ns/iter` lines, one per case.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use noisetap::Value;
 use tscout::{CollectionMode, ProbeSet, Subsystem, TScout, TsConfig};
@@ -14,8 +19,21 @@ use tscout_bpf::vm::{NullWorld, Vm};
 use tscout_bpf::MapRegistry;
 use tscout_kernel::{HardwareProfile, Kernel};
 
-fn marker_triple(c: &mut Criterion) {
-    let mut group = c.benchmark_group("marker_triple");
+/// Time `f` and print mean ns/iter. Iteration counts are fixed per case
+/// (deterministic run time beats adaptive precision for CI use).
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    for _ in 0..iters / 10 + 1 {
+        f(); // warm-up
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    println!("{name}: {ns:.1} ns/iter");
+}
+
+fn marker_triple() {
     for (name, rate) in [("sampled", 100u8), ("unsampled", 0u8)] {
         let mut kernel = Kernel::new(HardwareProfile::server_2x20());
         let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
@@ -26,22 +44,28 @@ fn marker_triple(c: &mut Criterion) {
         ts.set_sampling_rate(Subsystem::ExecutionEngine, rate);
         let task = kernel.create_task();
         ts.register_thread(&mut kernel, task);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                ts.ou_begin(&mut kernel, task, ou);
-                ts.ou_end(&mut kernel, task, ou);
-                ts.ou_features(&mut kernel, task, ou, black_box(&[100, 8]), &[4096]);
-            })
+        let mut since_drain = 0u32;
+        bench(&format!("marker_triple/{name}"), 20_000, || {
+            ts.ou_begin(&mut kernel, task, ou);
+            ts.ou_end(&mut kernel, task, ou);
+            ts.ou_features(&mut kernel, task, ou, black_box(&[100, 8]), &[4096]);
+            since_drain += 1;
+            if since_drain >= 4096 {
+                // Keep the ring from growing unboundedly.
+                ts.drain_ring(usize::MAX);
+                since_drain = 0;
+            }
         });
-        // Keep the ring from growing unboundedly.
-        ts.drain_ring(usize::MAX);
     }
-    group.finish();
 }
 
-fn bpf_vm(c: &mut Criterion) {
+fn bpf_vm() {
     use tscout::codegen::{encode_ctx, gen_begin, gen_end, ProbeLayout};
-    let probes = ProbeLayout { cpu: true, disk: true, net: true };
+    let probes = ProbeLayout {
+        cpu: true,
+        disk: true,
+        net: true,
+    };
     let mut maps = MapRegistry::new();
     let depth = maps.create(MapDef::hash("d", 8, 8, 256));
     let begin = maps.create(MapDef::hash("b", 8, probes.snap_words() * 8, 1024));
@@ -52,27 +76,25 @@ fn bpf_vm(c: &mut Criterion) {
     let ctx = encode_ctx(1, 42, 0, 0, &[]);
     let mut world = NullWorld::default();
 
-    c.bench_function("bpf_begin_end_pair", |b| {
-        b.iter(|| {
-            Vm::run(&b_prog, &ctx, &mut maps, &mut world).unwrap();
-            Vm::run(&e_prog, &ctx, &mut maps, &mut world).unwrap();
-        })
+    bench("bpf_begin_end_pair", 20_000, || {
+        Vm::run(&b_prog, &ctx, &mut maps, &mut world).unwrap();
+        Vm::run(&e_prog, &ctx, &mut maps, &mut world).unwrap();
     });
 
-    c.bench_function("bpf_verify_collector", |b| {
-        b.iter(|| tscout_bpf::verify(black_box(&e_prog), &maps, 296).unwrap())
+    bench("bpf_verify_collector", 2_000, || {
+        tscout_bpf::verify(black_box(&e_prog), &maps, 296).unwrap();
     });
 }
 
-fn sampler(c: &mut Criterion) {
+fn sampler() {
     let mut s = tscout::Sampler::new(1);
     s.set_rate(Subsystem::ExecutionEngine, 10);
-    c.bench_function("sampler_decide", |b| {
-        b.iter(|| s.decide(black_box(3), Subsystem::ExecutionEngine))
+    bench("sampler_decide", 200_000, || {
+        black_box(s.decide(black_box(3), Subsystem::ExecutionEngine));
     });
 }
 
-fn indexes(c: &mut Criterion) {
+fn indexes() {
     use noisetap::storage::SlotId;
     let mut btree = noisetap::index::BTreeIndex::new();
     let mut hash = noisetap::index::HashIndex::new();
@@ -81,20 +103,20 @@ fn indexes(c: &mut Criterion) {
         hash.insert(vec![Value::Int(i)], SlotId(i as u64));
     }
     let key = vec![Value::Int(54_321)];
-    c.bench_function("btree_point_lookup_100k", |b| {
-        b.iter(|| btree.get(black_box(&key)))
+    bench("btree_point_lookup_100k", 100_000, || {
+        black_box(btree.get(black_box(&key)));
     });
-    c.bench_function("hash_point_lookup_100k", |b| {
-        b.iter(|| hash.get(black_box(&key)))
+    bench("hash_point_lookup_100k", 100_000, || {
+        black_box(hash.get(black_box(&key)));
     });
     let lo = vec![Value::Int(50_000)];
     let hi = vec![Value::Int(50_100)];
-    c.bench_function("btree_range_100", |b| {
-        b.iter(|| btree.range(Some(black_box(&lo)), Some(black_box(&hi))))
+    bench("btree_range_100", 20_000, || {
+        black_box(btree.range(Some(black_box(&lo)), Some(black_box(&hi))));
     });
 }
 
-fn records(c: &mut Criterion) {
+fn records() {
     let rec = tscout::RawRecord {
         ou: 3,
         tid: 7,
@@ -106,37 +128,51 @@ fn records(c: &mut Criterion) {
         payload: vec![2; 8],
     };
     let bytes = tscout::encode_record(&rec);
-    c.bench_function("record_encode", |b| b.iter(|| tscout::encode_record(black_box(&rec))));
-    c.bench_function("record_decode", |b| {
-        b.iter(|| tscout::decode_record(black_box(&bytes)).unwrap())
+    bench("record_encode", 100_000, || {
+        black_box(tscout::encode_record(black_box(&rec)));
+    });
+    bench("record_decode", 100_000, || {
+        black_box(tscout::decode_record(black_box(&bytes)).unwrap());
     });
 }
 
-fn sql(c: &mut Criterion) {
+fn sql() {
     let mut db = noisetap::Database::new(Kernel::new(HardwareProfile::server_2x20()));
     let sid = db.create_session();
-    db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)", &[]).unwrap();
+    db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)", &[])
+        .unwrap();
     for i in 0..10_000 {
-        db.execute(sid, "INSERT INTO t VALUES ($1, $2)", &[Value::Int(i), Value::Float(0.0)])
-            .unwrap();
+        db.execute(
+            sid,
+            "INSERT INTO t VALUES ($1, $2)",
+            &[Value::Int(i), Value::Float(0.0)],
+        )
+        .unwrap();
     }
     let q = db.prepare("SELECT v FROM t WHERE id = $1").unwrap();
-    c.bench_function("db_point_query_prepared", |b| {
-        let mut i = 0i64;
-        b.iter(|| {
-            i = (i + 1) % 10_000;
-            db.execute_prepared(sid, q, black_box(&[Value::Int(i)])).unwrap()
-        })
+    let mut i = 0i64;
+    bench("db_point_query_prepared", 20_000, || {
+        i = (i + 1) % 10_000;
+        black_box(
+            db.execute_prepared(sid, q, black_box(&[Value::Int(i)]))
+                .unwrap(),
+        );
     });
-    c.bench_function("sql_parse_plan", |b| {
-        b.iter(|| {
+    bench("sql_parse_plan", 20_000, || {
+        black_box(
             noisetap::sql::parser::parse(black_box(
                 "SELECT a, count(*) FROM t WHERE id BETWEEN 1 AND 100 GROUP BY a",
             ))
-            .unwrap()
-        })
+            .unwrap(),
+        );
     });
 }
 
-criterion_group!(benches, marker_triple, bpf_vm, sampler, indexes, records, sql);
-criterion_main!(benches);
+fn main() {
+    marker_triple();
+    bpf_vm();
+    sampler();
+    indexes();
+    records();
+    sql();
+}

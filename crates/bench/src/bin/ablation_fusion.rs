@@ -7,7 +7,9 @@
 
 use noisetap::EngineMode;
 use tscout::{CollectionMode, Subsystem};
-use tscout_bench::{attach_collect, new_db, subsystem_error_us, time_scale, Csv};
+use tscout_bench::{
+    absorb_db, attach_collect, dump_telemetry, new_db, subsystem_error_us, time_scale, Csv,
+};
 use tscout_kernel::HardwareProfile;
 use tscout_models::dataset::OuData;
 use tscout_workloads::driver::{collect_datasets, RunOptions};
@@ -22,9 +24,15 @@ fn measure(mode: EngineMode, seed: u64) -> (f64, u64, Vec<OuData>) {
     let (stats, data) = collect_datasets(
         &mut db,
         &mut w,
-        &RunOptions { terminals: 4, duration_ns: 250e6 * time_scale(), seed, ..Default::default() },
+        &RunOptions {
+            terminals: 4,
+            duration_ns: 250e6 * time_scale(),
+            seed,
+            ..Default::default()
+        },
     );
     let events = db.tscout().unwrap().stats.marker_events;
+    absorb_db(&db);
     (stats.ktps(), events, data)
 }
 
@@ -44,5 +52,8 @@ fn main() {
         let err = subsystem_error_us(&train, &test, Subsystem::ExecutionEngine, 3);
         csv.row(&format!("{name},{ktps:.1},{events},{err:.2}"));
     }
-    println!("# expectation: fused mode fires fewer markers but its de-aggregated data models worse");
+    println!(
+        "# expectation: fused mode fires fewer markers but its de-aggregated data models worse"
+    );
+    dump_telemetry("ablation_fusion");
 }

@@ -6,7 +6,7 @@
 //! the drop rate falls with capacity.
 
 use tscout::{CollectionMode, TsConfig};
-use tscout_bench::{new_db, set_rates, time_scale, Csv};
+use tscout_bench::{absorb_db, dump_telemetry, new_db, set_rates, time_scale, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions};
 use tscout_workloads::{Workload, Ycsb};
@@ -28,7 +28,12 @@ fn main() {
         let stats = run(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 8, duration_ns: 100e6 * time_scale(), seed: 4, ..Default::default() },
+            &RunOptions {
+                terminals: 8,
+                duration_ns: 100e6 * time_scale(),
+                seed: 4,
+                ..Default::default()
+            },
         );
         csv.row(&format!(
             "{cap},{:.1},{},{}",
@@ -36,6 +41,8 @@ fn main() {
             stats.samples_processed,
             stats.samples_dropped
         ));
+        absorb_db(&db);
     }
     println!("# expectation: throughput flat across capacities (no back pressure); drops shrink");
+    dump_telemetry("ablation_ringbuf");
 }

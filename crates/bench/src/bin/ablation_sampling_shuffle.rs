@@ -6,7 +6,7 @@
 //! latency than other transactions." Same mean overhead, worse tail.
 
 use tscout::CollectionMode;
-use tscout_bench::{attach_all, new_db, time_scale, Csv};
+use tscout_bench::{absorb_db, attach_all, dump_telemetry, new_db, time_scale, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions};
 use tscout_workloads::{Workload, Ycsb};
@@ -26,8 +26,14 @@ fn measure(shuffle: bool) -> (f64, f64, f64) {
     let stats = run(
         &mut db,
         &mut w,
-        &RunOptions { terminals: 4, duration_ns: 150e6 * time_scale(), seed: 1, ..Default::default() },
+        &RunOptions {
+            terminals: 4,
+            duration_ns: 150e6 * time_scale(),
+            seed: 1,
+            ..Default::default()
+        },
     );
+    absorb_db(&db);
     (
         stats.latency_percentile_ms(50.0) * 1000.0,
         stats.latency_percentile_ms(99.0) * 1000.0,
@@ -44,5 +50,8 @@ fn main() {
         let (p50, p99, ktps) = measure(shuffle);
         csv.row(&format!("{name},{p50:.1},{p99:.1},{ktps:.1}"));
     }
-    println!("# expectation: similar p50/throughput; contiguous bits inflate p99 (bursty sampling)");
+    println!(
+        "# expectation: similar p50/throughput; contiguous bits inflate p99 (bursty sampling)"
+    );
+    dump_telemetry("ablation_sampling_shuffle");
 }

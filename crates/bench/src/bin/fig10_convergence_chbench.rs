@@ -10,8 +10,8 @@
 //! hardest to model.
 
 use tscout_bench::{
-    attach_collect, cap_points, merge_data, new_db, offline_data, subsystem_error_us,
-    time_scale, total_points, Csv, REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, cap_points, dump_telemetry, merge_data, new_db, offline_data,
+    subsystem_error_us, time_scale, total_points, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{collect_datasets, RunOptions};
@@ -35,6 +35,7 @@ fn main() {
                 ..Default::default()
             },
         );
+        absorb_db(&db);
         data
     };
     let online = collect(0xF10A, 150e6);
@@ -60,4 +61,5 @@ fn main() {
         }
     }
     println!("# paper shape: online data converges toward much lower error than offline-only");
+    dump_telemetry("fig10");
 }

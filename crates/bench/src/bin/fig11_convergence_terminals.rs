@@ -9,11 +9,11 @@
 //! Paper shape: error reduction grows from ~30-47% at 2 terminals to
 //! 98-99% at 20; offline absolute error reaches ~885 µs at 20 clients.
 
-use tscout_bench::{
-    attach_collect, cap_points, merge_data, new_db, offline_data, subsystem_error_us,
-    time_scale, Csv,
-};
 use tscout::Subsystem;
+use tscout_bench::{
+    absorb_db, attach_collect, cap_points, dump_telemetry, merge_data, new_db, offline_data,
+    subsystem_error_us, time_scale, Csv,
+};
 use tscout_kernel::HardwareProfile;
 use tscout_models::eval::error_reduction_pct;
 use tscout_workloads::driver::{collect_datasets, RunOptions};
@@ -42,6 +42,7 @@ fn main() {
                     ..Default::default()
                 },
             );
+            absorb_db(&db);
             data
         };
         let online = collect(0xF11A + terminals as u64, 400e6);
@@ -59,4 +60,5 @@ fn main() {
         }
     }
     println!("# paper shape: offline error grows with terminals; reduction reaches >90% at 20");
+    dump_telemetry("fig11");
 }

@@ -11,8 +11,8 @@
 //! storage device, so models trained on the slow device overshoot).
 
 use tscout_bench::{
-    attach_collect, merge_data, new_db, offline_data, split_for_eval, subsystem_error_us,
-    time_scale, Csv, REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, dump_telemetry, merge_data, new_db, offline_data, split_for_eval,
+    subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_models::dataset::OuData;
@@ -42,13 +42,18 @@ fn collect(env: &Env, seed: u64, dur: f64) -> Vec<OuData> {
             ..Default::default()
         },
     );
+    absorb_db(&db);
     data
 }
 
 fn main() {
     let server = HardwareProfile::server_2x20();
     let laptop = HardwareProfile::laptop_6core();
-    let base = Env { hw: server.clone(), warehouses: 4, terminals: 1 };
+    let base = Env {
+        hw: server.clone(),
+        warehouses: 4,
+        terminals: 1,
+    };
 
     let env = |hw: &HardwareProfile, w: u64, t: usize| Env {
         hw: hw.clone(),
@@ -100,4 +105,5 @@ fn main() {
         ));
     }
     println!("# paper shape: online >= offline almost everywhere; disk_writer/larger_hw is the exception");
+    dump_telemetry("fig12");
 }

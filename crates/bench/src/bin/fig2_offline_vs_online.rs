@@ -11,8 +11,8 @@
 //! runners cannot reproduce.
 
 use tscout_bench::{
-    attach_collect, merge_data, new_db, offline_data, split_for_eval, subsystem_error_us,
-    time_scale, Csv, REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, dump_telemetry, merge_data, new_db, offline_data, split_for_eval,
+    subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_models::eval::error_reduction_pct;
@@ -32,8 +32,14 @@ fn main() {
     let (_, online) = collect_datasets(
         &mut db,
         &mut w,
-        &RunOptions { terminals: 1, duration_ns: 800e6 * time_scale(), seed: 2, ..Default::default() },
+        &RunOptions {
+            terminals: 1,
+            duration_ns: 800e6 * time_scale(),
+            seed: 2,
+            ..Default::default()
+        },
     );
+    absorb_db(&db);
 
     // Hold out 20% of templates from the online data; evaluate both model
     // sets on the held-out queries.
@@ -53,4 +59,5 @@ fn main() {
         ));
     }
     println!("# paper shape: log_serializer & disk_writer reductions >> execution_engine");
+    dump_telemetry("fig2");
 }

@@ -9,19 +9,23 @@
 //! save/restore on every context switch) but degrades gently;
 //! Kernel-Continuous sits near baseline at low rates.
 
-use tscout_bench::{overhead_sweep, Csv};
+use tscout_bench::{dump_telemetry, overhead_sweep, Csv};
 
 fn main() {
     let rates = [0u8, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
-    let points = overhead_sweep(
-        &["ycsb", "smallbank", "tatp", "tpcc"],
-        &rates,
-        120e6,
-        20,
+    let points = overhead_sweep(&["ycsb", "smallbank", "tatp", "tpcc"], &rates, 120e6, 20);
+    let mut csv = Csv::create(
+        "fig5_overhead_throughput.csv",
+        "workload,method,rate_pct,ktps",
     );
-    let mut csv = Csv::create("fig5_overhead_throughput.csv", "workload,method,rate_pct,ktps");
     for p in &points {
-        csv.row(&format!("{},{},{},{:.2}", p.workload, p.method, p.rate, p.ktps));
+        csv.row(&format!(
+            "{},{},{},{:.2}",
+            p.workload, p.method, p.rate, p.ktps
+        ));
     }
-    println!("# paper shape: user_toggle worst at high rates; user_continuous below baseline at 0%");
+    println!(
+        "# paper shape: user_toggle worst at high rates; user_continuous below baseline at 0%"
+    );
+    dump_telemetry("fig5");
 }

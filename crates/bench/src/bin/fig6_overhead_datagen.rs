@@ -7,16 +7,11 @@
 //! path at low single-digit sampling rates); kernel collection peaks
 //! around a 20–30% rate and the Processor caps the ceiling.
 
-use tscout_bench::{overhead_sweep, Csv};
+use tscout_bench::{dump_telemetry, overhead_sweep, Csv};
 
 fn main() {
     let rates = [0u8, 5, 10, 20, 30, 40, 50, 60, 70, 80, 90, 100];
-    let points = overhead_sweep(
-        &["ycsb", "smallbank", "tatp", "tpcc"],
-        &rates,
-        120e6,
-        20,
-    );
+    let points = overhead_sweep(&["ycsb", "smallbank", "tatp", "tpcc"], &rates, 120e6, 20);
     let mut csv = Csv::create(
         "fig6_overhead_datagen.csv",
         "workload,method,rate_pct,ksamples_per_sec",
@@ -31,4 +26,5 @@ fn main() {
         ));
     }
     println!("# paper shape: kernel_continuous ~3x the user methods; peak near 20-30% sampling");
+    dump_telemetry("fig6");
 }

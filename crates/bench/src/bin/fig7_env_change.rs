@@ -13,8 +13,8 @@
 //! invisible, §6.4).
 
 use tscout_bench::{
-    attach_collect, merge_data, new_db, offline_data, subsystem_error_us, time_scale, Csv,
-    REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, dump_telemetry, merge_data, new_db, offline_data,
+    subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_models::eval::error_reduction_pct;
@@ -29,8 +29,14 @@ fn tpcc_data(hw: HardwareProfile, seed: u64, dur: f64) -> Vec<tscout_models::OuD
     let (_, data) = collect_datasets(
         &mut db,
         &mut w,
-        &RunOptions { terminals: 1, duration_ns: dur * time_scale(), seed, ..Default::default() },
+        &RunOptions {
+            terminals: 1,
+            duration_ns: dur * time_scale(),
+            seed,
+            ..Default::default()
+        },
     );
+    absorb_db(&db);
     data
 }
 
@@ -40,8 +46,16 @@ fn main() {
         "scenario,subsystem,offline_err_us,online_err_us,error_reduction_pct",
     );
     let scenarios = [
-        ("larger_hw", HardwareProfile::laptop_6core(), HardwareProfile::server_2x20()),
-        ("smaller_hw", HardwareProfile::server_2x20(), HardwareProfile::laptop_6core()),
+        (
+            "larger_hw",
+            HardwareProfile::laptop_6core(),
+            HardwareProfile::server_2x20(),
+        ),
+        (
+            "smaller_hw",
+            HardwareProfile::server_2x20(),
+            HardwareProfile::laptop_6core(),
+        ),
     ];
     for (name, initial_hw, new_hw) in scenarios {
         // Offline runners on the *initial* hardware only.
@@ -62,4 +76,5 @@ fn main() {
         }
     }
     println!("# paper shape: disk_writer and log_serializer improve most after migration");
+    dump_telemetry("fig7");
 }

@@ -8,7 +8,7 @@
 //! data).
 
 use tscout::{CollectionMode, Subsystem};
-use tscout_bench::{attach_all, new_db, set_rates, time_scale, Csv};
+use tscout_bench::{absorb_db, attach_all, dump_telemetry, new_db, set_rates, time_scale, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions, RunStats};
 use tscout_workloads::{Workload, Ycsb};
@@ -17,10 +17,16 @@ fn bucketize(csv: &mut Csv, stats: &RunStats, phase: &str, offset_s: f64, bucket
     if stats.txn_ends_ns.is_empty() {
         return;
     }
-    let t0 = stats.txn_ends_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let t0 = stats
+        .txn_ends_ns
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
     let mut counts: std::collections::BTreeMap<u64, u64> = Default::default();
     for &t in &stats.txn_ends_ns {
-        *counts.entry(((t - t0) / (bucket_s * 1e9)) as u64).or_default() += 1;
+        *counts
+            .entry(((t - t0) / (bucket_s * 1e9)) as u64)
+            .or_default() += 1;
     }
     let last = counts.keys().copied().max().unwrap_or(0);
     for (b, n) in counts {
@@ -28,7 +34,10 @@ fn bucketize(csv: &mut Csv, stats: &RunStats, phase: &str, offset_s: f64, bucket
             continue; // final partial bucket
         }
         let t_s = offset_s + (b as f64 + 0.5) * bucket_s;
-        csv.row(&format!("{t_s:.2},{phase},{:.1}", n as f64 / bucket_s / 1000.0));
+        csv.row(&format!(
+            "{t_s:.2},{phase},{:.1}",
+            n as f64 / bucket_s / 1000.0
+        ));
     }
 }
 
@@ -65,10 +74,20 @@ fn main() {
     bucketize(&mut csv, &s2, "all_10pct", phase_s, 0.1 * time_scale());
 
     // Phase 3: EE + networking off; WAL subsystems stay at 10%.
-    db.tscout_mut().unwrap().set_sampling_rate(Subsystem::ExecutionEngine, 0);
-    db.tscout_mut().unwrap().set_sampling_rate(Subsystem::Networking, 0);
+    db.tscout_mut()
+        .unwrap()
+        .set_sampling_rate(Subsystem::ExecutionEngine, 0);
+    db.tscout_mut()
+        .unwrap()
+        .set_sampling_rate(Subsystem::Networking, 0);
     let s3 = run(&mut db, &mut w, &opts(3));
-    bucketize(&mut csv, &s3, "wal_only_10pct", 2.0 * phase_s, 0.1 * time_scale());
+    bucketize(
+        &mut csv,
+        &s3,
+        "wal_only_10pct",
+        2.0 * phase_s,
+        0.1 * time_scale(),
+    );
 
     println!(
         "# phase means ktps: off={:.1} all_10pct={:.1} wal_only={:.1}",
@@ -77,4 +96,6 @@ fn main() {
         s3.ktps()
     );
     println!("# paper shape: ~7% dip in phase 2, recovery in phase 3 (read-only workload)");
+    absorb_db(&db);
+    dump_telemetry("fig8");
 }

@@ -12,8 +12,8 @@
 //! narrow online data to add).
 
 use tscout_bench::{
-    attach_collect, cap_points, merge_data, new_db, offline_data, subsystem_error_us,
-    time_scale, total_points, Csv, REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, cap_points, dump_telemetry, merge_data, new_db, offline_data,
+    subsystem_error_us, time_scale, total_points, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{collect_datasets, RunOptions};
@@ -37,6 +37,7 @@ fn main() {
                 ..Default::default()
             },
         );
+        absorb_db(&db);
         data
     };
     let online = collect(0xF9A, 2_000e6);
@@ -62,4 +63,5 @@ fn main() {
         }
     }
     println!("# paper shape: WAL subsystems converge by ~40-70k points; networking flat");
+    dump_telemetry("fig9");
 }

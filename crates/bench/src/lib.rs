@@ -12,6 +12,7 @@
 
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 
 use noisetap::engine::Database;
 use tscout::{CollectionMode, Subsystem, TsConfig, ALL_SUBSYSTEMS};
@@ -19,13 +20,17 @@ use tscout_kernel::{HardwareProfile, Kernel};
 use tscout_models::dataset::OuData;
 use tscout_models::eval::{avg_abs_error_per_template_us, OuModelSet};
 use tscout_models::ModelKind;
+use tscout_telemetry::Telemetry;
 use tscout_workloads::driver::{collect_datasets, RunOptions, RunStats, Workload};
 use tscout_workloads::{ChBenchmark, OfflineRunner, SmallBank, Tatp, Tpcc, Ycsb};
 
 /// Experiment time scale: `TS_SCALE` multiplies all virtual durations
 /// (e.g. `TS_SCALE=0.2` for a quick pass, `TS_SCALE=3` for more data).
 pub fn time_scale() -> f64 {
-    std::env::var("TS_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
+    std::env::var("TS_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1.0)
 }
 
 /// Where figure CSVs land.
@@ -33,6 +38,30 @@ pub fn result_path(name: &str) -> PathBuf {
     let dir = std::env::var("TS_RESULTS").unwrap_or_else(|_| "results".into());
     std::fs::create_dir_all(&dir).ok();
     PathBuf::from(dir).join(name)
+}
+
+/// Process-wide telemetry accumulator. Every database the harness builds
+/// is absorbed here before it drops, so one snapshot at the end of a
+/// figure binary covers every run the experiment made.
+pub fn global_telemetry() -> &'static Telemetry {
+    static T: OnceLock<Telemetry> = OnceLock::new();
+    T.get_or_init(Telemetry::default)
+}
+
+/// Fold a database's registry (counters, gauges, histograms, spans) into
+/// the process-wide accumulator. Call before the database drops.
+pub fn absorb_db(db: &Database) {
+    global_telemetry().absorb(&db.kernel.telemetry);
+}
+
+/// Write the accumulated telemetry snapshot to
+/// `results/telemetry_<fig>.json`. Every figure binary calls this last.
+pub fn dump_telemetry(fig: &str) -> PathBuf {
+    let path = result_path(&format!("telemetry_{fig}.json"));
+    std::fs::write(&path, global_telemetry().snapshot_json())
+        .expect("cannot write telemetry snapshot");
+    println!("telemetry snapshot -> {}", path.display());
+    path
 }
 
 /// CSV writer that tees rows to stdout.
@@ -112,7 +141,10 @@ pub fn make_workload(name: &str) -> Box<dyn Workload> {
 /// Warehouses for the "large" TPC-C configuration (paper: 200; env
 /// `TS_WAREHOUSES` overrides; default scaled down for laptop runs).
 pub fn tpcc_warehouses() -> u64 {
-    std::env::var("TS_WAREHOUSES").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+    std::env::var("TS_WAREHOUSES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8)
 }
 
 /// Split datasets for evaluation: hold out ~`frac` of query templates
@@ -140,7 +172,10 @@ pub fn split_for_eval(data: &[OuData], frac: f64, seed: u64) -> (Vec<OuData>, Ve
         let mut te = OuData::new(&d.name);
         for (i, p) in d.points.iter().enumerate() {
             let hold = if p.template == 0 {
-                (i as u64).wrapping_mul(2654435761).wrapping_add(seed).is_multiple_of(every)
+                (i as u64)
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(seed)
+                    .is_multiple_of(every)
             } else {
                 held.contains(&p.template)
             };
@@ -174,6 +209,7 @@ pub fn offline_data(hw: HardwareProfile, seed: u64, duration_ns: f64) -> Vec<OuD
         ..Default::default()
     };
     let (_, data) = collect_datasets(&mut db, &mut runner, &opts);
+    absorb_db(&db);
     data
 }
 
@@ -195,7 +231,9 @@ pub fn online_data(
         seed,
         ..Default::default()
     };
-    collect_datasets(&mut db, workload, &opts)
+    let out = collect_datasets(&mut db, workload, &opts);
+    absorb_db(&db);
+    out
 }
 
 /// One measurement from the runtime-overhead sweep (Figs. 5 and 6).
@@ -248,10 +286,10 @@ pub fn overhead_sweep(
                     method: m_name,
                     rate,
                     ktps: stats.ktps(),
-                    samples_per_sec: stats.samples_processed as f64
-                        / (stats.duration_ns / 1e9),
+                    samples_per_sec: stats.samples_processed as f64 / (stats.duration_ns / 1e9),
                 });
             }
+            absorb_db(&db);
         }
     }
     out
@@ -315,12 +353,7 @@ pub fn cap_points(data: &[OuData], n: usize, seed: u64) -> Vec<OuData> {
 
 /// Train per-OU models on `train`, report avg abs error per template (µs)
 /// over `test`, both restricted to one subsystem.
-pub fn subsystem_error_us(
-    train: &[OuData],
-    test: &[OuData],
-    sub: Subsystem,
-    seed: u64,
-) -> f64 {
+pub fn subsystem_error_us(train: &[OuData], test: &[OuData], sub: Subsystem, seed: u64) -> f64 {
     let tr = filter_subsystem(train, sub);
     let te = filter_subsystem(test, sub);
     let models = OuModelSet::train(ModelKind::Forest, seed, &tr);
@@ -335,7 +368,10 @@ mod tests {
     fn subsystem_mapping_covers_reported_set() {
         assert_eq!(subsystem_of("seq_scan"), Some(Subsystem::ExecutionEngine));
         assert_eq!(subsystem_of("network_read"), Some(Subsystem::Networking));
-        assert_eq!(subsystem_of("log_serialize"), Some(Subsystem::LogSerializer));
+        assert_eq!(
+            subsystem_of("log_serialize"),
+            Some(Subsystem::LogSerializer)
+        );
         assert_eq!(subsystem_of("disk_write"), Some(Subsystem::DiskWriter));
         assert_eq!(subsystem_of("nonsense"), None);
     }

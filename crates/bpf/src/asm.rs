@@ -38,7 +38,10 @@ impl std::error::Error for AsmError {}
 
 enum Pending {
     Done(Insn),
-    Jump { cond: Option<(Cond, Reg, Src)>, target: Label },
+    Jump {
+        cond: Option<(Cond, Reg, Src)>,
+        target: Label,
+    },
 }
 
 /// Builder for straight-line-with-forward-branches BPF programs.
@@ -79,33 +82,64 @@ impl ProgramBuilder {
     // -- ALU ------------------------------------------------------------
 
     pub fn mov_imm(&mut self, dst: Reg, imm: i64) -> &mut Self {
-        self.push(Insn::Alu { op: AluOp::Mov, dst, src: Src::Imm(imm) })
+        self.push(Insn::Alu {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Imm(imm),
+        })
     }
 
     pub fn mov_reg(&mut self, dst: Reg, src: Reg) -> &mut Self {
-        self.push(Insn::Alu { op: AluOp::Mov, dst, src: Src::Reg(src) })
+        self.push(Insn::Alu {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Reg(src),
+        })
     }
 
     pub fn alu_imm(&mut self, op: AluOp, dst: Reg, imm: i64) -> &mut Self {
-        self.push(Insn::Alu { op, dst, src: Src::Imm(imm) })
+        self.push(Insn::Alu {
+            op,
+            dst,
+            src: Src::Imm(imm),
+        })
     }
 
     pub fn alu_reg(&mut self, op: AluOp, dst: Reg, src: Reg) -> &mut Self {
-        self.push(Insn::Alu { op, dst, src: Src::Reg(src) })
+        self.push(Insn::Alu {
+            op,
+            dst,
+            src: Src::Reg(src),
+        })
     }
 
     // -- memory -----------------------------------------------------------
 
     pub fn load(&mut self, size: Size, dst: Reg, base: Reg, off: i32) -> &mut Self {
-        self.push(Insn::Load { size, dst, base, off })
+        self.push(Insn::Load {
+            size,
+            dst,
+            base,
+            off,
+        })
     }
 
     pub fn store_reg(&mut self, size: Size, base: Reg, off: i32, src: Reg) -> &mut Self {
-        self.push(Insn::Store { size, base, off, src: Src::Reg(src) })
+        self.push(Insn::Store {
+            size,
+            base,
+            off,
+            src: Src::Reg(src),
+        })
     }
 
     pub fn store_imm(&mut self, size: Size, base: Reg, off: i32, imm: i64) -> &mut Self {
-        self.push(Insn::Store { size, base, off, src: Src::Imm(imm) })
+        self.push(Insn::Store {
+            size,
+            base,
+            off,
+            src: Src::Imm(imm),
+        })
     }
 
     // -- control ----------------------------------------------------------
@@ -116,12 +150,18 @@ impl ProgramBuilder {
     }
 
     pub fn jump_if_imm(&mut self, cond: Cond, dst: Reg, imm: i64, target: Label) -> &mut Self {
-        self.insns.push(Pending::Jump { cond: Some((cond, dst, Src::Imm(imm))), target });
+        self.insns.push(Pending::Jump {
+            cond: Some((cond, dst, Src::Imm(imm))),
+            target,
+        });
         self
     }
 
     pub fn jump_if_reg(&mut self, cond: Cond, dst: Reg, src: Reg, target: Label) -> &mut Self {
-        self.insns.push(Pending::Jump { cond: Some((cond, dst, Src::Reg(src))), target });
+        self.insns.push(Pending::Jump {
+            cond: Some((cond, dst, Src::Reg(src))),
+            target,
+        });
         self
     }
 
@@ -151,11 +191,16 @@ impl ProgramBuilder {
             .map(|(pc, pending)| match pending {
                 Pending::Done(insn) => Ok(insn),
                 Pending::Jump { cond, target } => {
-                    let tgt = *labels.get(&target).ok_or(AsmError::UnboundLabel(target.0))?;
+                    let tgt = *labels
+                        .get(&target)
+                        .ok_or(AsmError::UnboundLabel(target.0))?;
                     if tgt <= pc {
                         return Err(AsmError::BackwardJump { from: pc, to: tgt });
                     }
-                    Ok(Insn::Jump { cond, off: (tgt - pc - 1) as i32 })
+                    Ok(Insn::Jump {
+                        cond,
+                        off: (tgt - pc - 1) as i32,
+                    })
                 }
             })
             .collect()
@@ -179,7 +224,10 @@ mod tests {
         let prog = b.resolve().unwrap();
         assert_eq!(prog.len(), 4);
         match prog[1] {
-            Insn::Jump { cond: Some((Cond::Eq, R0, Src::Imm(0))), off } => assert_eq!(off, 1),
+            Insn::Jump {
+                cond: Some((Cond::Eq, R0, Src::Imm(0))),
+                off,
+            } => assert_eq!(off, 1),
             other => panic!("unexpected {other:?}"),
         }
     }
@@ -222,7 +270,21 @@ mod tests {
         b.load(Size::B8, R1, crate::insn::R10, -8);
         b.exit();
         let prog = b.resolve().unwrap();
-        assert!(matches!(prog[0], Insn::Store { size: Size::B8, off: -8, .. }));
-        assert!(matches!(prog[1], Insn::Load { size: Size::B8, off: -8, .. }));
+        assert!(matches!(
+            prog[0],
+            Insn::Store {
+                size: Size::B8,
+                off: -8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[1],
+            Insn::Load {
+                size: Size::B8,
+                off: -8,
+                ..
+            }
+        ));
     }
 }

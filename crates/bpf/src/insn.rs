@@ -237,12 +237,25 @@ pub enum Insn {
     /// `dst = dst <op> src` (64-bit). `Mov` copies, `Neg` ignores `src`.
     Alu { op: AluOp, dst: Reg, src: Src },
     /// `dst = *(size*)(base + off)` — zero-extended.
-    Load { size: Size, dst: Reg, base: Reg, off: i32 },
+    Load {
+        size: Size,
+        dst: Reg,
+        base: Reg,
+        off: i32,
+    },
     /// `*(size*)(base + off) = src` — truncated to `size`.
-    Store { size: Size, base: Reg, off: i32, src: Src },
+    Store {
+        size: Size,
+        base: Reg,
+        off: i32,
+        src: Src,
+    },
     /// Conditional (`Some`) or unconditional (`None`) forward jump.
     /// Target is `pc + 1 + off`.
-    Jump { cond: Option<(Cond, Reg, Src)>, off: i32 },
+    Jump {
+        cond: Option<(Cond, Reg, Src)>,
+        off: i32,
+    },
     /// Call a kernel helper.
     Call { helper: Helper },
     /// `dst = handle(map)` — the `ld_imm64 map_fd` pseudo-instruction.
@@ -254,16 +267,33 @@ pub enum Insn {
 impl fmt::Display for Insn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Insn::Alu { op: AluOp::Neg, dst, .. } => write!(f, "neg {dst}"),
+            Insn::Alu {
+                op: AluOp::Neg,
+                dst,
+                ..
+            } => write!(f, "neg {dst}"),
             Insn::Alu { op, dst, src } => write!(f, "{} {dst}, {src}", op.mnemonic()),
-            Insn::Load { size, dst, base, off } => {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
                 write!(f, "ldx{} {dst}, [{base}{off:+}]", size.bytes())
             }
-            Insn::Store { size, base, off, src } => {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 write!(f, "stx{} [{base}{off:+}], {src}", size.bytes())
             }
             Insn::Jump { cond: None, off } => write!(f, "ja {off:+}"),
-            Insn::Jump { cond: Some((c, dst, src)), off } => {
+            Insn::Jump {
+                cond: Some((c, dst, src)),
+                off,
+            } => {
                 write!(f, "{} {dst}, {src}, {off:+}", c.mnemonic())
             }
             Insn::Call { helper } => write!(f, "call {}", helper.name()),
@@ -306,10 +336,24 @@ mod tests {
     #[test]
     fn display_round_trips_reasonably() {
         let prog = vec![
-            Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) },
-            Insn::Load { size: Size::B8, dst: R1, base: R10, off: -8 },
-            Insn::Jump { cond: Some((Cond::Eq, R0, Src::Imm(0))), off: 1 },
-            Insn::Call { helper: Helper::KtimeGetNs },
+            Insn::Alu {
+                op: AluOp::Mov,
+                dst: R0,
+                src: Src::Imm(0),
+            },
+            Insn::Load {
+                size: Size::B8,
+                dst: R1,
+                base: R10,
+                off: -8,
+            },
+            Insn::Jump {
+                cond: Some((Cond::Eq, R0, Src::Imm(0))),
+                off: 1,
+            },
+            Insn::Call {
+                helper: Helper::KtimeGetNs,
+            },
             Insn::Exit,
         ];
         let text = disassemble(&prog);

@@ -39,6 +39,6 @@ pub mod vm;
 pub use asm::ProgramBuilder;
 pub use insn::{AluOp, Cond, Helper, Insn, Reg, Size, Src};
 pub use loader::{LoadError, Loader, ProgId};
-pub use maps::{MapDef, MapId, MapKind, MapRegistry};
-pub use verifier::{verify, VerifyError};
+pub use maps::{MapDef, MapId, MapKind, MapOpStats, MapRegistry, RingStats};
+pub use verifier::{verify, verify_with_stats, VerifyError, VerifyStats};
 pub use vm::{ExecStats, HelperWorld, Vm, VmError};

@@ -9,7 +9,7 @@
 
 use crate::insn::Insn;
 use crate::maps::MapRegistry;
-use crate::verifier::{verify, VerifyError};
+use crate::verifier::{verify_with_stats, VerifyError, VerifyStats};
 use crate::vm::{ExecStats, HelperWorld, Vm, VmError};
 
 /// Identifier of a loaded program. Also used as the attachment token in the
@@ -45,6 +45,8 @@ pub struct LoadedProg {
 pub struct Loader {
     pub maps: MapRegistry,
     progs: Vec<Option<LoadedProg>>,
+    verify_totals: VerifyStats,
+    verify_runs: u64,
 }
 
 impl Loader {
@@ -60,10 +62,29 @@ impl Loader {
         insns: Vec<Insn>,
         ctx_size: usize,
     ) -> Result<ProgId, LoadError> {
-        verify(&insns, &self.maps, ctx_size).map_err(LoadError::Verify)?;
+        let stats = verify_with_stats(&insns, &self.maps, ctx_size).map_err(LoadError::Verify)?;
+        self.verify_totals.insns += stats.insns;
+        self.verify_totals.states_explored += stats.states_explored;
+        self.verify_totals.paths_completed += stats.paths_completed;
+        self.verify_runs += 1;
         let id = self.progs.len() as ProgId;
-        self.progs.push(Some(LoadedProg { name: name.into(), insns, ctx_size }));
+        self.progs.push(Some(LoadedProg {
+            name: name.into(),
+            insns,
+            ctx_size,
+        }));
         Ok(id)
+    }
+
+    /// Cumulative verifier work across every successful `load` (instructions
+    /// checked, abstract states explored, execution paths walked to `exit`).
+    pub fn verify_totals(&self) -> VerifyStats {
+        self.verify_totals
+    }
+
+    /// Number of successful verifier passes (one per loaded program).
+    pub fn verify_runs(&self) -> u64 {
+        self.verify_runs
     }
 
     /// Unload a program (dynamic reload support). Unknown/already-unloaded
@@ -114,7 +135,7 @@ impl Loader {
 mod tests {
     use super::*;
     use crate::asm::ProgramBuilder;
-    use crate::insn::{R0, R1, Size};
+    use crate::insn::{Size, R0, R1};
     use crate::vm::NullWorld;
 
     fn trivial() -> Vec<Insn> {
@@ -131,6 +152,9 @@ mod tests {
         let (r0, _) = l.run(id, &[], &mut w).unwrap();
         assert_eq!(r0, 7);
         assert_eq!(l.get(id).unwrap().name, "t");
+        assert_eq!(l.verify_runs(), 1);
+        assert_eq!(l.verify_totals().insns, 2);
+        assert_eq!(l.verify_totals().paths_completed, 1);
     }
 
     #[test]

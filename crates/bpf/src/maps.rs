@@ -11,7 +11,15 @@
 //! Hash maps use `BTreeMap` internally so iteration order — and therefore
 //! every simulation — is deterministic.
 
+use std::cell::Cell;
 use std::collections::{BTreeMap, VecDeque};
+
+/// How many overwritten ring records are retained for the collector's
+/// loss-attribution telemetry. The collector drains this after every
+/// program run, so the cap only matters for raw `MapRegistry` users who
+/// never look; beyond it, evicted payloads are discarded (the count in
+/// `dropped` stays exact either way).
+pub const EVICTED_KEEP: usize = 4096;
 
 /// Identifier of a created map.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -41,15 +49,30 @@ pub struct MapDef {
 
 impl MapDef {
     pub fn hash(name: &str, key_size: usize, value_size: usize, max_entries: usize) -> Self {
-        MapDef { name: name.into(), kind: MapKind::Hash { max_entries }, key_size, value_size }
+        MapDef {
+            name: name.into(),
+            kind: MapKind::Hash { max_entries },
+            key_size,
+            value_size,
+        }
     }
 
     pub fn array(name: &str, value_size: usize, entries: usize) -> Self {
-        MapDef { name: name.into(), kind: MapKind::Array { entries }, key_size: 4, value_size }
+        MapDef {
+            name: name.into(),
+            kind: MapKind::Array { entries },
+            key_size: 4,
+            value_size,
+        }
     }
 
     pub fn stack(name: &str, value_size: usize, max_entries: usize) -> Self {
-        MapDef { name: name.into(), kind: MapKind::Stack { max_entries }, key_size: 0, value_size }
+        MapDef {
+            name: name.into(),
+            kind: MapKind::Stack { max_entries },
+            key_size: 0,
+            value_size,
+        }
     }
 
     pub fn perf_event_array(name: &str, capacity: usize) -> Self {
@@ -67,7 +90,44 @@ enum Storage {
     Hash(BTreeMap<Vec<u8>, Vec<u8>>),
     Array(Vec<Vec<u8>>),
     Stack(Vec<Vec<u8>>),
-    Ring { buf: VecDeque<Vec<u8>>, dropped: u64 },
+    Ring {
+        buf: VecDeque<Vec<u8>>,
+        dropped: u64,
+        /// Records ever published (drained + live + dropped).
+        produced: u64,
+        /// Payload bytes ever published.
+        bytes: u64,
+        /// Occupancy high-water mark.
+        hwm: usize,
+        /// Recently overwritten records, kept (bounded) so the collector
+        /// can attribute losses to a subsystem/OU by decoding headers.
+        evicted: VecDeque<Vec<u8>>,
+    },
+}
+
+/// Point-in-time statistics for one perf ring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RingStats {
+    pub produced: u64,
+    pub dropped: u64,
+    pub bytes: u64,
+    pub hwm: usize,
+    pub len: usize,
+    pub capacity: usize,
+}
+
+/// Registry-wide operation counters — the "map ops" half of the BPF VM's
+/// telemetry. Plain integers here; the telemetry crate reads them out at
+/// export time so `tscout-bpf` itself stays dependency-free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MapOpStats {
+    pub lookups: u64,
+    pub updates: u64,
+    pub deletes: u64,
+    pub pushes: u64,
+    pub pops: u64,
+    pub ring_pushes: u64,
+    pub ring_drained: u64,
 }
 
 /// One live map.
@@ -103,6 +163,9 @@ impl MapError {
 #[derive(Debug, Default)]
 pub struct MapRegistry {
     maps: Vec<MapInstance>,
+    /// `Cell` because `lookup` takes `&self`.
+    lookups: Cell<u64>,
+    ops: MapOpStats,
 }
 
 impl MapRegistry {
@@ -115,7 +178,14 @@ impl MapRegistry {
             MapKind::Hash { .. } => Storage::Hash(BTreeMap::new()),
             MapKind::Array { entries } => Storage::Array(vec![vec![0; def.value_size]; entries]),
             MapKind::Stack { .. } => Storage::Stack(Vec::new()),
-            MapKind::PerfEventArray { .. } => Storage::Ring { buf: VecDeque::new(), dropped: 0 },
+            MapKind::PerfEventArray { .. } => Storage::Ring {
+                buf: VecDeque::new(),
+                dropped: 0,
+                produced: 0,
+                bytes: 0,
+                hwm: 0,
+                evicted: VecDeque::new(),
+            },
         };
         let id = MapId(self.maps.len() as u32);
         self.maps.push(MapInstance { def, storage });
@@ -148,6 +218,7 @@ impl MapRegistry {
 
     /// Look up a value. For arrays the key is a 4-byte LE index.
     pub fn lookup(&self, id: MapId, key: &[u8]) -> Option<&[u8]> {
+        self.lookups.set(self.lookups.get() + 1);
         let m = self.map(id);
         match &m.storage {
             Storage::Hash(h) => h.get(key).map(|v| v.as_slice()),
@@ -161,6 +232,7 @@ impl MapRegistry {
 
     /// Mutable view of a stored value (backs BPF's in-place value pointers).
     pub fn lookup_mut(&mut self, id: MapId, key: &[u8]) -> Option<&mut [u8]> {
+        self.lookups.set(self.lookups.get() + 1);
         let m = self.map_mut(id);
         match &mut m.storage {
             Storage::Hash(h) => h.get_mut(key).map(|v| v.as_mut_slice()),
@@ -174,6 +246,7 @@ impl MapRegistry {
 
     /// Insert or overwrite.
     pub fn update(&mut self, id: MapId, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        self.ops.updates += 1;
         let m = self.map_mut(id);
         if key.len() != m.def.key_size || value.len() != m.def.value_size {
             return Err(MapError::Invalid);
@@ -197,11 +270,10 @@ impl MapRegistry {
     }
 
     pub fn delete(&mut self, id: MapId, key: &[u8]) -> Result<(), MapError> {
+        self.ops.deletes += 1;
         let m = self.map_mut(id);
         match &mut m.storage {
-            Storage::Hash(h) => {
-                h.remove(key).map(|_| ()).ok_or(MapError::NotFound)
-            }
+            Storage::Hash(h) => h.remove(key).map(|_| ()).ok_or(MapError::NotFound),
             _ => Err(MapError::Invalid),
         }
     }
@@ -221,6 +293,7 @@ impl MapRegistry {
     // ------------------------------------------------------------------
 
     pub fn push(&mut self, id: MapId, value: &[u8]) -> Result<(), MapError> {
+        self.ops.pushes += 1;
         let m = self.map_mut(id);
         if value.len() != m.def.value_size {
             return Err(MapError::Invalid);
@@ -238,6 +311,7 @@ impl MapRegistry {
     }
 
     pub fn pop(&mut self, id: MapId) -> Result<Vec<u8>, MapError> {
+        self.ops.pops += 1;
         let m = self.map_mut(id);
         match &mut m.storage {
             Storage::Stack(s) => s.pop().ok_or(MapError::NotFound),
@@ -253,14 +327,33 @@ impl MapRegistry {
     /// overwritten and the drop counter incremented; the producer never
     /// blocks (the "no back pressure" design property).
     pub fn ring_push(&mut self, id: MapId, data: &[u8]) -> Result<(), MapError> {
+        self.ops.ring_pushes += 1;
         let m = self.map_mut(id);
         match (&mut m.storage, m.def.kind) {
-            (Storage::Ring { buf, dropped }, MapKind::PerfEventArray { capacity }) => {
+            (
+                Storage::Ring {
+                    buf,
+                    dropped,
+                    produced,
+                    bytes,
+                    hwm,
+                    evicted,
+                },
+                MapKind::PerfEventArray { capacity },
+            ) => {
                 if buf.len() >= capacity {
-                    buf.pop_front();
+                    if let Some(old) = buf.pop_front() {
+                        if evicted.len() >= EVICTED_KEEP {
+                            evicted.pop_front();
+                        }
+                        evicted.push_back(old);
+                    }
                     *dropped += 1;
                 }
                 buf.push_back(data.to_vec());
+                *produced += 1;
+                *bytes += data.len() as u64;
+                *hwm = (*hwm).max(buf.len());
                 Ok(())
             }
             _ => Err(MapError::Invalid),
@@ -270,13 +363,15 @@ impl MapRegistry {
     /// Drain up to `max` records for the Processor.
     pub fn ring_drain(&mut self, id: MapId, max: usize) -> Vec<Vec<u8>> {
         let m = self.map_mut(id);
-        match &mut m.storage {
+        let out: Vec<Vec<u8>> = match &mut m.storage {
             Storage::Ring { buf, .. } => {
                 let n = buf.len().min(max);
                 buf.drain(..n).collect()
             }
             _ => Vec::new(),
-        }
+        };
+        self.ops.ring_drained += out.len() as u64;
+        out
     }
 
     /// Records overwritten because the ring was full.
@@ -284,6 +379,49 @@ impl MapRegistry {
         match &self.map(id).storage {
             Storage::Ring { dropped, .. } => *dropped,
             _ => 0,
+        }
+    }
+
+    /// Full statistics for a perf ring.
+    pub fn ring_stats(&self, id: MapId) -> RingStats {
+        let m = self.map(id);
+        match (&m.storage, m.def.kind) {
+            (
+                Storage::Ring {
+                    buf,
+                    dropped,
+                    produced,
+                    bytes,
+                    hwm,
+                    ..
+                },
+                MapKind::PerfEventArray { capacity },
+            ) => RingStats {
+                produced: *produced,
+                dropped: *dropped,
+                bytes: *bytes,
+                hwm: *hwm,
+                len: buf.len(),
+                capacity,
+            },
+            _ => RingStats::default(),
+        }
+    }
+
+    /// Take the retained payloads of recently overwritten records (for
+    /// loss attribution). Clears the retained buffer.
+    pub fn ring_take_evicted(&mut self, id: MapId) -> Vec<Vec<u8>> {
+        match &mut self.map_mut(id).storage {
+            Storage::Ring { evicted, .. } => evicted.drain(..).collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Registry-wide operation counters.
+    pub fn op_stats(&self) -> MapOpStats {
+        MapOpStats {
+            lookups: self.lookups.get(),
+            ..self.ops
         }
     }
 
@@ -303,8 +441,14 @@ impl MapRegistry {
                 }
             }
             Storage::Stack(s) => s.clear(),
-            Storage::Ring { buf, dropped } => {
+            Storage::Ring {
+                buf,
+                dropped,
+                evicted,
+                ..
+            } => {
                 buf.clear();
+                evicted.clear();
                 *dropped = 0;
             }
         }
@@ -417,12 +561,57 @@ mod tests {
     }
 
     #[test]
+    fn ring_stats_track_production_and_hwm() {
+        let mut r = MapRegistry::new();
+        let m = r.create(MapDef::perf_event_array("ring", 3));
+        for i in 0..5u8 {
+            r.ring_push(m, &[i, i]).unwrap();
+        }
+        let s = r.ring_stats(m);
+        assert_eq!(s.produced, 5);
+        assert_eq!(s.dropped, 2);
+        assert_eq!(s.bytes, 10);
+        assert_eq!(s.hwm, 3);
+        assert_eq!(s.len, 3);
+        assert_eq!(s.capacity, 3);
+        // The two overwritten records are retained for attribution.
+        let evicted = r.ring_take_evicted(m);
+        assert_eq!(evicted, vec![vec![0, 0], vec![1, 1]]);
+        assert!(r.ring_take_evicted(m).is_empty(), "take drains the buffer");
+    }
+
+    #[test]
+    fn op_stats_count_operations() {
+        let mut r = MapRegistry::new();
+        let h = r.create(MapDef::hash("h", 8, 4, 8));
+        let s = r.create(MapDef::stack("s", 8, 4));
+        let p = r.create(MapDef::perf_event_array("p", 4));
+        r.update(h, &key(1), &[0; 4]).unwrap();
+        r.lookup(h, &key(1));
+        r.lookup(h, &key(2));
+        r.delete(h, &key(1)).unwrap();
+        r.push(s, &key(9)).unwrap();
+        r.pop(s).unwrap();
+        r.ring_push(p, b"x").unwrap();
+        r.ring_drain(p, 10);
+        let ops = r.op_stats();
+        assert_eq!(ops.updates, 1);
+        assert_eq!(ops.lookups, 2);
+        assert_eq!(ops.deletes, 1);
+        assert_eq!(ops.pushes, 1);
+        assert_eq!(ops.pops, 1);
+        assert_eq!(ops.ring_pushes, 1);
+        assert_eq!(ops.ring_drained, 1);
+    }
+
+    #[test]
     fn clear_resets_contents() {
         let mut r = MapRegistry::new();
         let h = r.create(MapDef::hash("h", 8, 4, 8));
         let a = r.create(MapDef::array("a", 8, 2));
         r.update(h, &key(1), &[1; 4]).unwrap();
-        r.update(a, &0u32.to_le_bytes(), &7u64.to_le_bytes()).unwrap();
+        r.update(a, &0u32.to_le_bytes(), &7u64.to_le_bytes())
+            .unwrap();
         r.clear(h);
         r.clear(a);
         assert_eq!(r.entries(h), 0);

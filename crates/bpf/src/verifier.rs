@@ -36,26 +36,72 @@ pub const MAX_OUTPUT_BYTES: i64 = 8192;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum VerifyError {
     EmptyProgram,
-    TooLong { len: usize },
+    TooLong {
+        len: usize,
+    },
     TooComplex,
-    InvalidRegister { pc: usize },
-    WriteToFramePointer { pc: usize },
-    UninitRead { pc: usize, reg: u8 },
-    BackEdge { pc: usize },
-    JumpOutOfBounds { pc: usize },
-    FellOffEnd { pc: usize },
-    PointerArithmetic { pc: usize },
-    PointerComparison { pc: usize },
-    PointerStore { pc: usize },
-    DivisionByZero { pc: usize },
-    NotAPointer { pc: usize },
-    PossiblyNullDeref { pc: usize },
-    OutOfBounds { pc: usize, region: &'static str, off: i64, size: usize },
-    UninitStackRead { pc: usize, off: i64 },
-    CtxWrite { pc: usize },
-    UnknownMap { pc: usize },
-    BadHelperArg { pc: usize, helper: Helper, arg: u8, expected: &'static str },
-    ExitWithoutScalarR0 { pc: usize },
+    InvalidRegister {
+        pc: usize,
+    },
+    WriteToFramePointer {
+        pc: usize,
+    },
+    UninitRead {
+        pc: usize,
+        reg: u8,
+    },
+    BackEdge {
+        pc: usize,
+    },
+    JumpOutOfBounds {
+        pc: usize,
+    },
+    FellOffEnd {
+        pc: usize,
+    },
+    PointerArithmetic {
+        pc: usize,
+    },
+    PointerComparison {
+        pc: usize,
+    },
+    PointerStore {
+        pc: usize,
+    },
+    DivisionByZero {
+        pc: usize,
+    },
+    NotAPointer {
+        pc: usize,
+    },
+    PossiblyNullDeref {
+        pc: usize,
+    },
+    OutOfBounds {
+        pc: usize,
+        region: &'static str,
+        off: i64,
+        size: usize,
+    },
+    UninitStackRead {
+        pc: usize,
+        off: i64,
+    },
+    CtxWrite {
+        pc: usize,
+    },
+    UnknownMap {
+        pc: usize,
+    },
+    BadHelperArg {
+        pc: usize,
+        helper: Helper,
+        arg: u8,
+        expected: &'static str,
+    },
+    ExitWithoutScalarR0 {
+        pc: usize,
+    },
 }
 
 impl std::fmt::Display for VerifyError {
@@ -80,19 +126,34 @@ impl std::fmt::Display for VerifyError {
             }
             VerifyError::PointerStore { pc } => write!(f, "pointer stored to memory at pc {pc}"),
             VerifyError::DivisionByZero { pc } => write!(f, "division by zero at pc {pc}"),
-            VerifyError::NotAPointer { pc } => write!(f, "memory access via non-pointer at pc {pc}"),
+            VerifyError::NotAPointer { pc } => {
+                write!(f, "memory access via non-pointer at pc {pc}")
+            }
             VerifyError::PossiblyNullDeref { pc } => {
                 write!(f, "map value dereferenced without null check at pc {pc}")
             }
-            VerifyError::OutOfBounds { pc, region, off, size } => {
-                write!(f, "{region} access out of bounds at pc {pc} (off {off}, size {size})")
+            VerifyError::OutOfBounds {
+                pc,
+                region,
+                off,
+                size,
+            } => {
+                write!(
+                    f,
+                    "{region} access out of bounds at pc {pc} (off {off}, size {size})"
+                )
             }
             VerifyError::UninitStackRead { pc, off } => {
                 write!(f, "read of uninitialized stack at fp{off:+} (pc {pc})")
             }
             VerifyError::CtxWrite { pc } => write!(f, "store to read-only context at pc {pc}"),
             VerifyError::UnknownMap { pc } => write!(f, "reference to unknown map at pc {pc}"),
-            VerifyError::BadHelperArg { pc, helper, arg, expected } => write!(
+            VerifyError::BadHelperArg {
+                pc,
+                helper,
+                arg,
+                expected,
+            } => write!(
                 f,
                 "helper {} arg r{arg} at pc {pc}: expected {expected}",
                 helper.name()
@@ -142,7 +203,10 @@ impl State {
         let mut regs = [RegType::Uninit; 11];
         regs[1] = RegType::PtrCtx { off: 0 }; // R1 = ctx at entry
         regs[10] = RegType::PtrStack { off: 0 }; // R10 = frame top
-        State { regs, stack_init: [0; 8] }
+        State {
+            regs,
+            stack_init: [0; 8],
+        }
     }
 
     fn stack_bit(off: i64) -> (usize, u64) {
@@ -171,17 +235,45 @@ struct Verifier<'a> {
     maps: &'a MapRegistry,
     ctx_size: usize,
     states_visited: usize,
+    paths_completed: usize,
+}
+
+/// Statistics from one verifier pass — the "verifier pass stats" leg of
+/// the BPF VM's telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VerifyStats {
+    /// Program length in instructions.
+    pub insns: usize,
+    /// Abstract states popped off the exploration worklist.
+    pub states_explored: usize,
+    /// Execution paths that reached `exit`.
+    pub paths_completed: usize,
 }
 
 /// Verify a program against a map registry and a declared context size.
 pub fn verify(prog: &[Insn], maps: &MapRegistry, ctx_size: usize) -> Result<(), VerifyError> {
+    verify_with_stats(prog, maps, ctx_size).map(|_| ())
+}
+
+/// Like [`verify`], but reports how much work the pass did.
+pub fn verify_with_stats(
+    prog: &[Insn],
+    maps: &MapRegistry,
+    ctx_size: usize,
+) -> Result<VerifyStats, VerifyError> {
     if prog.is_empty() {
         return Err(VerifyError::EmptyProgram);
     }
     if prog.len() > MAX_INSNS {
         return Err(VerifyError::TooLong { len: prog.len() });
     }
-    let mut v = Verifier { prog, maps, ctx_size, states_visited: 0 };
+    let mut v = Verifier {
+        prog,
+        maps,
+        ctx_size,
+        states_visited: 0,
+        paths_completed: 0,
+    };
     let mut worklist = vec![(0usize, State::entry())];
     while let Some((pc, state)) = worklist.pop() {
         v.states_visited += 1;
@@ -190,7 +282,11 @@ pub fn verify(prog: &[Insn], maps: &MapRegistry, ctx_size: usize) -> Result<(), 
         }
         v.step(pc, state, &mut worklist)?;
     }
-    Ok(())
+    Ok(VerifyStats {
+        insns: prog.len(),
+        states_explored: v.states_visited,
+        paths_completed: v.paths_completed,
+    })
 }
 
 impl<'a> Verifier<'a> {
@@ -236,7 +332,12 @@ impl<'a> Verifier<'a> {
             RegType::PtrStack { off: p } => {
                 let a = p + off as i64;
                 if a < -STACK_SIZE || a + size as i64 > 0 {
-                    return Err(VerifyError::OutOfBounds { pc, region: "stack", off: a, size });
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "stack",
+                        off: a,
+                        size,
+                    });
                 }
                 if !write && !st.stack_is_init(a, size) {
                     return Err(VerifyError::UninitStackRead { pc, off: a });
@@ -249,7 +350,12 @@ impl<'a> Verifier<'a> {
                 }
                 let a = p + off as i64;
                 if a < 0 || a + size as i64 > self.ctx_size as i64 {
-                    return Err(VerifyError::OutOfBounds { pc, region: "ctx", off: a, size });
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "ctx",
+                        off: a,
+                        size,
+                    });
                 }
                 Ok(base)
             }
@@ -261,7 +367,12 @@ impl<'a> Verifier<'a> {
                     .value_size as i64;
                 let a = p + off as i64;
                 if a < 0 || a + size as i64 > vs {
-                    return Err(VerifyError::OutOfBounds { pc, region: "map value", off: a, size });
+                    return Err(VerifyError::OutOfBounds {
+                        pc,
+                        region: "map value",
+                        off: a,
+                        size,
+                    });
                 }
                 Ok(base)
             }
@@ -288,14 +399,24 @@ impl<'a> Verifier<'a> {
                 st.regs[dst.index()] = result;
                 worklist.push((pc + 1, st));
             }
-            Insn::Load { size, dst, base, off } => {
+            Insn::Load {
+                size,
+                dst,
+                base,
+                off,
+            } => {
                 self.check_writable(pc, dst)?;
                 let b = self.read_reg(&st, pc, base)?;
                 self.check_access(&st, pc, b, off, size.bytes(), false)?;
                 st.regs[dst.index()] = RegType::Scalar;
                 worklist.push((pc + 1, st));
             }
-            Insn::Store { size, base, off, src } => {
+            Insn::Store {
+                size,
+                base,
+                off,
+                src,
+            } => {
                 let b = self.read_reg(&st, pc, base)?;
                 let s = self.src_type(&st, pc, src)?;
                 if !s.is_scalar() {
@@ -366,6 +487,7 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::ExitWithoutScalarR0 { pc });
                 }
                 // Path terminates.
+                self.paths_completed += 1;
             }
         }
         Ok(())
@@ -534,7 +656,12 @@ impl<'a> Verifier<'a> {
         if st.regs[arg as usize].is_scalar() {
             Ok(())
         } else {
-            Err(VerifyError::BadHelperArg { pc, helper, arg, expected: "scalar" })
+            Err(VerifyError::BadHelperArg {
+                pc,
+                helper,
+                arg,
+                expected: "scalar",
+            })
         }
     }
 
@@ -546,7 +673,12 @@ impl<'a> Verifier<'a> {
         arg: u8,
         classes: &[MapClass],
     ) -> Result<MapId, VerifyError> {
-        let bad = |expected| VerifyError::BadHelperArg { pc, helper, arg, expected };
+        let bad = |expected| VerifyError::BadHelperArg {
+            pc,
+            helper,
+            arg,
+            expected,
+        };
         match st.regs[arg as usize] {
             RegType::MapHandle(m) => {
                 let def = self.maps.def(m).ok_or(VerifyError::UnknownMap { pc })?;
@@ -574,15 +706,16 @@ impl<'a> Verifier<'a> {
         if !t.is_init() {
             return Err(VerifyError::UninitRead { pc, reg: arg });
         }
-        self.check_access(st, pc, t, 0, size, write).map_err(|e| match e {
-            VerifyError::NotAPointer { .. } => VerifyError::BadHelperArg {
-                pc,
-                helper,
-                arg,
-                expected: "pointer to memory",
-            },
-            other => other,
-        })?;
+        self.check_access(st, pc, t, 0, size, write)
+            .map_err(|e| match e {
+                VerifyError::NotAPointer { .. } => VerifyError::BadHelperArg {
+                    pc,
+                    helper,
+                    arg,
+                    expected: "pointer to memory",
+                },
+                other => other,
+            })?;
         if write {
             if let RegType::PtrStack { off } = t {
                 st.mark_stack_init(off, size);
@@ -610,7 +743,11 @@ impl MapClass {
 }
 
 fn apply_off(pc: usize, op: AluOp, off: i64, c: i64) -> Result<i64, VerifyError> {
-    let next = if op == AluOp::Add { off.wrapping_add(c) } else { off.wrapping_sub(c) };
+    let next = if op == AluOp::Add {
+        off.wrapping_add(c)
+    } else {
+        off.wrapping_sub(c)
+    };
     // Keep offsets sane; real verifier bounds these too.
     if next.abs() > 1 << 29 {
         Err(VerifyError::PointerArithmetic { pc })
@@ -636,7 +773,7 @@ fn fold(op: AluOp, a: i64, b: i64) -> i64 {
 mod tests {
     use super::*;
     use crate::asm::ProgramBuilder;
-    use crate::insn::{Size, R0, R1, R2, R3, R4, R6, R10};
+    use crate::insn::{Size, R0, R1, R10, R2, R3, R4, R6};
     use crate::maps::MapDef;
 
     fn maps() -> (MapRegistry, MapId, MapId, MapId) {
@@ -685,25 +822,45 @@ mod tests {
         let (m, ..) = maps();
         let mut b = ProgramBuilder::new();
         b.mov_reg(R0, R6).exit();
-        assert!(matches!(rejected(b.resolve().unwrap(), &m, 0), VerifyError::UninitRead { .. }));
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::UninitRead { .. }
+        ));
     }
 
     #[test]
     fn back_edge_rejected() {
         let (m, ..) = maps();
         let prog = vec![
-            Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) },
-            Insn::Jump { cond: None, off: -2 },
+            Insn::Alu {
+                op: AluOp::Mov,
+                dst: R0,
+                src: Src::Imm(0),
+            },
+            Insn::Jump {
+                cond: None,
+                off: -2,
+            },
             Insn::Exit,
         ];
-        assert!(matches!(rejected(prog, &m, 0), VerifyError::BackEdge { .. }));
+        assert!(matches!(
+            rejected(prog, &m, 0),
+            VerifyError::BackEdge { .. }
+        ));
     }
 
     #[test]
     fn fall_off_end_rejected() {
         let (m, ..) = maps();
-        let prog = vec![Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) }];
-        assert!(matches!(rejected(prog, &m, 0), VerifyError::FellOffEnd { .. }));
+        let prog = vec![Insn::Alu {
+            op: AluOp::Mov,
+            dst: R0,
+            src: Src::Imm(0),
+        }];
+        assert!(matches!(
+            rejected(prog, &m, 0),
+            VerifyError::FellOffEnd { .. }
+        ));
     }
 
     #[test]
@@ -738,7 +895,10 @@ mod tests {
             assert!(
                 matches!(
                     rejected(b.resolve().unwrap(), &m, 0),
-                    VerifyError::OutOfBounds { region: "stack", .. }
+                    VerifyError::OutOfBounds {
+                        region: "stack",
+                        ..
+                    }
                 ),
                 "offset {off} should be rejected"
             );
@@ -761,7 +921,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.store_imm(Size::B8, R1, 0, 1);
         b.mov_imm(R0, 0).exit();
-        assert!(matches!(rejected(b.resolve().unwrap(), &m, 16), VerifyError::CtxWrite { .. }));
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 16),
+            VerifyError::CtxWrite { .. }
+        ));
 
         let mut b = ProgramBuilder::new();
         b.load(Size::B8, R0, R1, 16);
@@ -801,7 +964,10 @@ mod tests {
     #[test]
     fn map_lookup_without_null_check_rejected() {
         let (m, prog) = lookup_prog(false);
-        assert!(matches!(verify(&prog, &m, 0), Err(VerifyError::PossiblyNullDeref { .. })));
+        assert!(matches!(
+            verify(&prog, &m, 0),
+            Err(VerifyError::PossiblyNullDeref { .. })
+        ));
     }
 
     #[test]
@@ -820,7 +986,10 @@ mod tests {
         b.mov_imm(R0, 0).exit();
         assert!(matches!(
             rejected(b.resolve().unwrap(), &m, 0),
-            VerifyError::OutOfBounds { region: "map value", .. }
+            VerifyError::OutOfBounds {
+                region: "map value",
+                ..
+            }
         ));
     }
 
@@ -860,7 +1029,10 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.store_reg(Size::B8, R10, -8, R10);
         b.mov_imm(R0, 0).exit();
-        assert!(matches!(rejected(b.resolve().unwrap(), &m, 0), VerifyError::PointerStore { .. }));
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::PointerStore { .. }
+        ));
     }
 
     #[test]
@@ -1005,15 +1177,53 @@ mod tests {
         let mut b = ProgramBuilder::new();
         b.load_map(R1, MapId(99));
         b.mov_imm(R0, 0).exit();
-        assert!(matches!(rejected(b.resolve().unwrap(), &m, 0), VerifyError::UnknownMap { .. }));
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::UnknownMap { .. }
+        ));
+    }
+
+    #[test]
+    fn verify_stats_count_states_and_paths() {
+        let (m, ..) = maps();
+        // Straight-line program: one state per insn, one path.
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 0).exit();
+        let prog = b.resolve().unwrap();
+        let s = verify_with_stats(&prog, &m, 0).unwrap();
+        assert_eq!(s.insns, 2);
+        assert_eq!(s.states_explored, 2);
+        assert_eq!(s.paths_completed, 1);
+
+        // One conditional fork: both sides explored, two exits reached.
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 0);
+        let l = b.label();
+        b.jump_if_imm(Cond::Eq, R0, 0, l);
+        b.bind(l);
+        b.exit();
+        let prog = b.resolve().unwrap();
+        let s = verify_with_stats(&prog, &m, 0).unwrap();
+        assert_eq!(s.paths_completed, 2);
+        assert!(s.states_explored > s.insns);
     }
 
     #[test]
     fn too_long_program_rejected() {
         let (m, ..) = maps();
-        let mut prog = vec![Insn::Alu { op: AluOp::Mov, dst: R0, src: Src::Imm(0) }; MAX_INSNS + 1];
+        let mut prog = vec![
+            Insn::Alu {
+                op: AluOp::Mov,
+                dst: R0,
+                src: Src::Imm(0)
+            };
+            MAX_INSNS + 1
+        ];
         prog.push(Insn::Exit);
-        assert!(matches!(verify(&prog, &m, 0), Err(VerifyError::TooLong { .. })));
+        assert!(matches!(
+            verify(&prog, &m, 0),
+            Err(VerifyError::TooLong { .. })
+        ));
     }
 
     #[test]

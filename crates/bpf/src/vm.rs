@@ -142,8 +142,14 @@ impl<'a> Exec<'a> {
             return Ok(());
         }
         if let Some((entry, off)) = mapv_decode(addr) {
-            let (map, key) = self.deref.get(entry).ok_or(VmError::BadAddress { pc, addr })?;
-            let val = self.maps.lookup(*map, key).ok_or(VmError::StaleMapValue { pc })?;
+            let (map, key) = self
+                .deref
+                .get(entry)
+                .ok_or(VmError::BadAddress { pc, addr })?;
+            let val = self
+                .maps
+                .lookup(*map, key)
+                .ok_or(VmError::StaleMapValue { pc })?;
             if off + len > val.len() {
                 return Err(VmError::BadAddress { pc, addr });
             }
@@ -164,8 +170,15 @@ impl<'a> Exec<'a> {
             return Err(VmError::ReadOnly { pc, addr });
         }
         if let Some((entry, off)) = mapv_decode(addr) {
-            let (map, key) = self.deref.get(entry).cloned().ok_or(VmError::BadAddress { pc, addr })?;
-            let val = self.maps.lookup_mut(map, &key).ok_or(VmError::StaleMapValue { pc })?;
+            let (map, key) = self
+                .deref
+                .get(entry)
+                .cloned()
+                .ok_or(VmError::BadAddress { pc, addr })?;
+            let val = self
+                .maps
+                .lookup_mut(map, &key)
+                .ok_or(VmError::StaleMapValue { pc })?;
             if off + len > val.len() {
                 return Err(VmError::BadAddress { pc, addr });
             }
@@ -208,7 +221,12 @@ impl Vm {
         let mut regs = [0u64; 11];
         regs[1] = CTX_BASE;
         regs[10] = STACK_BASE + STACK_SIZE as u64;
-        let mut exec = Exec { stack: [0; STACK_SIZE], ctx, maps, deref: Vec::new() };
+        let mut exec = Exec {
+            stack: [0; STACK_SIZE],
+            ctx,
+            maps,
+            deref: Vec::new(),
+        };
         let mut stats = ExecStats::default();
         let mut pc = 0usize;
         let mut fuel = FUEL;
@@ -230,13 +248,23 @@ impl Vm {
                     regs[dst.index()] = alu(op, d, s);
                     pc += 1;
                 }
-                Insn::Load { size, dst, base, off } => {
+                Insn::Load {
+                    size,
+                    dst,
+                    base,
+                    off,
+                } => {
                     let addr = regs[base.index()].wrapping_add(off as i64 as u64);
                     let bytes = exec.read_bytes(pc, addr, size.bytes())?;
                     regs[dst.index()] = zext(&bytes);
                     pc += 1;
                 }
-                Insn::Store { size, base, off, src } => {
+                Insn::Store {
+                    size,
+                    base,
+                    off,
+                    src,
+                } => {
                     let addr = regs[base.index()].wrapping_add(off as i64 as u64);
                     let v = match src {
                         Src::Imm(i) => i as u64,
@@ -333,19 +361,17 @@ impl Vm {
                     Err(e) => e.errno() as u64,
                 }
             }
-            Helper::PerfEventReadBuf => {
-                match world.perf_event_read(regs[1]) {
-                    Some(triple) => {
-                        let mut buf = [0u8; 24];
-                        for (i, v) in triple.iter().enumerate() {
-                            buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
-                        }
-                        exec.write_bytes(pc, regs[2], &buf)?;
-                        0
+            Helper::PerfEventReadBuf => match world.perf_event_read(regs[1]) {
+                Some(triple) => {
+                    let mut buf = [0u8; 24];
+                    for (i, v) in triple.iter().enumerate() {
+                        buf[i * 8..i * 8 + 8].copy_from_slice(&v.to_le_bytes());
                     }
-                    None => (-2i64) as u64,
+                    exec.write_bytes(pc, regs[2], &buf)?;
+                    0
                 }
-            }
+                None => (-2i64) as u64,
+            },
             Helper::ReadTaskIo | Helper::ReadTcpSock => {
                 let quad = if helper == Helper::ReadTaskIo {
                     world.read_task_io()
@@ -412,7 +438,7 @@ fn alu(op: AluOp, d: u64, s: u64) -> u64 {
 mod tests {
     use super::*;
     use crate::asm::ProgramBuilder;
-    use crate::insn::{Cond, Size, R0, R1, R2, R3, R4, R6, R10};
+    use crate::insn::{Cond, Size, R0, R1, R10, R2, R3, R4, R6};
     use crate::maps::MapDef;
 
     fn run(prog: Vec<Insn>, ctx: &[u8], maps: &mut MapRegistry) -> u64 {
@@ -472,7 +498,12 @@ mod tests {
         assert_eq!(run(b.resolve().unwrap(), &ctx, &mut maps), 0xABCD);
 
         let prog = vec![
-            Insn::Store { size: Size::B1, base: R1, off: 0, src: Src::Imm(1) },
+            Insn::Store {
+                size: Size::B1,
+                base: R1,
+                off: 0,
+                src: Src::Imm(1),
+            },
             Insn::Exit,
         ];
         let mut world = NullWorld::default();
@@ -615,7 +646,10 @@ mod tests {
         b.alu_reg(AluOp::Add, R0, R6);
         b.exit();
         let prog = b.resolve().unwrap();
-        let mut world = NullWorld { time_ns: 1000, pid_tgid: 24 };
+        let mut world = NullWorld {
+            time_ns: 1000,
+            pid_tgid: 24,
+        };
         let (r0, stats) = Vm::run(&prog, &[], &mut maps, &mut world).unwrap();
         assert_eq!(r0, 1024);
         assert_eq!(stats.helper_calls, 2);
@@ -627,7 +661,12 @@ mod tests {
         // The VM must return an error, not panic, on wild pointers.
         let mut maps = MapRegistry::new();
         let prog = vec![
-            Insn::Load { size: Size::B8, dst: R0, base: R1, off: 4096 },
+            Insn::Load {
+                size: Size::B8,
+                dst: R0,
+                base: R1,
+                off: 4096,
+            },
             Insn::Exit,
         ];
         let mut world = NullWorld::default();

@@ -31,7 +31,7 @@ use tscout_bpf::asm::ProgramBuilder;
 use tscout_bpf::insn::{self, AluOp, Cond, Helper, Size};
 use tscout_bpf::{Insn, MapId};
 
-use insn::{R0, R1, R2, R3, R4, R5, R6, R7, R8, R9, R10};
+use insn::{R0, R1, R10, R2, R3, R4, R5, R6, R7, R8, R9};
 
 /// Which kernel-level probes a subsystem collects (paper Fig. 3: the
 /// developer ticks CPU/memory/disk/network per subsystem). Memory is
@@ -52,14 +52,21 @@ const SNAP_WORDS_PER_COUNTER: usize = 3;
 impl ProbeLayout {
     /// Snapshot words: ktime + 3 per counter + 4 io + 4 net.
     pub fn snap_words(&self) -> usize {
-        1 + if self.cpu { CPU_COUNTERS * SNAP_WORDS_PER_COUNTER } else { 0 }
-            + if self.disk { 4 } else { 0 }
+        1 + if self.cpu {
+            CPU_COUNTERS * SNAP_WORDS_PER_COUNTER
+        } else {
+            0
+        } + if self.disk { 4 } else { 0 }
             + if self.net { 4 } else { 0 }
     }
 
     /// Word offset of the disk block within a snapshot.
     fn disk_word(&self) -> usize {
-        1 + if self.cpu { CPU_COUNTERS * SNAP_WORDS_PER_COUNTER } else { 0 }
+        1 + if self.cpu {
+            CPU_COUNTERS * SNAP_WORDS_PER_COUNTER
+        } else {
+            0
+        }
     }
 
     /// Word offset of the net block within a snapshot.
@@ -94,10 +101,20 @@ impl ProbeLayout {
             ]);
         }
         if self.disk {
-            names.extend(["disk_read_bytes", "disk_write_bytes", "disk_read_sys", "disk_write_sys"]);
+            names.extend([
+                "disk_read_bytes",
+                "disk_write_bytes",
+                "disk_read_sys",
+                "disk_write_sys",
+            ]);
         }
         if self.net {
-            names.extend(["net_bytes_sent", "net_bytes_recv", "net_segs_out", "net_segs_in"]);
+            names.extend([
+                "net_bytes_sent",
+                "net_bytes_recv",
+                "net_segs_out",
+                "net_segs_in",
+            ]);
         }
         names
     }
@@ -144,7 +161,11 @@ fn emit_snapshot(b: &mut ProgramBuilder, probes: &ProbeLayout) {
         for i in 0..CPU_COUNTERS {
             b.mov_imm(R1, i as i64);
             b.mov_reg(R2, R10);
-            b.alu_imm(AluOp::Add, R2, snap_off(probes, 1 + SNAP_WORDS_PER_COUNTER * i) as i64);
+            b.alu_imm(
+                AluOp::Add,
+                R2,
+                snap_off(probes, 1 + SNAP_WORDS_PER_COUNTER * i) as i64,
+            );
             b.call(Helper::PerfEventReadBuf);
         }
     }
@@ -213,7 +234,8 @@ pub fn gen_begin(probes: &ProbeLayout, depth_map: MapId, begin_map: MapId) -> Ve
 
     b.mov_imm(R0, 0);
     b.exit();
-    b.resolve().expect("begin codegen produced invalid assembly")
+    b.resolve()
+        .expect("begin codegen produced invalid assembly")
 }
 
 /// Generate the END program.
@@ -289,9 +311,10 @@ pub fn gen_end(
             done_w += 1;
         }
     }
-    for (enabled, base_word) in
-        [(probes.disk, probes.disk_word()), (probes.net, probes.net_word())]
-    {
+    for (enabled, base_word) in [
+        (probes.disk, probes.disk_word()),
+        (probes.net, probes.net_word()),
+    ] {
         if enabled {
             for j in 0..4 {
                 let w = base_word + j;
@@ -381,7 +404,8 @@ pub fn gen_features(probes: &ProbeLayout, done_map: MapId, ring_map: MapId) -> V
     b.bind(err);
     b.mov_imm(R0, 1);
     b.exit();
-    b.resolve().expect("features codegen produced invalid assembly")
+    b.resolve()
+        .expect("features codegen produced invalid assembly")
 }
 
 #[cfg(test)]
@@ -391,7 +415,11 @@ mod tests {
     use tscout_bpf::{verify, MapRegistry};
 
     fn all_probes() -> ProbeLayout {
-        ProbeLayout { cpu: true, disk: true, net: true }
+        ProbeLayout {
+            cpu: true,
+            disk: true,
+            net: true,
+        }
     }
 
     fn setup(probes: &ProbeLayout) -> (MapRegistry, MapId, MapId, MapId, MapId) {
@@ -411,11 +439,19 @@ mod tests {
         assert_eq!(p.done_words(), 17);
         assert_eq!(p.metric_names().len(), 15);
 
-        let cpu_only = ProbeLayout { cpu: true, disk: false, net: false };
+        let cpu_only = ProbeLayout {
+            cpu: true,
+            disk: false,
+            net: false,
+        };
         assert_eq!(cpu_only.snap_words(), 22);
         assert_eq!(cpu_only.metric_words(), 7);
 
-        let none = ProbeLayout { cpu: false, disk: false, net: false };
+        let none = ProbeLayout {
+            cpu: false,
+            disk: false,
+            net: false,
+        };
         assert_eq!(none.snap_words(), 1);
         assert_eq!(none.metric_words(), 0);
     }
@@ -464,9 +500,7 @@ mod tests {
     fn ctx_encode_layout() {
         let ctx = encode_ctx(7, 3, 2, 0, &[11, 22]);
         assert_eq!(ctx.len(), CTX_BYTES);
-        let word = |i: usize| {
-            u64::from_le_bytes(ctx[i * 8..(i + 1) * 8].try_into().unwrap())
-        };
+        let word = |i: usize| u64::from_le_bytes(ctx[i * 8..(i + 1) * 8].try_into().unwrap());
         assert_eq!(word(0), 7);
         assert_eq!(word(1), 3);
         assert_eq!(word(2), 2);
@@ -507,7 +541,10 @@ mod tests {
         let e_prog = gen_end(&p, depth, begin, done);
         let f_prog = gen_features(&p, done, ring);
         let ctx = encode_ctx(5, 42, 1, 0, &[77, 88]);
-        let mut world = NullWorld { time_ns: 100, pid_tgid: 42 };
+        let mut world = NullWorld {
+            time_ns: 100,
+            pid_tgid: 42,
+        };
         let (r0, _) = Vm::run(&b_prog, &ctx, &mut maps, &mut world).unwrap();
         assert_eq!(r0, 0);
         world.time_ns = 600;
@@ -527,7 +564,10 @@ mod tests {
         assert_eq!(rec.metrics.len(), 15);
         assert_eq!(rec.payload, vec![77, 88]);
         // Depth returned to zero; maps drained.
-        assert_eq!(maps.lookup(depth, &42u64.to_le_bytes()).unwrap(), &0u64.to_le_bytes());
+        assert_eq!(
+            maps.lookup(depth, &42u64.to_le_bytes()).unwrap(),
+            &0u64.to_le_bytes()
+        );
         assert_eq!(maps.entries(begin), 0);
         assert_eq!(maps.entries(done), 0);
     }
@@ -535,13 +575,20 @@ mod tests {
     #[test]
     fn nested_ous_use_depth_keys() {
         use tscout_bpf::vm::{NullWorld, Vm};
-        let p = ProbeLayout { cpu: false, disk: false, net: false };
+        let p = ProbeLayout {
+            cpu: false,
+            disk: false,
+            net: false,
+        };
         let (mut maps, depth, begin, done, ring) = setup(&p);
         let b_prog = gen_begin(&p, depth, begin);
         let e_prog = gen_end(&p, depth, begin, done);
         let f_prog = gen_features(&p, done, ring);
         let ctx = encode_ctx(1, 9, 0, 0, &[]);
-        let mut world = NullWorld { time_ns: 0, pid_tgid: 9 };
+        let mut world = NullWorld {
+            time_ns: 0,
+            pid_tgid: 9,
+        };
 
         // B1 (t=0) B2 (t=10) E2 (t=30) F2 E1 (t=100) F1
         Vm::run(&b_prog, &ctx, &mut maps, &mut world).unwrap();

@@ -38,10 +38,12 @@ use tscout_kernel::pmu::ALL_COUNTERS;
 use tscout_kernel::task::{Ioac, TcpSock};
 use tscout_kernel::tracepoint::TracepointId;
 use tscout_kernel::{Kernel, PmuReading, SyscallKind, TaskId};
+use tscout_telemetry::Telemetry;
 
 use crate::codegen::{self, encode_ctx, ProbeLayout, CTX_BYTES};
-use crate::data::{decode_record, encode_record, split_record, RawRecord, TrainingPoint,
-    MAX_PAYLOAD_WORDS};
+use crate::data::{
+    decode_record, encode_record, split_record, RawRecord, TrainingPoint, MAX_PAYLOAD_WORDS,
+};
 use crate::ou::{OuId, OuRegistry, Subsystem};
 use crate::sampling::Sampler;
 
@@ -50,19 +52,35 @@ pub type ProbeSet = ProbeLayout;
 
 impl ProbeLayout {
     pub fn all() -> Self {
-        ProbeLayout { cpu: true, disk: true, net: true }
+        ProbeLayout {
+            cpu: true,
+            disk: true,
+            net: true,
+        }
     }
 
     pub fn cpu_only() -> Self {
-        ProbeLayout { cpu: true, disk: false, net: false }
+        ProbeLayout {
+            cpu: true,
+            disk: false,
+            net: false,
+        }
     }
 
     pub fn cpu_net() -> Self {
-        ProbeLayout { cpu: true, disk: false, net: true }
+        ProbeLayout {
+            cpu: true,
+            disk: false,
+            net: true,
+        }
     }
 
     pub fn cpu_disk() -> Self {
-        ProbeLayout { cpu: true, disk: true, net: false }
+        ProbeLayout {
+            cpu: true,
+            disk: true,
+            net: false,
+        }
     }
 }
 
@@ -91,7 +109,12 @@ pub struct TsConfig {
 
 impl TsConfig {
     pub fn new(mode: CollectionMode) -> Self {
-        TsConfig { mode, subsystems: BTreeMap::new(), ring_capacity: 4096, sampler_seed: 0x7511 }
+        TsConfig {
+            mode,
+            subsystems: BTreeMap::new(),
+            ring_capacity: 4096,
+            sampler_seed: 0x7511,
+        }
     }
 
     /// Enable collection for a subsystem with the given probe set.
@@ -196,12 +219,32 @@ enum Marker {
     Features,
 }
 
+/// Exact sample accounting totals, read back from telemetry counters.
+///
+/// After a full ring drain (and with no triples in flight),
+/// `begun == delivered + lost` holds exactly, per subsystem and in
+/// aggregate — the paper's §5.3 requirement that TScout *knows* how many
+/// samples it loses, rather than estimating.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LossTotals {
+    /// Samples that passed the sampling check at `BEGIN`.
+    pub begun: u64,
+    /// Records handed to the Processor by `drain_ring`.
+    pub delivered: u64,
+    /// Samples lost anywhere between `BEGIN` and delivery (ring
+    /// overwrites, emission backlog, marker state resets, BPF errors).
+    pub lost: u64,
+}
+
 /// The deployed TScout framework instance.
 pub struct TScout {
     pub config: TsConfig,
     pub registry: OuRegistry,
     pub sampler: Sampler,
     pub stats: TsStats,
+    /// Cloned from the kernel at deploy time — metrics land in the same
+    /// registry as the kernel's and the DBMS's.
+    pub telemetry: Telemetry,
     loader: Loader,
     ring: MapId,
     subsys: BTreeMap<Subsystem, SubsysRt>,
@@ -236,7 +279,12 @@ impl HelperWorld for KernelWorld<'_> {
     fn read_task_io(&mut self) -> [u64; 4] {
         self.k.charge_overhead(self.task, 35.0);
         let io = self.k.task(self.task).ioac;
-        [io.read_bytes, io.write_bytes, io.read_syscalls, io.write_syscalls]
+        [
+            io.read_bytes,
+            io.write_bytes,
+            io.read_syscalls,
+            io.write_syscalls,
+        ]
     }
 
     fn read_tcp_sock(&mut self) -> [u64; 4] {
@@ -250,15 +298,18 @@ impl TScout {
     /// Setup Phase: codegen, verify, load, and attach the Collector.
     pub fn deploy(kernel: &mut Kernel, config: TsConfig) -> Result<TScout, TsError> {
         let mut loader = Loader::new();
-        let ring = loader
-            .maps
-            .create(MapDef::perf_event_array("tscout_ring", config.ring_capacity));
+        let ring = loader.maps.create(MapDef::perf_event_array(
+            "tscout_ring",
+            config.ring_capacity,
+        ));
 
         let mut subsys = BTreeMap::new();
         for (&s, &probes) in &config.subsystems {
             let bpf = if config.mode == CollectionMode::KernelContinuous {
                 let depth_map =
-                    loader.maps.create(MapDef::hash(&format!("{s}_depth"), 8, 8, 1 << 10));
+                    loader
+                        .maps
+                        .create(MapDef::hash(&format!("{s}_depth"), 8, 8, 1 << 10));
                 let begin_map = loader.maps.create(MapDef::hash(
                     &format!("{s}_begin"),
                     8,
@@ -295,11 +346,20 @@ impl TScout {
 
                 let tp_begin = kernel.tracepoints.register("tscout", &format!("{s}_begin"));
                 let tp_end = kernel.tracepoints.register("tscout", &format!("{s}_end"));
-                let tp_feat = kernel.tracepoints.register("tscout", &format!("{s}_features"));
+                let tp_feat = kernel
+                    .tracepoints
+                    .register("tscout", &format!("{s}_features"));
                 kernel.tracepoints.attach(tp_begin, p_begin);
                 kernel.tracepoints.attach(tp_end, p_end);
                 kernel.tracepoints.attach(tp_feat, p_feat);
-                Some(BpfRt { depth_map, begin_map, done_map, tp_begin, tp_end, tp_feat })
+                Some(BpfRt {
+                    depth_map,
+                    begin_map,
+                    done_map,
+                    tp_begin,
+                    tp_end,
+                    tp_feat,
+                })
             } else {
                 None
             };
@@ -307,17 +367,20 @@ impl TScout {
         }
 
         let sampler = Sampler::new(config.sampler_seed);
-        Ok(TScout {
+        let ts = TScout {
             config,
             registry: OuRegistry::new(),
             sampler,
             stats: TsStats::default(),
+            telemetry: kernel.telemetry.clone(),
             loader,
             ring,
             subsys,
             tasks: HashMap::new(),
             enabled: true,
-        })
+        };
+        ts.publish_bpf_telemetry();
+        Ok(ts)
     }
 
     /// Tear down: detach and unload every Collector program (dynamic
@@ -362,6 +425,15 @@ impl TScout {
     /// Adjust a subsystem's sampling rate at runtime (§5.3 / §6.3).
     pub fn set_sampling_rate(&mut self, s: Subsystem, rate: u8) {
         self.sampler.set_rate(s, rate);
+        self.telemetry.counter_inc(
+            "tscout_sampling_rate_changes_total",
+            &[("subsystem", s.name())],
+        );
+        self.telemetry.gauge_set(
+            "tscout_sampling_rate",
+            &[("subsystem", s.name())],
+            rate as f64,
+        );
     }
 
     /// Globally pause/resume collection without unloading anything.
@@ -381,27 +453,131 @@ impl TScout {
     }
 
     // ------------------------------------------------------------------
+    // Sample accounting (the telemetry side of §5.3)
+    // ------------------------------------------------------------------
+
+    fn ou_label(&self, ou: OuId) -> String {
+        self.registry
+            .get(ou)
+            .map(|d| d.name.clone())
+            .unwrap_or_else(|| format!("ou{}", ou.0))
+    }
+
+    fn mark_begun(&self, subsystem: Subsystem, ou: OuId) {
+        let o = self.ou_label(ou);
+        self.telemetry.counter_inc(
+            "tscout_samples_begun_total",
+            &[("subsystem", subsystem.name())],
+        );
+        self.telemetry
+            .counter_inc("tscout_ou_samples_begun_total", &[("ou", &o)]);
+    }
+
+    fn mark_lost(&self, subsystem: Subsystem, ou: OuId, reason: &str) {
+        let o = self.ou_label(ou);
+        self.telemetry.counter_inc(
+            "tscout_samples_lost_total",
+            &[("subsystem", subsystem.name()), ("reason", reason)],
+        );
+        self.telemetry
+            .counter_inc("tscout_ou_samples_lost_total", &[("ou", &o)]);
+    }
+
+    /// Parse subsystem + OU out of an encoded record's header (word 0 is
+    /// the OU id, word 2 the subsystem index) without a full decode.
+    fn record_ids(bytes: &[u8]) -> (Option<Subsystem>, Option<OuId>) {
+        let word = |i: usize| {
+            bytes
+                .get(i * 8..i * 8 + 8)
+                .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+        };
+        let s = word(2).and_then(|i| Subsystem::from_index(i as usize));
+        let ou = word(0).map(|id| OuId(id as u16));
+        (s, ou)
+    }
+
+    /// Harvest records the ring buffer overwrote since the last call and
+    /// attribute each loss to its subsystem and OU. Called on every path
+    /// that pushes to the ring, so the bounded eviction queue never
+    /// overflows and the accounting stays exact.
+    fn account_ring_evictions(&mut self) {
+        let evicted = self.loader.maps.ring_take_evicted(self.ring);
+        for bytes in evicted {
+            let (s, ou) = Self::record_ids(&bytes);
+            let s = s.unwrap_or(Subsystem::ExecutionEngine);
+            let ou = ou.unwrap_or(OuId(u16::MAX));
+            self.mark_lost(s, ou, "ring_overwrite");
+        }
+    }
+
+    /// Export the BPF substrate's own counters (ring, map ops, verifier)
+    /// as gauges. Cheap; called at deploy and on every drain.
+    pub fn publish_bpf_telemetry(&self) {
+        let t = &self.telemetry;
+        let rs = self.loader.maps.ring_stats(self.ring);
+        t.gauge_set("tscout_ring_produced", &[], rs.produced as f64);
+        t.gauge_set("tscout_ring_dropped", &[], rs.dropped as f64);
+        t.gauge_set("tscout_ring_bytes", &[], rs.bytes as f64);
+        t.gauge_max("tscout_ring_occupancy_hwm", &[], rs.hwm as f64);
+        t.gauge_set("tscout_ring_capacity", &[], rs.capacity as f64);
+        let ops = self.loader.maps.op_stats();
+        t.gauge_set("tscout_map_lookups", &[], ops.lookups as f64);
+        t.gauge_set("tscout_map_updates", &[], ops.updates as f64);
+        t.gauge_set("tscout_map_deletes", &[], ops.deletes as f64);
+        t.gauge_set("tscout_map_stack_pushes", &[], ops.pushes as f64);
+        t.gauge_set("tscout_map_stack_pops", &[], ops.pops as f64);
+        t.gauge_set("tscout_ring_pushes", &[], ops.ring_pushes as f64);
+        t.gauge_set("tscout_ring_drained", &[], ops.ring_drained as f64);
+        let v = self.loader.verify_totals();
+        t.gauge_set("tscout_verify_insns", &[], v.insns as f64);
+        t.gauge_set("tscout_verify_states", &[], v.states_explored as f64);
+        t.gauge_set("tscout_verify_paths", &[], v.paths_completed as f64);
+        t.gauge_set("tscout_verify_runs", &[], self.loader.verify_runs() as f64);
+        t.gauge_set(
+            "tscout_bpf_insns_executed",
+            &[],
+            self.stats.bpf_insns as f64,
+        );
+    }
+
+    /// Exact begun/delivered/lost totals across all subsystems.
+    pub fn loss_totals(&self) -> LossTotals {
+        LossTotals {
+            begun: self.telemetry.counter_total("tscout_samples_begun_total"),
+            delivered: self
+                .telemetry
+                .counter_total("tscout_samples_delivered_total"),
+            lost: self.telemetry.counter_total("tscout_samples_lost_total"),
+        }
+    }
+
+    // ------------------------------------------------------------------
     // Markers
     // ------------------------------------------------------------------
 
     /// `BEGIN` marker: decide sampling and start metric collection.
     pub fn ou_begin(&mut self, k: &mut Kernel, task: TaskId, ou: OuId) {
         self.stats.marker_events += 1;
+        self.telemetry
+            .counter_inc("tscout_marker_events_total", &[("marker", "begin")]);
         k.charge_overhead(task, k.cost.sampling_check_ns);
-        let Some(def) = self.registry.get(ou) else { return };
+        let Some(def) = self.registry.get(ou) else {
+            return;
+        };
         let subsystem = def.subsystem;
         let configured = self.subsys.contains_key(&subsystem);
-        let collected = self.enabled
-            && configured
-            && self.sampler.decide(task.0 as usize, subsystem);
+        let collected =
+            self.enabled && configured && self.sampler.decide(task.0 as usize, subsystem);
 
         let mut snap = None;
         if collected {
             self.stats.sampled_events += 1;
+            self.mark_begun(subsystem, ou);
             match self.config.mode {
                 CollectionMode::KernelContinuous => {
                     let r0 = self.fire(k, task, subsystem, Marker::Begin, ou, 0, &[]);
                     if r0 != 0 {
+                        self.mark_lost(subsystem, ou, "begin_error");
                         self.state_machine_reset(k, task);
                         return;
                     }
@@ -434,6 +610,8 @@ impl TScout {
     /// `END` marker: stop metric collection and compute deltas.
     pub fn ou_end(&mut self, k: &mut Kernel, task: TaskId, ou: OuId) {
         self.stats.marker_events += 1;
+        self.telemetry
+            .counter_inc("tscout_marker_events_total", &[("marker", "end")]);
         k.charge_overhead(task, k.cost.sampling_check_ns);
         let ok = matches!(
             self.tasks.get(&task).and_then(|t| t.inflight.last()),
@@ -444,7 +622,13 @@ impl TScout {
             return;
         }
         let (collected, subsystem) = {
-            let top = self.tasks.get_mut(&task).unwrap().inflight.last_mut().unwrap();
+            let top = self
+                .tasks
+                .get_mut(&task)
+                .unwrap()
+                .inflight
+                .last_mut()
+                .unwrap();
             top.phase = Phase::Ended;
             (top.collected, top.subsystem)
         };
@@ -519,6 +703,8 @@ impl TScout {
         payload: &[u64],
     ) {
         self.stats.marker_events += 1;
+        self.telemetry
+            .counter_inc("tscout_marker_events_total", &[("marker", "features")]);
         k.charge_overhead(task, k.cost.sampling_check_ns);
         let ok = matches!(
             self.tasks.get(&task).and_then(|t| t.inflight.last()),
@@ -534,13 +720,23 @@ impl TScout {
         }
         match self.config.mode {
             CollectionMode::KernelContinuous => {
+                let before = self.stats.samples_emitted;
                 let r0 = self.fire(k, task, top.subsystem, Marker::Features, ou, flags, payload);
+                // The FEATURES program is the one that publishes; a sample
+                // that produced no ring record is lost right here.
+                if self.stats.samples_emitted == before {
+                    self.mark_lost(top.subsystem, ou, "features_error");
+                }
+                self.account_ring_evictions();
                 if r0 != 0 {
                     self.state_machine_reset(k, task);
                 }
             }
             CollectionMode::UserToggle | CollectionMode::UserContinuous => {
-                let Some((start, elapsed, metrics)) = top.done else { return };
+                let Some((start, elapsed, metrics)) = top.done else {
+                    self.mark_lost(top.subsystem, ou, "no_end_snapshot");
+                    return;
+                };
                 let mut p = payload.to_vec();
                 p.truncate(MAX_PAYLOAD_WORDS);
                 let rec = RawRecord {
@@ -564,13 +760,22 @@ impl TScout {
 
     fn user_snapshot(&self, k: &Kernel, task: TaskId, read_pmu: bool) -> UserSnapshot {
         let t = k.task(task);
-        let mut pmu = [PmuReading { value: 0, time_enabled: 0, time_running: 0 }; 7];
+        let mut pmu = [PmuReading {
+            value: 0,
+            time_enabled: 0,
+            time_running: 0,
+        }; 7];
         if read_pmu {
             for c in ALL_COUNTERS {
                 pmu[c.index()] = t.pmu.read(c);
             }
         }
-        UserSnapshot { start_ns: t.clock_ns as u64, pmu, ioac: t.ioac, tcp: t.tcp }
+        UserSnapshot {
+            start_ns: t.clock_ns as u64,
+            pmu,
+            ioac: t.ioac,
+            tcp: t.tcp,
+        }
     }
 
     fn user_finish(
@@ -586,13 +791,23 @@ impl TScout {
         let now = end_ns;
         let cur_io = k.task(task).ioac;
         let cur_tcp = k.task(task).tcp;
-        let top = self.tasks.get_mut(&task).unwrap().inflight.last_mut().unwrap();
+        let top = self
+            .tasks
+            .get_mut(&task)
+            .unwrap()
+            .inflight
+            .last_mut()
+            .unwrap();
         let Some(snap) = &top.snap else { return };
         let mut metrics = Vec::with_capacity(probes.metric_words());
         if probes.cpu {
             for c in ALL_COUNTERS {
                 let end = pmu_end[c.index()].normalized();
-                let begin = if delta_pmu { snap.pmu[c.index()].normalized() } else { 0.0 };
+                let begin = if delta_pmu {
+                    snap.pmu[c.index()].normalized()
+                } else {
+                    0.0
+                };
                 metrics.push((end - begin).max(0.0) as u64);
             }
         }
@@ -629,12 +844,16 @@ impl TScout {
             // bounded backlog the staging buffer overflows and the sample
             // is dropped (no back pressure, §3).
             self.stats.user_emit_drops += 1;
+            let s =
+                Subsystem::from_index(rec.subsystem as usize).unwrap_or(Subsystem::ExecutionEngine);
+            self.mark_lost(s, OuId(rec.ou as u16), "emit_backlog");
             return;
         }
         let bytes = encode_record(rec);
         k.user_emit_path.acquire(now, hold);
         let _ = self.loader.maps.ring_push(self.ring, &bytes);
         self.stats.samples_emitted += 1;
+        self.account_ring_evictions();
     }
 
     /// Fire a marker tracepoint and run the attached Collector programs.
@@ -661,8 +880,13 @@ impl TScout {
         if progs.is_empty() {
             return 0;
         }
-        let ctx =
-            encode_ctx(ou.as_u64(), task.as_u64(), subsystem.index() as u64, flags, payload);
+        let ctx = encode_ctx(
+            ou.as_u64(),
+            task.as_u64(),
+            subsystem.index() as u64,
+            flags,
+            payload,
+        );
         let mut result = 0;
         for prog in progs {
             let run = {
@@ -690,6 +914,24 @@ impl TScout {
     /// discard intermediate results, and count the error.
     fn state_machine_reset(&mut self, _k: &mut Kernel, task: TaskId) {
         self.stats.state_machine_errors += 1;
+        self.telemetry
+            .counter_inc("tscout_state_machine_resets_total", &[]);
+        // Every collected sample still in flight on this thread dies with
+        // the reset — attribute each one before discarding.
+        let discarded: Vec<(Subsystem, OuId)> = self
+            .tasks
+            .get(&task)
+            .map(|t| {
+                t.inflight
+                    .iter()
+                    .filter(|f| f.collected)
+                    .map(|f| (f.subsystem, f.ou))
+                    .collect()
+            })
+            .unwrap_or_default();
+        for (s, ou) in discarded {
+            self.mark_lost(s, ou, "state_reset");
+        }
         if let Some(t) = self.tasks.get_mut(&task) {
             t.inflight.clear();
         }
@@ -710,9 +952,26 @@ impl TScout {
     // Processor-facing surface
     // ------------------------------------------------------------------
 
-    /// Drain up to `max` raw records from the ring buffer.
+    /// Drain up to `max` raw records from the ring buffer. Every drained
+    /// record is counted as *delivered* toward its subsystem and OU; ring
+    /// overwrites that happened since the last drain are attributed as
+    /// losses first.
     pub fn drain_ring(&mut self, max: usize) -> Vec<Vec<u8>> {
-        self.loader.maps.ring_drain(self.ring, max)
+        self.account_ring_evictions();
+        let raw = self.loader.maps.ring_drain(self.ring, max);
+        for bytes in &raw {
+            let (s, ou) = Self::record_ids(bytes);
+            let s = s.unwrap_or(Subsystem::ExecutionEngine);
+            let o = ou
+                .map(|o| self.ou_label(o))
+                .unwrap_or_else(|| "unknown".into());
+            self.telemetry
+                .counter_inc("tscout_samples_delivered_total", &[("subsystem", s.name())]);
+            self.telemetry
+                .counter_inc("tscout_ou_samples_delivered_total", &[("ou", &o)]);
+        }
+        self.publish_bpf_telemetry();
+        raw
     }
 
     /// Current ring occupancy.
@@ -784,7 +1043,10 @@ mod tests {
         assert_eq!(p.metrics.len(), 15);
         // CPU instructions metric should be near the charged 100k.
         let instr = p.metrics[1] as f64;
-        assert!((instr - 100_000.0).abs() / 100_000.0 < 0.05, "instr {instr}");
+        assert!(
+            (instr - 100_000.0).abs() / 100_000.0 < 0.05,
+            "instr {instr}"
+        );
     }
 
     #[test]
@@ -931,10 +1193,78 @@ mod tests {
         let cfg = ts.teardown(&mut k);
         assert_eq!(cfg.subsystems.len(), 1);
         // Firing the tracepoints is now free (NOP again).
-        let tp = k.tracepoints.lookup("tscout", "execution_engine_begin").unwrap();
+        let tp = k
+            .tracepoints
+            .lookup("tscout", "execution_engine_begin")
+            .unwrap();
         let before = k.now(task);
         assert!(k.fire_tracepoint(task, tp).is_empty());
         assert_eq!(k.now(task), before);
+    }
+
+    #[test]
+    fn loss_accounting_is_exact_under_ring_pressure() {
+        let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 5);
+        k.noise_frac = 0.0;
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.ring_capacity = 4;
+        cfg.enable_subsystem(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
+        let mut ts = TScout::deploy(&mut k, cfg).unwrap();
+        let ou = ts.register_ou("scan", Subsystem::ExecutionEngine, 1);
+        ts.set_sampling_rate(Subsystem::ExecutionEngine, 100);
+        let task = k.create_task();
+        ts.register_thread(&mut k, task);
+        for i in 0..50 {
+            ts.ou_begin(&mut k, task, ou);
+            k.charge_cpu(task, 1000.0, 64);
+            ts.ou_end(&mut k, task, ou);
+            ts.ou_features(&mut k, task, ou, &[i], &[]);
+        }
+        ts.drain_ring(usize::MAX);
+        let lt = ts.loss_totals();
+        assert_eq!(lt.begun, 50);
+        assert_eq!(lt.delivered, 4);
+        assert_eq!(lt.lost, 46);
+        assert_eq!(lt.delivered + lt.lost, lt.begun);
+        // All losses here are ring overwrites, attributed to the right
+        // subsystem and OU.
+        assert_eq!(
+            ts.telemetry.counter_value(
+                "tscout_samples_lost_total",
+                &[
+                    ("subsystem", "execution_engine"),
+                    ("reason", "ring_overwrite")
+                ],
+            ),
+            46
+        );
+        assert_eq!(
+            ts.telemetry
+                .counter_value("tscout_ou_samples_lost_total", &[("ou", "scan")]),
+            46
+        );
+    }
+
+    #[test]
+    fn state_resets_count_inflight_samples_as_lost() {
+        let (mut k, mut ts, task, ou) = setup(CollectionMode::KernelContinuous);
+        // BEGIN then a wrong-OU FEATURES: the in-flight sample dies.
+        let other = ts.register_ou("other", Subsystem::ExecutionEngine, 1);
+        ts.ou_begin(&mut k, task, ou);
+        ts.ou_end(&mut k, task, ou);
+        ts.ou_features(&mut k, task, other, &[1], &[]);
+        ts.drain_ring(usize::MAX);
+        let lt = ts.loss_totals();
+        assert_eq!(lt.begun, 1);
+        assert_eq!(lt.delivered, 0);
+        assert_eq!(lt.lost, 1);
+        assert_eq!(
+            ts.telemetry.counter_value(
+                "tscout_samples_lost_total",
+                &[("subsystem", "execution_engine"), ("reason", "state_reset")],
+            ),
+            1
+        );
     }
 
     #[test]

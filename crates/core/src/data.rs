@@ -143,7 +143,10 @@ pub fn split_record(raw: &RawRecord, registry: &OuRegistry) -> Vec<TrainingPoint
             start_ns: raw.start_ns,
             elapsed_ns: raw.elapsed_ns,
             metrics: raw.metrics.clone(),
-            features: raw.payload[..n_features].iter().map(|w| *w as f64).collect(),
+            features: raw.payload[..n_features]
+                .iter()
+                .map(|w| *w as f64)
+                .collect(),
             user_metrics: raw.payload[n_features..].to_vec(),
         }];
     }
@@ -285,7 +288,7 @@ mod tests {
             ou: 0,
             tid: 1,
             subsystem: 0,
-            flags: 3,              // claims 3 groups
+            flags: 3, // claims 3 groups
             start_ns: 0,
             elapsed_ns: 1,
             metrics: vec![],

@@ -67,7 +67,7 @@ pub mod ou;
 pub mod processor;
 pub mod sampling;
 
-pub use collector::{CollectionMode, ProbeSet, TScout, TsConfig, TsError, TsStats};
+pub use collector::{CollectionMode, LossTotals, ProbeSet, TScout, TsConfig, TsError, TsStats};
 pub use data::{decode_record, encode_record, RawRecord, TrainingPoint, MAX_PAYLOAD_WORDS};
 pub use ou::{OuDef, OuId, OuRegistry, Subsystem, ALL_SUBSYSTEMS};
 pub use processor::{Processor, Sink};

@@ -106,7 +106,12 @@ impl OuRegistry {
             return d.id;
         }
         let id = OuId(self.defs.len() as u16);
-        self.defs.push(OuDef { id, name: name.into(), subsystem, n_features });
+        self.defs.push(OuDef {
+            id,
+            name: name.into(),
+            subsystem,
+            n_features,
+        });
         id
     }
 

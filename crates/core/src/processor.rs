@@ -15,6 +15,7 @@ use std::io::{BufWriter, Write};
 use std::path::Path;
 
 use tscout_kernel::{Kernel, TaskId};
+use tscout_telemetry::Telemetry;
 
 use crate::collector::TScout;
 use crate::data::{decode_record, split_record, TrainingPoint};
@@ -33,7 +34,10 @@ impl Sink {
     /// Open a CSV sink, writing the header row.
     pub fn csv(path: &Path) -> std::io::Result<Sink> {
         let mut w = BufWriter::new(File::create(path)?);
-        writeln!(w, "ou,subsystem,tid,start_ns,elapsed_ns,metrics,features,user_metrics")?;
+        writeln!(
+            w,
+            "ou,subsystem,tid,start_ns,elapsed_ns,metrics,features,user_metrics"
+        )?;
         Ok(Sink::Csv(w))
     }
 }
@@ -47,15 +51,29 @@ pub struct Processor {
     pub processed: u64,
     /// Ring records that failed to decode (overwritten mid-read etc.).
     pub malformed: u64,
+    /// Cloned from the kernel at construction.
+    pub telemetry: Telemetry,
+    /// Lost-sample total at the last `recommended_rate` check.
+    last_lost: u64,
 }
 
 fn join<T: std::fmt::Display>(xs: &[T]) -> String {
-    xs.iter().map(|x| x.to_string()).collect::<Vec<_>>().join("|")
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join("|")
 }
 
 impl Processor {
     pub fn new(kernel: &mut Kernel, sink: Sink) -> Processor {
-        Processor { task: kernel.create_task(), sink, processed: 0, malformed: 0 }
+        Processor {
+            task: kernel.create_task(),
+            sink,
+            processed: 0,
+            malformed: 0,
+            telemetry: kernel.telemetry.clone(),
+            last_lost: 0,
+        }
     }
 
     /// Process ring records until the Processor's virtual clock reaches
@@ -66,6 +84,7 @@ impl Processor {
     /// `1 / processor_per_sample_ns` samples per second — the Fig. 6
     /// plateau.
     pub fn poll(&mut self, kernel: &mut Kernel, ts: &mut TScout, until_ns: f64) -> usize {
+        let start_ns = kernel.now(self.task);
         let mut n = 0;
         while kernel.now(self.task) < until_ns {
             let recs = ts.drain_ring(1);
@@ -77,16 +96,25 @@ impl Processor {
             self.consume(&recs[0], ts);
             n += 1;
         }
+        let dur = kernel.now(self.task) - start_ns;
+        self.telemetry.hist_record("processor_poll_ns", &[], dur);
+        self.telemetry
+            .span("processor_poll", "processor", start_ns, dur);
         n
     }
 
     /// Drain and process everything regardless of virtual time (offline
     /// analysis / end-of-run flush). Still charges the Processor's task.
     pub fn drain_all(&mut self, kernel: &mut Kernel, ts: &mut TScout) -> usize {
+        let start_ns = kernel.now(self.task);
         let mut n = 0;
         loop {
             let recs = ts.drain_ring(64);
             if recs.is_empty() {
+                let dur = kernel.now(self.task) - start_ns;
+                self.telemetry.hist_record("processor_drain_ns", &[], dur);
+                self.telemetry
+                    .span("processor_drain_all", "processor", start_ns, dur);
                 return n;
             }
             for r in &recs {
@@ -100,13 +128,24 @@ impl Processor {
     fn consume(&mut self, bytes: &[u8], ts: &TScout) {
         let Some(raw) = decode_record(bytes) else {
             self.malformed += 1;
+            self.telemetry
+                .counter_inc("processor_decode_errors_total", &[]);
             return;
         };
         let points = split_record(&raw, &ts.registry);
         if points.is_empty() {
             self.malformed += 1;
+            self.telemetry
+                .counter_inc("processor_decode_errors_total", &[]);
             return;
         }
+        // De-aggregation fan-out: fused-pipeline records expand into one
+        // point per constituent OU (§5.2).
+        self.telemetry.counter_inc("processor_records_total", &[]);
+        self.telemetry
+            .counter_add("processor_points_total", &[], points.len() as u64);
+        self.telemetry
+            .hist_record("processor_deagg_fanout", &[], points.len() as f64);
         for p in points {
             match &mut self.sink {
                 Sink::Memory(v) => v.push(p),
@@ -130,11 +169,19 @@ impl Processor {
         self.processed += 1;
     }
 
-    /// Feedback mechanism (§3.2): when the ring has overwritten data since
-    /// the last check, recommend halving the sampling rate; when it is
-    /// nearly empty, the current rate is sustainable.
-    pub fn recommended_rate(&self, ts: &TScout, current: u8, last_dropped: u64) -> u8 {
-        if ts.ring_dropped() > last_dropped {
+    /// Feedback mechanism (§3.2), driven by the exact lost-sample
+    /// accounting: when *any* samples were lost since the last check —
+    /// ring overwrites, emission backlog, marker resets — recommend
+    /// halving the sampling rate; otherwise the current rate is
+    /// sustainable. The Processor remembers the last-seen loss total
+    /// itself, so callers just poll.
+    pub fn recommended_rate(&mut self, ts: &TScout, current: u8) -> u8 {
+        let lost = ts.loss_totals().lost;
+        let new_losses = lost.saturating_sub(self.last_lost);
+        self.last_lost = lost;
+        if new_losses > 0 {
+            self.telemetry
+                .counter_inc("processor_rate_reductions_total", &[]);
             (current / 2).max(1)
         } else {
             current
@@ -242,11 +289,14 @@ mod tests {
     #[test]
     fn feedback_recommends_lower_rate_on_drops() {
         let (mut k, mut ts, t, ou) = harness();
-        let p = Processor::new(&mut k, Sink::Discard);
-        assert_eq!(p.recommended_rate(&ts, 40, 0), 40);
+        let mut p = Processor::new(&mut k, Sink::Discard);
+        assert_eq!(p.recommended_rate(&ts, 40), 40);
         // Overflow the ring (capacity 4096) to force drops.
         emit(&mut k, &mut ts, t, ou, 5000);
         assert!(ts.ring_dropped() > 0);
-        assert_eq!(p.recommended_rate(&ts, 40, 0), 20);
+        assert_eq!(p.recommended_rate(&ts, 40), 20);
+        // Telemetry has attributed the losses by now; with no new losses
+        // since the last check, the rate holds steady.
+        assert_eq!(p.recommended_rate(&ts, 20), 20);
     }
 }

@@ -37,7 +37,10 @@ pub struct Sampler {
 impl Sampler {
     pub fn new(seed: u64) -> Self {
         Sampler {
-            fields: std::array::from_fn(|_| Field { bits: [false; FIELD_BITS], rate: 0 }),
+            fields: std::array::from_fn(|_| Field {
+                bits: [false; FIELD_BITS],
+                rate: 0,
+            }),
             offsets: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
             shuffle: true,
@@ -94,7 +97,11 @@ impl Sampler {
 
     /// Number of set bits — always exactly the rate.
     pub fn set_bits(&self, subsystem: Subsystem) -> usize {
-        self.fields[subsystem.index()].bits.iter().filter(|b| **b).count()
+        self.fields[subsystem.index()]
+            .bits
+            .iter()
+            .filter(|b| **b)
+            .count()
     }
 
     /// Longest run of consecutive `true` bits (burstiness measure used by

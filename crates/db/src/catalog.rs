@@ -99,7 +99,11 @@ impl Catalog {
         kind: IndexKind,
         unique: bool,
     ) -> Result<IndexId, CatalogError> {
-        if self.indexes.iter().any(|i| i.name.eq_ignore_ascii_case(name)) {
+        if self
+            .indexes
+            .iter()
+            .any(|i| i.name.eq_ignore_ascii_case(name))
+        {
             return Err(CatalogError::DuplicateIndex(name.into()));
         }
         let id = IndexId(self.indexes.len() as u32);
@@ -120,7 +124,9 @@ impl Catalog {
     }
 
     pub fn table_by_name(&self, name: &str) -> Option<&TableMeta> {
-        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+        self.tables
+            .iter()
+            .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
     #[allow(clippy::should_implement_trait)]
@@ -174,7 +180,8 @@ mod tests {
             c.create_table("T", schema, vec![]),
             Err(CatalogError::DuplicateTable(_))
         ));
-        c.create_index("i", t, vec![0], IndexKind::BTree, false).unwrap();
+        c.create_index("i", t, vec![0], IndexKind::BTree, false)
+            .unwrap();
         assert!(matches!(
             c.create_index("I", t, vec![0], IndexKind::BTree, false),
             Err(CatalogError::DuplicateIndex(_))

@@ -168,7 +168,10 @@ impl Database {
     pub fn prepare(&mut self, sql: &str) -> Result<StatementId, DbError> {
         let stmt = parse(sql).map_err(DbError::Parse)?;
         let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
-        self.stmts.push(Prepared { sql: sql.to_string(), plan });
+        self.stmts.push(Prepared {
+            sql: sql.to_string(),
+            plan,
+        });
         Ok(StatementId(self.stmts.len() - 1))
     }
 
@@ -218,7 +221,10 @@ impl Database {
     /// TXN_COMMIT OU, and hands redo records to the WAL (asynchronous
     /// group commit — control returns before the flush).
     pub fn commit(&mut self, sid: SessionId) -> Result<(), DbError> {
-        let txn = self.sessions[sid.0].txn.take().ok_or(DbError::NoTransaction)?;
+        let txn = self.sessions[sid.0]
+            .txn
+            .take()
+            .ok_or(DbError::NoTransaction)?;
         let task = self.sessions[sid.0].task;
         let (commit_ts, writes) = self.txns.commit(txn);
         for w in &writes {
@@ -245,16 +251,28 @@ impl Database {
                 arrival_ns: self.kernel.now(task),
             });
         }
+        self.kernel
+            .telemetry
+            .counter_inc("db_txn_commits_total", &[]);
+        self.kernel
+            .telemetry
+            .counter_add("db_txn_writes_total", &[], writes.len() as u64);
         Ok(())
     }
 
     /// Roll back the session's transaction.
     pub fn rollback(&mut self, sid: SessionId) -> Result<(), DbError> {
-        let txn = self.sessions[sid.0].txn.take().ok_or(DbError::NoTransaction)?;
+        let txn = self.sessions[sid.0]
+            .txn
+            .take()
+            .ok_or(DbError::NoTransaction)?;
         let writes = self.txns.abort(txn);
         for w in writes.iter().rev() {
             self.tables[w.table.0 as usize].abort_slot(w.slot, txn.id);
         }
+        self.kernel
+            .telemetry
+            .counter_inc("db_txn_aborts_total", &[]);
         Ok(())
     }
 
@@ -288,13 +306,26 @@ impl Database {
                     .into_iter()
                     .map(|l| vec![Value::Text(l)])
                     .collect::<Vec<_>>();
-                Ok(ExecOutcome { rows_affected: rows.len() as u64, rows })
+                Ok(ExecOutcome {
+                    rows_affected: rows.len() as u64,
+                    rows,
+                })
             }
-            Plan::CreateTable { name, columns, primary_key } => {
+            Plan::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 self.create_table(name, columns, primary_key)?;
                 Ok(ExecOutcome::default())
             }
-            Plan::CreateIndex { name, table, columns, kind, unique } => {
+            Plan::CreateIndex {
+                name,
+                table,
+                columns,
+                kind,
+                unique,
+            } => {
                 self.create_index(name, *table, columns.clone(), *kind, *unique)?;
                 Ok(ExecOutcome::default())
             }
@@ -347,15 +378,18 @@ impl Database {
         let schema = Schema {
             columns: columns
                 .iter()
-                .map(|(n, t)| crate::types::ColumnDef { name: n.clone(), dtype: *t })
+                .map(|(n, t)| crate::types::ColumnDef {
+                    name: n.clone(),
+                    dtype: *t,
+                })
                 .collect(),
         };
         let pk_cols: Vec<usize> = primary_key
             .iter()
             .map(|c| {
-                schema.column_index(c).ok_or_else(|| {
-                    DbError::Plan(PlanError::NoSuchColumn(c.clone()))
-                })
+                schema
+                    .column_index(c)
+                    .ok_or_else(|| DbError::Plan(PlanError::NoSuchColumn(c.clone())))
             })
             .collect::<Result<_, _>>()?;
         let id = self
@@ -413,8 +447,8 @@ impl Database {
     ) -> Result<ExecOutcome, DbError> {
         let task = self.sessions[sid.0].task;
         let pmu_tax = self.ts.as_ref().map(|t| t.pmu_cs_tax()).unwrap_or(false);
-        let req_bytes =
-            (32 + params.iter().map(Value::byte_size).sum::<usize>()) as u64;
+        let req_start_ns = self.kernel.now(task);
+        let req_bytes = (32 + params.iter().map(Value::byte_size).sum::<usize>()) as u64;
 
         // NETWORK_READ: the request arrives.
         self.kernel.context_switch(task, pmu_tax);
@@ -451,6 +485,16 @@ impl Database {
             ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
         }
         self.kernel.context_switch(task, pmu_tax);
+        let dur = self.kernel.now(task) - req_start_ns;
+        self.kernel
+            .telemetry
+            .counter_inc("db_client_requests_total", &[]);
+        self.kernel
+            .telemetry
+            .hist_record("db_client_request_ns", &[], dur);
+        self.kernel
+            .telemetry
+            .span("client_request", "db", req_start_ns, dur);
         result
     }
 
@@ -460,7 +504,12 @@ impl Database {
 
     /// Pump the WAL (log serializer + disk writer) to `until_ns`.
     pub fn pump_wal(&mut self, until_ns: f64) -> usize {
-        self.wal.pump(&mut self.kernel, self.ts.as_mut(), self.ous.as_ref(), until_ns)
+        self.wal.pump(
+            &mut self.kernel,
+            self.ts.as_mut(),
+            self.ous.as_ref(),
+            until_ns,
+        )
     }
 
     /// One GC sweep over all tables (GC_SWEEP OU). Returns versions pruned.
@@ -477,7 +526,10 @@ impl Database {
                 let (p, freed_row) = table.gc_slot_with_row(slot, oldest);
                 pruned += p as u64;
                 if let Some(row) = freed_row {
-                    for im in self.catalog.table_indexes(crate::catalog::TableId(t_idx as u32)) {
+                    for im in self
+                        .catalog
+                        .table_indexes(crate::catalog::TableId(t_idx as u32))
+                    {
                         let key = key_from_row(&row, &im.columns);
                         self.indexes[im.id.0 as usize].remove(&key, slot);
                     }
@@ -486,13 +538,18 @@ impl Database {
         }
         let feats = vec![pruned];
         let w = work_for(EngineOu::GcSweep, &feats);
-        self.kernel.charge_cpu(self.gc_task, w.instructions, w.ws_bytes);
+        self.kernel
+            .charge_cpu(self.gc_task, w.instructions, w.ws_bytes);
         if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
             let id = ous.id(EngineOu::GcSweep);
             ts.ou_end(&mut self.kernel, self.gc_task, id);
             ts.ou_features(&mut self.kernel, self.gc_task, id, &feats, &[0]);
         }
         self.gc_pruned += pruned;
+        self.kernel.telemetry.counter_inc("db_gc_sweeps_total", &[]);
+        self.kernel
+            .telemetry
+            .counter_add("db_gc_pruned_total", &[], pruned);
         pruned
     }
 
@@ -505,7 +562,9 @@ impl Database {
     }
 
     pub fn table_live_tuples(&self, name: &str) -> Option<u64> {
-        self.catalog.table_by_name(name).map(|m| self.tables[m.id.0 as usize].live_tuples())
+        self.catalog
+            .table_by_name(name)
+            .map(|m| self.tables[m.id.0 as usize].live_tuples())
     }
 
     pub fn committed_txns(&self) -> u64 {
@@ -528,9 +587,14 @@ mod tests {
         k.noise_frac = 0.0;
         let mut db = Database::new(k);
         let sid = db.create_session();
-        db.execute(sid, "CREATE TABLE acct (id INT PRIMARY KEY, branch INT, bal FLOAT)", &[])
+        db.execute(
+            sid,
+            "CREATE TABLE acct (id INT PRIMARY KEY, branch INT, bal FLOAT)",
+            &[],
+        )
+        .unwrap();
+        db.execute(sid, "CREATE INDEX acct_branch ON acct (branch)", &[])
             .unwrap();
-        db.execute(sid, "CREATE INDEX acct_branch ON acct (branch)", &[]).unwrap();
         for i in 0..100 {
             db.execute(
                 sid,
@@ -564,7 +628,11 @@ mod tests {
     fn aggregate_query() {
         let (mut db, sid) = db();
         let out = db
-            .execute(sid, "SELECT branch, count(*), sum(bal) FROM acct GROUP BY branch", &[])
+            .execute(
+                sid,
+                "SELECT branch, count(*), sum(bal) FROM acct GROUP BY branch",
+                &[],
+            )
             .unwrap();
         assert_eq!(out.rows.len(), 10);
         assert_eq!(out.rows[0][1], Value::Int(10));
@@ -601,13 +669,16 @@ mod tests {
     #[test]
     fn delete_and_gc() {
         let (mut db, sid) = db();
-        db.execute(sid, "DELETE FROM acct WHERE branch = 0", &[]).unwrap();
+        db.execute(sid, "DELETE FROM acct WHERE branch = 0", &[])
+            .unwrap();
         let out = db.execute(sid, "SELECT count(*) FROM acct", &[]).unwrap();
         assert_eq!(out.rows[0][0], Value::Int(90));
         let pruned = db.run_gc();
         assert!(pruned >= 10, "deleted rows should be collected: {pruned}");
         // Index entries for collected slots are gone; queries still work.
-        let out = db.execute(sid, "SELECT count(*) FROM acct WHERE branch = 0", &[]).unwrap();
+        let out = db
+            .execute(sid, "SELECT count(*) FROM acct WHERE branch = 0", &[])
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(0));
     }
 
@@ -615,9 +686,12 @@ mod tests {
     fn explicit_transaction_rollback() {
         let (mut db, sid) = db();
         db.execute(sid, "BEGIN", &[]).unwrap();
-        db.execute(sid, "UPDATE acct SET bal = 0.0 WHERE id = 1", &[]).unwrap();
+        db.execute(sid, "UPDATE acct SET bal = 0.0 WHERE id = 1", &[])
+            .unwrap();
         db.execute(sid, "ROLLBACK", &[]).unwrap();
-        let out = db.execute(sid, "SELECT bal FROM acct WHERE id = 1", &[]).unwrap();
+        let out = db
+            .execute(sid, "SELECT bal FROM acct WHERE id = 1", &[])
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Float(100.0));
     }
 
@@ -627,12 +701,17 @@ mod tests {
         let s2 = db.create_session();
         db.execute(s1, "BEGIN", &[]).unwrap();
         // s1 opened its snapshot; now s2 commits an update.
-        db.execute(s2, "UPDATE acct SET bal = 999.0 WHERE id = 5", &[]).unwrap();
+        db.execute(s2, "UPDATE acct SET bal = 999.0 WHERE id = 5", &[])
+            .unwrap();
         // s1 still sees the old value.
-        let out = db.execute(s1, "SELECT bal FROM acct WHERE id = 5", &[]).unwrap();
+        let out = db
+            .execute(s1, "SELECT bal FROM acct WHERE id = 5", &[])
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Float(100.0));
         db.execute(s1, "COMMIT", &[]).unwrap();
-        let out = db.execute(s1, "SELECT bal FROM acct WHERE id = 5", &[]).unwrap();
+        let out = db
+            .execute(s1, "SELECT bal FROM acct WHERE id = 5", &[])
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Float(999.0));
     }
 
@@ -642,24 +721,26 @@ mod tests {
         let s2 = db.create_session();
         db.execute(s1, "BEGIN", &[]).unwrap();
         db.execute(s2, "BEGIN", &[]).unwrap();
-        db.execute(s1, "UPDATE acct SET bal = 1.0 WHERE id = 9", &[]).unwrap();
+        db.execute(s1, "UPDATE acct SET bal = 1.0 WHERE id = 9", &[])
+            .unwrap();
         let err = db.execute(s2, "UPDATE acct SET bal = 2.0 WHERE id = 9", &[]);
         assert!(matches!(err, Err(DbError::Aborted(ExecError::Conflict))));
         assert!(!db.in_txn(s2), "conflicting txn rolled back");
         db.execute(s1, "COMMIT", &[]).unwrap();
-        let out = db.execute(s1, "SELECT bal FROM acct WHERE id = 9", &[]).unwrap();
+        let out = db
+            .execute(s1, "SELECT bal FROM acct WHERE id = 9", &[])
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Float(1.0));
     }
 
     #[test]
     fn unique_violation_aborts() {
         let (mut db, sid) = db();
-        let err = db.execute(
-            sid,
-            "INSERT INTO acct VALUES (5, 1, 0.0)",
-            &[],
-        );
-        assert!(matches!(err, Err(DbError::Aborted(ExecError::UniqueViolation(_)))));
+        let err = db.execute(sid, "INSERT INTO acct VALUES (5, 1, 0.0)", &[]);
+        assert!(matches!(
+            err,
+            Err(DbError::Aborted(ExecError::UniqueViolation(_)))
+        ));
         // The table is unchanged.
         let out = db.execute(sid, "SELECT count(*) FROM acct", &[]).unwrap();
         assert_eq!(out.rows[0][0], Value::Int(100));
@@ -668,8 +749,12 @@ mod tests {
     #[test]
     fn join_query() {
         let (mut db, sid) = db();
-        db.execute(sid, "CREATE TABLE tx (tid INT PRIMARY KEY, acct INT, amt FLOAT)", &[])
-            .unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE tx (tid INT PRIMARY KEY, acct INT, amt FLOAT)",
+            &[],
+        )
+        .unwrap();
         for i in 0..20 {
             db.execute(
                 sid,
@@ -703,7 +788,8 @@ mod tests {
     fn wal_receives_commit_records_and_flushes() {
         let (mut db, sid) = db();
         assert!(db.wal.pending() > 0 || db.wal.flushed_records > 0);
-        db.execute(sid, "UPDATE acct SET bal = 1.0 WHERE id = 1", &[]).unwrap();
+        db.execute(sid, "UPDATE acct SET bal = 1.0 WHERE id = 1", &[])
+            .unwrap();
         let pending = db.wal.pending();
         assert!(pending > 0);
         let horizon = db.now(sid) + 1e9;
@@ -729,7 +815,9 @@ mod tests {
             }
         }
         let q = db.prepare("SELECT bal FROM acct WHERE id = $1").unwrap();
-        let u = db.prepare("UPDATE acct SET bal = bal + 1.0 WHERE id = $1").unwrap();
+        let u = db
+            .prepare("UPDATE acct SET bal = bal + 1.0 WHERE id = $1")
+            .unwrap();
         for i in 0..10 {
             db.client_request(sid, q, &[Value::Int(i)]).unwrap();
             db.client_request(sid, u, &[Value::Int(i)]).unwrap();
@@ -758,8 +846,11 @@ mod tests {
         let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
         cfg.enable_subsystem(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
         db.attach_tscout(cfg).unwrap();
-        db.tscout_mut().unwrap().set_sampling_rate(Subsystem::ExecutionEngine, 100);
-        db.execute(sid, "SELECT bal FROM acct WHERE id = 1", &[]).unwrap();
+        db.tscout_mut()
+            .unwrap()
+            .set_sampling_rate(Subsystem::ExecutionEngine, 100);
+        db.execute(sid, "SELECT bal FROM acct WHERE id = 1", &[])
+            .unwrap();
         let pts = db.tscout_mut().unwrap().drain_decoded();
         // The pipeline sample was de-aggregated into per-OU points.
         assert!(pts.len() >= 2, "expected idx_lookup + output, got {pts:?}");
@@ -774,10 +865,14 @@ mod explain_tests {
     use tscout_kernel::HardwareProfile;
 
     fn db() -> (Database, SessionId) {
-        let mut db =
-            Database::new(Kernel::with_seed(HardwareProfile::server_2x20(), 1));
+        let mut db = Database::new(Kernel::with_seed(HardwareProfile::server_2x20(), 1));
         let sid = db.create_session();
-        db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, b INT, v FLOAT)", &[]).unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE t (id INT PRIMARY KEY, b INT, v FLOAT)",
+            &[],
+        )
+        .unwrap();
         db.execute(sid, "CREATE INDEX t_b ON t (b)", &[]).unwrap();
         (db, sid)
     }
@@ -796,9 +891,16 @@ mod explain_tests {
         let (mut db, sid) = db();
         let out = lines(&mut db, sid, "EXPLAIN SELECT v FROM t WHERE id = $1");
         assert!(out[0].starts_with("Project"), "{out:?}");
-        assert!(out[1].contains("IndexPointLookup on t using t_pkey"), "{out:?}");
+        assert!(
+            out[1].contains("IndexPointLookup on t using t_pkey"),
+            "{out:?}"
+        );
 
-        let out = lines(&mut db, sid, "EXPLAIN SELECT * FROM t WHERE b >= 1 AND b <= 5");
+        let out = lines(
+            &mut db,
+            sid,
+            "EXPLAIN SELECT * FROM t WHERE b >= 1 AND b <= 5",
+        );
         assert!(out[0].contains("IndexRangeScan on t using t_b"), "{out:?}");
 
         let out = lines(&mut db, sid, "EXPLAIN SELECT * FROM t WHERE v > 0.0");
@@ -809,7 +911,11 @@ mod explain_tests {
     #[test]
     fn explain_dml_and_aggregates() {
         let (mut db, sid) = db();
-        let out = lines(&mut db, sid, "EXPLAIN UPDATE t SET v = v + 1.0 WHERE id = 3");
+        let out = lines(
+            &mut db,
+            sid,
+            "EXPLAIN UPDATE t SET v = v + 1.0 WHERE id = 3",
+        );
         assert!(out[0].starts_with("Update t"), "{out:?}");
         assert!(out[1].contains("IndexPointLookup"), "{out:?}");
 
@@ -821,8 +927,13 @@ mod explain_tests {
     #[test]
     fn explain_does_not_execute() {
         let (mut db, sid) = db();
-        db.execute(sid, "INSERT INTO t VALUES (1, 2, 3.0)", &[]).unwrap();
+        db.execute(sid, "INSERT INTO t VALUES (1, 2, 3.0)", &[])
+            .unwrap();
         db.execute(sid, "EXPLAIN DELETE FROM t", &[]).unwrap();
-        assert_eq!(db.table_live_tuples("t"), Some(1), "EXPLAIN must not delete");
+        assert_eq!(
+            db.table_live_tuples("t"),
+            Some(1),
+            "EXPLAIN must not delete"
+        );
     }
 }

@@ -100,7 +100,19 @@ impl<'a> ExecCtx<'a> {
         txn: TxnHandle,
         mode: EngineMode,
     ) -> Self {
-        ExecCtx { kernel, ts, ous, task, catalog, tables, indexes, txns, txn, mode, fused: None }
+        ExecCtx {
+            kernel,
+            ts,
+            ous,
+            task,
+            catalog,
+            tables,
+            indexes,
+            txns,
+            txn,
+            mode,
+            fused: None,
+        }
     }
 
     fn begin(&mut self, eou: EngineOu) {
@@ -115,7 +127,8 @@ impl<'a> ExecCtx<'a> {
     /// Charge the OU's modeled work; returns its memory-probe bytes.
     fn charge(&mut self, eou: EngineOu, features: &[u64]) -> u64 {
         let w = work_for(eou, features);
-        self.kernel.charge_cpu(self.task, w.instructions, w.ws_bytes);
+        self.kernel
+            .charge_cpu(self.task, w.instructions, w.ws_bytes);
         w.mem_bytes
     }
 
@@ -209,13 +222,19 @@ fn coerce_row(row: &mut Row, schema: &crate::types::Schema) {
 }
 
 /// Execute a planned statement.
-pub fn execute(ctx: &mut ExecCtx<'_>, p: &Plan, params: &[Value]) -> Result<ExecOutcome, ExecError> {
+pub fn execute(
+    ctx: &mut ExecCtx<'_>,
+    p: &Plan,
+    params: &[Value],
+) -> Result<ExecOutcome, ExecError> {
     match p {
         Plan::Insert { table, rows } => exec_insert(ctx, *table, rows, params),
         Plan::Update { scan, sets } => exec_update(ctx, scan, sets, params),
         Plan::Delete { scan } => exec_delete(ctx, scan, params),
         Plan::Query { root } => exec_query(ctx, root, params),
-        other => Err(ExecError::Eval(format!("plan {other:?} must be handled by the engine"))),
+        other => Err(ExecError::Eval(format!(
+            "plan {other:?} must be handled by the engine"
+        ))),
     }
 }
 
@@ -243,7 +262,10 @@ fn exec_query(
             let feats = vec![rows.len() as u64, bytes as u64];
             let mem = ctx.charge(EngineOu::Output, &feats);
             ctx.finish(EngineOu::Output, feats, mem);
-            Ok(ExecOutcome { rows_affected: rows.len() as u64, rows })
+            Ok(ExecOutcome {
+                rows_affected: rows.len() as u64,
+                rows,
+            })
         }
         Err(e) => Err(e),
     };
@@ -254,6 +276,15 @@ fn exec_query(
             ts.ou_end(ctx.kernel, ctx.task, id);
             ts.ou_features_vec(ctx.kernel, ctx.task, id, &groups);
         }
+        // Fan-out of the fused pipeline: how many OUs one marker pair
+        // covered (what the Processor de-aggregates, §5.2).
+        ctx.kernel.telemetry.counter_inc("db_pipelines_total", &[]);
+        ctx.kernel
+            .telemetry
+            .counter_add("db_pipeline_ous_total", &[], groups.len() as u64);
+        ctx.kernel
+            .telemetry
+            .hist_record("db_pipeline_fanout", &[], groups.len() as f64);
     }
     outcome
 }
@@ -264,8 +295,17 @@ fn exec_node(
     params: &[Value],
 ) -> Result<Vec<Row>, ExecError> {
     match node {
-        PlanNode::Scan(s) => Ok(exec_scan(ctx, s, params)?.into_iter().map(|(_, r)| r).collect()),
-        PlanNode::HashJoin { left, right, left_key, right_key, residual } => {
+        PlanNode::Scan(s) => Ok(exec_scan(ctx, s, params)?
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect()),
+        PlanNode::HashJoin {
+            left,
+            right,
+            left_key,
+            right_key,
+            residual,
+        } => {
             let build_rows = exec_node(ctx, left, params)?;
             let probe_rows = exec_node(ctx, right, params)?;
 
@@ -302,7 +342,11 @@ fn exec_node(
             ctx.finish(EngineOu::HashJoinProbe, feats, mem);
             Ok(out)
         }
-        PlanNode::Aggregate { input, group_by, aggs } => {
+        PlanNode::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let rows = exec_node(ctx, input, params)?;
             ctx.begin(EngineOu::AggBuild);
             let mut groups: std::collections::BTreeMap<Vec<Value>, Vec<AggState>> =
@@ -318,7 +362,10 @@ fn exec_node(
             }
             // A global aggregate over zero rows still yields one group.
             if groups.is_empty() && group_by.is_empty() {
-                groups.insert(Vec::new(), aggs.iter().map(|(f, _)| AggState::new(*f)).collect());
+                groups.insert(
+                    Vec::new(),
+                    aggs.iter().map(|(f, _)| AggState::new(*f)).collect(),
+                );
             }
             let out: Vec<Row> = groups
                 .into_iter()
@@ -460,7 +507,11 @@ fn exec_scan(
                     rows.push((slot, r.clone()));
                 }
             }
-            let avg = if rows.is_empty() { 0 } else { (bytes / rows.len()) as u64 };
+            let avg = if rows.is_empty() {
+                0
+            } else {
+                (bytes / rows.len()) as u64
+            };
             let feats = vec![examined, avg];
             let mem = ctx.charge(EngineOu::SeqScan, &feats);
             ctx.finish(EngineOu::SeqScan, feats, mem);
@@ -482,8 +533,10 @@ fn exec_scan(
             Ok(rows)
         }
         Access::Point { index, key } => {
-            let key: IndexKey =
-                key.iter().map(|e| eval(e, &[], params)).collect::<Result<_, _>>()?;
+            let key: IndexKey = key
+                .iter()
+                .map(|e| eval(e, &[], params))
+                .collect::<Result<_, _>>()?;
             ctx.begin(EngineOu::IdxLookup);
             let meta = ctx.catalog.index(*index);
             let idx = &ctx.indexes[index.0 as usize];
@@ -515,8 +568,10 @@ fn exec_scan(
             Ok(rows)
         }
         Access::Prefix { index, key } => {
-            let prefix: Vec<Value> =
-                key.iter().map(|e| eval(e, &[], params)).collect::<Result<_, _>>()?;
+            let prefix: Vec<Value> = key
+                .iter()
+                .map(|e| eval(e, &[], params))
+                .collect::<Result<_, _>>()?;
             ctx.begin(EngineOu::IdxRangeScan);
             let meta = ctx.catalog.index(*index);
             let (slots, examined) = ctx.indexes[index.0 as usize].prefix(&prefix);
@@ -598,8 +653,10 @@ fn exec_insert(
     let mut total_bytes = 0u64;
     let mut inserted = 0u64;
     for exprs in row_exprs {
-        let mut row: Row =
-            exprs.iter().map(|e| eval(e, &[], params)).collect::<Result<_, _>>()?;
+        let mut row: Row = exprs
+            .iter()
+            .map(|e| eval(e, &[], params))
+            .collect::<Result<_, _>>()?;
         coerce_row(&mut row, &meta.schema);
         // Unique-constraint enforcement.
         for im in &index_metas {
@@ -628,7 +685,11 @@ fn exec_insert(
         }
         ctx.txns.log_write(
             ctx.txn,
-            UndoRef { table: table_id, slot, redo_bytes: bytes + 32 },
+            UndoRef {
+                table: table_id,
+                slot,
+                redo_bytes: bytes + 32,
+            },
         );
         total_bytes += bytes;
         inserted += 1;
@@ -636,7 +697,10 @@ fn exec_insert(
     let feats = vec![inserted, total_bytes, index_metas.len() as u64];
     let mem = ctx.charge(EngineOu::Insert, &feats);
     ctx.finish(EngineOu::Insert, feats, mem.max(total_bytes));
-    Ok(ExecOutcome { rows: Vec::new(), rows_affected: inserted })
+    Ok(ExecOutcome {
+        rows: Vec::new(),
+        rows_affected: inserted,
+    })
 }
 
 fn exec_update(
@@ -655,8 +719,12 @@ fn exec_update(
             Err(e) => Err(e),
             Ok(targets) => {
                 let schema = ctx.catalog.table(scan.table).schema.clone();
-                let index_metas: Vec<_> =
-                    ctx.catalog.table_indexes(scan.table).into_iter().cloned().collect();
+                let index_metas: Vec<_> = ctx
+                    .catalog
+                    .table_indexes(scan.table)
+                    .into_iter()
+                    .cloned()
+                    .collect();
                 let mut bytes = 0u64;
                 let mut touched = 0u64;
                 let mut n = 0u64;
@@ -699,7 +767,11 @@ fn exec_update(
                     let b = row_bytes(&new) as u64;
                     ctx.txns.log_write(
                         ctx.txn,
-                        UndoRef { table: scan.table, slot, redo_bytes: b + 32 },
+                        UndoRef {
+                            table: scan.table,
+                            slot,
+                            redo_bytes: b + 32,
+                        },
                     );
                     bytes += b;
                     n += 1;
@@ -716,7 +788,10 @@ fn exec_update(
             let feats = vec![n, bytes, touched.max(1)];
             let mem = ctx.charge(EngineOu::Update, &feats);
             ctx.finish(EngineOu::Update, feats, mem);
-            Ok(ExecOutcome { rows: Vec::new(), rows_affected: n })
+            Ok(ExecOutcome {
+                rows: Vec::new(),
+                rows_affected: n,
+            })
         }
         Err(e) => {
             let feats = vec![0, 0, 0];
@@ -744,13 +819,20 @@ fn exec_delete(
     let mut n = 0u64;
     let mut conflict = false;
     for (slot, row) in targets {
-        if ctx.tables[scan.table.0 as usize].delete(slot, ctx.txn.id).is_err() {
+        if ctx.tables[scan.table.0 as usize]
+            .delete(slot, ctx.txn.id)
+            .is_err()
+        {
             conflict = true;
             break;
         }
         ctx.txns.log_write(
             ctx.txn,
-            UndoRef { table: scan.table, slot, redo_bytes: row_bytes(&row) as u64 / 4 + 32 },
+            UndoRef {
+                table: scan.table,
+                slot,
+                redo_bytes: row_bytes(&row) as u64 / 4 + 32,
+            },
         );
         n += 1;
     }
@@ -760,7 +842,10 @@ fn exec_delete(
     if conflict {
         Err(ExecError::Conflict)
     } else {
-        Ok(ExecOutcome { rows: Vec::new(), rows_affected: n })
+        Ok(ExecOutcome {
+            rows: Vec::new(),
+            rows_affected: n,
+        })
     }
 }
 
@@ -799,8 +884,14 @@ mod tests {
 
     #[test]
     fn eval_errors_are_reported_not_panics() {
-        assert!(matches!(eval(&PExpr::Col(5), &[], &[]), Err(ExecError::Eval(_))));
-        assert!(matches!(eval(&PExpr::Param(2), &[], &[]), Err(ExecError::Eval(_))));
+        assert!(matches!(
+            eval(&PExpr::Col(5), &[], &[]),
+            Err(ExecError::Eval(_))
+        ));
+        assert!(matches!(
+            eval(&PExpr::Param(2), &[], &[]),
+            Err(ExecError::Eval(_))
+        ));
         let bad = PExpr::bin(
             PExpr::Lit(Value::Text("x".into())),
             BinOp::Add,
@@ -819,10 +910,7 @@ mod tests {
 
     #[test]
     fn coerce_row_widens_ints_for_float_columns() {
-        let schema = Schema::new(&[
-            ("a", DataType::Int),
-            ("b", DataType::Float),
-        ]);
+        let schema = Schema::new(&[("a", DataType::Int), ("b", DataType::Float)]);
         let mut row = vec![i(1), i(2)];
         coerce_row(&mut row, &schema);
         assert_eq!(row, vec![i(1), Value::Float(2.0)]);

@@ -183,7 +183,11 @@ pub fn work_for(ou: EngineOu, f: &[u64]) -> Work {
     let (instructions, ws_bytes, mem_bytes) = match ou {
         EngineOu::SeqScan => {
             let (tuples, width) = (g(0), g(1));
-            (2_000.0 + tuples * (120.0 + width / 2.0), (tuples * width) as u64, 0)
+            (
+                2_000.0 + tuples * (120.0 + width / 2.0),
+                (tuples * width) as u64,
+                0,
+            )
         }
         EngineOu::IdxLookup => {
             let (examined, depth, matches) = (g(0), g(1), g(2));
@@ -195,31 +199,59 @@ pub fn work_for(ou: EngineOu, f: &[u64]) -> Work {
         }
         EngineOu::IdxRangeScan => {
             let (examined, matches) = (g(0), g(1));
-            (16_000.0 + 400.0 * examined + 500.0 * matches, (examined * 256.0) as u64, 0)
+            (
+                16_000.0 + 400.0 * examined + 500.0 * matches,
+                (examined * 256.0) as u64,
+                0,
+            )
         }
         EngineOu::Filter => (1_500.0 + 80.0 * g(0), (g(0) * 64.0) as u64, 0),
         EngineOu::HashJoinBuild => {
             let (rows, bytes) = (g(0), g(1));
-            (8_000.0 + 350.0 * rows + bytes, bytes as u64, (bytes as u64) + (rows as u64) * 16)
+            (
+                8_000.0 + 350.0 * rows + bytes,
+                bytes as u64,
+                (bytes as u64) + (rows as u64) * 16,
+            )
         }
-        EngineOu::HashJoinProbe => {
-            (8_000.0 + 300.0 * g(0) + 200.0 * g(1), (g(0) * 64.0) as u64, 0)
-        }
-        EngineOu::AggBuild => {
-            (6_000.0 + 250.0 * g(0) + 400.0 * g(1), (g(1) * 48.0) as u64, (g(1) * 48.0) as u64)
-        }
+        EngineOu::HashJoinProbe => (
+            8_000.0 + 300.0 * g(0) + 200.0 * g(1),
+            (g(0) * 64.0) as u64,
+            0,
+        ),
+        EngineOu::AggBuild => (
+            6_000.0 + 250.0 * g(0) + 400.0 * g(1),
+            (g(1) * 48.0) as u64,
+            (g(1) * 48.0) as u64,
+        ),
         EngineOu::Sort => {
             let rows = g(0).max(1.0);
-            (4_000.0 + 220.0 * rows * rows.max(2.0).log2(), g(1) as u64, g(1) as u64)
+            (
+                4_000.0 + 220.0 * rows * rows.max(2.0).log2(),
+                g(1) as u64,
+                g(1) as u64,
+            )
         }
-        EngineOu::Output => (3_000.0 + 100.0 * g(0) + g(1) / 2.0, g(1) as u64, g(1) as u64),
+        EngineOu::Output => (
+            3_000.0 + 100.0 * g(0) + g(1) / 2.0,
+            g(1) as u64,
+            g(1) as u64,
+        ),
         EngineOu::Insert => {
             let (rows, bytes, nidx) = (g(0), g(1), g(2));
-            (rows * (9_000.0 + bytes / rows.max(1.0) + nidx * 2_500.0), bytes as u64, bytes as u64)
+            (
+                rows * (9_000.0 + bytes / rows.max(1.0) + nidx * 2_500.0),
+                bytes as u64,
+                bytes as u64,
+            )
         }
         EngineOu::Update => {
             let (rows, bytes, nidx) = (g(0), g(1), g(2));
-            (rows * (10_000.0 + bytes / rows.max(1.0) + nidx * 3_000.0), bytes as u64, bytes as u64)
+            (
+                rows * (10_000.0 + bytes / rows.max(1.0) + nidx * 3_000.0),
+                bytes as u64,
+                bytes as u64,
+            )
         }
         EngineOu::Delete => (g(0) * (8_000.0 + g(1) * 2_200.0), 0, 0),
         EngineOu::Pipeline => (500.0, 0, 0),
@@ -231,7 +263,11 @@ pub fn work_for(ou: EngineOu, f: &[u64]) -> Work {
         // runners mispredict (paper Figs. 2/7/9).
         EngineOu::LogSerialize => {
             let (records, bytes) = (g(0), g(1));
-            (60_000.0 + 6_000.0 * records + bytes * 3.0, bytes as u64, bytes as u64)
+            (
+                60_000.0 + 6_000.0 * records + bytes * 3.0,
+                bytes as u64,
+                bytes as u64,
+            )
         }
         // Device time is charged separately via the kernel's I/O model;
         // this is only the submission-path CPU.
@@ -239,7 +275,11 @@ pub fn work_for(ou: EngineOu, f: &[u64]) -> Work {
         EngineOu::GcSweep => (3_000.0 + 600.0 * g(0), (g(0) * 128.0) as u64, 0),
         EngineOu::TxnCommit => (12_000.0 + 300.0 * g(0), 2048, 0),
     };
-    Work { instructions, ws_bytes, mem_bytes }
+    Work {
+        instructions,
+        ws_bytes,
+        mem_bytes,
+    }
 }
 
 #[cfg(test)]

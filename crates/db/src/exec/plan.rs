@@ -23,7 +23,11 @@ impl PExpr {
     /// Conjunction of multiple predicates (`None` when empty).
     pub fn conjoin(mut preds: Vec<PExpr>) -> Option<PExpr> {
         let first = preds.pop()?;
-        Some(preds.into_iter().fold(first, |acc, p| PExpr::bin(acc, BinOp::And, p)))
+        Some(
+            preds
+                .into_iter()
+                .fold(first, |acc, p| PExpr::bin(acc, BinOp::And, p)),
+        )
     }
 
     /// Does this expression reference any column?
@@ -193,7 +197,13 @@ pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
         let pad = "  ".repeat(depth);
         match n {
             PlanNode::Scan(s) => scan(s, catalog, depth, out),
-            PlanNode::HashJoin { left, right, left_key, right_key, residual } => {
+            PlanNode::HashJoin {
+                left,
+                right,
+                left_key,
+                right_key,
+                residual,
+            } => {
                 out.push(format!(
                     "{pad}HashJoin build_key={} probe_key={}",
                     expr(left_key),
@@ -205,7 +215,11 @@ pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
                 node(left, catalog, depth + 1, out);
                 node(right, catalog, depth + 1, out);
             }
-            PlanNode::Aggregate { input, group_by, aggs } => {
+            PlanNode::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => {
                 out.push(format!(
                     "{pad}Aggregate group_by={group_by:?} aggs=[{}]",
                     aggs.iter()
@@ -279,8 +293,10 @@ mod tests {
     #[test]
     fn references_columns_detects() {
         assert!(PExpr::Col(0).references_columns());
-        assert!(!PExpr::bin(PExpr::Lit(Value::Int(1)), BinOp::Add, PExpr::Param(0))
-            .references_columns());
+        assert!(
+            !PExpr::bin(PExpr::Lit(Value::Int(1)), BinOp::Add, PExpr::Param(0))
+                .references_columns()
+        );
     }
 
     #[test]
@@ -298,4 +314,3 @@ mod tests {
         assert_eq!(count, 2);
     }
 }
-

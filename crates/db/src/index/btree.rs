@@ -18,13 +18,22 @@ const ORDER: usize = 32; // max keys per node = 2*ORDER
 
 #[derive(Debug)]
 enum Node {
-    Leaf { keys: Vec<IndexKey>, posts: Vec<Vec<SlotId>> },
-    Inner { keys: Vec<IndexKey>, children: Vec<Node> },
+    Leaf {
+        keys: Vec<IndexKey>,
+        posts: Vec<Vec<SlotId>>,
+    },
+    Inner {
+        keys: Vec<IndexKey>,
+        children: Vec<Node>,
+    },
 }
 
 impl Node {
     fn leaf() -> Node {
-        Node::Leaf { keys: Vec::new(), posts: Vec::new() }
+        Node::Leaf {
+            keys: Vec::new(),
+            posts: Vec::new(),
+        }
     }
 
     fn is_full(&self) -> bool {
@@ -50,7 +59,11 @@ impl Default for BTreeIndex {
 
 impl BTreeIndex {
     pub fn new() -> Self {
-        BTreeIndex { root: Node::leaf(), entries: 0, height: 1 }
+        BTreeIndex {
+            root: Node::leaf(),
+            entries: 0,
+            height: 1,
+        }
     }
 
     /// Number of (key, slot) postings.
@@ -71,7 +84,10 @@ impl BTreeIndex {
         if self.root.is_full() {
             let old_root = std::mem::replace(&mut self.root, Node::leaf());
             let ((left, sep), right) = split(old_root);
-            self.root = Node::Inner { keys: vec![sep], children: vec![left, right] };
+            self.root = Node::Inner {
+                keys: vec![sep],
+                children: vec![left, right],
+            };
             self.height += 1;
         }
         if insert_non_full(&mut self.root, key, slot) {
@@ -133,19 +149,37 @@ impl BTreeIndex {
 /// Split a full node; returns ((left, separator), right).
 fn split(node: Node) -> ((Node, IndexKey), Node) {
     match node {
-        Node::Leaf { mut keys, mut posts } => {
+        Node::Leaf {
+            mut keys,
+            mut posts,
+        } => {
             let mid = keys.len() / 2;
             let rk = keys.split_off(mid);
             let rp = posts.split_off(mid);
             let sep = rk[0].clone();
-            ((Node::Leaf { keys, posts }, sep), Node::Leaf { keys: rk, posts: rp })
+            (
+                (Node::Leaf { keys, posts }, sep),
+                Node::Leaf {
+                    keys: rk,
+                    posts: rp,
+                },
+            )
         }
-        Node::Inner { mut keys, mut children } => {
+        Node::Inner {
+            mut keys,
+            mut children,
+        } => {
             let mid = keys.len() / 2;
             let mut rk = keys.split_off(mid);
             let sep = rk.remove(0);
             let rc = children.split_off(mid + 1);
-            ((Node::Inner { keys, children }, sep), Node::Inner { keys: rk, children: rc })
+            (
+                (Node::Inner { keys, children }, sep),
+                Node::Inner {
+                    keys: rk,
+                    children: rc,
+                },
+            )
         }
     }
 }
@@ -269,12 +303,10 @@ fn prefix_rec(node: &Node, prefix: &[Value], out: &mut Vec<SlotId>, examined: &m
                 // Prune children strictly outside the prefix band.
                 let left_sep = i.checked_sub(1).and_then(|j| keys.get(j));
                 let right_sep = keys.get(i);
-                let lo_ok = left_sep.is_none_or(|sep| {
-                    sep.len() < prefix.len() || sep[..prefix.len()] <= *prefix
-                });
-                let hi_ok = right_sep.is_none_or(|sep| {
-                    sep.len() < prefix.len() || sep[..prefix.len()] >= *prefix
-                });
+                let lo_ok = left_sep
+                    .is_none_or(|sep| sep.len() < prefix.len() || sep[..prefix.len()] <= *prefix);
+                let hi_ok = right_sep
+                    .is_none_or(|sep| sep.len() < prefix.len() || sep[..prefix.len()] >= *prefix);
                 if lo_ok && hi_ok {
                     prefix_rec(child, prefix, out, examined);
                 }
@@ -349,7 +381,10 @@ mod tests {
         let mut t = BTreeIndex::new();
         for a in 0..20i64 {
             for b in 0..10i64 {
-                t.insert(vec![Value::Int(a), Value::Int(b)], SlotId((a * 10 + b) as u64));
+                t.insert(
+                    vec![Value::Int(a), Value::Int(b)],
+                    SlotId((a * 10 + b) as u64),
+                );
             }
         }
         let (slots, _) = t.prefix(&[Value::Int(7)]);
@@ -365,7 +400,9 @@ mod tests {
         let mut model: BTreeMap<IndexKey, Vec<SlotId>> = BTreeMap::new();
         let mut x: i64 = 42;
         for step in 0..5000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let key = k((x >> 33) % 300);
             let slot = SlotId(step as u64 % 97);
             if step % 3 == 0 {

@@ -42,7 +42,12 @@ impl Default for HashIndex {
 
 impl HashIndex {
     pub fn new() -> Self {
-        HashIndex { buckets: vec![Bucket::Empty; 16], keys: 0, entries: 0, tombstones: 0 }
+        HashIndex {
+            buckets: vec![Bucket::Empty; 16],
+            keys: 0,
+            entries: 0,
+            tombstones: 0,
+        }
     }
 
     /// Number of (key, slot) postings.
@@ -122,7 +127,10 @@ impl HashIndex {
                 if matches!(b, Bucket::Tombstone) {
                     self.tombstones -= 1;
                 }
-                *b = Bucket::Full { key, posts: vec![slot] };
+                *b = Bucket::Full {
+                    key,
+                    posts: vec![slot],
+                };
                 self.keys += 1;
                 self.entries += 1;
             }
@@ -138,8 +146,12 @@ impl HashIndex {
     pub fn remove(&mut self, key: &IndexKey, slot: SlotId) -> bool {
         let (found, _) = self.find(key);
         let Some(idx) = found else { return false };
-        let Bucket::Full { posts, .. } = &mut self.buckets[idx] else { unreachable!() };
-        let Some(p) = posts.iter().position(|s| *s == slot) else { return false };
+        let Bucket::Full { posts, .. } = &mut self.buckets[idx] else {
+            unreachable!()
+        };
+        let Some(p) = posts.iter().position(|s| *s == slot) else {
+            return false;
+        };
         posts.swap_remove(p);
         self.entries -= 1;
         if posts.is_empty() {
@@ -244,8 +256,7 @@ mod tests {
             let key = (x >> 40) % 500;
             let slot = SlotId(step as u64 % 31);
             if step % 4 == 0 {
-                let present =
-                    model.get(&key).map(|v| v.contains(&slot)).unwrap_or(false);
+                let present = model.get(&key).map(|v| v.contains(&slot)).unwrap_or(false);
                 assert_eq!(ours.remove(&k(key), slot), present);
                 if present {
                     let v = model.get_mut(&key).unwrap();

@@ -129,6 +129,9 @@ mod tests {
     #[test]
     fn key_extraction() {
         let row: Row = vec![Value::Int(1), Value::Text("x".into()), Value::Int(3)];
-        assert_eq!(key_from_row(&row, &[2, 0]), vec![Value::Int(3), Value::Int(1)]);
+        assert_eq!(
+            key_from_row(&row, &[2, 0]),
+            vec![Value::Int(3), Value::Int(1)]
+        );
     }
 }

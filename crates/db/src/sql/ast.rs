@@ -179,9 +179,15 @@ mod tests {
 
     #[test]
     fn table_ref_binding() {
-        let t = TableRef { name: "orders".into(), alias: Some("o".into()) };
+        let t = TableRef {
+            name: "orders".into(),
+            alias: Some("o".into()),
+        };
         assert_eq!(t.binding(), "o");
-        let t2 = TableRef { name: "orders".into(), alias: None };
+        let t2 = TableRef {
+            name: "orders".into(),
+            alias: None,
+        };
         assert_eq!(t2.binding(), "orders");
     }
 }

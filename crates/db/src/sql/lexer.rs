@@ -182,14 +182,20 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                     j += 1;
                 }
                 if j == start {
-                    return Err(LexError { pos: i, message: "expected digits after $".into() });
+                    return Err(LexError {
+                        pos: i,
+                        message: "expected digits after $".into(),
+                    });
                 }
                 let n: usize = input[start..j].parse().map_err(|_| LexError {
                     pos: i,
                     message: "parameter number out of range".into(),
                 })?;
                 if n == 0 {
-                    return Err(LexError { pos: i, message: "parameters start at $1".into() });
+                    return Err(LexError {
+                        pos: i,
+                        message: "parameters start at $1".into(),
+                    });
                 }
                 out.push(Token::Param(n - 1));
                 i = j;
@@ -233,7 +239,10 @@ pub fn lex(input: &str) -> Result<Vec<Token>, LexError> {
                 i = j;
             }
             other => {
-                return Err(LexError { pos: i, message: format!("unexpected character {other:?}") })
+                return Err(LexError {
+                    pos: i,
+                    message: format!("unexpected character {other:?}"),
+                })
             }
         }
     }
@@ -279,7 +288,10 @@ mod tests {
 
     #[test]
     fn minus_vs_comment() {
-        assert_eq!(lex("1 - 2").unwrap(), vec![Token::Int(1), Token::Minus, Token::Int(2)]);
+        assert_eq!(
+            lex("1 - 2").unwrap(),
+            vec![Token::Int(1), Token::Minus, Token::Int(2)]
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@ use super::lexer::{lex, LexError, Token};
 #[derive(Debug, Clone, PartialEq)]
 pub enum ParseError {
     Lex(LexError),
-    Unexpected { got: Option<Token>, expected: String },
+    Unexpected {
+        got: Option<Token>,
+        expected: String,
+    },
     Trailing(Token),
 }
 
@@ -18,10 +21,16 @@ impl std::fmt::Display for ParseError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ParseError::Lex(e) => write!(f, "{e}"),
-            ParseError::Unexpected { got: Some(t), expected } => {
+            ParseError::Unexpected {
+                got: Some(t),
+                expected,
+            } => {
                 write!(f, "unexpected token {t}; expected {expected}")
             }
-            ParseError::Unexpected { got: None, expected } => {
+            ParseError::Unexpected {
+                got: None,
+                expected,
+            } => {
                 write!(f, "unexpected end of input; expected {expected}")
             }
             ParseError::Trailing(t) => write!(f, "trailing input starting at {t}"),
@@ -62,7 +71,10 @@ impl Parser {
     }
 
     fn err<T>(&self, expected: &str) -> Result<T, ParseError> {
-        Err(ParseError::Unexpected { got: self.peek().cloned(), expected: expected.into() })
+        Err(ParseError::Unexpected {
+            got: self.peek().cloned(),
+            expected: expected.into(),
+        })
     }
 
     fn eat_if(&mut self, t: &Token) -> bool {
@@ -104,7 +116,10 @@ impl Parser {
     fn ident(&mut self) -> Result<String, ParseError> {
         match self.next() {
             Some(Token::Ident(s)) => Ok(s.to_lowercase()),
-            got => Err(ParseError::Unexpected { got, expected: "identifier".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: "identifier".into(),
+            }),
         }
     }
 
@@ -197,7 +212,11 @@ impl Parser {
                 }
             }
             self.expect(Token::RParen)?;
-            return Ok(Stmt::CreateTable { name, columns, primary_key });
+            return Ok(Stmt::CreateTable {
+                name,
+                columns,
+                primary_key,
+            });
         }
         if self.eat_kw("index") {
             let name = self.ident()?;
@@ -222,7 +241,13 @@ impl Parser {
             } else {
                 IndexKind::BTree
             };
-            return Ok(Stmt::CreateIndex { name, table, columns, kind, unique });
+            return Ok(Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                kind,
+                unique,
+            });
         }
         self.err("TABLE or INDEX after CREATE")
     }
@@ -264,8 +289,9 @@ impl Parser {
             Some(self.ident()?)
         } else if let Some(Token::Ident(s)) = self.peek() {
             // Bare alias, unless it's a clause keyword.
-            const CLAUSES: [&str; 9] =
-                ["where", "join", "inner", "group", "order", "limit", "on", "for", "set"];
+            const CLAUSES: [&str; 9] = [
+                "where", "join", "inner", "group", "order", "limit", "on", "for", "set",
+            ];
             if CLAUSES.iter().any(|c| s.eq_ignore_ascii_case(c)) {
                 None
             } else {
@@ -299,7 +325,11 @@ impl Parser {
             let on = self.expr()?;
             join = Some((right, on));
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.eat_kw("group") {
             self.expect_kw("by")?;
@@ -330,7 +360,12 @@ impl Parser {
         let limit = if self.eat_kw("limit") {
             match self.next() {
                 Some(Token::Int(n)) if n >= 0 => Some(n as u64),
-                got => return Err(ParseError::Unexpected { got, expected: "LIMIT count".into() }),
+                got => {
+                    return Err(ParseError::Unexpected {
+                        got,
+                        expected: "LIMIT count".into(),
+                    })
+                }
             }
         } else {
             None
@@ -341,7 +376,16 @@ impl Parser {
         } else {
             false
         };
-        Ok(SelectStmt { projections, from, join, where_clause, group_by, order_by, limit, for_update })
+        Ok(SelectStmt {
+            projections,
+            from,
+            join,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+            for_update,
+        })
     }
 
     /// `col` or `tbl.col` — returns the bare column name (qualifier is
@@ -367,15 +411,30 @@ impl Parser {
                 break;
             }
         }
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Update { table, sets, where_clause })
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        })
     }
 
     fn delete(&mut self) -> Result<Stmt, ParseError> {
         self.expect_kw("from")?;
         let table = self.ident()?;
-        let where_clause = if self.eat_kw("where") { Some(self.expr()?) } else { None };
-        Ok(Stmt::Delete { table, where_clause })
+        let where_clause = if self.eat_kw("where") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Stmt::Delete {
+            table,
+            where_clause,
+        })
     }
 
     // -- expressions, loosest to tightest ---------------------------------
@@ -462,7 +521,10 @@ impl Parser {
             Some(Token::Minus) => match self.next() {
                 Some(Token::Int(i)) => Ok(Expr::Literal(Value::Int(-i))),
                 Some(Token::Float(x)) => Ok(Expr::Literal(Value::Float(-x))),
-                got => Err(ParseError::Unexpected { got, expected: "numeric literal".into() }),
+                got => Err(ParseError::Unexpected {
+                    got,
+                    expected: "numeric literal".into(),
+                }),
             },
             Some(Token::LParen) => {
                 let e = self.expr()?;
@@ -501,7 +563,10 @@ impl Parser {
                 }
                 Ok(Expr::Column(None, lower))
             }
-            got => Err(ParseError::Unexpected { got, expected: "an expression".into() }),
+            got => Err(ParseError::Unexpected {
+                got,
+                expected: "an expression".into(),
+            }),
         }
     }
 }
@@ -514,7 +579,11 @@ mod tests {
     fn parses_create_table_inline_and_table_level_pk() {
         let s = parse("CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(16), w FLOAT)").unwrap();
         match s {
-            Stmt::CreateTable { name, columns, primary_key } => {
+            Stmt::CreateTable {
+                name,
+                columns,
+                primary_key,
+            } => {
                 assert_eq!(name, "t");
                 assert_eq!(columns.len(), 3);
                 assert_eq!(columns[1], ("name".into(), DataType::Text));
@@ -533,7 +602,13 @@ mod tests {
     fn parses_create_index() {
         let s = parse("CREATE UNIQUE INDEX ix ON t (a, b) USING HASH").unwrap();
         match s {
-            Stmt::CreateIndex { name, table, columns, kind, unique } => {
+            Stmt::CreateIndex {
+                name,
+                table,
+                columns,
+                kind,
+                unique,
+            } => {
                 assert_eq!((name.as_str(), table.as_str()), ("ix", "t"));
                 assert_eq!(columns, vec!["a", "b"]);
                 assert_eq!(kind, IndexKind::Hash);
@@ -588,14 +663,24 @@ mod tests {
     fn parses_update_and_delete() {
         let s = parse("UPDATE acct SET bal = bal + $1, touched = true WHERE id = $2").unwrap();
         match s {
-            Stmt::Update { table, sets, where_clause } => {
+            Stmt::Update {
+                table,
+                sets,
+                where_clause,
+            } => {
                 assert_eq!(table, "acct");
                 assert_eq!(sets.len(), 2);
                 assert!(where_clause.is_some());
             }
             other => panic!("{other:?}"),
         }
-        assert!(matches!(parse("DELETE FROM t").unwrap(), Stmt::Delete { where_clause: None, .. }));
+        assert!(matches!(
+            parse("DELETE FROM t").unwrap(),
+            Stmt::Delete {
+                where_clause: None,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -609,7 +694,9 @@ mod tests {
 
     #[test]
     fn operator_precedence() {
-        let Stmt::Select(sel) = parse("SELECT a + b * 2 FROM t").unwrap() else { panic!() };
+        let Stmt::Select(sel) = parse("SELECT a + b * 2 FROM t").unwrap() else {
+            panic!()
+        };
         let Projection::Expr(Expr::Binary(_, BinOp::Add, rhs)) = &sel.projections[0] else {
             panic!("add should be outermost")
         };
@@ -619,7 +706,10 @@ mod tests {
     #[test]
     fn trailing_garbage_rejected() {
         assert!(parse("SELECT 1 FROM t garbage garbage").is_err());
-        assert!(matches!(parse("COMMIT extra"), Err(ParseError::Trailing(_))));
+        assert!(matches!(
+            parse("COMMIT extra"),
+            Err(ParseError::Trailing(_))
+        ));
     }
 
     #[test]

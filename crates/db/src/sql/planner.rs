@@ -76,12 +76,22 @@ pub fn plan(catalog: &Catalog, stmt: &Stmt) -> Result<Plan, PlanError> {
         Stmt::Begin => Ok(Plan::Begin),
         Stmt::Commit => Ok(Plan::Commit),
         Stmt::Rollback => Ok(Plan::Rollback),
-        Stmt::CreateTable { name, columns, primary_key } => Ok(Plan::CreateTable {
+        Stmt::CreateTable {
+            name,
+            columns,
+            primary_key,
+        } => Ok(Plan::CreateTable {
             name: name.clone(),
             columns: columns.clone(),
             primary_key: primary_key.clone(),
         }),
-        Stmt::CreateIndex { name, table, columns, kind, unique } => {
+        Stmt::CreateIndex {
+            name,
+            table,
+            columns,
+            kind,
+            unique,
+        } => {
             let meta = catalog
                 .table_by_name(table)
                 .ok_or_else(|| PlanError::NoSuchTable(table.clone()))?;
@@ -119,9 +129,16 @@ pub fn plan(catalog: &Catalog, stmt: &Stmt) -> Result<Plan, PlanError> {
                     row.iter().map(|e| resolve(e, &empty)).collect()
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok(Plan::Insert { table: meta.id, rows: resolved })
+            Ok(Plan::Insert {
+                table: meta.id,
+                rows: resolved,
+            })
         }
-        Stmt::Update { table, sets, where_clause } => {
+        Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
             let (scan, scope) = plan_scan(catalog, table, where_clause.as_ref())?;
             let sets = sets
                 .iter()
@@ -132,7 +149,10 @@ pub fn plan(catalog: &Catalog, stmt: &Stmt) -> Result<Plan, PlanError> {
                 .collect::<Result<Vec<_>, PlanError>>()?;
             Ok(Plan::Update { scan, sets })
         }
-        Stmt::Delete { table, where_clause } => {
+        Stmt::Delete {
+            table,
+            where_clause,
+        } => {
             let (scan, _) = plan_scan(catalog, table, where_clause.as_ref())?;
             Ok(Plan::Delete { scan })
         }
@@ -165,7 +185,11 @@ fn plan_scan<'a>(
         .table_by_name(table)
         .ok_or_else(|| PlanError::NoSuchTable(table.to_string()))?;
     let scope = Scope {
-        bindings: vec![Binding { name: meta.name.clone(), schema: &meta.schema, offset: 0 }],
+        bindings: vec![Binding {
+            name: meta.name.clone(),
+            schema: &meta.schema,
+            offset: 0,
+        }],
     };
     let conjuncts: Vec<PExpr> = match pred {
         Some(p) => p
@@ -183,7 +207,7 @@ fn plan_scan<'a>(
 fn choose_access(catalog: &Catalog, table: TableId, conjuncts: Vec<PExpr>) -> ScanNode {
     // Equality conjuncts `col = <column-free expr>`.
     let mut eq: Vec<(usize, PExpr, usize)> = Vec::new(); // (col, expr, conjunct idx)
-    // Range conjuncts on a column.
+                                                         // Range conjuncts on a column.
     let mut ranges: Vec<(usize, BinOp, PExpr, usize)> = Vec::new();
     for (ci, c) in conjuncts.iter().enumerate() {
         if let PExpr::Bin(l, op, r) = c {
@@ -194,9 +218,7 @@ fn choose_access(catalog: &Catalog, table: TableId, conjuncts: Vec<PExpr>) -> Sc
             };
             match op {
                 BinOp::Eq => eq.push((col, other, ci)),
-                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
-                    ranges.push((col, op, other, ci))
-                }
+                BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => ranges.push((col, op, other, ci)),
                 _ => {}
             }
         }
@@ -208,13 +230,23 @@ fn choose_access(catalog: &Catalog, table: TableId, conjuncts: Vec<PExpr>) -> Sc
     let mut indexes = catalog.table_indexes(table);
     indexes.sort_by_key(|m| (!m.unique, m.columns.len()));
     for meta in &indexes {
-        let keys: Option<Vec<(&PExpr, usize)>> =
-            meta.columns.iter().map(|c| find_eq(*c).map(|(_, e, ci)| (e, *ci))).collect();
+        let keys: Option<Vec<(&PExpr, usize)>> = meta
+            .columns
+            .iter()
+            .map(|c| find_eq(*c).map(|(_, e, ci)| (e, *ci)))
+            .collect();
         if let Some(keys) = keys {
             let used: Vec<usize> = keys.iter().map(|(_, ci)| *ci).collect();
             let key = keys.into_iter().map(|(e, _)| e.clone()).collect();
             let residual = residual_of(&conjuncts, &used);
-            return ScanNode { table, access: Access::Point { index: meta.id, key }, residual };
+            return ScanNode {
+                table,
+                access: Access::Point {
+                    index: meta.id,
+                    key,
+                },
+                residual,
+            };
         }
     }
     // 2. Composite B-tree prefix.
@@ -235,7 +267,14 @@ fn choose_access(catalog: &Catalog, table: TableId, conjuncts: Vec<PExpr>) -> Sc
         }
         if !key.is_empty() {
             let residual = residual_of(&conjuncts, &used);
-            return ScanNode { table, access: Access::Prefix { index: meta.id, key }, residual };
+            return ScanNode {
+                table,
+                access: Access::Prefix {
+                    index: meta.id,
+                    key,
+                },
+                residual,
+            };
         }
     }
     // 3. Single-column B-tree range.
@@ -272,12 +311,24 @@ fn choose_access(catalog: &Catalog, table: TableId, conjuncts: Vec<PExpr>) -> Sc
         }
         if lo.is_some() || hi.is_some() {
             let residual = residual_of(&conjuncts, &used);
-            return ScanNode { table, access: Access::Range { index: meta.id, lo, hi }, residual };
+            return ScanNode {
+                table,
+                access: Access::Range {
+                    index: meta.id,
+                    lo,
+                    hi,
+                },
+                residual,
+            };
         }
     }
     // 4. Sequential scan.
     let residual = PExpr::conjoin(conjuncts);
-    ScanNode { table, access: Access::Full, residual }
+    ScanNode {
+        table,
+        access: Access::Full,
+        residual,
+    }
 }
 
 fn flip(op: BinOp) -> BinOp {
@@ -415,14 +466,9 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
                 }
                 Projection::Expr(Expr::Column(q, c)) => {
                     let col = scope.resolve(q.as_deref(), c)?;
-                    let pos = group_by
-                        .iter()
-                        .position(|g| *g == col)
-                        .ok_or_else(|| {
-                            PlanError::Unsupported(format!(
-                                "column {c} must appear in GROUP BY"
-                            ))
-                        })?;
+                    let pos = group_by.iter().position(|g| *g == col).ok_or_else(|| {
+                        PlanError::Unsupported(format!("column {c} must appear in GROUP BY"))
+                    })?;
                     projection_map.push(pos);
                 }
                 _ => {
@@ -432,12 +478,19 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
                 }
             }
         }
-        root = PlanNode::Aggregate { input: Box::new(root), group_by: group_by.clone(), aggs };
+        root = PlanNode::Aggregate {
+            input: Box::new(root),
+            group_by: group_by.clone(),
+            aggs,
+        };
         if !sel.order_by.is_empty() {
             return Err(PlanError::Unsupported("ORDER BY with aggregation".into()));
         }
         if let Some(n) = sel.limit {
-            root = PlanNode::Limit { input: Box::new(root), n };
+            root = PlanNode::Limit {
+                input: Box::new(root),
+                n,
+            };
         }
         root = PlanNode::Project {
             input: Box::new(root),
@@ -453,10 +506,16 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
             .iter()
             .map(|(c, desc)| Ok((scope.resolve(None, c)?, *desc)))
             .collect::<Result<Vec<_>, PlanError>>()?;
-        root = PlanNode::Sort { input: Box::new(root), by };
+        root = PlanNode::Sort {
+            input: Box::new(root),
+            by,
+        };
     }
     if let Some(n) = sel.limit {
-        root = PlanNode::Limit { input: Box::new(root), n };
+        root = PlanNode::Limit {
+            input: Box::new(root),
+            n,
+        };
     }
 
     // Projection.
@@ -474,7 +533,10 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
     let identity =
         exprs.len() == scope.width() && exprs.iter().enumerate().all(|(i, e)| *e == PExpr::Col(i));
     if !identity {
-        root = PlanNode::Project { input: Box::new(root), exprs };
+        root = PlanNode::Project {
+            input: Box::new(root),
+            exprs,
+        };
     }
     Ok(Plan::Query { root })
 }
@@ -505,8 +567,10 @@ mod tests {
                 vec![0],
             )
             .unwrap();
-        c.create_index("accounts_pk", t, vec![0], IndexKind::Hash, true).unwrap();
-        c.create_index("accounts_branch", t, vec![1], IndexKind::BTree, false).unwrap();
+        c.create_index("accounts_pk", t, vec![0], IndexKind::Hash, true)
+            .unwrap();
+        c.create_index("accounts_branch", t, vec![1], IndexKind::BTree, false)
+            .unwrap();
         let o = c
             .create_table(
                 "orders",
@@ -514,7 +578,8 @@ mod tests {
                 vec![0],
             )
             .unwrap();
-        c.create_index("orders_pk", o, vec![0], IndexKind::Hash, true).unwrap();
+        c.create_index("orders_pk", o, vec![0], IndexKind::Hash, true)
+            .unwrap();
         c
     }
 
@@ -527,8 +592,12 @@ mod tests {
     fn point_lookup_on_pk() {
         let p = plan_sql("SELECT bal FROM accounts WHERE id = $1");
         let Plan::Query { root } = p else { panic!() };
-        let PlanNode::Project { input, .. } = root else { panic!("{root:?}") };
-        let PlanNode::Scan(scan) = *input else { panic!() };
+        let PlanNode::Project { input, .. } = root else {
+            panic!("{root:?}")
+        };
+        let PlanNode::Scan(scan) = *input else {
+            panic!()
+        };
         assert!(matches!(scan.access, Access::Point { .. }));
         assert!(scan.residual.is_none());
     }
@@ -537,9 +606,15 @@ mod tests {
     fn secondary_btree_range() {
         let p = plan_sql("SELECT * FROM accounts WHERE branch >= 5 AND branch <= 9");
         let Plan::Query { root } = p else { panic!() };
-        let PlanNode::Scan(scan) = root else { panic!("{root:?}") };
+        let PlanNode::Scan(scan) = root else {
+            panic!("{root:?}")
+        };
         match scan.access {
-            Access::Range { lo: Some(_), hi: Some(_), .. } => {}
+            Access::Range {
+                lo: Some(_),
+                hi: Some(_),
+                ..
+            } => {}
             other => panic!("expected range, got {other:?}"),
         }
     }
@@ -568,8 +643,12 @@ mod tests {
             "SELECT a.bal FROM accounts a JOIN orders o ON a.id = o.acct WHERE a.branch = 1",
         );
         let Plan::Query { root } = p else { panic!() };
-        let PlanNode::Project { input, .. } = root else { panic!() };
-        let PlanNode::HashJoin { left, .. } = *input else { panic!() };
+        let PlanNode::Project { input, .. } = root else {
+            panic!()
+        };
+        let PlanNode::HashJoin { left, .. } = *input else {
+            panic!()
+        };
         let PlanNode::Scan(ls) = *left else { panic!() };
         assert!(
             !matches!(ls.access, Access::Full),
@@ -582,9 +661,13 @@ mod tests {
     fn aggregate_plan_shape() {
         let p = plan_sql("SELECT branch, count(*), sum(bal) FROM accounts GROUP BY branch");
         let Plan::Query { root } = p else { panic!() };
-        let PlanNode::Project { input, exprs } = root else { panic!() };
+        let PlanNode::Project { input, exprs } = root else {
+            panic!()
+        };
         assert_eq!(exprs, vec![PExpr::Col(0), PExpr::Col(1), PExpr::Col(2)]);
-        let PlanNode::Aggregate { group_by, aggs, .. } = *input else { panic!() };
+        let PlanNode::Aggregate { group_by, aggs, .. } = *input else {
+            panic!()
+        };
         assert_eq!(group_by, vec![1]);
         assert_eq!(aggs.len(), 2);
     }
@@ -593,8 +676,12 @@ mod tests {
     fn order_and_limit() {
         let p = plan_sql("SELECT id FROM accounts ORDER BY bal DESC LIMIT 3");
         let Plan::Query { root } = p else { panic!() };
-        let PlanNode::Project { input, .. } = root else { panic!() };
-        let PlanNode::Limit { input, n } = *input else { panic!() };
+        let PlanNode::Project { input, .. } = root else {
+            panic!()
+        };
+        let PlanNode::Limit { input, n } = *input else {
+            panic!()
+        };
         assert_eq!(n, 3);
         assert!(matches!(*input, PlanNode::Sort { .. }));
     }
@@ -623,6 +710,10 @@ mod tests {
             plan(&c, &parse("INSERT INTO accounts VALUES (1, 2)").unwrap()),
             Err(PlanError::Unsupported(_))
         ));
-        assert!(plan(&c, &parse("INSERT INTO accounts VALUES (1, 2, 3.0)").unwrap()).is_ok());
+        assert!(plan(
+            &c,
+            &parse("INSERT INTO accounts VALUES (1, 2, 3.0)").unwrap()
+        )
+        .is_ok());
     }
 }

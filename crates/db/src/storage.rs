@@ -100,14 +100,20 @@ impl VersionedTable {
     /// Insert a new (uncommitted) tuple for transaction `me`.
     pub fn insert(&mut self, row: Row, me: u64) -> SlotId {
         let bytes = crate::types::row_bytes(&row) as u64;
-        let version = Version { begin: TXN_BIT | me, end: TS_INF, row };
+        let version = Version {
+            begin: TXN_BIT | me,
+            end: TS_INF,
+            row,
+        };
         let slot = match self.free.pop() {
             Some(s) => {
                 self.slots[s.0 as usize].versions = vec![version];
                 s
             }
             None => {
-                self.slots.push(Slot { versions: vec![version] });
+                self.slots.push(Slot {
+                    versions: vec![version],
+                });
                 SlotId(self.slots.len() as u64 - 1)
             }
         };
@@ -159,7 +165,11 @@ impl VersionedTable {
             return Err(WwConflict);
         }
         head.end = TXN_BIT | me;
-        let version = Version { begin: TXN_BIT | me, end: TS_INF, row: new_row };
+        let version = Version {
+            begin: TXN_BIT | me,
+            end: TS_INF,
+            row: new_row,
+        };
         self.slots[slot.0 as usize].versions.insert(0, version);
         self.byte_estimate += new_bytes;
         Ok(())
@@ -195,7 +205,9 @@ impl VersionedTable {
 
     /// Roll back a transaction's effects on a slot.
     pub fn abort_slot(&mut self, slot: SlotId, me: u64) {
-        let Some(s) = self.slots.get_mut(slot.0 as usize) else { return };
+        let Some(s) = self.slots.get_mut(slot.0 as usize) else {
+            return;
+        };
         // Remove versions this transaction installed.
         let before = s.versions.len();
         s.versions.retain(|v| {
@@ -227,14 +239,17 @@ impl VersionedTable {
     /// Garbage-collect one slot: drop versions no active snapshot can see.
     /// Returns `(versions_pruned, slot_freed_with_last_row)`.
     pub fn gc_slot(&mut self, slot: SlotId, oldest_read_ts: u64) -> (usize, Option<Row>) {
-        let Some(s) = self.slots.get_mut(slot.0 as usize) else { return (0, None) };
+        let Some(s) = self.slots.get_mut(slot.0 as usize) else {
+            return (0, None);
+        };
         if s.versions.is_empty() {
             return (0, None);
         }
         let before = s.versions.len();
         // A version is dead when its end is a committed timestamp <= the
         // oldest snapshot any active transaction could hold.
-        s.versions.retain(|v| v.end & TXN_BIT != 0 || v.end > oldest_read_ts);
+        s.versions
+            .retain(|v| v.end & TXN_BIT != 0 || v.end > oldest_read_ts);
         let pruned = before - s.versions.len();
         if pruned > 0 {
             // Byte estimate only tracks head versions; conservative.
@@ -250,7 +265,9 @@ impl VersionedTable {
     /// GC variant that reports the head row before freeing the slot, so
     /// the engine can clean index entries.
     pub fn gc_slot_with_row(&mut self, slot: SlotId, oldest_read_ts: u64) -> (usize, Option<Row>) {
-        let Some(s) = self.slots.get_mut(slot.0 as usize) else { return (0, None) };
+        let Some(s) = self.slots.get_mut(slot.0 as usize) else {
+            return (0, None);
+        };
         if s.versions.is_empty() {
             return (0, None);
         }
@@ -266,7 +283,8 @@ impl VersionedTable {
             return (pruned, row);
         }
         let before = s.versions.len();
-        s.versions.retain(|v| v.end & TXN_BIT != 0 || v.end > oldest_read_ts);
+        s.versions
+            .retain(|v| v.end & TXN_BIT != 0 || v.end > oldest_read_ts);
         (before - s.versions.len(), None)
     }
 
@@ -331,7 +349,11 @@ mod tests {
         t.update(slot, row(1, 25), 2).unwrap();
         t.commit_slot(slot, 2, 20);
         assert_eq!(t.read(slot, 30, 9).unwrap()[1], Value::Int(25));
-        assert_eq!(t.total_versions(), 2, "no third version for in-place rewrite");
+        assert_eq!(
+            t.total_versions(),
+            2,
+            "no third version for in-place rewrite"
+        );
     }
 
     #[test]

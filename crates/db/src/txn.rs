@@ -51,14 +51,25 @@ impl TxnManager {
     pub fn new() -> Self {
         // Timestamp 0 is reserved so "bootstrap" rows (loaded outside any
         // transaction) can be stamped visible-to-everyone.
-        TxnManager { next_ts: 1, active: BTreeMap::new(), committed: 0, aborted: 0 }
+        TxnManager {
+            next_ts: 1,
+            active: BTreeMap::new(),
+            committed: 0,
+            aborted: 0,
+        }
     }
 
     pub fn begin(&mut self) -> TxnHandle {
         let id = self.next_ts;
         self.next_ts += 1;
         let read_ts = id - 1; // snapshot: everything committed before us
-        self.active.insert(id, ActiveTxn { read_ts, undo: Vec::new() });
+        self.active.insert(
+            id,
+            ActiveTxn {
+                read_ts,
+                undo: Vec::new(),
+            },
+        );
         TxnHandle { id, read_ts }
     }
 
@@ -82,7 +93,10 @@ impl TxnManager {
     /// Abort: returns the undo refs for the engine to roll back.
     pub fn abort(&mut self, txn: TxnHandle) -> Vec<UndoRef> {
         self.aborted += 1;
-        self.active.remove(&txn.id).map(|a| a.undo).unwrap_or_default()
+        self.active
+            .remove(&txn.id)
+            .map(|a| a.undo)
+            .unwrap_or_default()
     }
 
     /// Snapshot bound for GC: no active transaction can read anything
@@ -112,7 +126,11 @@ mod tests {
     use super::*;
 
     fn undo(t: u32, s: u64) -> UndoRef {
-        UndoRef { table: TableId(t), slot: SlotId(s), redo_bytes: 64 }
+        UndoRef {
+            table: TableId(t),
+            slot: SlotId(s),
+            redo_bytes: 64,
+        }
     }
 
     #[test]

@@ -200,13 +200,18 @@ impl Schema {
         Schema {
             columns: cols
                 .iter()
-                .map(|(n, t)| ColumnDef { name: n.to_string(), dtype: *t })
+                .map(|(n, t)| ColumnDef {
+                    name: n.to_string(),
+                    dtype: *t,
+                })
                 .collect(),
         }
     }
 
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     pub fn len(&self) -> usize {
@@ -231,12 +236,14 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_sane() {
-        let mut vs = [Value::Text("b".into()),
+        let mut vs = [
+            Value::Text("b".into()),
             Value::Int(5),
             Value::Null,
             Value::Float(2.5),
             Value::Bool(true),
-            Value::Int(-3)];
+            Value::Int(-3),
+        ];
         vs.sort();
         assert_eq!(vs[0], Value::Null);
         assert_eq!(vs[1], Value::Bool(true));
@@ -257,7 +264,11 @@ mod tests {
 
     #[test]
     fn float_total_order_handles_nan() {
-        let mut vs = [Value::Float(f64::NAN), Value::Float(1.0), Value::Float(-1.0)];
+        let mut vs = [
+            Value::Float(f64::NAN),
+            Value::Float(1.0),
+            Value::Float(-1.0),
+        ];
         vs.sort(); // must not panic
         assert_eq!(vs[0], Value::Float(-1.0));
     }

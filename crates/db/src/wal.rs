@@ -138,7 +138,9 @@ impl Wal {
             }
             let w = work_for(EngineOu::DiskWrite, &io_feats);
             kernel.charge_cpu(self.task, w.instructions, w.ws_bytes);
+            let flush_start_ns = kernel.now(self.task);
             kernel.io_write(self.task, bytes.max(512));
+            let flush_dur = kernel.now(self.task) - flush_start_ns;
             if let (Some(ts), Some(ous)) = (ts.as_deref_mut(), ous) {
                 let id = ous.id(EngineOu::DiskWrite);
                 ts.ou_end(kernel, self.task, id);
@@ -150,6 +152,19 @@ impl Wal {
             self.flushed_bytes += bytes;
             let _ = writes;
             batches += 1;
+            kernel.telemetry.counter_inc("db_wal_flushes_total", &[]);
+            kernel
+                .telemetry
+                .counter_add("db_wal_flushed_records_total", &[], records);
+            kernel
+                .telemetry
+                .hist_record("db_wal_batch_records", &[], records as f64);
+            kernel
+                .telemetry
+                .hist_record("db_wal_flush_ns", &[], flush_dur);
+            kernel
+                .telemetry
+                .span("wal_flush", "wal", flush_start_ns, flush_dur);
         }
     }
 }
@@ -166,7 +181,12 @@ mod tests {
     }
 
     fn rec(arrival_us: f64, bytes: u64) -> WalRecord {
-        WalRecord { commit_ts: 1, bytes, writes: 1, arrival_ns: arrival_us * 1000.0 }
+        WalRecord {
+            commit_ts: 1,
+            bytes,
+            writes: 1,
+            arrival_ns: arrival_us * 1000.0,
+        }
     }
 
     #[test]

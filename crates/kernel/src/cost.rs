@@ -152,7 +152,10 @@ mod tests {
         // tracepoint mode switch + in-kernel reads — the Fig. 1 mechanism.
         let user_toggle = 2.0 * c.perf_toggle_syscall_ns() + c.perf_read_syscall_ns(7);
         let kernel = c.mode_switch_ns + 7.0 * c.pmu_read_kernel_ns + 200.0 * c.bpf_insn_ns;
-        assert!(user_toggle > 2.0 * kernel, "user toggle {user_toggle} kernel {kernel}");
+        assert!(
+            user_toggle > 2.0 * kernel,
+            "user toggle {user_toggle} kernel {kernel}"
+        );
     }
 
     #[test]

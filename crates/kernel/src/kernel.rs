@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use tscout_telemetry::Telemetry;
 
 use crate::cost::CostModel;
 use crate::hw::HardwareProfile;
@@ -76,6 +77,10 @@ pub struct Kernel {
     /// Number of tasks currently runnable (set by the workload driver; feeds
     /// the contention model).
     runnable: u32,
+    /// The simulation-wide metrics registry. The kernel owns the canonical
+    /// handle; TScout, the Processor, and the DBMS clone it at construction
+    /// so one snapshot covers the whole simulated world.
+    pub telemetry: Telemetry,
 }
 
 impl Kernel {
@@ -94,6 +99,7 @@ impl Kernel {
             rng: StdRng::seed_from_u64(seed),
             noise_frac: 0.03,
             runnable: 1,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -215,19 +221,23 @@ impl Kernel {
     /// One user↔kernel mode switch.
     pub fn mode_switch(&mut self, id: TaskId) -> f64 {
         let ns = self.cost.mode_switch_ns;
+        self.telemetry
+            .counter_inc("kernel_mode_switches_total", &[]);
         self.charge_overhead(id, ns)
     }
 
     /// Issue a syscall of the given kind, charging its full cost.
     pub fn syscall(&mut self, id: TaskId, kind: SyscallKind) -> f64 {
-        let ns = match kind {
-            SyscallKind::Generic => self.cost.syscall_ns(),
-            SyscallKind::PerfToggle => self.cost.perf_toggle_syscall_ns(),
-            SyscallKind::PerfRead(n) => self.cost.perf_read_syscall_ns(n),
-            SyscallKind::Io => self.cost.syscall_ns(),
-            SyscallKind::Net => self.cost.syscall_ns(),
+        let (ns, kind_label) = match kind {
+            SyscallKind::Generic => (self.cost.syscall_ns(), "generic"),
+            SyscallKind::PerfToggle => (self.cost.perf_toggle_syscall_ns(), "perf_toggle"),
+            SyscallKind::PerfRead(n) => (self.cost.perf_read_syscall_ns(n), "perf_read"),
+            SyscallKind::Io => (self.cost.syscall_ns(), "io"),
+            SyscallKind::Net => (self.cost.syscall_ns(), "net"),
         };
         self.task_mut(id).syscalls += 1;
+        self.telemetry
+            .counter_inc("kernel_syscalls_total", &[("kind", kind_label)]);
         self.charge_overhead(id, ns)
     }
 
@@ -240,6 +250,10 @@ impl Kernel {
             ns += self.cost.cs_pmu_save_ns;
         }
         self.task_mut(id).context_switches += 1;
+        self.telemetry.counter_inc(
+            "kernel_context_switches_total",
+            &[("pmu", if pmu_enabled { "on" } else { "off" })],
+        );
         self.charge_overhead(id, ns)
     }
 
@@ -275,7 +289,11 @@ impl Kernel {
     pub fn perf_read_user(&mut self, id: TaskId) -> [PmuReading; 7] {
         self.syscall(id, SyscallKind::PerfRead(ALL_COUNTERS.len()));
         let t = self.task(id);
-        let mut out = [PmuReading { value: 0, time_enabled: 0, time_running: 0 }; 7];
+        let mut out = [PmuReading {
+            value: 0,
+            time_enabled: 0,
+            time_running: 0,
+        }; 7];
         for k in ALL_COUNTERS {
             out[k.index()] = t.pmu.read(k);
         }
@@ -289,7 +307,11 @@ impl Kernel {
         let ns = ALL_COUNTERS.len() as f64 * self.cost.pmu_read_kernel_ns;
         self.charge_overhead(id, ns);
         let t = self.task(id);
-        let mut out = [PmuReading { value: 0, time_enabled: 0, time_running: 0 }; 7];
+        let mut out = [PmuReading {
+            value: 0,
+            time_enabled: 0,
+            time_running: 0,
+        }; 7];
         for k in ALL_COUNTERS {
             out[k.index()] = t.pmu.read(k);
         }
@@ -311,6 +333,12 @@ impl Kernel {
         let now = t.clock_ns;
         let dev_ns = self.hw.storage.write_time_ns(bytes);
         let done = self.wal_device.acquire(now, dev_ns);
+        // Observed latency includes queueing behind earlier flushes, which
+        // is what a caller blocked on fsync actually experiences.
+        self.telemetry
+            .hist_record("kernel_wal_write_ns", &[], done - now);
+        self.telemetry
+            .counter_add("kernel_wal_bytes_total", &[], bytes);
         self.advance_to(id, done);
         done
     }
@@ -348,6 +376,8 @@ impl Kernel {
     pub fn fire_tracepoint(&mut self, id: TaskId, tp: TracepointId) -> Vec<AttachedProgId> {
         let progs: Vec<AttachedProgId> = self.tracepoints.attached_programs(tp).to_vec();
         if !progs.is_empty() {
+            self.telemetry
+                .counter_inc("kernel_tracepoint_hits_total", &[]);
             self.mode_switch(id);
         }
         progs
@@ -401,7 +431,10 @@ mod tests {
         k.perf_read_kernel(t2);
         let kernel_cost = k.now(t2);
 
-        assert!(user_cost > 2.0 * kernel_cost, "user {user_cost} kernel {kernel_cost}");
+        assert!(
+            user_cost > 2.0 * kernel_cost,
+            "user {user_cost} kernel {kernel_cost}"
+        );
     }
 
     #[test]
@@ -472,6 +505,43 @@ mod tests {
             k.now(b) - before
         };
         assert!(ns2 > 1.5 * ns1, "contended {ns2} uncontended {ns1}");
+    }
+
+    #[test]
+    fn telemetry_tracks_charging_paths() {
+        let mut k = kernel();
+        let t = k.create_task();
+        k.syscall(t, SyscallKind::Generic);
+        k.syscall(t, SyscallKind::PerfToggle);
+        k.context_switch(t, true);
+        k.io_write(t, 4096);
+        assert_eq!(
+            k.telemetry
+                .counter_value("kernel_syscalls_total", &[("kind", "generic")]),
+            1
+        );
+        assert_eq!(
+            k.telemetry
+                .counter_value("kernel_syscalls_total", &[("kind", "perf_toggle")]),
+            1
+        );
+        // io_write issues an "io" syscall internally.
+        assert_eq!(k.telemetry.counter_total("kernel_syscalls_total"), 3);
+        assert_eq!(
+            k.telemetry
+                .counter_value("kernel_context_switches_total", &[("pmu", "on")]),
+            1
+        );
+        assert_eq!(
+            k.telemetry.counter_value("kernel_wal_bytes_total", &[]),
+            4096
+        );
+        let wal = k
+            .telemetry
+            .hist_snapshot("kernel_wal_write_ns", &[])
+            .unwrap();
+        assert_eq!(wal.count, 1);
+        assert!(wal.max > 0.0);
     }
 
     #[test]

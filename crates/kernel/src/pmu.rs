@@ -103,7 +103,12 @@ struct EventState {
 
 impl Default for EventState {
     fn default() -> Self {
-        EventState { enabled: false, raw: 0.0, time_enabled: 0.0, time_running: 0.0 }
+        EventState {
+            enabled: false,
+            raw: 0.0,
+            time_enabled: 0.0,
+            time_running: 0.0,
+        }
     }
 }
 
@@ -143,7 +148,10 @@ impl CounterDelta {
 impl Pmu {
     pub fn new(slots: usize) -> Self {
         assert!(slots > 0, "a PMU needs at least one counter slot");
-        Pmu { slots, events: Default::default() }
+        Pmu {
+            slots,
+            events: Default::default(),
+        }
     }
 
     fn enabled_count(&self) -> usize {
@@ -216,7 +224,11 @@ mod tests {
     use super::*;
 
     fn delta(cycles: f64) -> CounterDelta {
-        CounterDelta { cycles, instructions: cycles * 1.5, ..Default::default() }
+        CounterDelta {
+            cycles,
+            instructions: cycles * 1.5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -274,7 +286,14 @@ mod tests {
     fn never_enabled_reads_zero() {
         let pmu = Pmu::new(4);
         let r = pmu.read(CounterKind::CacheMisses);
-        assert_eq!(r, PmuReading { value: 0, time_enabled: 0, time_running: 0 });
+        assert_eq!(
+            r,
+            PmuReading {
+                value: 0,
+                time_enabled: 0,
+                time_running: 0
+            }
+        );
         assert_eq!(r.normalized(), 0.0);
     }
 

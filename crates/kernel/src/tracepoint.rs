@@ -77,7 +77,9 @@ impl TracepointRegistry {
     }
 
     pub fn lookup(&self, provider: &str, name: &str) -> Option<TracepointId> {
-        self.by_name.get(&(provider.to_string(), name.to_string())).copied()
+        self.by_name
+            .get(&(provider.to_string(), name.to_string()))
+            .copied()
     }
 
     pub fn get(&self, id: TracepointId) -> Option<&Tracepoint> {

@@ -30,7 +30,10 @@ pub struct OuData {
 
 impl OuData {
     pub fn new(name: &str) -> Self {
-        OuData { name: name.to_string(), points: Vec::new() }
+        OuData {
+            name: name.to_string(),
+            points: Vec::new(),
+        }
     }
 
     pub fn len(&self) -> usize {

@@ -76,19 +76,16 @@ pub fn avg_abs_error_per_template_us(models: &OuModelSet, test: &[OuData]) -> f6
     if by_template.is_empty() {
         return 0.0;
     }
-    let per_template: Vec<f64> =
-        by_template.values().map(|(sum, n)| sum / *n as f64).collect();
+    let per_template: Vec<f64> = by_template
+        .values()
+        .map(|(sum, n)| sum / *n as f64)
+        .collect();
     per_template.iter().sum::<f64>() / per_template.len() as f64 / 1000.0
 }
 
 /// K-fold cross-validated error for a set of OU datasets: trains on each
 /// fold's training split and evaluates on its test split, averaging.
-pub fn cross_validated_error_us(
-    kind: ModelKind,
-    seed: u64,
-    data: &[OuData],
-    k: usize,
-) -> f64 {
+pub fn cross_validated_error_us(kind: ModelKind, seed: u64, data: &[OuData], k: usize) -> f64 {
     let mut total = 0.0;
     for fold in 0..k {
         let mut train = Vec::new();
@@ -155,9 +152,17 @@ mod tests {
     fn per_template_averaging_weights_templates_equally() {
         // Template 0: huge errors, 1 point. Template 1: zero error, 99 pts.
         let mut d = OuData::new("x");
-        d.points.push(LabeledPoint { features: vec![0.0], target_ns: 1_000_000.0, template: 0 });
+        d.points.push(LabeledPoint {
+            features: vec![0.0],
+            target_ns: 1_000_000.0,
+            template: 0,
+        });
         for _ in 0..99 {
-            d.points.push(LabeledPoint { features: vec![1.0], target_ns: 0.0, template: 1 });
+            d.points.push(LabeledPoint {
+                features: vec![1.0],
+                target_ns: 0.0,
+                template: 1,
+            });
         }
         // Model that always predicts 0: train on empty-ish... use unknown OU.
         let models = OuModelSet::train(ModelKind::Ridge, 1, &[]);

@@ -13,14 +13,24 @@ use crate::Regressor;
 #[derive(Debug, Clone)]
 enum Node {
     Leaf(f64),
-    Split { feature: usize, threshold: f64, left: Box<Node>, right: Box<Node> },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
 }
 
 impl Node {
     fn predict(&self, x: &[f64]) -> f64 {
         match self {
             Node::Leaf(v) => *v,
-            Node::Split { feature, threshold, left, right } => {
+            Node::Split {
+                feature,
+                threshold,
+                left,
+                right,
+            } => {
                 if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                     left.predict(x)
                 } else {
@@ -42,7 +52,13 @@ pub struct RandomForest {
 
 impl RandomForest {
     pub fn new(n_trees: usize, max_depth: usize, min_leaf: usize, seed: u64) -> Self {
-        RandomForest { n_trees, max_depth, min_leaf, seed, trees: Vec::new() }
+        RandomForest {
+            n_trees,
+            max_depth,
+            min_leaf,
+            seed,
+            trees: Vec::new(),
+        }
     }
 
     pub fn is_fitted(&self) -> bool {
@@ -175,8 +191,15 @@ impl Regressor for RandomForest {
         for _ in 0..self.n_trees {
             // Bootstrap sample.
             let idx: Vec<usize> = (0..x.len()).map(|_| rng.random_range(0..x.len())).collect();
-            self.trees
-                .push(build(&idx, x, y, 0, self.max_depth, self.min_leaf, &mut rng));
+            self.trees.push(build(
+                &idx,
+                x,
+                y,
+                0,
+                self.max_depth,
+                self.min_leaf,
+                &mut rng,
+            ));
         }
     }
 
@@ -227,10 +250,17 @@ mod tests {
         let mut rf = RandomForest::new(24, 12, 2, 3);
         rf.fit(&x, &y);
         let mean_y = y.iter().sum::<f64>() / y.len() as f64;
-        let sse_model: f64 =
-            x.iter().zip(&y).map(|(xi, yi)| (rf.predict(xi) - yi).powi(2)).sum();
+        let sse_model: f64 = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| (rf.predict(xi) - yi).powi(2))
+            .sum();
         let sse_mean: f64 = y.iter().map(|yi| (yi - mean_y).powi(2)).sum();
-        assert!(sse_model < 0.1 * sse_mean, "R^2 too low: {}", 1.0 - sse_model / sse_mean);
+        assert!(
+            sse_model < 0.1 * sse_mean,
+            "R^2 too low: {}",
+            1.0 - sse_model / sse_mean
+        );
     }
 
     #[test]

@@ -18,7 +18,13 @@ pub struct Knn {
 impl Knn {
     pub fn new(k: usize) -> Self {
         assert!(k >= 1);
-        Knn { k, x: Vec::new(), y: Vec::new(), lo: Vec::new(), span: Vec::new() }
+        Knn {
+            k,
+            x: Vec::new(),
+            y: Vec::new(),
+            lo: Vec::new(),
+            span: Vec::new(),
+        }
     }
 
     fn normalize(&self, x: &[f64]) -> Vec<f64> {
@@ -71,11 +77,7 @@ impl Regressor for Knn {
         // k is tiny (≤ 10), so this beats a heap in practice.
         let mut best: Vec<(f64, f64)> = Vec::with_capacity(self.k + 1);
         for (row, &target) in self.x.iter().zip(&self.y) {
-            let d2: f64 = row
-                .iter()
-                .zip(&q)
-                .map(|(a, b)| (a - b) * (a - b))
-                .sum();
+            let d2: f64 = row.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
             let pos = best.partition_point(|(d, _)| *d <= d2);
             if pos < self.k {
                 best.insert(pos, (d2, target));

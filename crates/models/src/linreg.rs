@@ -16,7 +16,10 @@ pub struct Ridge {
 
 impl Ridge {
     pub fn new(lambda: f64) -> Self {
-        Ridge { lambda, weights: Vec::new() }
+        Ridge {
+            lambda,
+            weights: Vec::new(),
+        }
     }
 }
 
@@ -64,7 +67,7 @@ impl Regressor for Ridge {
             return;
         }
         let d = x[0].len() + 1; // + bias
-        // Build XᵀX + λI and Xᵀy.
+                                // Build XᵀX + λI and Xᵀy.
         let mut xtx = vec![vec![0.0; d]; d];
         let mut xty = vec![0.0; d];
         for (row, &target) in x.iter().zip(y) {

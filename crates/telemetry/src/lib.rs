@@ -1,0 +1,254 @@
+//! Self-telemetry for the TScout reproduction.
+//!
+//! TScout's accuracy story (paper §5.3, §6) depends on *accounting for
+//! every sample*: how many collections began, how many records survived
+//! the ring buffer, how many were lost and where. This crate is the
+//! shared language every layer uses to report that — a dependency-free
+//! metrics registry (counters, gauges, log-bucketed latency histograms
+//! with percentile estimation) plus a ring-buffered span tracer.
+//!
+//! Design points:
+//!
+//! - **Zero dependencies.** Only `std`. The whole workspace must build
+//!   offline; telemetry cannot be the thing that breaks that.
+//! - **Virtual-time native.** The simulation has its own clocks, so
+//!   nothing here reads wall time: all durations and span timestamps are
+//!   passed in by the caller in (virtual) nanoseconds.
+//! - **One registry per simulated world.** `Telemetry` is a cheap-clone
+//!   handle (`Arc<Mutex<Registry>>`). The `Kernel` owns the canonical
+//!   handle and every component attached to it (TScout, Processor,
+//!   Database) clones it, so a whole simulation aggregates into one
+//!   registry while parallel tests stay isolated.
+//! - **Exportable.** Prometheus-style text exposition
+//!   ([`Registry::to_prometheus`]), chrome://tracing JSON for spans
+//!   ([`Registry::spans_to_chrome_json`]), and a combined JSON snapshot
+//!   ([`Registry::snapshot_json`]) that the bench binaries write to
+//!   `results/telemetry_<fig>.json`.
+
+mod histogram;
+mod metrics;
+mod spans;
+
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use metrics::{MetricKey, Registry};
+pub use spans::{Span, SpanRing, DEFAULT_SPAN_CAPACITY};
+
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Cheap-clone handle to a shared [`Registry`].
+///
+/// All recording methods take `&self` and lock internally; the lock is
+/// uncontended in the single-threaded simulation, so the overhead is one
+/// atomic pair per record.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let reg = self.lock();
+        f.debug_struct("Telemetry")
+            .field("metrics", &reg.len())
+            .field("spans", &reg.spans().len())
+            .finish()
+    }
+}
+
+impl Telemetry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        // A panic while holding the lock only loses telemetry, never
+        // correctness; recover rather than propagate poisoning.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Add `v` to the counter `name{labels}`.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.lock().counter_add(name, labels, v);
+    }
+
+    /// Increment the counter `name{labels}` by one.
+    pub fn counter_inc(&self, name: &str, labels: &[(&str, &str)]) {
+        self.counter_add(name, labels, 1);
+    }
+
+    /// Read a counter back (0 if never written).
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.lock().counter_value(name, labels)
+    }
+
+    /// Sum of all counters sharing `name`, across label sets.
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.lock().counter_total(name)
+    }
+
+    /// Set the gauge `name{labels}`.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.lock().gauge_set(name, labels, v);
+    }
+
+    /// Raise the gauge to `v` if `v` is larger (high-water marks).
+    pub fn gauge_max(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.lock().gauge_max(name, labels, v);
+    }
+
+    /// Read a gauge back (0.0 if never written).
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.lock().gauge_value(name, labels)
+    }
+
+    /// Record one observation into the histogram `name{labels}`.
+    pub fn hist_record(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.lock().hist_record(name, labels, v);
+    }
+
+    /// Snapshot a histogram (None if never written).
+    pub fn hist_snapshot(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        self.lock().hist_snapshot(name, labels)
+    }
+
+    /// Record a completed span with explicit virtual timestamps.
+    pub fn span(&self, name: &str, category: &str, start_ns: f64, dur_ns: f64) {
+        self.lock().record_span(name, category, start_ns, dur_ns);
+    }
+
+    /// Run the closure with the registry locked (bulk export/merge).
+    pub fn with_registry<T>(&self, f: impl FnOnce(&mut Registry) -> T) -> T {
+        f(&mut self.lock())
+    }
+
+    /// Prometheus text exposition of all metrics.
+    pub fn to_prometheus(&self) -> String {
+        self.lock().to_prometheus()
+    }
+
+    /// Combined JSON snapshot (metrics + span summary).
+    pub fn snapshot_json(&self) -> String {
+        self.lock().snapshot_json()
+    }
+
+    /// chrome://tracing ("trace event format") JSON for recorded spans.
+    pub fn spans_to_chrome_json(&self) -> String {
+        self.lock().spans_to_chrome_json()
+    }
+
+    /// Merge another handle's registry into this one (counters add,
+    /// gauges take max, histograms add bucket-wise, spans append).
+    pub fn absorb(&self, other: &Telemetry) {
+        if Arc::ptr_eq(&self.inner, &other.inner) {
+            return;
+        }
+        let theirs = other.lock().clone();
+        self.lock().merge_from(&theirs);
+    }
+}
+
+/// Minimal JSON string escaping for export paths (metric names, label
+/// values, span names — all ASCII in practice, but stay correct).
+pub(crate) fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an f64 for JSON (no NaN/Inf — clamp to null-safe 0).
+pub(crate) fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        if v == v.trunc() && v.abs() < 1e15 {
+            format!("{}", v as i64)
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_counters_round_trip() {
+        let t = Telemetry::new();
+        t.counter_inc("events", &[("sub", "ee")]);
+        t.counter_add("events", &[("sub", "ee")], 4);
+        t.counter_inc("events", &[("sub", "net")]);
+        assert_eq!(t.counter_value("events", &[("sub", "ee")]), 5);
+        assert_eq!(t.counter_value("events", &[("sub", "net")]), 1);
+        assert_eq!(t.counter_value("events", &[("sub", "wal")]), 0);
+        assert_eq!(t.counter_total("events"), 6);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let t = Telemetry::new();
+        let u = t.clone();
+        u.counter_inc("x", &[]);
+        assert_eq!(t.counter_value("x", &[]), 1);
+    }
+
+    #[test]
+    fn gauges_set_and_max() {
+        let t = Telemetry::new();
+        t.gauge_set("depth", &[], 3.0);
+        t.gauge_max("depth", &[], 2.0);
+        assert_eq!(t.gauge_value("depth", &[]), 3.0);
+        t.gauge_max("depth", &[], 9.0);
+        assert_eq!(t.gauge_value("depth", &[]), 9.0);
+    }
+
+    #[test]
+    fn absorb_merges_counters_and_spans() {
+        let a = Telemetry::new();
+        let b = Telemetry::new();
+        a.counter_add("n", &[], 2);
+        b.counter_add("n", &[], 3);
+        b.span("txn", "db", 0.0, 100.0);
+        a.absorb(&b);
+        assert_eq!(a.counter_value("n", &[]), 5);
+        assert_eq!(a.with_registry(|r| r.spans().len()), 1);
+        // Self-absorb must not deadlock or double.
+        a.absorb(&a.clone());
+        assert_eq!(a.counter_value("n", &[]), 5);
+    }
+
+    #[test]
+    fn snapshot_json_is_parseable_shape() {
+        let t = Telemetry::new();
+        t.counter_inc("a_total", &[("k", "v")]);
+        t.gauge_set("g", &[], 1.5);
+        t.hist_record("lat_ns", &[], 123.0);
+        t.span("s", "c", 10.0, 5.0);
+        let s = t.snapshot_json();
+        assert!(s.starts_with('{') && s.trim_end().ends_with('}'));
+        for needle in [
+            "\"counters\"",
+            "\"gauges\"",
+            "\"histograms\"",
+            "\"spans\"",
+            "a_total",
+        ] {
+            assert!(s.contains(needle), "missing {needle} in {s}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

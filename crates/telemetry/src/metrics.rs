@@ -1,0 +1,328 @@
+//! The metric registry: named, labeled counters / gauges / histograms,
+//! with Prometheus text and JSON snapshot export.
+
+use std::collections::BTreeMap;
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+use crate::spans::{Span, SpanRing};
+use crate::{json_escape, json_num};
+
+/// A metric identity: name plus sorted `label=value` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MetricKey {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Prometheus-style rendering: `name{k="v",k2="v2"}`.
+    fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let inner: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .collect();
+        format!("{}{{{}}}", self.name, inner.join(","))
+    }
+}
+
+/// The registry proper. Usually accessed through the cheap-clone
+/// [`crate::Telemetry`] handle rather than directly.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    counters: BTreeMap<MetricKey, u64>,
+    gauges: BTreeMap<MetricKey, f64>,
+    histograms: BTreeMap<MetricKey, Histogram>,
+    spans: SpanRing,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered metric series (all kinds).
+    pub fn len(&self) -> usize {
+        self.counters.len() + self.gauges.len() + self.histograms.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn counter_add(&mut self, name: &str, labels: &[(&str, &str)], v: u64) {
+        *self
+            .counters
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0) += v;
+    }
+
+    pub fn counter_value(&self, name: &str, labels: &[(&str, &str)]) -> u64 {
+        self.counters
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// All `(key, value)` counter pairs for a name, across label sets.
+    pub fn counters_named(&self, name: &str) -> Vec<(MetricKey, u64)> {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.name == name)
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    pub fn gauge_set(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.gauges.insert(MetricKey::new(name, labels), v);
+    }
+
+    pub fn gauge_max(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let e = self
+            .gauges
+            .entry(MetricKey::new(name, labels))
+            .or_insert(f64::NEG_INFINITY);
+        if v > *e {
+            *e = v;
+        }
+    }
+
+    pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.gauges
+            .get(&MetricKey::new(name, labels))
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    pub fn hist_record(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_default()
+            .record(v);
+    }
+
+    pub fn hist_snapshot(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
+        self.histograms
+            .get(&MetricKey::new(name, labels))
+            .map(Histogram::snapshot)
+    }
+
+    pub fn record_span(&mut self, name: &str, category: &str, start_ns: f64, dur_ns: f64) {
+        self.spans.record(Span {
+            name: name.to_string(),
+            category: category.to_string(),
+            start_ns,
+            dur_ns,
+        });
+    }
+
+    pub fn spans(&self) -> &SpanRing {
+        &self.spans
+    }
+
+    /// Merge `other` into `self`: counters add, gauges take the max
+    /// (every gauge we export is a level or high-water mark, for which
+    /// max is the meaningful union), histograms merge bucket-wise, and
+    /// spans append subject to ring capacity.
+    pub fn merge_from(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            let e = self.gauges.entry(k.clone()).or_insert(f64::NEG_INFINITY);
+            if *v > *e {
+                *e = *v;
+            }
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge_from(h);
+        }
+        for s in other.spans.iter() {
+            self.spans.record(s.clone());
+        }
+    }
+
+    /// Prometheus text exposition format.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            out.push_str(&format!("# TYPE {} counter\n{} {v}\n", k.name, k.render()));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("# TYPE {} gauge\n{} {v}\n", k.name, k.render()));
+        }
+        for (k, h) in &self.histograms {
+            let s = h.snapshot();
+            out.push_str(&format!("# TYPE {} summary\n", k.name));
+            for (q, val) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
+                let mut key = k.clone();
+                key.labels.push(("quantile".to_string(), q.to_string()));
+                key.labels.sort();
+                out.push_str(&format!("{} {val}\n", key.render()));
+            }
+            out.push_str(&format!("{}_sum {}\n", k.name, s.sum));
+            out.push_str(&format!("{}_count {}\n", k.name, s.count));
+        }
+        out
+    }
+
+    /// chrome://tracing trace-event JSON (`ph: "X"` complete events,
+    /// microsecond timestamps as the format requires).
+    pub fn spans_to_chrome_json(&self) -> String {
+        let events: Vec<String> = self
+            .spans
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":{},\"dur\":{}}}",
+                    json_escape(&s.name),
+                    json_escape(&s.category),
+                    json_num(s.start_ns / 1000.0),
+                    json_num(s.dur_ns / 1000.0),
+                )
+            })
+            .collect();
+        format!("{{\"traceEvents\":[{}]}}", events.join(","))
+    }
+
+    /// The combined snapshot the bench binaries persist as
+    /// `results/telemetry_<fig>.json`: counters and gauges keyed by
+    /// rendered metric name, histogram summaries, and per-(name,category)
+    /// span aggregates (the raw span ring would dwarf the metrics).
+    pub fn snapshot_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let counters: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("\n    \"{}\": {v}", json_escape(&k.render())))
+            .collect();
+        out.push_str(&counters.join(","));
+        out.push_str("\n  },\n  \"gauges\": {");
+        let gauges: Vec<String> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| format!("\n    \"{}\": {}", json_escape(&k.render()), json_num(*v)))
+            .collect();
+        out.push_str(&gauges.join(","));
+        out.push_str("\n  },\n  \"histograms\": {");
+        let hists: Vec<String> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let s = h.snapshot();
+                format!(
+                    "\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"mean\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    json_escape(&k.render()),
+                    s.count,
+                    json_num(s.sum),
+                    json_num(s.mean),
+                    json_num(s.min),
+                    json_num(s.max),
+                    json_num(s.p50),
+                    json_num(s.p95),
+                    json_num(s.p99),
+                )
+            })
+            .collect();
+        out.push_str(&hists.join(","));
+        out.push_str("\n  },\n  \"spans\": {");
+        let mut agg: BTreeMap<(String, String), (u64, f64)> = BTreeMap::new();
+        for s in self.spans.iter() {
+            let e = agg
+                .entry((s.name.clone(), s.category.clone()))
+                .or_insert((0, 0.0));
+            e.0 += 1;
+            e.1 += s.dur_ns;
+        }
+        let spans: Vec<String> = agg
+            .into_iter()
+            .map(|((name, cat), (count, total))| {
+                format!(
+                    "\n    \"{}[{}]\": {{\"count\": {count}, \"total_ns\": {}, \"dropped\": {}}}",
+                    json_escape(&name),
+                    json_escape(&cat),
+                    json_num(total),
+                    self.spans.dropped(),
+                )
+            })
+            .collect();
+        out.push_str(&spans.join(","));
+        out.push_str("\n  }\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_labels_are_order_insensitive() {
+        let a = MetricKey::new("m", &[("a", "1"), ("b", "2")]);
+        let b = MetricKey::new("m", &[("b", "2"), ("a", "1")]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let mut r = Registry::new();
+        r.counter_add("req_total", &[("code", "200")], 7);
+        r.gauge_set("depth", &[], 2.5);
+        r.hist_record("lat_ns", &[], 100.0);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE req_total counter"));
+        assert!(text.contains("req_total{code=\"200\"} 7"));
+        assert!(text.contains("depth 2.5"));
+        assert!(text.contains("lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("lat_ns_count 1"));
+    }
+
+    #[test]
+    fn chrome_json_shape() {
+        let mut r = Registry::new();
+        r.record_span("flush", "wal", 2_000.0, 500.0);
+        let j = r.spans_to_chrome_json();
+        assert!(j.contains("\"traceEvents\""));
+        assert!(j.contains("\"name\":\"flush\""));
+        assert!(j.contains("\"ts\":2"));
+        assert!(j.contains("\"dur\":0.5"));
+    }
+
+    #[test]
+    fn merge_semantics() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        a.counter_add("c", &[], 1);
+        b.counter_add("c", &[], 2);
+        a.gauge_set("hwm", &[], 5.0);
+        b.gauge_set("hwm", &[], 3.0);
+        b.hist_record("h", &[], 10.0);
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("c", &[]), 3);
+        assert_eq!(a.gauge_value("hwm", &[]), 5.0);
+        assert_eq!(a.hist_snapshot("h", &[]).unwrap().count, 1);
+    }
+}

@@ -1,0 +1,105 @@
+//! Ring-buffered span storage.
+//!
+//! Spans are complete intervals (`start_ns`, `dur_ns` in virtual time)
+//! recorded after the fact — the simulation always knows both endpoints,
+//! so there is no open-span bookkeeping. Storage is a fixed-capacity
+//! ring: under sustained load old spans are overwritten, mirroring the
+//! no-back-pressure philosophy of the perf ring buffer itself, and the
+//! overwrite count is reported so exports can say what they lost.
+
+use std::collections::VecDeque;
+
+/// Default span ring capacity. At ~100 bytes per span this bounds span
+/// memory to a few MiB regardless of run length.
+pub const DEFAULT_SPAN_CAPACITY: usize = 16 * 1024;
+
+/// One completed interval.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    pub name: String,
+    pub category: String,
+    pub start_ns: f64,
+    pub dur_ns: f64,
+}
+
+/// Fixed-capacity span ring. Overwrites oldest on overflow.
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    buf: VecDeque<Span>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for SpanRing {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_SPAN_CAPACITY)
+    }
+}
+
+impl SpanRing {
+    pub fn with_capacity(capacity: usize) -> Self {
+        SpanRing {
+            buf: VecDeque::new(),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    pub fn record(&mut self, span: Span) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(span);
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        self.buf.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(i: usize) -> Span {
+        Span {
+            name: format!("s{i}"),
+            category: "t".into(),
+            start_ns: i as f64,
+            dur_ns: 1.0,
+        }
+    }
+
+    #[test]
+    fn ring_keeps_newest_and_counts_drops() {
+        let mut r = SpanRing::with_capacity(4);
+        for i in 0..10 {
+            r.record(span(i));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.dropped(), 6);
+        let names: Vec<&str> = r.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["s6", "s7", "s8", "s9"]);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut r = SpanRing::with_capacity(0);
+        r.record(span(0));
+        assert_eq!(r.len(), 1);
+    }
+}

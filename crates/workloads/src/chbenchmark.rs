@@ -25,7 +25,11 @@ pub struct ChBenchmark {
 
 impl ChBenchmark {
     pub fn new(warehouses: u64) -> ChBenchmark {
-        ChBenchmark { tpcc: Tpcc::new(warehouses), analytic_every: 5, queries: Vec::new() }
+        ChBenchmark {
+            tpcc: Tpcc::new(warehouses),
+            analytic_every: 5,
+            queries: Vec::new(),
+        }
     }
 }
 
@@ -47,10 +51,8 @@ impl Workload for ChBenchmark {
             )
             .unwrap(),
             // Q6-flavored: revenue from mid-quantity lines.
-            db.prepare(
-                "SELECT sum(ol_amount) FROM orderline WHERE ol_qty BETWEEN $1 AND $2",
-            )
-            .unwrap(),
+            db.prepare("SELECT sum(ol_amount) FROM orderline WHERE ol_qty BETWEEN $1 AND $2")
+                .unwrap(),
             // Q12-flavored: orders joined with their lines in one district.
             db.prepare(
                 "SELECT o.o_ol_cnt, count(*) FROM orders o \
@@ -69,14 +71,16 @@ impl Workload for ChBenchmark {
     }
 
     fn txn(&mut self, ctx: &mut TxnCtx<'_>) -> bool {
-        let analytical = self.analytic_every > 0
-            && ctx.sid.0 % self.analytic_every == self.analytic_every - 1;
+        let analytical =
+            self.analytic_every > 0 && ctx.sid.0 % self.analytic_every == self.analytic_every - 1;
         if !analytical {
             return self.tpcc.txn(ctx);
         }
         let q = self.queries[ctx.rng.random_range(0..self.queries.len())];
         let w = ctx.rng.random_range(0..self.tpcc.warehouses) as i64;
-        let d = ctx.rng.random_range(0..crate::tpcc::DISTRICTS_PER_WAREHOUSE) as i64;
+        let d = ctx
+            .rng
+            .random_range(0..crate::tpcc::DISTRICTS_PER_WAREHOUSE) as i64;
         let params: Vec<Value> = match self.queries.iter().position(|s| *s == q).unwrap() {
             0 => vec![Value::Int(0)],
             1 => vec![Value::Int(3), Value::Int(8)],
@@ -110,7 +114,11 @@ mod tests {
         let stats = run(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 5, duration_ns: 40e6, ..Default::default() },
+            &RunOptions {
+                terminals: 5,
+                duration_ns: 40e6,
+                ..Default::default()
+            },
         );
         assert!(stats.committed > 10, "committed {}", stats.committed);
         // The trace must contain both short OLTP templates and the heavy

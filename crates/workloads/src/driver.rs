@@ -46,15 +46,16 @@ impl<'a> TxnCtx<'a> {
         rng: &'a mut StdRng,
         trace: &'a mut Vec<QuerySpan>,
     ) -> TxnCtx<'a> {
-        TxnCtx { db, sid, rng, trace }
+        TxnCtx {
+            db,
+            sid,
+            rng,
+            trace,
+        }
     }
 
     /// Issue a traced client request.
-    pub fn request(
-        &mut self,
-        stmt: StatementId,
-        params: &[Value],
-    ) -> Result<ExecOutcome, DbError> {
+    pub fn request(&mut self, stmt: StatementId, params: &[Value]) -> Result<ExecOutcome, DbError> {
         let task = self.db.session_task(self.sid);
         let start_ns = self.db.now(self.sid);
         let r = self.db.client_request(self.sid, stmt, params);
@@ -182,7 +183,11 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
     let mut latencies = Vec::new();
     let mut txn_ends = Vec::new();
     let mut next_pump = start_ns + opts.pump_every_ns;
-    let mut next_gc = if opts.gc_every_ns > 0.0 { start_ns + opts.gc_every_ns } else { f64::MAX };
+    let mut next_gc = if opts.gc_every_ns > 0.0 {
+        start_ns + opts.gc_every_ns
+    } else {
+        f64::MAX
+    };
 
     loop {
         // Earliest-first: advance the terminal with the smallest clock.
@@ -197,11 +202,19 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
         // Background pumping keeps the WAL and Processor in lockstep with
         // the foreground timeline.
         if now >= next_pump {
+            let pump_start = now;
             db.pump_wal(now);
             let (kernel, ts) = db.collection_parts();
             if let Some(ts) = ts {
                 processor.poll(kernel, ts, now);
             }
+            let pump_end = db.kernel.now(db.wal.task);
+            db.kernel.telemetry.span(
+                "pump",
+                "driver",
+                pump_start,
+                (pump_end - pump_start).max(0.0),
+            );
             next_pump = now + opts.pump_every_ns;
         }
         if now >= next_gc {
@@ -211,10 +224,20 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
 
         let t0 = db.now(sid);
         let ok = {
-            let mut ctx = TxnCtx { db, sid, rng: &mut rng, trace: &mut trace };
+            let mut ctx = TxnCtx {
+                db,
+                sid,
+                rng: &mut rng,
+                trace: &mut trace,
+            };
             workload.txn(&mut ctx)
         };
         let t1 = db.now(sid);
+        let outcome = if ok { "committed" } else { "aborted" };
+        db.kernel
+            .telemetry
+            .hist_record("workload_txn_ns", &[("outcome", outcome)], t1 - t0);
+        db.kernel.telemetry.span("txn", "workload", t0, t1 - t0);
         if ok {
             committed += 1;
             latencies.push(t1 - t0);
@@ -260,7 +283,10 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
 /// Tag each training point with the query template whose span contains
 /// it (same thread, start time within the span). Background subsystems
 /// (WAL, GC) fall outside any span and get template 0.
-pub fn assign_templates(points: &[TrainingPoint], trace: &[QuerySpan]) -> Vec<(TrainingPoint, u32)> {
+pub fn assign_templates(
+    points: &[TrainingPoint],
+    trace: &[QuerySpan],
+) -> Vec<(TrainingPoint, u32)> {
     // Per-tid spans sorted by start.
     let mut by_tid: std::collections::HashMap<u32, Vec<&QuerySpan>> =
         std::collections::HashMap::new();
@@ -332,8 +358,17 @@ mod tests {
 
     #[test]
     fn template_assignment_picks_enclosing_span() {
-        let mk = |tid, template, s, e| QuerySpan { tid, template, start_ns: s, end_ns: e };
-        let trace = vec![mk(1, 10, 0.0, 100.0), mk(1, 20, 200.0, 300.0), mk(2, 30, 0.0, 50.0)];
+        let mk = |tid, template, s, e| QuerySpan {
+            tid,
+            template,
+            start_ns: s,
+            end_ns: e,
+        };
+        let trace = vec![
+            mk(1, 10, 0.0, 100.0),
+            mk(1, 20, 200.0, 300.0),
+            mk(2, 30, 0.0, 50.0),
+        ];
         let pt = |tid, start| TrainingPoint {
             ou: 0,
             ou_name: "x".into(),

@@ -28,8 +28,9 @@ pub mod util;
 pub mod ycsb;
 
 pub use chbenchmark::ChBenchmark;
-pub use driver::{assign_templates, build_datasets, collect_datasets, run, RunOptions, RunStats,
-    TxnCtx, Workload};
+pub use driver::{
+    assign_templates, build_datasets, collect_datasets, run, RunOptions, RunStats, TxnCtx, Workload,
+};
 pub use runner::OfflineRunner;
 pub use smallbank::SmallBank;
 pub use tatp::Tatp;

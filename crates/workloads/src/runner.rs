@@ -42,7 +42,11 @@ enum Kind {
 
 impl OfflineRunner {
     pub fn new() -> OfflineRunner {
-        OfflineRunner { step: 0, sink_next: 1_000_000, stmts: Vec::new() }
+        OfflineRunner {
+            step: 0,
+            sink_next: 1_000_000,
+            stmts: Vec::new(),
+        }
     }
 }
 
@@ -69,7 +73,11 @@ impl Workload for OfflineRunner {
                 &[],
             )
             .unwrap();
-            let ins = db.prepare(&format!("INSERT INTO runner_seq{i} VALUES ($1, $2, $3, $4)")).unwrap();
+            let ins = db
+                .prepare(&format!(
+                    "INSERT INTO runner_seq{i} VALUES ($1, $2, $3, $4)"
+                ))
+                .unwrap();
             bulk_load(
                 db,
                 sid,
@@ -92,7 +100,9 @@ impl Workload for OfflineRunner {
             &[],
         )
         .unwrap();
-        let ins = db.prepare("INSERT INTO runner_data VALUES ($1, $2, $3, $4)").unwrap();
+        let ins = db
+            .prepare("INSERT INTO runner_data VALUES ($1, $2, $3, $4)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -107,8 +117,15 @@ impl Workload for OfflineRunner {
             }),
             2000,
         );
-        db.execute(sid, "CREATE TABLE runner_dim (k INT PRIMARY KEY, label TEXT)", &[]).unwrap();
-        let ins = db.prepare("INSERT INTO runner_dim VALUES ($1, $2)").unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE runner_dim (k INT PRIMARY KEY, label TEXT)",
+            &[],
+        )
+        .unwrap();
+        let ins = db
+            .prepare("INSERT INTO runner_dim VALUES ($1, $2)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -116,29 +133,35 @@ impl Workload for OfflineRunner {
             (0..200u64).map(|k| vec![Value::Int(k as i64), Value::Text(format!("d{k}"))]),
             1000,
         );
-        db.execute(sid, "CREATE TABLE runner_sink (id INT PRIMARY KEY, v FLOAT)", &[]).unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE runner_sink (id INT PRIMARY KEY, v FLOAT)",
+            &[],
+        )
+        .unwrap();
 
         let mut stmts = Vec::new();
         for i in 0..SCAN_SIZES.len() {
             stmts.push((
                 Kind::SeqScan(i),
-                db.prepare(&format!("SELECT count(*) FROM runner_seq{i} WHERE b >= $1")).unwrap(),
+                db.prepare(&format!("SELECT count(*) FROM runner_seq{i} WHERE b >= $1"))
+                    .unwrap(),
             ));
         }
         stmts.push((
             Kind::PointLookup,
-            db.prepare("SELECT * FROM runner_data WHERE id = $1").unwrap(),
+            db.prepare("SELECT * FROM runner_data WHERE id = $1")
+                .unwrap(),
         ));
         stmts.push((
             Kind::RangeScan,
-            db.prepare("SELECT a FROM runner_data WHERE id BETWEEN $1 AND $2").unwrap(),
+            db.prepare("SELECT a FROM runner_data WHERE id BETWEEN $1 AND $2")
+                .unwrap(),
         ));
         stmts.push((
             Kind::SortRange,
-            db.prepare(
-                "SELECT b FROM runner_data WHERE id BETWEEN $1 AND $2 ORDER BY b DESC",
-            )
-            .unwrap(),
+            db.prepare("SELECT b FROM runner_data WHERE id BETWEEN $1 AND $2 ORDER BY b DESC")
+                .unwrap(),
         ));
         stmts.push((
             Kind::GroupAgg,
@@ -159,15 +182,18 @@ impl Workload for OfflineRunner {
         ));
         stmts.push((
             Kind::InsertOne,
-            db.prepare("INSERT INTO runner_sink VALUES ($1, $2)").unwrap(),
+            db.prepare("INSERT INTO runner_sink VALUES ($1, $2)")
+                .unwrap(),
         ));
         stmts.push((
             Kind::UpdateOne,
-            db.prepare("UPDATE runner_data SET b = b + 1.0 WHERE id = $1").unwrap(),
+            db.prepare("UPDATE runner_data SET b = b + 1.0 WHERE id = $1")
+                .unwrap(),
         ));
         stmts.push((
             Kind::UpdateRange,
-            db.prepare("UPDATE runner_data SET b = b + 1.0 WHERE id BETWEEN $1 AND $2").unwrap(),
+            db.prepare("UPDATE runner_data SET b = b + 1.0 WHERE id BETWEEN $1 AND $2")
+                .unwrap(),
         ));
         stmts.push((
             Kind::DeleteOne,
@@ -193,17 +219,23 @@ impl Workload for OfflineRunner {
             Kind::Join => ctx
                 .request(
                     stmt,
-                    &[Value::Int(lo), Value::Int(lo + width), Value::Int((width / 4) % 200)],
+                    &[
+                        Value::Int(lo),
+                        Value::Int(lo + width),
+                        Value::Int((width / 4) % 200),
+                    ],
                 )
                 .map(|_| ()),
             Kind::InsertOne => {
                 self.sink_next += 1;
-                ctx.request(stmt, &[Value::Int(self.sink_next), Value::Float(1.0)]).map(|_| ())
+                ctx.request(stmt, &[Value::Int(self.sink_next), Value::Float(1.0)])
+                    .map(|_| ())
             }
             Kind::UpdateOne => ctx.request(stmt, &[Value::Int(lo)]).map(|_| ()),
             Kind::DeleteOne => {
                 let victim = self.sink_next - 1;
-                ctx.request(stmt, &[Value::Int(victim.max(1_000_000))]).map(|_| ())
+                ctx.request(stmt, &[Value::Int(victim.max(1_000_000))])
+                    .map(|_| ())
             }
         };
         match r {
@@ -242,7 +274,11 @@ mod tests {
         let (stats, data) = collect_datasets(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 1, duration_ns: 60e6, ..Default::default() },
+            &RunOptions {
+                terminals: 1,
+                duration_ns: 60e6,
+                ..Default::default()
+            },
         );
         assert!(stats.committed > 30, "committed {}", stats.committed);
         let names: Vec<&str> = data.iter().map(|d| d.name.as_str()).collect();
@@ -260,14 +296,26 @@ mod tests {
             "network_write",
             "log_serialize",
         ] {
-            assert!(names.contains(&expected), "missing OU data for {expected}: {names:?}");
+            assert!(
+                names.contains(&expected),
+                "missing OU data for {expected}: {names:?}"
+            );
         }
         // The sweeps must cover a range of feature magnitudes.
         let range = data.iter().find(|d| d.name == "idx_range_scan").unwrap();
-        let max_examined =
-            range.points.iter().map(|p| p.features[0]).fold(0.0f64, f64::max);
-        let min_examined =
-            range.points.iter().map(|p| p.features[0]).fold(f64::INFINITY, f64::min);
-        assert!(max_examined > 20.0 * min_examined.max(1.0), "sweep range too narrow");
+        let max_examined = range
+            .points
+            .iter()
+            .map(|p| p.features[0])
+            .fold(0.0f64, f64::max);
+        let min_examined = range
+            .points
+            .iter()
+            .map(|p| p.features[0])
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            max_examined > 20.0 * min_examined.max(1.0),
+            "sweep range too narrow"
+        );
     }
 }

@@ -28,7 +28,10 @@ struct Stmts {
 
 impl SmallBank {
     pub fn new(customers: u64) -> SmallBank {
-        SmallBank { customers, stmts: None }
+        SmallBank {
+            customers,
+            stmts: None,
+        }
     }
 
     fn two_accounts(&self, ctx: &mut TxnCtx<'_>) -> (i64, i64) {
@@ -48,12 +51,24 @@ impl Workload for SmallBank {
 
     fn setup(&mut self, db: &mut Database) {
         let sid = db.create_session();
-        db.execute(sid, "CREATE TABLE accounts (custid INT PRIMARY KEY, name TEXT)", &[])
-            .unwrap();
-        db.execute(sid, "CREATE TABLE savings (custid INT PRIMARY KEY, bal FLOAT)", &[])
-            .unwrap();
-        db.execute(sid, "CREATE TABLE checking (custid INT PRIMARY KEY, bal FLOAT)", &[])
-            .unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE accounts (custid INT PRIMARY KEY, name TEXT)",
+            &[],
+        )
+        .unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE savings (custid INT PRIMARY KEY, bal FLOAT)",
+            &[],
+        )
+        .unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE checking (custid INT PRIMARY KEY, bal FLOAT)",
+            &[],
+        )
+        .unwrap();
         let ins_a = db.prepare("INSERT INTO accounts VALUES ($1, $2)").unwrap();
         let ins_s = db.prepare("INSERT INTO savings VALUES ($1, $2)").unwrap();
         let ins_c = db.prepare("INSERT INTO checking VALUES ($1, $2)").unwrap();
@@ -80,15 +95,21 @@ impl Workload for SmallBank {
             1000,
         );
         self.stmts = Some(Stmts {
-            get_savings: db.prepare("SELECT bal FROM savings WHERE custid = $1").unwrap(),
-            get_checking: db.prepare("SELECT bal FROM checking WHERE custid = $1").unwrap(),
+            get_savings: db
+                .prepare("SELECT bal FROM savings WHERE custid = $1")
+                .unwrap(),
+            get_checking: db
+                .prepare("SELECT bal FROM checking WHERE custid = $1")
+                .unwrap(),
             upd_savings: db
                 .prepare("UPDATE savings SET bal = bal + $2 WHERE custid = $1")
                 .unwrap(),
             upd_checking: db
                 .prepare("UPDATE checking SET bal = bal + $2 WHERE custid = $1")
                 .unwrap(),
-            zero_savings: db.prepare("UPDATE savings SET bal = 0.0 WHERE custid = $1").unwrap(),
+            zero_savings: db
+                .prepare("UPDATE savings SET bal = 0.0 WHERE custid = $1")
+                .unwrap(),
         });
     }
 
@@ -173,14 +194,22 @@ mod tests {
         let stats = run(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 4, duration_ns: 4e6, ..Default::default() },
+            &RunOptions {
+                terminals: 4,
+                duration_ns: 4e6,
+                ..Default::default()
+            },
         );
         assert!(stats.committed > 10);
         // Every account still exists and balances are finite numbers.
         let sid = db.create_session();
-        let out = db.execute(sid, "SELECT count(*) FROM checking", &[]).unwrap();
+        let out = db
+            .execute(sid, "SELECT count(*) FROM checking", &[])
+            .unwrap();
         assert_eq!(out.rows[0][0], Value::Int(200));
-        let out = db.execute(sid, "SELECT sum(bal) FROM checking", &[]).unwrap();
+        let out = db
+            .execute(sid, "SELECT sum(bal) FROM checking", &[])
+            .unwrap();
         assert!(out.rows[0][0].as_float().unwrap().is_finite());
     }
 }

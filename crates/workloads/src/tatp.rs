@@ -33,7 +33,10 @@ struct Stmts {
 
 impl Tatp {
     pub fn new(subscribers: u64) -> Tatp {
-        Tatp { subscribers, stmts: None }
+        Tatp {
+            subscribers,
+            stmts: None,
+        }
     }
 
     fn sid(&self, ctx: &mut TxnCtx<'_>) -> i64 {
@@ -88,7 +91,9 @@ impl Workload for Tatp {
         .unwrap();
 
         let n = self.subscribers;
-        let ins_sub = db.prepare("INSERT INTO subscriber VALUES ($1, $2, $3, $4)").unwrap();
+        let ins_sub = db
+            .prepare("INSERT INTO subscriber VALUES ($1, $2, $3, $4)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -103,31 +108,35 @@ impl Workload for Tatp {
             }),
             1000,
         );
-        let ins_ai = db.prepare("INSERT INTO access_info VALUES ($1, $2, $3)").unwrap();
+        let ins_ai = db
+            .prepare("INSERT INTO access_info VALUES ($1, $2, $3)")
+            .unwrap();
         bulk_load(
             db,
             sid,
             ins_ai,
             (0..n).flat_map(|i| {
-                (0..=(i % 4)).map(move |t| {
-                    vec![Value::Int(i as i64), Value::Int(t as i64), Value::Int(42)]
-                })
+                (0..=(i % 4))
+                    .map(move |t| vec![Value::Int(i as i64), Value::Int(t as i64), Value::Int(42)])
             }),
             1000,
         );
-        let ins_sf = db.prepare("INSERT INTO special_facility VALUES ($1, $2, $3)").unwrap();
+        let ins_sf = db
+            .prepare("INSERT INTO special_facility VALUES ($1, $2, $3)")
+            .unwrap();
         bulk_load(
             db,
             sid,
             ins_sf,
             (0..n).flat_map(|i| {
-                (0..=(i % 3)).map(move |t| {
-                    vec![Value::Int(i as i64), Value::Int(t as i64), Value::Int(1)]
-                })
+                (0..=(i % 3))
+                    .map(move |t| vec![Value::Int(i as i64), Value::Int(t as i64), Value::Int(1)])
             }),
             1000,
         );
-        let ins_cf = db.prepare("INSERT INTO call_forwarding VALUES ($1, $2, $3, $4, $5)").unwrap();
+        let ins_cf = db
+            .prepare("INSERT INTO call_forwarding VALUES ($1, $2, $3, $4, $5)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -145,14 +154,14 @@ impl Workload for Tatp {
         );
 
         self.stmts = Some(Stmts {
-            get_subscriber: db.prepare("SELECT * FROM subscriber WHERE s_id = $1").unwrap(),
+            get_subscriber: db
+                .prepare("SELECT * FROM subscriber WHERE s_id = $1")
+                .unwrap(),
             get_access: db
                 .prepare("SELECT data1 FROM access_info WHERE s_id = $1 AND ai_type = $2")
                 .unwrap(),
             get_special: db
-                .prepare(
-                    "SELECT is_active FROM special_facility WHERE s_id = $1 AND sf_type = $2",
-                )
+                .prepare("SELECT is_active FROM special_facility WHERE s_id = $1 AND sf_type = $2")
                 .unwrap(),
             get_forwarding: db
                 .prepare(
@@ -160,7 +169,9 @@ impl Workload for Tatp {
                      AND start_time <= $3 AND end_time > $3",
                 )
                 .unwrap(),
-            find_by_nbr: db.prepare("SELECT s_id FROM subscriber WHERE sub_nbr = $1").unwrap(),
+            find_by_nbr: db
+                .prepare("SELECT s_id FROM subscriber WHERE sub_nbr = $1")
+                .unwrap(),
             upd_location: db
                 .prepare("UPDATE subscriber SET vlr_location = $2 WHERE s_id = $1")
                 .unwrap(),
@@ -288,7 +299,11 @@ mod tests {
         let stats = run(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 3, duration_ns: 5e6, ..Default::default() },
+            &RunOptions {
+                terminals: 3,
+                duration_ns: 5e6,
+                ..Default::default()
+            },
         );
         assert!(stats.committed > 20, "committed {}", stats.committed);
         // InsertCallForwarding occasionally violates the PK: aborts happen

@@ -62,7 +62,11 @@ fn last_name(i: u64) -> String {
 impl Tpcc {
     pub fn new(warehouses: u64) -> Tpcc {
         // NewOrder 45, Payment 43, OrderStatus 4, Delivery 4, StockLevel 4.
-        Tpcc { warehouses, stmts: None, mix: [45, 43, 4, 4, 4] }
+        Tpcc {
+            warehouses,
+            stmts: None,
+            mix: [45, 43, 4, 4, 4],
+        }
     }
 
     fn w_id(&self, ctx: &mut TxnCtx<'_>) -> i64 {
@@ -77,7 +81,12 @@ impl Workload for Tpcc {
 
     fn setup(&mut self, db: &mut Database) {
         let sid = db.create_session();
-        db.execute(sid, "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name TEXT, w_ytd FLOAT)", &[]).unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE warehouse (w_id INT PRIMARY KEY, w_name TEXT, w_ytd FLOAT)",
+            &[],
+        )
+        .unwrap();
         db.execute(
             sid,
             "CREATE TABLE district (d_w_id INT, d_id INT, d_next_o_id INT, d_ytd FLOAT, \
@@ -132,7 +141,12 @@ impl Workload for Tpcc {
             &[],
         )
         .unwrap();
-        db.execute(sid, "CREATE TABLE item (i_id INT PRIMARY KEY, i_name TEXT, i_price FLOAT)", &[]).unwrap();
+        db.execute(
+            sid,
+            "CREATE TABLE item (i_id INT PRIMARY KEY, i_name TEXT, i_price FLOAT)",
+            &[],
+        )
+        .unwrap();
         db.execute(
             sid,
             "CREATE TABLE stock (s_w_id INT, s_i_id INT, s_quantity INT, s_ytd FLOAT, \
@@ -142,17 +156,25 @@ impl Workload for Tpcc {
         .unwrap();
 
         let w = self.warehouses;
-        let ins = db.prepare("INSERT INTO warehouse VALUES ($1, $2, $3)").unwrap();
+        let ins = db
+            .prepare("INSERT INTO warehouse VALUES ($1, $2, $3)")
+            .unwrap();
         bulk_load(
             db,
             sid,
             ins,
             (0..w).map(|i| {
-                vec![Value::Int(i as i64), Value::Text(format!("W{i}")), Value::Float(0.0)]
+                vec![
+                    Value::Int(i as i64),
+                    Value::Text(format!("W{i}")),
+                    Value::Float(0.0),
+                ]
             }),
             1000,
         );
-        let ins = db.prepare("INSERT INTO district VALUES ($1, $2, $3, $4)").unwrap();
+        let ins = db
+            .prepare("INSERT INTO district VALUES ($1, $2, $3, $4)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -169,7 +191,9 @@ impl Workload for Tpcc {
             }),
             1000,
         );
-        let ins = db.prepare("INSERT INTO customer VALUES ($1, $2, $3, $4, $5, $6)").unwrap();
+        let ins = db
+            .prepare("INSERT INTO customer VALUES ($1, $2, $3, $4, $5, $6)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -204,7 +228,9 @@ impl Workload for Tpcc {
             }),
             1000,
         );
-        let ins = db.prepare("INSERT INTO stock VALUES ($1, $2, $3, $4)").unwrap();
+        let ins = db
+            .prepare("INSERT INTO stock VALUES ($1, $2, $3, $4)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -223,7 +249,9 @@ impl Workload for Tpcc {
         );
         // Seed orders + orderlines + neworders (the newest third of the
         // seeded orders are undelivered).
-        let ins_o = db.prepare("INSERT INTO orders VALUES ($1, $2, $3, $4, $5, $6)").unwrap();
+        let ins_o = db
+            .prepare("INSERT INTO orders VALUES ($1, $2, $3, $4, $5, $6)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -244,8 +272,9 @@ impl Workload for Tpcc {
             }),
             2000,
         );
-        let ins_ol =
-            db.prepare("INSERT INTO orderline VALUES ($1, $2, $3, $4, $5, $6, $7, $8)").unwrap();
+        let ins_ol = db
+            .prepare("INSERT INTO orderline VALUES ($1, $2, $3, $4, $5, $6, $7, $8)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -274,7 +303,9 @@ impl Workload for Tpcc {
             }),
             4000,
         );
-        let ins_no = db.prepare("INSERT INTO neworder VALUES ($1, $2, $3)").unwrap();
+        let ins_no = db
+            .prepare("INSERT INTO neworder VALUES ($1, $2, $3)")
+            .unwrap();
         bulk_load(
             db,
             sid,
@@ -282,7 +313,11 @@ impl Workload for Tpcc {
             (0..w).flat_map(|wi| {
                 (0..DISTRICTS_PER_WAREHOUSE).flat_map(move |d| {
                     (2 * SEED_ORDERS_PER_DISTRICT / 3..SEED_ORDERS_PER_DISTRICT).map(move |o| {
-                        vec![Value::Int(wi as i64), Value::Int(d as i64), Value::Int(o as i64)]
+                        vec![
+                            Value::Int(wi as i64),
+                            Value::Int(d as i64),
+                            Value::Int(o as i64),
+                        ]
                     })
                 })
             }),
@@ -290,7 +325,9 @@ impl Workload for Tpcc {
         );
 
         self.stmts = Some(Stmts {
-            get_warehouse: db.prepare("SELECT w_name FROM warehouse WHERE w_id = $1").unwrap(),
+            get_warehouse: db
+                .prepare("SELECT w_name FROM warehouse WHERE w_id = $1")
+                .unwrap(),
             get_district: db
                 .prepare("SELECT d_next_o_id FROM district WHERE d_w_id = $1 AND d_id = $2")
                 .unwrap(),
@@ -300,9 +337,15 @@ impl Workload for Tpcc {
                      WHERE d_w_id = $1 AND d_id = $2",
                 )
                 .unwrap(),
-            ins_order: db.prepare("INSERT INTO orders VALUES ($1, $2, $3, $4, $5, $6)").unwrap(),
-            ins_neworder: db.prepare("INSERT INTO neworder VALUES ($1, $2, $3)").unwrap(),
-            get_item: db.prepare("SELECT i_price FROM item WHERE i_id = $1").unwrap(),
+            ins_order: db
+                .prepare("INSERT INTO orders VALUES ($1, $2, $3, $4, $5, $6)")
+                .unwrap(),
+            ins_neworder: db
+                .prepare("INSERT INTO neworder VALUES ($1, $2, $3)")
+                .unwrap(),
+            get_item: db
+                .prepare("SELECT i_price FROM item WHERE i_id = $1")
+                .unwrap(),
             get_stock: db
                 .prepare("SELECT s_quantity FROM stock WHERE s_w_id = $1 AND s_i_id = $2")
                 .unwrap(),
@@ -340,7 +383,9 @@ impl Workload for Tpcc {
                      WHERE c_w_id = $1 AND c_d_id = $2 AND c_id = $3",
                 )
                 .unwrap(),
-            ins_history: db.prepare("INSERT INTO history VALUES ($1, $2, $3, $4)").unwrap(),
+            ins_history: db
+                .prepare("INSERT INTO history VALUES ($1, $2, $3, $4)")
+                .unwrap(),
             latest_order_of_customer: db
                 .prepare(
                     "SELECT o_id, o_ol_cnt FROM orders \
@@ -435,7 +480,10 @@ impl Tpcc {
         let ol_cnt = ctx.rng.random_range(5..=15);
         let items: Vec<(i64, i64)> = (0..ol_cnt)
             .map(|_| {
-                (nurand(ctx.rng, 1023, ITEMS) as i64, ctx.rng.random_range(1..=10) as i64)
+                (
+                    nurand(ctx.rng, 1023, ITEMS) as i64,
+                    ctx.rng.random_range(1..=10) as i64,
+                )
             })
             .collect();
         ctx.begin();
@@ -459,7 +507,10 @@ impl Tpcc {
                     Value::Int(o_id),
                 ],
             )?;
-            ctx.request(ins_neworder, &[Value::Int(w), Value::Int(d), Value::Int(o_id)])?;
+            ctx.request(
+                ins_neworder,
+                &[Value::Int(w), Value::Int(d), Value::Int(o_id)],
+            )?;
             for (number, (i_id, qty)) in items.iter().enumerate() {
                 let price = ctx
                     .request(get_item, &[Value::Int(*i_id)])?
@@ -518,7 +569,10 @@ impl Tpcc {
             let target = if by_last {
                 // Spec: pick the middle customer of the matching set.
                 let rows = ctx
-                    .request(get_by_last, &[Value::Int(w), Value::Int(d), Value::Text(name)])?
+                    .request(
+                        get_by_last,
+                        &[Value::Int(w), Value::Int(d), Value::Text(name)],
+                    )?
                     .rows;
                 rows.get(rows.len() / 2)
                     .and_then(|r| r[0].as_int())
@@ -538,7 +592,12 @@ impl Tpcc {
             )?;
             ctx.request(
                 ins_hist,
-                &[Value::Int(target), Value::Int(w), Value::Float(amount), Value::Int(0)],
+                &[
+                    Value::Int(target),
+                    Value::Int(w),
+                    Value::Float(amount),
+                    Value::Int(0),
+                ],
             )?;
             Ok(())
         })();
@@ -547,8 +606,11 @@ impl Tpcc {
 
     pub fn order_status(&mut self, ctx: &mut TxnCtx<'_>) -> bool {
         let st = self.stmts.as_ref().unwrap();
-        let (get_cust, latest, get_ols) =
-            (st.get_customer, st.latest_order_of_customer, st.get_orderlines);
+        let (get_cust, latest, get_ols) = (
+            st.get_customer,
+            st.latest_order_of_customer,
+            st.get_orderlines,
+        );
         let w = self.w_id(ctx);
         let d = ctx.rng.random_range(0..DISTRICTS_PER_WAREHOUSE) as i64;
         let c = nurand(ctx.rng, 255, CUSTOMERS_PER_DISTRICT) as i64;
@@ -593,7 +655,12 @@ impl Tpcc {
                     .unwrap_or(0.0);
                 ctx.request(
                     upd_ol,
-                    &[Value::Int(w), Value::Int(d), Value::Int(o_id), Value::Int(1)],
+                    &[
+                        Value::Int(w),
+                        Value::Int(d),
+                        Value::Int(o_id),
+                        Value::Int(1),
+                    ],
                 )?;
                 let c = ctx
                     .request(get_oc, &[Value::Int(w), Value::Int(d), Value::Int(o_id)])?
@@ -666,10 +733,16 @@ mod tests {
         let (db, _) = fresh(1);
         assert_eq!(db.table_live_tuples("warehouse"), Some(1));
         assert_eq!(db.table_live_tuples("district"), Some(10));
-        assert_eq!(db.table_live_tuples("customer"), Some(10 * CUSTOMERS_PER_DISTRICT));
+        assert_eq!(
+            db.table_live_tuples("customer"),
+            Some(10 * CUSTOMERS_PER_DISTRICT)
+        );
         assert_eq!(db.table_live_tuples("item"), Some(ITEMS));
         assert_eq!(db.table_live_tuples("stock"), Some(ITEMS));
-        assert_eq!(db.table_live_tuples("orders"), Some(10 * SEED_ORDERS_PER_DISTRICT));
+        assert_eq!(
+            db.table_live_tuples("orders"),
+            Some(10 * SEED_ORDERS_PER_DISTRICT)
+        );
         assert_eq!(
             db.table_live_tuples("orderline"),
             Some(10 * SEED_ORDERS_PER_DISTRICT * 5)
@@ -683,11 +756,18 @@ mod tests {
         let stats = run(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 4, duration_ns: 30e6, ..Default::default() },
+            &RunOptions {
+                terminals: 4,
+                duration_ns: 30e6,
+                ..Default::default()
+            },
         );
         assert!(stats.committed > 20, "committed {}", stats.committed);
         let after = db.table_live_tuples("orders").unwrap();
-        assert!(after > before, "NewOrder inserted orders: {before} -> {after}");
+        assert!(
+            after > before,
+            "NewOrder inserted orders: {before} -> {after}"
+        );
         // Sanity: the abort rate is small (write-write conflicts on hot
         // district rows are possible but rare under txn-granular
         // interleaving).

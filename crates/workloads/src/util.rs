@@ -9,7 +9,9 @@ use noisetap::Value;
 /// Deterministic alphanumeric string of the given length.
 pub fn rand_string(rng: &mut StdRng, len: usize) -> String {
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
-    (0..len).map(|_| CHARS[rng.random_range(0..CHARS.len())] as char).collect()
+    (0..len)
+        .map(|_| CHARS[rng.random_range(0..CHARS.len())] as char)
+        .collect()
 }
 
 /// NURand-style non-uniform pick in `[0, n)` (hot-spot skew à la TPC-C).
@@ -43,7 +45,8 @@ pub fn bulk_load(
     let mut in_batch = 0usize;
     db.begin(sid);
     for row in rows {
-        db.execute_prepared(sid, stmt, &row).expect("bulk load insert failed");
+        db.execute_prepared(sid, stmt, &row)
+            .expect("bulk load insert failed");
         in_batch += 1;
         if in_batch >= batch {
             db.commit(sid).unwrap();

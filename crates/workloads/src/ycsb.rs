@@ -24,7 +24,12 @@ pub struct Ycsb {
 
 impl Ycsb {
     pub fn new(rows: u64) -> Ycsb {
-        Ycsb { rows, field_len: 100, read: None, load_seed: 0x5C5B }
+        Ycsb {
+            rows,
+            field_len: 100,
+            read: None,
+            load_seed: 0x5C5B,
+        }
     }
 }
 
@@ -35,12 +40,20 @@ impl Workload for Ycsb {
 
     fn setup(&mut self, db: &mut Database) {
         let sid = db.create_session();
-        let cols: String =
-            (0..10).map(|i| format!(", field{i} TEXT")).collect::<Vec<_>>().concat();
-        db.execute(sid, &format!("CREATE TABLE usertable (ycsb_key INT PRIMARY KEY{cols})"), &[])
-            .unwrap();
-        let placeholders: String =
-            (2..=11).map(|i| format!(", ${i}")).collect::<Vec<_>>().concat();
+        let cols: String = (0..10)
+            .map(|i| format!(", field{i} TEXT"))
+            .collect::<Vec<_>>()
+            .concat();
+        db.execute(
+            sid,
+            &format!("CREATE TABLE usertable (ycsb_key INT PRIMARY KEY{cols})"),
+            &[],
+        )
+        .unwrap();
+        let placeholders: String = (2..=11)
+            .map(|i| format!(", ${i}"))
+            .collect::<Vec<_>>()
+            .concat();
         let ins = db
             .prepare(&format!("INSERT INTO usertable VALUES ($1{placeholders})"))
             .unwrap();
@@ -61,7 +74,10 @@ impl Workload for Ycsb {
             }),
             1000,
         );
-        self.read = Some(db.prepare("SELECT * FROM usertable WHERE ycsb_key = $1").unwrap());
+        self.read = Some(
+            db.prepare("SELECT * FROM usertable WHERE ycsb_key = $1")
+                .unwrap(),
+        );
     }
 
     fn txn(&mut self, ctx: &mut TxnCtx<'_>) -> bool {
@@ -95,7 +111,11 @@ mod tests {
         let stats = run(
             &mut db,
             &mut w,
-            &RunOptions { terminals: 2, duration_ns: 3e6, ..Default::default() },
+            &RunOptions {
+                terminals: 2,
+                duration_ns: 3e6,
+                ..Default::default()
+            },
         );
         assert!(stats.committed > 10, "committed {}", stats.committed);
         assert_eq!(stats.aborted, 0);

@@ -20,7 +20,12 @@ fn phase(db: &mut Database, w: &mut Ycsb, seed: u64) -> f64 {
     let stats = run(
         db,
         w,
-        &RunOptions { terminals: 4, duration_ns: 100e6, seed, ..Default::default() },
+        &RunOptions {
+            terminals: 4,
+            duration_ns: 100e6,
+            seed,
+            ..Default::default()
+        },
     );
     stats.ktps()
 }
@@ -44,8 +49,12 @@ fn main() {
     let t2 = phase(&mut db, &mut w, 2);
 
     println!("phase 3: execution engine & networking back to 0% (WAL stays at 10%)");
-    db.tscout_mut().unwrap().set_sampling_rate(Subsystem::ExecutionEngine, 0);
-    db.tscout_mut().unwrap().set_sampling_rate(Subsystem::Networking, 0);
+    db.tscout_mut()
+        .unwrap()
+        .set_sampling_rate(Subsystem::ExecutionEngine, 0);
+    db.tscout_mut()
+        .unwrap()
+        .set_sampling_rate(Subsystem::Networking, 0);
     let t3 = phase(&mut db, &mut w, 3);
 
     println!("\nthroughput: off {t1:.1} ktps | all@10% {t2:.1} ktps | wal-only {t3:.1} ktps");
@@ -65,12 +74,20 @@ fn main() {
     let _ = phase(&mut db, &mut w, 4);
     let (kernel, ts) = db.collection_parts();
     let ts = ts.unwrap();
-    let processor = Processor::new(kernel, Sink::Discard);
-    let recommended = processor.recommended_rate(ts, 100, dropped_before);
+    let mut processor = Processor::new(kernel, Sink::Discard);
+    let recommended = processor.recommended_rate(ts, 100);
     println!(
         "ring overwrote {} samples; recommended sampling rate: {}%",
         ts.ring_dropped() - dropped_before,
         recommended
+    );
+    let losses = ts.loss_totals();
+    println!(
+        "exact accounting: begun {} = delivered {} + lost {} + in-ring {}",
+        losses.begun,
+        losses.delivered,
+        losses.lost,
+        ts.ring_len()
     );
     assert!(recommended < 100);
 }

@@ -13,7 +13,7 @@ use tscout_suite::bpf::vm::{NullWorld, Vm};
 use tscout_suite::bpf::{verify, MapRegistry};
 use tscout_suite::tscout::codegen::{gen_features, ProbeLayout, CTX_BYTES};
 
-use insn::{R0, R1, R2, R3, R6, R10};
+use insn::{R0, R1, R10, R2, R3, R6};
 
 fn main() {
     let mut maps = MapRegistry::new();
@@ -59,7 +59,10 @@ fn main() {
     for round in 1..=3u64 {
         let ctx = 42u64.to_le_bytes();
         let (r0, stats) = Vm::run(&prog, &ctx, &mut maps, &mut world).unwrap();
-        println!("run {round}: counters[42] = {r0} ({} insns executed)", stats.insns);
+        println!(
+            "run {round}: counters[42] = {r0} ({} insns executed)",
+            stats.insns
+        );
         assert_eq!(r0, round);
     }
 
@@ -80,11 +83,19 @@ fn main() {
 
     // Finally, disassemble a TScout-generated Collector program.
     println!("\n== TScout's generated FEATURES program (CPU probe only) ==");
-    let probes = ProbeLayout { cpu: true, disk: false, net: false };
+    let probes = ProbeLayout {
+        cpu: true,
+        disk: false,
+        net: false,
+    };
     let done_map = maps.create(MapDef::hash("done", 8, probes.done_words() * 8, 256));
     let ring = maps.create(MapDef::perf_event_array("ring", 1024));
     let feat = gen_features(&probes, done_map, ring);
-    println!("{} instructions; verifier: {:?}", feat.len(), verify(&feat, &maps, CTX_BYTES));
+    println!(
+        "{} instructions; verifier: {:?}",
+        feat.len(),
+        verify(&feat, &maps, CTX_BYTES)
+    );
     for line in insn::disassemble(&feat).lines().take(12) {
         println!("{line}");
     }

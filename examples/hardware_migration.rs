@@ -23,13 +23,11 @@ fn collect(
     terminals: usize,
     duration_ns: f64,
 ) -> Vec<tscout_suite::models::OuData> {
-    let mut db = tscout_suite::noisetap::Database::new(
-        tscout_suite::kernel::Kernel::with_seed(hw, seed),
-    );
+    let mut db =
+        tscout_suite::noisetap::Database::new(tscout_suite::kernel::Kernel::with_seed(hw, seed));
     workload.setup(&mut db);
-    let mut cfg = tscout_suite::tscout::TsConfig::new(
-        tscout_suite::tscout::CollectionMode::KernelContinuous,
-    );
+    let mut cfg =
+        tscout_suite::tscout::TsConfig::new(tscout_suite::tscout::CollectionMode::KernelContinuous);
     cfg.enable_all_subsystems();
     cfg.ring_capacity = 1 << 20;
     db.attach_tscout(cfg).unwrap();
@@ -39,7 +37,12 @@ fn collect(
     let (_, data) = collect_datasets(
         &mut db,
         workload,
-        &RunOptions { terminals, duration_ns, seed, ..Default::default() },
+        &RunOptions {
+            terminals,
+            duration_ns,
+            seed,
+            ..Default::default()
+        },
     );
     data
 }
@@ -62,11 +65,29 @@ fn subsystem_error(
 
 fn main() {
     println!("Training offline models on the 6-core laptop...");
-    let offline = collect(HardwareProfile::laptop_6core(), 1, &mut OfflineRunner::new(), 1, 300e6);
+    let offline = collect(
+        HardwareProfile::laptop_6core(),
+        1,
+        &mut OfflineRunner::new(),
+        1,
+        300e6,
+    );
 
     println!("Migrating to the 2x20-core server; collecting 1 window of online TPC-C...");
-    let online = collect(HardwareProfile::server_2x20(), 2, &mut Tpcc::new(2), 1, 300e6);
-    let test = collect(HardwareProfile::server_2x20(), 3, &mut Tpcc::new(2), 1, 150e6);
+    let online = collect(
+        HardwareProfile::server_2x20(),
+        2,
+        &mut Tpcc::new(2),
+        1,
+        300e6,
+    );
+    let test = collect(
+        HardwareProfile::server_2x20(),
+        3,
+        &mut Tpcc::new(2),
+        1,
+        150e6,
+    );
 
     // offline + online merged by OU name.
     let mut merged: std::collections::BTreeMap<String, tscout_suite::models::OuData> =
@@ -79,7 +100,10 @@ fn main() {
     }
     let augmented: Vec<_> = merged.into_values().collect();
 
-    println!("\n{:<18}{:>14}{:>14}{:>12}", "subsystem", "offline(us)", "+online(us)", "reduction");
+    println!(
+        "\n{:<18}{:>14}{:>14}{:>12}",
+        "subsystem", "offline(us)", "+online(us)", "reduction"
+    );
     for sub in [
         Subsystem::ExecutionEngine,
         Subsystem::Networking,

@@ -19,12 +19,21 @@ fn main() {
         &[],
     )
     .unwrap();
-    db.execute(sid, "CREATE INDEX orders_customer ON orders (customer)", &[]).unwrap();
+    db.execute(
+        sid,
+        "CREATE INDEX orders_customer ON orders (customer)",
+        &[],
+    )
+    .unwrap();
     for i in 0..5_000 {
         db.execute(
             sid,
             "INSERT INTO orders VALUES ($1, $2, $3)",
-            &[Value::Int(i), Value::Int(i % 100), Value::Float((i % 977) as f64)],
+            &[
+                Value::Int(i),
+                Value::Int(i % 100),
+                Value::Float((i % 977) as f64),
+            ],
         )
         .unwrap();
     }
@@ -40,15 +49,22 @@ fn main() {
     }
 
     // 3. Runtime Phase: execute queries as client requests.
-    let point = db.prepare("SELECT total FROM orders WHERE id = $1").unwrap();
+    let point = db
+        .prepare("SELECT total FROM orders WHERE id = $1")
+        .unwrap();
     let by_customer = db
         .prepare("SELECT count(*), sum(total) FROM orders WHERE customer = $1")
         .unwrap();
-    let pay = db.prepare("UPDATE orders SET total = total + $2 WHERE id = $1").unwrap();
+    let pay = db
+        .prepare("UPDATE orders SET total = total + $2 WHERE id = $1")
+        .unwrap();
     for i in 0..200 {
-        db.client_request(sid, point, &[Value::Int(i * 13 % 5000)]).unwrap();
-        db.client_request(sid, by_customer, &[Value::Int(i % 100)]).unwrap();
-        db.client_request(sid, pay, &[Value::Int(i), Value::Float(1.0)]).unwrap();
+        db.client_request(sid, point, &[Value::Int(i * 13 % 5000)])
+            .unwrap();
+        db.client_request(sid, by_customer, &[Value::Int(i % 100)])
+            .unwrap();
+        db.client_request(sid, pay, &[Value::Int(i), Value::Float(1.0)])
+            .unwrap();
     }
     // Flush the WAL so the log-serializer and disk-writer OUs fire too.
     let horizon = db.now(sid) + 1e9;
@@ -75,8 +91,7 @@ fn main() {
             );
         }
     }
-    let subsystems: std::collections::BTreeSet<_> =
-        points.iter().map(|p| p.subsystem).collect();
+    let subsystems: std::collections::BTreeSet<_> = points.iter().map(|p| p.subsystem).collect();
     println!("subsystems covered: {subsystems:?}");
     assert!(subsystems.contains(&Subsystem::ExecutionEngine));
     assert!(subsystems.contains(&Subsystem::LogSerializer));

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Regenerate every figure of the paper's evaluation (plus the ablations).
-# Results land in results/*.csv and are echoed to stdout.
+# Results land in results/*.csv and are echoed to stdout; each binary
+# also writes a self-telemetry snapshot to results/telemetry_<fig>.json.
 #
 #   TS_SCALE=0.3 ./run_all_figures.sh     # quick pass
 #   TS_SCALE=1   ./run_all_figures.sh     # default fidelity
@@ -35,3 +36,5 @@ done
 
 echo
 echo "All figures regenerated under results/."
+echo "Telemetry snapshots:"
+ls -1 results/telemetry_*.json 2>/dev/null || echo "  (none written?)"

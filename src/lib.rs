@@ -8,7 +8,11 @@
 //! * [`noisetap`] — the NoisePage-style DBMS substrate;
 //! * [`models`] (`tscout-models`) — OU behavior models;
 //! * [`workloads`] (`tscout-workloads`) — YCSB/SmallBank/TATP/TPC-C/
-//!   CH-benCHmark, offline runners, and the virtual-time driver.
+//!   CH-benCHmark, offline runners, and the virtual-time driver;
+//! * [`telemetry`] (`tscout-telemetry`) — the self-telemetry layer
+//!   (metrics registry, span tracing, snapshot export);
+//! * [`rng`] (`tscout-rng`) — the in-workspace deterministic RNG that
+//!   backs the `rand` alias.
 //!
 //! See `examples/quickstart.rs` for the fastest path to collecting
 //! training data, and the `tscout-bench` binaries for the paper's
@@ -19,4 +23,6 @@ pub use tscout;
 pub use tscout_bpf as bpf;
 pub use tscout_kernel as kernel;
 pub use tscout_models as models;
+pub use tscout_rng as rng;
+pub use tscout_telemetry as telemetry;
 pub use tscout_workloads as workloads;

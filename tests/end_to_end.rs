@@ -31,14 +31,21 @@ fn collect_train_predict_round_trip() {
     let mut w = Ycsb::new(5_000);
     w.setup(&mut db);
     attach100(&mut db);
-    let opts = RunOptions { terminals: 2, duration_ns: 40e6, ..Default::default() };
+    let opts = RunOptions {
+        terminals: 2,
+        duration_ns: 40e6,
+        ..Default::default()
+    };
     let (stats, data) = collect_datasets(&mut db, &mut w, &opts);
     assert!(stats.committed > 100);
     assert!(!data.is_empty());
 
     // Train on the collected data and check in-distribution predictions.
     let models = OuModelSet::train(ModelKind::Forest, 7, &data);
-    let lookup = data.iter().find(|d| d.name == "idx_lookup").expect("idx_lookup data");
+    let lookup = data
+        .iter()
+        .find(|d| d.name == "idx_lookup")
+        .expect("idx_lookup data");
     let err_us = avg_abs_error_per_template_us(&models, std::slice::from_ref(lookup));
     let mean_us = lookup.points.iter().map(|p| p.target_ns).sum::<f64>()
         / lookup.points.len() as f64
@@ -61,11 +68,17 @@ fn every_workload_produces_consistent_collection() {
         let mut db = fresh(seed);
         w.setup(&mut db);
         attach100(&mut db);
-        let opts = RunOptions { terminals: 2, duration_ns: 15e6, seed, ..Default::default() };
+        let opts = RunOptions {
+            terminals: 2,
+            duration_ns: 15e6,
+            seed,
+            ..Default::default()
+        };
         let stats = run(&mut db, w.as_mut(), &opts);
         let ts = db.tscout_mut().unwrap();
         assert_eq!(
-            ts.stats.state_machine_errors, 0,
+            ts.stats.state_machine_errors,
+            0,
             "{}: markers must stay ordered",
             w.name()
         );
@@ -94,9 +107,19 @@ fn runs_are_deterministic_for_fixed_seed() {
         let mut w = SmallBank::new(500);
         w.setup(&mut db);
         attach100(&mut db);
-        let opts = RunOptions { terminals: 3, duration_ns: 10e6, seed: 5, ..Default::default() };
+        let opts = RunOptions {
+            terminals: 3,
+            duration_ns: 10e6,
+            seed: 5,
+            ..Default::default()
+        };
         let stats = run(&mut db, &mut w, &opts);
-        (stats.committed, stats.aborted, stats.points.len(), stats.trace.len())
+        (
+            stats.committed,
+            stats.aborted,
+            stats.points.len(),
+            stats.trace.len(),
+        )
     };
     assert_eq!(run_once(), run_once());
 }
@@ -107,13 +130,21 @@ fn dynamic_reconfiguration_detach_and_redeploy() {
     let mut w = Ycsb::new(1_000);
     w.setup(&mut db);
     attach100(&mut db);
-    let opts = RunOptions { terminals: 1, duration_ns: 5e6, ..Default::default() };
+    let opts = RunOptions {
+        terminals: 1,
+        duration_ns: 5e6,
+        ..Default::default()
+    };
     let stats = run(&mut db, &mut w, &opts);
-    assert!(stats.points.iter().any(|p| p.metrics.len() == 15), "all probes → 15 metrics");
+    assert!(
+        stats.points.iter().any(|p| p.metrics.len() == 15),
+        "all probes → 15 metrics"
+    );
 
     // §5.4: unload, change the probe selection, redeploy.
     let mut cfg = db.detach_tscout().unwrap();
-    cfg.subsystems.insert(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
+    cfg.subsystems
+        .insert(Subsystem::ExecutionEngine, ProbeSet::cpu_only());
     db.attach_tscout(cfg).unwrap();
     for s in ALL_SUBSYSTEMS {
         db.tscout_mut().unwrap().set_sampling_rate(s, 100);
@@ -135,7 +166,11 @@ fn fused_and_per_operator_modes_cover_same_ous() {
         let mut w = Tpcc::new(1);
         w.setup(&mut db);
         attach100(&mut db);
-        let opts = RunOptions { terminals: 1, duration_ns: 20e6, ..Default::default() };
+        let opts = RunOptions {
+            terminals: 1,
+            duration_ns: 20e6,
+            ..Default::default()
+        };
         let (_, data) = collect_datasets(&mut db, &mut w, &opts);
         data.iter()
             .filter(|d| {
@@ -169,7 +204,11 @@ fn user_modes_and_kernel_mode_produce_comparable_metrics() {
         for s in ALL_SUBSYSTEMS {
             db.tscout_mut().unwrap().set_sampling_rate(s, 100);
         }
-        let opts = RunOptions { terminals: 1, duration_ns: 5e6, ..Default::default() };
+        let opts = RunOptions {
+            terminals: 1,
+            duration_ns: 5e6,
+            ..Default::default()
+        };
         let (_, data) = collect_datasets(&mut db, &mut w, &opts);
         let lookups = data.into_iter().find(|d| d.name == "idx_lookup").unwrap();
         lookups.points.iter().map(|p| p.target_ns).sum::<f64>() / lookups.points.len() as f64
@@ -181,7 +220,10 @@ fn user_modes_and_kernel_mode_produce_comparable_metrics() {
     // (§2.3): measured OU times should agree across methods within noise.
     for (name, v) in [("toggle", toggle), ("continuous", cont)] {
         let rel = (v - kernel).abs() / kernel;
-        assert!(rel < 0.15, "{name} mean {v} vs kernel {kernel} ({rel:.2} apart)");
+        assert!(
+            rel < 0.15,
+            "{name} mean {v} vs kernel {kernel} ({rel:.2} apart)"
+        );
     }
 }
 
@@ -189,13 +231,20 @@ fn user_modes_and_kernel_mode_produce_comparable_metrics() {
 fn gc_subsystem_produces_training_data() {
     let mut db = fresh(31);
     let sid = db.create_session();
-    db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[]).unwrap();
+    db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+        .unwrap();
     for i in 0..200 {
-        db.execute(sid, "INSERT INTO t VALUES ($1, 0)", &[Value::Int(i)]).unwrap();
+        db.execute(sid, "INSERT INTO t VALUES ($1, 0)", &[Value::Int(i)])
+            .unwrap();
     }
     attach100(&mut db);
     for i in 0..200 {
-        db.execute(sid, "UPDATE t SET v = v + 1 WHERE id = $1", &[Value::Int(i)]).unwrap();
+        db.execute(
+            sid,
+            "UPDATE t SET v = v + 1 WHERE id = $1",
+            &[Value::Int(i)],
+        )
+        .unwrap();
     }
     db.execute(sid, "DELETE FROM t WHERE id < 50", &[]).unwrap();
     let pruned = db.run_gc();

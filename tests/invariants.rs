@@ -1,70 +1,93 @@
-//! Property tests for cross-cutting invariants: record wire format,
+//! Randomized tests for cross-cutting invariants: record wire format,
 //! sampling exactness, MVCC snapshot isolation, and the marker state
 //! machine's resilience to arbitrary marker orderings.
+//!
+//! These were originally `proptest` properties; they are now driven by
+//! the in-workspace deterministic RNG so the suite builds with no
+//! crates.io access. Each test runs a fixed number of seeded cases, so
+//! failures reproduce exactly.
 
-use proptest::prelude::*;
+use tscout_suite::rng::{RngExt, SeedableRng, StdRng};
 
 use tscout_suite::kernel::{HardwareProfile, Kernel};
 use tscout_suite::tscout::{
-    decode_record, encode_record, CollectionMode, ProbeSet, RawRecord, Sampler, Subsystem,
-    TScout, TsConfig,
+    decode_record, encode_record, CollectionMode, ProbeSet, RawRecord, Sampler, Subsystem, TScout,
+    TsConfig,
 };
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Wire format: encode/decode is the identity on valid records.
-    #[test]
-    fn record_round_trip(
-        ou in 0u64..1000,
-        tid in 0u64..256,
-        subsystem in 0u64..6,
-        flags in 0u64..4,
-        start in any::<u32>(),
-        elapsed in any::<u32>(),
-        metrics in proptest::collection::vec(any::<u64>(), 0..16),
-        payload in proptest::collection::vec(any::<u64>(), 0..32),
-    ) {
+/// Wire format: encode/decode is the identity on valid records.
+#[test]
+fn record_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x5EC0_4D01);
+    for _ in 0..256 {
         let rec = RawRecord {
-            ou, tid, subsystem, flags,
-            start_ns: start as u64,
-            elapsed_ns: elapsed as u64,
-            metrics, payload,
+            ou: rng.random_range(0u64..1000),
+            tid: rng.random_range(0u64..256),
+            subsystem: rng.random_range(0u64..6),
+            flags: rng.random_range(0u64..4),
+            start_ns: rng.random_range(0u64..=u32::MAX as u64),
+            elapsed_ns: rng.random_range(0u64..=u32::MAX as u64),
+            metrics: (0..rng.random_range(0usize..16))
+                .map(|_| rng.random::<u64>())
+                .collect(),
+            payload: (0..rng.random_range(0usize..32))
+                .map(|_| rng.random::<u64>())
+                .collect(),
         };
         let decoded = decode_record(&encode_record(&rec)).expect("round trip");
-        prop_assert_eq!(decoded, rec);
+        assert_eq!(decoded, rec);
     }
+}
 
-    /// Decoding never panics on arbitrary bytes.
-    #[test]
-    fn decode_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..700)) {
+/// Decoding never panics on arbitrary bytes.
+#[test]
+fn decode_is_total() {
+    let mut rng = StdRng::seed_from_u64(0x00DE_C0DE);
+    for _ in 0..256 {
+        let len = rng.random_range(0usize..700);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.random_range(0u8..=255)).collect();
         let _ = decode_record(&bytes);
     }
+}
 
-    /// Sampling: over any whole number of 100-event cycles, each thread
-    /// observes exactly `rate` hits per cycle.
-    #[test]
-    fn sampler_exactness(rate in 0u8..=100, threads in 1usize..6, cycles in 1usize..4) {
+/// Sampling: over any whole number of 100-event cycles, each thread
+/// observes exactly `rate` hits per cycle.
+#[test]
+fn sampler_exactness() {
+    let mut rng = StdRng::seed_from_u64(0x5A4D);
+    for case in 0..256 {
+        // Sweep all rates deterministically, randomize the rest.
+        let rate = (case % 101) as u8;
+        let threads = rng.random_range(1usize..6);
+        let cycles = rng.random_range(1usize..4);
         let mut s = Sampler::new(42);
         s.set_rate(Subsystem::ExecutionEngine, rate);
         for t in 0..threads {
             let hits = (0..100 * cycles)
                 .filter(|_| s.decide(t, Subsystem::ExecutionEngine))
                 .count();
-            prop_assert_eq!(hits, rate as usize * cycles);
+            assert_eq!(hits, rate as usize * cycles, "rate={rate} thread={t}");
         }
     }
+}
 
-    /// MVCC: a reader's snapshot never changes mid-transaction, no matter
-    /// what other transactions commit around it.
-    #[test]
-    fn snapshot_isolation_holds(updates in proptest::collection::vec(1i64..100, 1..12)) {
-        use tscout_suite::noisetap::{Database, Value};
+/// MVCC: a reader's snapshot never changes mid-transaction, no matter
+/// what other transactions commit around it.
+#[test]
+fn snapshot_isolation_holds() {
+    use tscout_suite::noisetap::{Database, Value};
+    let mut rng = StdRng::seed_from_u64(0x15_0C4A);
+    for _ in 0..24 {
+        let updates: Vec<i64> = (0..rng.random_range(1usize..12))
+            .map(|_| rng.random_range(1i64..100))
+            .collect();
         let mut db = Database::new(Kernel::with_seed(HardwareProfile::server_2x20(), 7));
         let writer = db.create_session();
         let reader = db.create_session();
-        db.execute(writer, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[]).unwrap();
-        db.execute(writer, "INSERT INTO t VALUES (1, 0)", &[]).unwrap();
+        db.execute(writer, "CREATE TABLE t (id INT PRIMARY KEY, v INT)", &[])
+            .unwrap();
+        db.execute(writer, "INSERT INTO t VALUES (1, 0)", &[])
+            .unwrap();
 
         db.begin(reader);
         let before = db
@@ -73,13 +96,18 @@ proptest! {
             .rows[0][0]
             .clone();
         for v in &updates {
-            db.execute(writer, "UPDATE t SET v = $1 WHERE id = 1", &[Value::Int(*v)]).unwrap();
+            db.execute(
+                writer,
+                "UPDATE t SET v = $1 WHERE id = 1",
+                &[Value::Int(*v)],
+            )
+            .unwrap();
             let seen = db
                 .execute(reader, "SELECT v FROM t WHERE id = 1", &[])
                 .unwrap()
                 .rows[0][0]
                 .clone();
-            prop_assert_eq!(&seen, &before, "reader's snapshot drifted");
+            assert_eq!(&seen, &before, "reader's snapshot drifted");
         }
         db.commit(reader).unwrap();
         let after = db
@@ -87,14 +115,20 @@ proptest! {
             .unwrap()
             .rows[0][0]
             .clone();
-        prop_assert_eq!(after, Value::Int(*updates.last().unwrap()));
+        assert_eq!(after, Value::Int(*updates.last().unwrap()));
     }
+}
 
-    /// Marker state machine: arbitrary marker orderings never panic,
-    /// never corrupt future collection, and never emit a sample from an
-    /// unmatched triple.
-    #[test]
-    fn marker_chaos_is_contained(ops in proptest::collection::vec(0u8..6, 0..60)) {
+/// Marker state machine: arbitrary marker orderings never panic, never
+/// corrupt future collection, and never emit a sample from an unmatched
+/// triple.
+#[test]
+fn marker_chaos_is_contained() {
+    let mut rng = StdRng::seed_from_u64(0x000C_4A05);
+    for _ in 0..256 {
+        let ops: Vec<u8> = (0..rng.random_range(0usize..60))
+            .map(|_| rng.random_range(0u8..6))
+            .collect();
         let mut kernel = Kernel::with_seed(HardwareProfile::server_2x20(), 3);
         kernel.noise_frac = 0.0;
         let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
@@ -125,8 +159,12 @@ proptest! {
         ts.ou_end(&mut kernel, task, a);
         ts.ou_features(&mut kernel, task, a, &[9], &[]);
         let fresh = ts.drain_decoded();
-        prop_assert_eq!(fresh.len(), 1, "recovery triple must emit exactly one sample");
-        prop_assert_eq!(fresh[0].features.as_slice(), &[9.0][..]);
-        prop_assert!(fresh[0].elapsed_ns > 0);
+        assert_eq!(
+            fresh.len(),
+            1,
+            "recovery triple must emit exactly one sample"
+        );
+        assert_eq!(fresh[0].features.as_slice(), &[9.0][..]);
+        assert!(fresh[0].elapsed_ns > 0);
     }
 }

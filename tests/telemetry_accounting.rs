@@ -1,0 +1,141 @@
+//! End-to-end lost-sample accounting (paper §5.3): under forced ring
+//! pressure, every sample that began collection must be accounted for —
+//! delivered to the Processor or counted lost with a reason. No sample
+//! vanishes, per subsystem and per OU.
+
+use tscout_suite::kernel::{HardwareProfile, Kernel};
+use tscout_suite::noisetap::Database;
+use tscout_suite::tscout::{CollectionMode, TsConfig, ALL_SUBSYSTEMS};
+use tscout_suite::workloads::driver::{run, RunOptions};
+use tscout_suite::workloads::{Workload, Ycsb};
+
+/// Run YCSB against a deliberately tiny ring at 100% sampling so the
+/// collector overwrites records, then drain everything that survived.
+fn pressured_run(ring_capacity: usize) -> Database {
+    let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 0x7E1E);
+    k.noise_frac = 0.0;
+    let mut db = Database::new(k);
+    let mut w = Ycsb::new(2_000);
+    w.setup(&mut db);
+    let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+    cfg.enable_all_subsystems();
+    cfg.ring_capacity = ring_capacity;
+    db.attach_tscout(cfg).unwrap();
+    for s in ALL_SUBSYSTEMS {
+        db.tscout_mut().unwrap().set_sampling_rate(s, 100);
+    }
+    let opts = RunOptions {
+        terminals: 4,
+        duration_ns: 20e6,
+        seed: 9,
+        ..Default::default()
+    };
+    run(&mut db, &mut w, &opts);
+    // Final drain: after this nothing is in flight or in the ring, so the
+    // accounting identity must hold exactly.
+    let _ = db.tscout_mut().unwrap().drain_decoded();
+    db
+}
+
+#[test]
+fn every_begun_sample_is_delivered_or_lost_per_subsystem() {
+    let db = pressured_run(8);
+    let t = db.kernel.telemetry.clone();
+    let ts = db.tscout().unwrap();
+    assert_eq!(ts.ring_len(), 0, "final drain must empty the ring");
+
+    let mut any_lost = 0u64;
+    for s in ALL_SUBSYSTEMS {
+        let label = [("subsystem", s.name())];
+        let begun = t.counter_value("tscout_samples_begun_total", &label);
+        let delivered = t.counter_value("tscout_samples_delivered_total", &label);
+        // Lost is labeled {subsystem, reason}; sum across reasons.
+        let lost: u64 = t.with_registry(|r| {
+            r.counters_named("tscout_samples_lost_total")
+                .iter()
+                .filter(|(k, _)| {
+                    k.labels
+                        .iter()
+                        .any(|(n, v)| n == "subsystem" && v == s.name())
+                })
+                .map(|(_, v)| *v)
+                .sum()
+        });
+        assert_eq!(
+            begun,
+            delivered + lost,
+            "{}: begun {} != delivered {} + lost {}",
+            s.name(),
+            begun,
+            delivered,
+            lost
+        );
+        any_lost += lost;
+    }
+    assert!(
+        any_lost > 0,
+        "an 8-slot ring at 100% sampling must overwrite"
+    );
+
+    // The aggregate view agrees with the per-subsystem identity.
+    let totals = ts.loss_totals();
+    assert_eq!(totals.begun, totals.delivered + totals.lost);
+    assert_eq!(totals.lost, any_lost);
+}
+
+#[test]
+fn per_ou_accounting_matches_subsystem_totals() {
+    let db = pressured_run(8);
+    let t = db.kernel.telemetry.clone();
+
+    let sum_named = |name: &str| -> u64 { t.counter_total(name) };
+    // Every per-subsystem counter has a per-OU shadow; grand totals match.
+    assert_eq!(
+        sum_named("tscout_samples_begun_total"),
+        sum_named("tscout_ou_samples_begun_total")
+    );
+    assert_eq!(
+        sum_named("tscout_samples_delivered_total"),
+        sum_named("tscout_ou_samples_delivered_total")
+    );
+    assert_eq!(
+        sum_named("tscout_samples_lost_total"),
+        sum_named("tscout_ou_samples_lost_total")
+    );
+
+    // And the per-OU identity holds for each OU individually.
+    let ous: std::collections::BTreeSet<String> = t.with_registry(|r| {
+        r.counters_named("tscout_ou_samples_begun_total")
+            .iter()
+            .flat_map(|(k, _)| k.labels.iter().map(|(_, v)| v.clone()))
+            .collect()
+    });
+    assert!(!ous.is_empty());
+    for ou in &ous {
+        let label = [("ou", ou.as_str())];
+        let begun = t.counter_value("tscout_ou_samples_begun_total", &label);
+        let delivered = t.counter_value("tscout_ou_samples_delivered_total", &label);
+        let lost: u64 = t.with_registry(|r| {
+            r.counters_named("tscout_ou_samples_lost_total")
+                .iter()
+                .filter(|(k, _)| k.labels.iter().any(|(n, v)| n == "ou" && v == ou))
+                .map(|(_, v)| *v)
+                .sum()
+        });
+        assert_eq!(
+            begun,
+            delivered + lost,
+            "OU {ou}: {begun} != {delivered} + {lost}"
+        );
+    }
+}
+
+#[test]
+fn generous_ring_loses_nothing() {
+    let db = pressured_run(1 << 20);
+    let ts = db.tscout().unwrap();
+    let totals = ts.loss_totals();
+    assert!(totals.begun > 0);
+    assert_eq!(totals.lost, 0, "a huge ring must not overwrite");
+    assert_eq!(totals.begun, totals.delivered);
+}
