@@ -17,4 +17,24 @@ cargo build --workspace --release
 echo "== cargo test =="
 cargo test --workspace -q
 
+echo "== observability artifact smoke (fig1, scaled down) =="
+CI_RESULTS=$(mktemp -d)
+trap 'rm -rf "$CI_RESULTS"' EXIT
+TS_SCALE=0.05 TS_RESULTS="$CI_RESULTS" \
+  cargo run -q --release -p tscout-bench --bin fig1_user_vs_kernel
+test -s "$CI_RESULTS/profile_fig1.folded" \
+  || { echo "FAIL: profile_fig1.folded missing or empty"; exit 1; }
+grep -q ';' "$CI_RESULTS/profile_fig1.folded" \
+  || { echo "FAIL: profile_fig1.folded has no multi-frame stacks"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 -m json.tool "$CI_RESULTS/timeseries_fig1.json" >/dev/null \
+    || { echo "FAIL: timeseries_fig1.json is not valid JSON"; exit 1; }
+else
+  grep -q '"timeseries"' "$CI_RESULTS/timeseries_fig1.json" \
+    || { echo "FAIL: timeseries_fig1.json missing timeseries key"; exit 1; }
+  grep -q '"attribution"' "$CI_RESULTS/timeseries_fig1.json" \
+    || { echo "FAIL: timeseries_fig1.json missing attribution key"; exit 1; }
+fi
+echo "observability artifacts OK"
+
 echo "CI gate passed."

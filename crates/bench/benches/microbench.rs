@@ -7,7 +7,9 @@
 //! target already had `harness = false`) so the workspace builds with no
 //! crates.io access. Each case is warmed up, then timed over enough
 //! iterations to smooth scheduler noise; results print as
-//! `name: ns/iter` lines, one per case.
+//! `name: ns/iter` lines, one per case, and the full set is written as
+//! machine-readable JSON to `BENCH_2.json` at the repo root (schema
+//! documented in README.md).
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -19,9 +21,13 @@ use tscout_bpf::vm::{NullWorld, Vm};
 use tscout_bpf::MapRegistry;
 use tscout_kernel::{HardwareProfile, Kernel};
 
-/// Time `f` and print mean ns/iter. Iteration counts are fixed per case
-/// (deterministic run time beats adaptive precision for CI use).
-fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+/// Collected `(case name, mean ns/iter)` results, in run order.
+type Results = Vec<(String, f64)>;
+
+/// Time `f`, print mean ns/iter, and record it. Iteration counts are
+/// fixed per case (deterministic run time beats adaptive precision for
+/// CI use).
+fn bench(out: &mut Results, name: &str, iters: u32, mut f: impl FnMut()) {
     for _ in 0..iters / 10 + 1 {
         f(); // warm-up
     }
@@ -31,9 +37,10 @@ fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
     }
     let ns = start.elapsed().as_nanos() as f64 / iters as f64;
     println!("{name}: {ns:.1} ns/iter");
+    out.push((name.to_string(), ns));
 }
 
-fn marker_triple() {
+fn marker_triple(out: &mut Results) {
     for (name, rate) in [("sampled", 100u8), ("unsampled", 0u8)] {
         let mut kernel = Kernel::new(HardwareProfile::server_2x20());
         let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
@@ -45,7 +52,7 @@ fn marker_triple() {
         let task = kernel.create_task();
         ts.register_thread(&mut kernel, task);
         let mut since_drain = 0u32;
-        bench(&format!("marker_triple/{name}"), 20_000, || {
+        bench(out, &format!("marker_triple/{name}"), 20_000, || {
             ts.ou_begin(&mut kernel, task, ou);
             ts.ou_end(&mut kernel, task, ou);
             ts.ou_features(&mut kernel, task, ou, black_box(&[100, 8]), &[4096]);
@@ -59,7 +66,7 @@ fn marker_triple() {
     }
 }
 
-fn bpf_vm() {
+fn bpf_vm(out: &mut Results) {
     use tscout::codegen::{encode_ctx, gen_begin, gen_end, ProbeLayout};
     let probes = ProbeLayout {
         cpu: true,
@@ -76,25 +83,25 @@ fn bpf_vm() {
     let ctx = encode_ctx(1, 42, 0, 0, &[]);
     let mut world = NullWorld::default();
 
-    bench("bpf_begin_end_pair", 20_000, || {
+    bench(out, "bpf_begin_end_pair", 20_000, || {
         Vm::run(&b_prog, &ctx, &mut maps, &mut world).unwrap();
         Vm::run(&e_prog, &ctx, &mut maps, &mut world).unwrap();
     });
 
-    bench("bpf_verify_collector", 2_000, || {
+    bench(out, "bpf_verify_collector", 2_000, || {
         tscout_bpf::verify(black_box(&e_prog), &maps, 296).unwrap();
     });
 }
 
-fn sampler() {
+fn sampler(out: &mut Results) {
     let mut s = tscout::Sampler::new(1);
     s.set_rate(Subsystem::ExecutionEngine, 10);
-    bench("sampler_decide", 200_000, || {
+    bench(out, "sampler_decide", 200_000, || {
         black_box(s.decide(black_box(3), Subsystem::ExecutionEngine));
     });
 }
 
-fn indexes() {
+fn indexes(out: &mut Results) {
     use noisetap::storage::SlotId;
     let mut btree = noisetap::index::BTreeIndex::new();
     let mut hash = noisetap::index::HashIndex::new();
@@ -103,20 +110,20 @@ fn indexes() {
         hash.insert(vec![Value::Int(i)], SlotId(i as u64));
     }
     let key = vec![Value::Int(54_321)];
-    bench("btree_point_lookup_100k", 100_000, || {
+    bench(out, "btree_point_lookup_100k", 100_000, || {
         black_box(btree.get(black_box(&key)));
     });
-    bench("hash_point_lookup_100k", 100_000, || {
+    bench(out, "hash_point_lookup_100k", 100_000, || {
         black_box(hash.get(black_box(&key)));
     });
     let lo = vec![Value::Int(50_000)];
     let hi = vec![Value::Int(50_100)];
-    bench("btree_range_100", 20_000, || {
+    bench(out, "btree_range_100", 20_000, || {
         black_box(btree.range(Some(black_box(&lo)), Some(black_box(&hi))));
     });
 }
 
-fn records() {
+fn records(out: &mut Results) {
     let rec = tscout::RawRecord {
         ou: 3,
         tid: 7,
@@ -128,15 +135,15 @@ fn records() {
         payload: vec![2; 8],
     };
     let bytes = tscout::encode_record(&rec);
-    bench("record_encode", 100_000, || {
+    bench(out, "record_encode", 100_000, || {
         black_box(tscout::encode_record(black_box(&rec)));
     });
-    bench("record_decode", 100_000, || {
+    bench(out, "record_decode", 100_000, || {
         black_box(tscout::decode_record(black_box(&bytes)).unwrap());
     });
 }
 
-fn sql() {
+fn sql(out: &mut Results) {
     let mut db = noisetap::Database::new(Kernel::new(HardwareProfile::server_2x20()));
     let sid = db.create_session();
     db.execute(sid, "CREATE TABLE t (id INT PRIMARY KEY, v FLOAT)", &[])
@@ -151,14 +158,14 @@ fn sql() {
     }
     let q = db.prepare("SELECT v FROM t WHERE id = $1").unwrap();
     let mut i = 0i64;
-    bench("db_point_query_prepared", 20_000, || {
+    bench(out, "db_point_query_prepared", 20_000, || {
         i = (i + 1) % 10_000;
         black_box(
             db.execute_prepared(sid, q, black_box(&[Value::Int(i)]))
                 .unwrap(),
         );
     });
-    bench("sql_parse_plan", 20_000, || {
+    bench(out, "sql_parse_plan", 20_000, || {
         black_box(
             noisetap::sql::parser::parse(black_box(
                 "SELECT a, count(*) FROM t WHERE id BETWEEN 1 AND 100 GROUP BY a",
@@ -168,11 +175,31 @@ fn sql() {
     });
 }
 
+/// Render the results as the `BENCH_2.json` document:
+/// `{"<case>": {"ns_per_op": N, "samples_per_sec": N}, ...}`.
+fn to_json(results: &Results) -> String {
+    let mut s = String::from("{\n");
+    for (i, (name, ns)) in results.iter().enumerate() {
+        let per_sec = if *ns > 0.0 { 1e9 / ns } else { 0.0 };
+        s.push_str(&format!(
+            "  \"{name}\": {{\"ns_per_op\": {ns:.1}, \"samples_per_sec\": {per_sec:.1}}}"
+        ));
+        s.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("}\n");
+    s
+}
+
 fn main() {
-    marker_triple();
-    bpf_vm();
-    sampler();
-    indexes();
-    records();
-    sql();
+    let mut out = Results::new();
+    marker_triple(&mut out);
+    bpf_vm(&mut out);
+    sampler(&mut out);
+    indexes(&mut out);
+    records(&mut out);
+    sql(&mut out);
+    // Machine-readable results at the repo root (next to Cargo.lock).
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
+    std::fs::write(path, to_json(&out)).expect("cannot write BENCH_2.json");
+    println!("bench results -> {path}");
 }

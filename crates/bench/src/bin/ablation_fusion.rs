@@ -8,7 +8,7 @@
 use noisetap::EngineMode;
 use tscout::{CollectionMode, Subsystem};
 use tscout_bench::{
-    absorb_db, attach_collect, dump_telemetry, new_db, subsystem_error_us, time_scale, Csv,
+    absorb_db, attach_collect, dump_observability, new_db, subsystem_error_us, time_scale, Csv,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_models::dataset::OuData;
@@ -55,5 +55,5 @@ fn main() {
     println!(
         "# expectation: fused mode fires fewer markers but its de-aggregated data models worse"
     );
-    dump_telemetry("ablation_fusion");
+    dump_observability("ablation_fusion");
 }

@@ -6,7 +6,7 @@
 //! latency than other transactions." Same mean overhead, worse tail.
 
 use tscout::CollectionMode;
-use tscout_bench::{absorb_db, attach_all, dump_telemetry, new_db, time_scale, Csv};
+use tscout_bench::{absorb_db, attach_all, dump_observability, new_db, time_scale, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions};
 use tscout_workloads::{Workload, Ycsb};
@@ -53,5 +53,5 @@ fn main() {
     println!(
         "# expectation: similar p50/throughput; contiguous bits inflate p99 (bursty sampling)"
     );
-    dump_telemetry("ablation_sampling_shuffle");
+    dump_observability("ablation_sampling_shuffle");
 }

@@ -10,7 +10,7 @@
 //! hardest to model.
 
 use tscout_bench::{
-    absorb_db, attach_collect, cap_points, dump_telemetry, merge_data, new_db, offline_data,
+    absorb_db, attach_collect, cap_points, dump_observability, merge_data, new_db, offline_data,
     subsystem_error_us, time_scale, total_points, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
@@ -61,5 +61,5 @@ fn main() {
         }
     }
     println!("# paper shape: online data converges toward much lower error than offline-only");
-    dump_telemetry("fig10");
+    dump_observability("fig10");
 }

@@ -11,7 +11,7 @@
 
 use tscout::Subsystem;
 use tscout_bench::{
-    absorb_db, attach_collect, cap_points, dump_telemetry, merge_data, new_db, offline_data,
+    absorb_db, attach_collect, cap_points, dump_observability, merge_data, new_db, offline_data,
     subsystem_error_us, time_scale, Csv,
 };
 use tscout_kernel::HardwareProfile;
@@ -60,5 +60,5 @@ fn main() {
         }
     }
     println!("# paper shape: offline error grows with terminals; reduction reaches >90% at 20");
-    dump_telemetry("fig11");
+    dump_observability("fig11");
 }

@@ -11,8 +11,8 @@
 //! storage device, so models trained on the slow device overshoot).
 
 use tscout_bench::{
-    absorb_db, attach_collect, dump_telemetry, merge_data, new_db, offline_data, split_for_eval,
-    subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, dump_observability, merge_data, new_db, offline_data,
+    split_for_eval, subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_models::dataset::OuData;
@@ -105,5 +105,5 @@ fn main() {
         ));
     }
     println!("# paper shape: online >= offline almost everywhere; disk_writer/larger_hw is the exception");
-    dump_telemetry("fig12");
+    dump_observability("fig12");
 }

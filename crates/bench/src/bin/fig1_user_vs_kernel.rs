@@ -9,7 +9,7 @@
 //! one mode switch per marker instead of multiple toggling syscalls.
 
 use tscout::CollectionMode;
-use tscout_bench::{absorb_db, attach_all, dump_telemetry, new_db, time_scale, Csv};
+use tscout_bench::{absorb_db, attach_all, dump_observability, new_db, time_scale, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions};
 use tscout_workloads::{Tpcc, Workload};
@@ -46,5 +46,5 @@ fn main() {
         csv.row(&format!("{name},{v:.3}"));
     }
     println!("# paper shape: no_metrics < kernel_space < user_space");
-    dump_telemetry("fig1");
+    dump_observability("fig1");
 }

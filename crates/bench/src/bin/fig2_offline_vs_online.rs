@@ -11,8 +11,8 @@
 //! runners cannot reproduce.
 
 use tscout_bench::{
-    absorb_db, attach_collect, dump_telemetry, merge_data, new_db, offline_data, split_for_eval,
-    subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
+    absorb_db, attach_collect, dump_observability, merge_data, new_db, offline_data,
+    split_for_eval, subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
 use tscout_models::eval::error_reduction_pct;
@@ -59,5 +59,5 @@ fn main() {
         ));
     }
     println!("# paper shape: log_serializer & disk_writer reductions >> execution_engine");
-    dump_telemetry("fig2");
+    dump_observability("fig2");
 }

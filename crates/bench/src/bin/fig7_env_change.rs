@@ -13,7 +13,7 @@
 //! invisible, §6.4).
 
 use tscout_bench::{
-    absorb_db, attach_collect, dump_telemetry, merge_data, new_db, offline_data,
+    absorb_db, attach_collect, dump_observability, merge_data, new_db, offline_data,
     subsystem_error_us, time_scale, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
@@ -76,5 +76,5 @@ fn main() {
         }
     }
     println!("# paper shape: disk_writer and log_serializer improve most after migration");
-    dump_telemetry("fig7");
+    dump_observability("fig7");
 }

@@ -8,7 +8,7 @@
 //! data).
 
 use tscout::{CollectionMode, Subsystem};
-use tscout_bench::{absorb_db, attach_all, dump_telemetry, new_db, set_rates, time_scale, Csv};
+use tscout_bench::{absorb_db, attach_all, dump_observability, new_db, set_rates, time_scale, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions, RunStats};
 use tscout_workloads::{Workload, Ycsb};
@@ -97,5 +97,5 @@ fn main() {
     );
     println!("# paper shape: ~7% dip in phase 2, recovery in phase 3 (read-only workload)");
     absorb_db(&db);
-    dump_telemetry("fig8");
+    dump_observability("fig8");
 }

@@ -12,7 +12,7 @@
 //! narrow online data to add).
 
 use tscout_bench::{
-    absorb_db, attach_collect, cap_points, dump_telemetry, merge_data, new_db, offline_data,
+    absorb_db, attach_collect, cap_points, dump_observability, merge_data, new_db, offline_data,
     subsystem_error_us, time_scale, total_points, Csv, REPORTED_SUBSYSTEMS,
 };
 use tscout_kernel::HardwareProfile;
@@ -63,5 +63,5 @@ fn main() {
         }
     }
     println!("# paper shape: WAL subsystems converge by ~40-70k points; networking flat");
-    dump_telemetry("fig9");
+    dump_observability("fig9");
 }

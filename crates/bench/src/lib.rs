@@ -20,7 +20,7 @@ use tscout_kernel::{HardwareProfile, Kernel};
 use tscout_models::dataset::OuData;
 use tscout_models::eval::{avg_abs_error_per_template_us, OuModelSet};
 use tscout_models::ModelKind;
-use tscout_telemetry::Telemetry;
+use tscout_telemetry::{Profiler, Telemetry, DEFAULT_PROFILE_PERIOD_NS};
 use tscout_workloads::driver::{collect_datasets, RunOptions, RunStats, Workload};
 use tscout_workloads::{ChBenchmark, OfflineRunner, SmallBank, Tatp, Tpcc, Ycsb};
 
@@ -48,19 +48,62 @@ pub fn global_telemetry() -> &'static Telemetry {
     T.get_or_init(Telemetry::default)
 }
 
-/// Fold a database's registry (counters, gauges, histograms, spans) into
-/// the process-wide accumulator. Call before the database drops.
+/// Process-wide profiler accumulator, mirroring [`global_telemetry`]:
+/// every database's samples are absorbed here so the folded-stack and
+/// attribution artifacts cover the whole experiment.
+pub fn global_profiler() -> &'static Profiler {
+    static P: OnceLock<Profiler> = OnceLock::new();
+    P.get_or_init(Profiler::default)
+}
+
+/// Profiling interrupt period: `TS_PROFILE_PERIOD_NS` overrides (<= 0
+/// disables the profiler entirely).
+pub fn profile_period_ns() -> f64 {
+    std::env::var("TS_PROFILE_PERIOD_NS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_PROFILE_PERIOD_NS)
+}
+
+/// Fold a database's registry (counters, gauges, histograms, spans) and
+/// profiler samples into the process-wide accumulators. Call before the
+/// database drops.
 pub fn absorb_db(db: &Database) {
     global_telemetry().absorb(&db.kernel.telemetry);
+    global_profiler().absorb(&db.kernel.profiler);
 }
 
 /// Write the accumulated telemetry snapshot to
-/// `results/telemetry_<fig>.json`. Every figure binary calls this last.
+/// `results/telemetry_<fig>.json`.
 pub fn dump_telemetry(fig: &str) -> PathBuf {
     let path = result_path(&format!("telemetry_{fig}.json"));
     std::fs::write(&path, global_telemetry().snapshot_json())
         .expect("cannot write telemetry snapshot");
     println!("telemetry snapshot -> {}", path.display());
+    path
+}
+
+/// Write every observability artifact for a figure binary: the telemetry
+/// snapshot, the flamegraph-ready folded stacks
+/// (`results/profile_<fig>.folded`), and the windowed time-series plus
+/// per-root overhead attribution (`results/timeseries_<fig>.json`).
+/// Every figure binary calls this last.
+pub fn dump_observability(fig: &str) -> PathBuf {
+    let path = dump_telemetry(fig);
+
+    let folded_path = result_path(&format!("profile_{fig}.folded"));
+    std::fs::write(&folded_path, global_profiler().folded_text())
+        .expect("cannot write folded profile");
+    println!("folded profile -> {}", folded_path.display());
+
+    let ts_path = result_path(&format!("timeseries_{fig}.json"));
+    let json = format!(
+        "{{\n\"timeseries\": {},\n\"attribution\": {}\n}}\n",
+        global_telemetry().timeseries_json(),
+        global_profiler().attribution().to_json()
+    );
+    std::fs::write(&ts_path, json).expect("cannot write timeseries snapshot");
+    println!("timeseries snapshot -> {}", ts_path.display());
     path
 }
 
@@ -92,9 +135,12 @@ impl Drop for Csv {
     }
 }
 
-/// Build a fresh DBMS on the given hardware.
+/// Build a fresh DBMS on the given hardware, with the sampling profiler
+/// armed at the configured period.
 pub fn new_db(hw: HardwareProfile, seed: u64) -> Database {
-    Database::new(Kernel::with_seed(hw, seed))
+    let mut kernel = Kernel::with_seed(hw, seed);
+    kernel.set_profile_period_ns(profile_period_ns());
+    Database::new(kernel)
 }
 
 /// Deploy TScout in a collection mode with all subsystems enabled at the

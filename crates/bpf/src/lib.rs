@@ -26,8 +26,9 @@
 //! * [`loader`] — load → verify → attach lifecycle, including detach and
 //!   reload for dynamic feature selection (paper §5.4).
 //!
-//! The crate is deliberately self-contained (no dependencies) so the
-//! verifier and interpreter can be property-tested in isolation.
+//! The crate is deliberately self-contained (its only dependency is the
+//! zero-dep in-workspace telemetry crate, for profiler frame guards) so
+//! the verifier and interpreter can be property-tested in isolation.
 
 pub mod asm;
 pub mod insn;

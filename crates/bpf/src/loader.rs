@@ -7,6 +7,8 @@
 //! selection (§5.4: "TS can dynamically unload BPF programs, modify them,
 //! and reload them").
 
+use tscout_telemetry::{FrameGuard, Profiler};
+
 use crate::insn::Insn;
 use crate::maps::MapRegistry;
 use crate::verifier::{verify_with_stats, VerifyError, VerifyStats};
@@ -47,6 +49,10 @@ pub struct Loader {
     progs: Vec<Option<LoadedProg>>,
     verify_totals: VerifyStats,
     verify_runs: u64,
+    /// Optional sampling profiler for program-entry frames (the loader
+    /// stays kernel-agnostic: the handle is injected by whoever owns
+    /// both, e.g. TScout at attach time).
+    profiler: Option<Profiler>,
 }
 
 impl Loader {
@@ -102,6 +108,24 @@ impl Loader {
     /// Number of currently loaded programs.
     pub fn loaded_count(&self) -> usize {
         self.progs.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Inject a sampling profiler so program executions can be
+    /// attributed in folded stacks (see [`Loader::profile_scope`]).
+    pub fn set_profiler(&mut self, profiler: Profiler) {
+        self.profiler = Some(profiler);
+    }
+
+    /// Push a `bpf:prog:<name>` frame for `task` onto the injected
+    /// profiler, returning its pop-on-drop guard. `None` when no
+    /// profiler is injected or the program is not loaded; callers hold
+    /// the guard across the program's execution *and* the charge for it
+    /// (the VM itself runs in zero virtual time — its instruction cost
+    /// is charged by the caller afterwards).
+    pub fn profile_scope(&self, task: usize, id: ProgId) -> Option<FrameGuard> {
+        let profiler = self.profiler.as_ref()?;
+        let prog = self.get(id)?;
+        Some(profiler.push_frame_lazy(task, false, || format!("bpf:prog:{}", prog.name)))
     }
 
     /// Execute a loaded program against a context payload.
@@ -177,6 +201,28 @@ mod tests {
         let id2 = l.load("t2", trivial(), 0).unwrap();
         assert_ne!(id, id2);
         assert_eq!(l.loaded_count(), 1);
+    }
+
+    #[test]
+    fn profile_scope_attributes_program_executions() {
+        let mut l = Loader::new();
+        let id = l.load("begin_ee", trivial(), 0).unwrap();
+        // No profiler injected yet.
+        assert!(l.profile_scope(0, id).is_none());
+        let p = Profiler::new();
+        p.set_period_ns(10.0);
+        l.set_profiler(p.clone());
+        assert!(l.profile_scope(0, id + 99).is_none()); // unknown prog
+        {
+            let _frame = l.profile_scope(0, id).unwrap();
+            let mut w = NullWorld::default();
+            l.run(id, &[], &mut w).unwrap();
+            p.on_charge(0, 25.0); // the caller charging the VM's cost
+        }
+        let folded = p.folded();
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].0, "bpf:prog:begin_ee");
+        assert_eq!(folded[0].1.samples, 2);
     }
 
     #[test]

@@ -271,12 +271,18 @@ impl HelperWorld for KernelWorld<'_> {
     fn perf_event_read(&mut self, idx: u64) -> Option<[u64; 3]> {
         let kind = tscout_kernel::CounterKind::from_index(idx as usize)?;
         let ns = self.k.cost.pmu_read_kernel_ns;
+        let _f = self
+            .k
+            .profile_frame(self.task, "helper:perf_event_read", false);
         self.k.charge_overhead(self.task, ns);
         let r = self.k.task(self.task).pmu.read(kind);
         Some([r.value, r.time_enabled, r.time_running])
     }
 
     fn read_task_io(&mut self) -> [u64; 4] {
+        let _f = self
+            .k
+            .profile_frame(self.task, "helper:read_task_io", false);
         self.k.charge_overhead(self.task, 35.0);
         let io = self.k.task(self.task).ioac;
         [
@@ -288,6 +294,9 @@ impl HelperWorld for KernelWorld<'_> {
     }
 
     fn read_tcp_sock(&mut self) -> [u64; 4] {
+        let _f = self
+            .k
+            .profile_frame(self.task, "helper:read_tcp_sock", false);
         self.k.charge_overhead(self.task, 35.0);
         let t = self.k.task(self.task).tcp;
         [t.bytes_sent, t.bytes_received, t.segs_out, t.segs_in]
@@ -298,6 +307,9 @@ impl TScout {
     /// Setup Phase: codegen, verify, load, and attach the Collector.
     pub fn deploy(kernel: &mut Kernel, config: TsConfig) -> Result<TScout, TsError> {
         let mut loader = Loader::new();
+        // Program executions show up in folded profiles as
+        // `bpf:prog:<name>` frames when the kernel's profiler is enabled.
+        loader.set_profiler(kernel.profiler.clone());
         let ring = loader.maps.create(MapDef::perf_event_array(
             "tscout_ring",
             config.ring_capacity,
@@ -560,6 +572,11 @@ impl TScout {
         self.stats.marker_events += 1;
         self.telemetry
             .counter_inc("tscout_marker_events_total", &[("marker", "begin")]);
+        // Root frame: marker handling is collection-side work, so its
+        // virtual time re-bases under `tscout;...` even though it runs
+        // in the middle of a DBMS stack.
+        let _root = k.profile_frame(task, "tscout", true);
+        let _marker = k.profile_frame(task, "collector:begin", false);
         k.charge_overhead(task, k.cost.sampling_check_ns);
         let Some(def) = self.registry.get(ou) else {
             return;
@@ -612,6 +629,8 @@ impl TScout {
         self.stats.marker_events += 1;
         self.telemetry
             .counter_inc("tscout_marker_events_total", &[("marker", "end")]);
+        let _root = k.profile_frame(task, "tscout", true);
+        let _marker = k.profile_frame(task, "collector:end", false);
         k.charge_overhead(task, k.cost.sampling_check_ns);
         let ok = matches!(
             self.tasks.get(&task).and_then(|t| t.inflight.last()),
@@ -705,6 +724,8 @@ impl TScout {
         self.stats.marker_events += 1;
         self.telemetry
             .counter_inc("tscout_marker_events_total", &[("marker", "features")]);
+        let _root = k.profile_frame(task, "tscout", true);
+        let _marker = k.profile_frame(task, "collector:features", false);
         k.charge_overhead(task, k.cost.sampling_check_ns);
         let ok = matches!(
             self.tasks.get(&task).and_then(|t| t.inflight.last()),
@@ -833,6 +854,7 @@ impl TScout {
     /// which is what caps the user-space methods' aggregate data rate at
     /// roughly `1 / user_emit_lock_ns` (Fig. 6).
     fn emit_user(&mut self, k: &mut Kernel, task: TaskId, rec: &RawRecord) {
+        let _frame = k.profile_frame(task, "emit:user", false);
         // The emitting thread pays an asynchronous hand-off (write syscall
         // + record copy into the staging buffer)...
         k.syscall(task, SyscallKind::Generic);
@@ -889,6 +911,10 @@ impl TScout {
         );
         let mut result = 0;
         for prog in progs {
+            // Held across both the VM run (helper charges land inside)
+            // and the post-run instruction-cost charge below.
+            let _prog_frame = self.loader.profile_scope(task.0 as usize, prog);
+            let _vm_frame = k.profile_frame(task, "bpf:vm", false);
             let run = {
                 let mut world = KernelWorld { k, task };
                 self.loader.run(prog, &ctx, &mut world)

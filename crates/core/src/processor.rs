@@ -84,6 +84,8 @@ impl Processor {
     /// `1 / processor_per_sample_ns` samples per second — the Fig. 6
     /// plateau.
     pub fn poll(&mut self, kernel: &mut Kernel, ts: &mut TScout, until_ns: f64) -> usize {
+        let _root = kernel.profile_frame(self.task, "tscout", true);
+        let _frame = kernel.profile_frame(self.task, "processor:poll", false);
         let start_ns = kernel.now(self.task);
         let mut n = 0;
         while kernel.now(self.task) < until_ns {
@@ -106,6 +108,8 @@ impl Processor {
     /// Drain and process everything regardless of virtual time (offline
     /// analysis / end-of-run flush). Still charges the Processor's task.
     pub fn drain_all(&mut self, kernel: &mut Kernel, ts: &mut TScout) -> usize {
+        let _root = kernel.profile_frame(self.task, "tscout", true);
+        let _frame = kernel.profile_frame(self.task, "processor:drain", false);
         let start_ns = kernel.now(self.task);
         let mut n = 0;
         loop {

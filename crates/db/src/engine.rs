@@ -226,6 +226,8 @@ impl Database {
             .take()
             .ok_or(DbError::NoTransaction)?;
         let task = self.sessions[sid.0].task;
+        let _root = self.kernel.profile_frame(task, "dbms", true);
+        let _ou = self.kernel.profile_frame(task, "ou:txn_commit", false);
         let (commit_ts, writes) = self.txns.commit(txn);
         for w in &writes {
             self.tables[w.table.0 as usize].commit_slot(w.slot, txn.id, commit_ts);
@@ -286,6 +288,9 @@ impl Database {
         plan: &Plan,
         params: &[Value],
     ) -> Result<ExecOutcome, DbError> {
+        let _root = self
+            .kernel
+            .profile_frame(self.sessions[sid.0].task, "dbms", true);
         match plan {
             Plan::Begin => {
                 self.begin(sid);
@@ -446,6 +451,7 @@ impl Database {
         params: &[Value],
     ) -> Result<ExecOutcome, DbError> {
         let task = self.sessions[sid.0].task;
+        let _root = self.kernel.profile_frame(task, "dbms", true);
         let pmu_tax = self.ts.as_ref().map(|t| t.pmu_cs_tax()).unwrap_or(false);
         let req_start_ns = self.kernel.now(task);
         let req_bytes = (32 + params.iter().map(Value::byte_size).sum::<usize>()) as u64;
@@ -453,16 +459,19 @@ impl Database {
         // NETWORK_READ: the request arrives.
         self.kernel.context_switch(task, pmu_tax);
         let feats = vec![req_bytes, 1];
-        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
-            ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::NetworkRead));
-        }
-        self.kernel.net_recv(task, req_bytes);
-        let w = work_for(EngineOu::NetworkRead, &feats);
-        self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
-        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
-            let id = ous.id(EngineOu::NetworkRead);
-            ts.ou_end(&mut self.kernel, task, id);
-            ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
+        {
+            let _ou = self.kernel.profile_frame(task, "ou:network_read", false);
+            if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+                ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::NetworkRead));
+            }
+            self.kernel.net_recv(task, req_bytes);
+            let w = work_for(EngineOu::NetworkRead, &feats);
+            self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
+            if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+                let id = ous.id(EngineOu::NetworkRead);
+                ts.ou_end(&mut self.kernel, task, id);
+                ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
+            }
         }
 
         let result = self.execute_prepared(sid, stmt, params);
@@ -473,16 +482,19 @@ impl Database {
             Err(_) => 64,
         };
         let feats = vec![resp_bytes, 1];
-        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
-            ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::NetworkWrite));
-        }
-        self.kernel.net_send(task, resp_bytes);
-        let w = work_for(EngineOu::NetworkWrite, &feats);
-        self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
-        if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
-            let id = ous.id(EngineOu::NetworkWrite);
-            ts.ou_end(&mut self.kernel, task, id);
-            ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
+        {
+            let _ou = self.kernel.profile_frame(task, "ou:network_write", false);
+            if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+                ts.ou_begin(&mut self.kernel, task, ous.id(EngineOu::NetworkWrite));
+            }
+            self.kernel.net_send(task, resp_bytes);
+            let w = work_for(EngineOu::NetworkWrite, &feats);
+            self.kernel.charge_cpu(task, w.instructions, w.ws_bytes);
+            if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
+                let id = ous.id(EngineOu::NetworkWrite);
+                ts.ou_end(&mut self.kernel, task, id);
+                ts.ou_features(&mut self.kernel, task, id, &feats, &[w.mem_bytes]);
+            }
         }
         self.kernel.context_switch(task, pmu_tax);
         let dur = self.kernel.now(task) - req_start_ns;
@@ -514,6 +526,10 @@ impl Database {
 
     /// One GC sweep over all tables (GC_SWEEP OU). Returns versions pruned.
     pub fn run_gc(&mut self) -> u64 {
+        let _root = self.kernel.profile_frame(self.gc_task, "dbms", true);
+        let _ou = self
+            .kernel
+            .profile_frame(self.gc_task, "ou:gc_sweep", false);
         let oldest = self.txns.oldest_read_ts();
         if let (Some(ts), Some(ous)) = (self.ts.as_mut(), self.ous.as_ref()) {
             ts.ou_begin(&mut self.kernel, self.gc_task, ous.id(EngineOu::GcSweep));

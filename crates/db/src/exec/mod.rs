@@ -126,6 +126,9 @@ impl<'a> ExecCtx<'a> {
 
     /// Charge the OU's modeled work; returns its memory-probe bytes.
     fn charge(&mut self, eou: EngineOu, features: &[u64]) -> u64 {
+        let _frame = self
+            .kernel
+            .profile_frame_lazy(self.task, false, || format!("ou:{}", eou.name()));
         let w = work_for(eou, features);
         self.kernel
             .charge_cpu(self.task, w.instructions, w.ws_bytes);
@@ -243,6 +246,7 @@ fn exec_query(
     root: &PlanNode,
     params: &[Value],
 ) -> Result<ExecOutcome, ExecError> {
+    let _pipeline_frame = ctx.kernel.profile_frame(ctx.task, "pipeline", false);
     let fused = ctx.mode == EngineMode::Fused && ctx.ts.is_some();
     let pipeline_id = ctx.ous.map(|o| o.id(EngineOu::Pipeline));
     if fused {

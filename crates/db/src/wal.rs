@@ -81,6 +81,8 @@ impl Wal {
         ous: Option<&OuMap>,
         until_ns: f64,
     ) -> usize {
+        let _root = kernel.profile_frame(self.task, "dbms", true);
+        let _wal = kernel.profile_frame(self.task, "wal", false);
         let mut batches = 0;
         loop {
             let Some(first) = self.queue.front() else {
@@ -120,19 +122,23 @@ impl Wal {
 
             // --- Log serializer OU ---
             let ser_feats = vec![records, bytes];
-            if let (Some(ts), Some(ous)) = (ts.as_deref_mut(), ous) {
-                ts.ou_begin(kernel, self.task, ous.id(EngineOu::LogSerialize));
-            }
-            let w = work_for(EngineOu::LogSerialize, &ser_feats);
-            kernel.charge_cpu(self.task, w.instructions, w.ws_bytes);
-            if let (Some(ts), Some(ous)) = (ts.as_deref_mut(), ous) {
-                let id = ous.id(EngineOu::LogSerialize);
-                ts.ou_end(kernel, self.task, id);
-                ts.ou_features(kernel, self.task, id, &ser_feats, &[w.mem_bytes]);
+            {
+                let _ou = kernel.profile_frame(self.task, "ou:log_serialize", false);
+                if let (Some(ts), Some(ous)) = (ts.as_deref_mut(), ous) {
+                    ts.ou_begin(kernel, self.task, ous.id(EngineOu::LogSerialize));
+                }
+                let w = work_for(EngineOu::LogSerialize, &ser_feats);
+                kernel.charge_cpu(self.task, w.instructions, w.ws_bytes);
+                if let (Some(ts), Some(ous)) = (ts.as_deref_mut(), ous) {
+                    let id = ous.id(EngineOu::LogSerialize);
+                    ts.ou_end(kernel, self.task, id);
+                    ts.ou_features(kernel, self.task, id, &ser_feats, &[w.mem_bytes]);
+                }
             }
 
             // --- Disk writer OU ---
             let io_feats = vec![bytes, 1];
+            let disk_frame = kernel.profile_frame(self.task, "ou:disk_write", false);
             if let (Some(ts), Some(ous)) = (ts.as_deref_mut(), ous) {
                 ts.ou_begin(kernel, self.task, ous.id(EngineOu::DiskWrite));
             }
@@ -146,6 +152,7 @@ impl Wal {
                 ts.ou_end(kernel, self.task, id);
                 ts.ou_features(kernel, self.task, id, &io_feats, &[0]);
             }
+            drop(disk_frame);
 
             self.flushed_batches += 1;
             self.flushed_records += records;

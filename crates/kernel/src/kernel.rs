@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use tscout_telemetry::Telemetry;
+use tscout_telemetry::{FrameGuard, Profiler, Telemetry};
 
 use crate::cost::CostModel;
 use crate::hw::HardwareProfile;
@@ -81,6 +81,11 @@ pub struct Kernel {
     /// handle; TScout, the Processor, and the DBMS clone it at construction
     /// so one snapshot covers the whole simulated world.
     pub telemetry: Telemetry,
+    /// Virtual-clock sampling profiler (see [`Profiler`]). Disabled by
+    /// default (zero period); the bench harness enables it via
+    /// [`Kernel::set_profile_period_ns`]. Every charge feeds it, so when
+    /// enabled, folded samples account for all charged virtual time.
+    pub profiler: Profiler,
 }
 
 impl Kernel {
@@ -100,7 +105,33 @@ impl Kernel {
             noise_frac: 0.03,
             runnable: 1,
             telemetry: Telemetry::default(),
+            profiler: Profiler::default(),
         }
+    }
+
+    /// Enable the sampling profiler with one interrupt per `period_ns`
+    /// of charged virtual time (`<= 0` disables it).
+    pub fn set_profile_period_ns(&mut self, period_ns: f64) {
+        self.profiler.set_period_ns(period_ns);
+    }
+
+    /// Push a profiler frame for `id`'s execution context; the frame
+    /// pops when the returned guard drops. `root` re-bases attribution
+    /// at this frame (collection-side work pushes a `tscout` root so its
+    /// overhead never folds under the DBMS stack it interrupted).
+    pub fn profile_frame(&self, id: TaskId, name: &str, root: bool) -> FrameGuard {
+        self.profiler.push_frame(id.0 as usize, name, root)
+    }
+
+    /// [`Kernel::profile_frame`] with a lazily-built name — use on hot
+    /// paths where the name is a `format!`.
+    pub fn profile_frame_lazy(
+        &self,
+        id: TaskId,
+        root: bool,
+        name: impl FnOnce() -> String,
+    ) -> FrameGuard {
+        self.profiler.push_frame_lazy(id.0 as usize, root, name)
     }
 
     // ------------------------------------------------------------------
@@ -199,6 +230,10 @@ impl Kernel {
         let t = self.task_mut(id);
         t.pmu.charge(&delta, ns);
         t.clock_ns += ns;
+        // The profiling interrupt source: observes the charge, never
+        // alters it. Idle waits (`advance`/`advance_to`) are not work
+        // and are deliberately not sampled.
+        self.profiler.on_charge(id.0 as usize, ns);
         ns
     }
 
@@ -215,6 +250,7 @@ impl Kernel {
         let t = self.task_mut(id);
         t.pmu.charge(&delta, ns);
         t.clock_ns += ns;
+        self.profiler.on_charge(id.0 as usize, ns);
         ns
     }
 
@@ -542,6 +578,39 @@ mod tests {
             .unwrap();
         assert_eq!(wal.count, 1);
         assert!(wal.max > 0.0);
+    }
+
+    #[test]
+    fn profiler_samples_charges_without_altering_them() {
+        let mut with = kernel();
+        let mut without = kernel();
+        with.set_profile_period_ns(50.0);
+        let a = with.create_task();
+        let b = without.create_task();
+        let guard = with.profile_frame(a, "dbms", true);
+        let ns_with = with.charge_cpu(a, 100_000.0, 1 << 16) + with.charge_overhead(a, 777.0);
+        drop(guard);
+        let ns_without =
+            without.charge_cpu(b, 100_000.0, 1 << 16) + without.charge_overhead(b, 777.0);
+        // Identical charges whether or not the profiler observes them.
+        assert_eq!(ns_with, ns_without);
+        let fired = with.profiler.interrupts_fired();
+        assert_eq!(fired, (ns_with / 50.0).floor() as u64);
+        let folded = with.profiler.folded();
+        assert_eq!(folded.len(), 1);
+        assert_eq!(folded[0].0, "dbms");
+        assert_eq!(folded[0].1.samples, fired);
+        assert_eq!(without.profiler.interrupts_fired(), 0);
+    }
+
+    #[test]
+    fn idle_waits_are_not_sampled() {
+        let mut k = kernel();
+        k.set_profile_period_ns(10.0);
+        let t = k.create_task();
+        k.advance(t, 1_000.0);
+        k.advance_to(t, 5_000.0);
+        assert_eq!(k.profiler.interrupts_fired(), 0);
     }
 
     #[test]

@@ -41,6 +41,9 @@ pub mod tracepoint;
 pub use cost::CostModel;
 pub use hw::{HardwareProfile, StorageDevice};
 pub use kernel::{Kernel, SyscallKind};
+// Re-export the profiler surface so instrumented crates can name frame
+// guards and read folded profiles without a direct telemetry dep.
 pub use pmu::{CounterKind, Pmu, PmuReading, ALL_COUNTERS};
 pub use task::{Ioac, TaskId, TaskStruct, TcpSock};
 pub use tracepoint::{Tracepoint, TracepointArgs, TracepointId};
+pub use tscout_telemetry::{Attribution, FrameGuard, Profiler, DEFAULT_PROFILE_PERIOD_NS};

@@ -104,14 +104,15 @@ impl Histogram {
         }
     }
 
-    /// Estimate the `q`-quantile (q in [0,1]) from the buckets. The
-    /// estimate is clamped to the observed min/max so tails of sparse
-    /// histograms stay honest.
+    /// Estimate the `q`-quantile from the buckets. `q` outside [0,1]
+    /// is clamped and a NaN `q` is treated as 0.0; an empty histogram
+    /// always reports 0.0. The estimate is clamped to the observed
+    /// min/max so tails of sparse histograms stay honest.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let q = q.clamp(0.0, 1.0);
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
         // Rank of the target observation, 1-based.
         let rank = ((q * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -238,6 +239,60 @@ mod tests {
         assert_eq!(s.count, 0);
         assert_eq!(s.p50, 0.0);
         assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn empty_quantiles_are_zero_for_any_q() {
+        let h = Histogram::default();
+        for q in [0.0, 0.5, 1.0, -3.0, 42.0, f64::NAN, f64::INFINITY] {
+            assert_eq!(h.quantile(q), 0.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_and_nan_q_are_clamped() {
+        let mut h = Histogram::default();
+        h.record(10.0);
+        h.record(20.0);
+        h.record(30.0);
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
+        assert_eq!(h.quantile(f64::NAN), h.quantile(0.0));
+        assert!(h.quantile(1.5).is_finite());
+    }
+
+    #[test]
+    fn single_sample_quantiles_all_collapse() {
+        let mut h = Histogram::default();
+        h.record(123.0);
+        for q in [-0.5, 0.0, 0.25, 0.5, 0.99, 1.0, 7.0] {
+            assert_eq!(h.quantile(q), 123.0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn post_merge_quantiles_cover_both_sources() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for i in 1..=1_000 {
+            a.record(i as f64); // [1, 1000]
+            b.record(9_000.0 + i as f64); // [9001, 10000]
+        }
+        a.merge_from(&b);
+        // Median sits at the seam between the two sources; p99 must come
+        // from b's range, p0/p100 from the union's extremes.
+        // q=0 lands in the first occupied bucket (upper bound 2.0 for
+        // values starting at 1); q=1 is clamped to the exact max.
+        assert!(a.quantile(0.0) <= 2.0, "p0={}", a.quantile(0.0));
+        assert_eq!(a.quantile(1.0), 10_000.0);
+        let p50 = a.quantile(0.5);
+        assert!((500.0..=1_100.0).contains(&p50), "p50={p50}");
+        let p99 = a.quantile(0.99);
+        assert!((9_900.0f64 - p99).abs() / 9_900.0 < 0.15, "p99={p99}");
+        // Merging into an empty histogram preserves quantiles too.
+        let mut c = Histogram::default();
+        c.merge_from(&b);
+        assert!((c.quantile(0.5) - 9_500.0).abs() / 9_500.0 < 0.15);
     }
 
     #[test]

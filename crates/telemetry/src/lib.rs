@@ -27,11 +27,17 @@
 
 mod histogram;
 mod metrics;
+mod profile;
 mod spans;
+mod timeseries;
 
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{MetricKey, Registry};
+pub use profile::{
+    Attribution, FoldedEntry, FrameGuard, Profiler, DEFAULT_PROFILE_PERIOD_NS, OTHER_STACK,
+};
 pub use spans::{Span, SpanRing, DEFAULT_SPAN_CAPACITY};
+pub use timeseries::{TimeSeries, Window, DEFAULT_WINDOW_CAPACITY};
 
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -134,6 +140,28 @@ impl Telemetry {
     /// chrome://tracing ("trace event format") JSON for recorded spans.
     pub fn spans_to_chrome_json(&self) -> String {
         self.lock().spans_to_chrome_json()
+    }
+
+    /// Scrape current counter values into the registry's time series as
+    /// a window ending at virtual time `now_ns` (see [`TimeSeries`]).
+    pub fn scrape_window(&self, now_ns: f64) {
+        self.lock().scrape_window(now_ns);
+    }
+
+    /// Number of scraped time-series windows currently retained.
+    pub fn timeseries_len(&self) -> usize {
+        self.lock().timeseries().len()
+    }
+
+    /// Average rate of a counter (summed across label sets) over the
+    /// retained time series, in events per virtual second.
+    pub fn timeseries_rate(&self, name: &str) -> f64 {
+        self.lock().timeseries().rate_per_sec(name)
+    }
+
+    /// JSON export of the scraped time series.
+    pub fn timeseries_json(&self) -> String {
+        self.lock().timeseries_json()
     }
 
     /// Merge another handle's registry into this one (counters add,

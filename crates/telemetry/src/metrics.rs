@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::spans::{Span, SpanRing};
+use crate::timeseries::{TimeSeries, Window};
 use crate::{json_escape, json_num};
 
 /// A metric identity: name plus sorted `label=value` pairs.
@@ -49,6 +50,7 @@ pub struct Registry {
     gauges: BTreeMap<MetricKey, f64>,
     histograms: BTreeMap<MetricKey, Histogram>,
     spans: SpanRing,
+    timeseries: TimeSeries,
 }
 
 impl Registry {
@@ -143,6 +145,30 @@ impl Registry {
         &self.spans
     }
 
+    /// Scrape the current cumulative counter values into the embedded
+    /// [`TimeSeries`] as a window ending at virtual time `now_ns`.
+    pub fn scrape_window(&mut self, now_ns: f64) {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.render(), *v))
+            .collect();
+        self.timeseries.push(Window {
+            end_ns: now_ns,
+            counters,
+        });
+    }
+
+    pub fn timeseries(&self) -> &TimeSeries {
+        &self.timeseries
+    }
+
+    /// JSON export of the scraped time series (see
+    /// [`TimeSeries::to_json`]).
+    pub fn timeseries_json(&self) -> String {
+        self.timeseries.to_json()
+    }
+
     /// Merge `other` into `self`: counters add, gauges take the max
     /// (every gauge we export is a level or high-water mark, for which
     /// max is the meaningful union), histograms merge bucket-wise, and
@@ -163,6 +189,14 @@ impl Registry {
         for s in other.spans.iter() {
             self.spans.record(s.clone());
         }
+        // Time series from different registries cover different
+        // (overlapping) virtual timelines and cannot be concatenated
+        // meaningfully; keep ours and adopt the other's only if we have
+        // none (so a fold into an empty accumulator preserves one
+        // representative run's dynamics).
+        if self.timeseries.is_empty() && !other.timeseries.is_empty() {
+            self.timeseries = other.timeseries.clone();
+        }
     }
 
     /// Prometheus text exposition format.
@@ -171,6 +205,12 @@ impl Registry {
         for (k, v) in &self.counters {
             out.push_str(&format!("# TYPE {} counter\n{} {v}\n", k.name, k.render()));
         }
+        // Span-ring loss is bookkeeping the ring keeps internally, not a
+        // registry counter; surface it so span loss is never silent.
+        out.push_str(&format!(
+            "# TYPE telemetry_spans_dropped_total counter\ntelemetry_spans_dropped_total {}\n",
+            self.spans.dropped()
+        ));
         for (k, v) in &self.gauges {
             out.push_str(&format!("# TYPE {} gauge\n{} {v}\n", k.name, k.render()));
         }
@@ -214,11 +254,15 @@ impl Registry {
     /// span aggregates (the raw span ring would dwarf the metrics).
     pub fn snapshot_json(&self) -> String {
         let mut out = String::from("{\n  \"counters\": {");
-        let counters: Vec<String> = self
+        let mut counters: Vec<String> = self
             .counters
             .iter()
             .map(|(k, v)| format!("\n    \"{}\": {v}", json_escape(&k.render())))
             .collect();
+        counters.push(format!(
+            "\n    \"telemetry_spans_dropped_total\": {}",
+            self.spans.dropped()
+        ));
         out.push_str(&counters.join(","));
         out.push_str("\n  },\n  \"gauges\": {");
         let gauges: Vec<String> = self
@@ -309,6 +353,59 @@ mod tests {
         assert!(j.contains("\"name\":\"flush\""));
         assert!(j.contains("\"ts\":2"));
         assert!(j.contains("\"dur\":0.5"));
+    }
+
+    #[test]
+    fn spans_dropped_is_exported_as_counter() {
+        let mut r = Registry::new();
+        r.counter_add("x_total", &[], 1);
+        let prom = r.to_prometheus();
+        assert!(prom.contains("# TYPE telemetry_spans_dropped_total counter"));
+        assert!(prom.contains("telemetry_spans_dropped_total 0"));
+        let json = r.snapshot_json();
+        assert!(json.contains("\"telemetry_spans_dropped_total\": 0"));
+        // Overflow the span ring and watch the counter move.
+        for i in 0..(crate::DEFAULT_SPAN_CAPACITY + 3) {
+            r.record_span("s", "c", i as f64, 1.0);
+        }
+        assert!(r
+            .to_prometheus()
+            .contains("telemetry_spans_dropped_total 3"));
+        assert!(r
+            .snapshot_json()
+            .contains("\"telemetry_spans_dropped_total\": 3"));
+    }
+
+    #[test]
+    fn scrape_builds_timeseries_windows() {
+        let mut r = Registry::new();
+        r.counter_add("d", &[("sub", "ee")], 5);
+        r.scrape_window(1_000.0);
+        r.counter_add("d", &[("sub", "ee")], 7);
+        r.counter_add("d", &[("sub", "net")], 2);
+        r.scrape_window(2_000.0);
+        assert_eq!(r.timeseries().len(), 2);
+        assert_eq!(r.timeseries().total_in_window("d", 0), 5);
+        assert_eq!(r.timeseries().total_in_window("d", 1), 14);
+        assert_eq!(r.timeseries().delta("d", 1), 9);
+        assert!(r.timeseries_json().contains("\"windows\""));
+    }
+
+    #[test]
+    fn merge_adopts_timeseries_only_when_empty() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        b.counter_add("c", &[], 1);
+        b.scrape_window(10.0);
+        a.merge_from(&b);
+        assert_eq!(a.timeseries().len(), 1);
+        // A second merge from a different run must not concatenate.
+        let mut c = Registry::new();
+        c.counter_add("c", &[], 9);
+        c.scrape_window(5.0);
+        c.scrape_window(6.0);
+        a.merge_from(&c);
+        assert_eq!(a.timeseries().len(), 1);
     }
 
     #[test]

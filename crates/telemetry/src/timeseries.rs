@@ -1,0 +1,283 @@
+//! Windowed time-series store over the metric registry.
+//!
+//! End-of-run totals hide dynamics: a sampling-rate change mid-run
+//! (Fig. 8), the WAL group-commit batch size breathing with load, a
+//! ring buffer that only overwrites during a burst. The [`TimeSeries`]
+//! captures those by periodically *scraping* the registry's counters
+//! into a fixed-capacity ring of windows. Each window stores the
+//! **cumulative** counter values at its (virtual) end time, so
+//! per-window deltas and rates are exact differences — no sampling — and
+//! merging scrapes is never needed.
+//!
+//! Scrapes are driven by the caller (the workload driver scrapes at its
+//! pump cadence; tests scrape explicitly), keeping this module wall-
+//! clock-free like the rest of the crate.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::{json_escape, json_num};
+
+/// Default ring capacity: enough for a full figure run at the driver's
+/// pump cadence without unbounded growth.
+pub const DEFAULT_WINDOW_CAPACITY: usize = 1024;
+
+/// One scrape: cumulative counter values at `end_ns`.
+#[derive(Debug, Clone, Default)]
+pub struct Window {
+    pub end_ns: f64,
+    /// Rendered metric key (`name{label="v"}`) -> cumulative value.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// Fixed-capacity ring of counter windows.
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    capacity: usize,
+    windows: VecDeque<Window>,
+    evicted: u64,
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::with_capacity(DEFAULT_WINDOW_CAPACITY)
+    }
+}
+
+impl TimeSeries {
+    pub fn with_capacity(capacity: usize) -> Self {
+        TimeSeries {
+            capacity: capacity.max(1),
+            windows: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Record a scrape. Out-of-order scrapes (`end_ns` earlier than the
+    /// last window) are dropped; a scrape at exactly the last window's
+    /// time replaces it (idempotent re-scrape).
+    pub fn push(&mut self, window: Window) {
+        if let Some(last) = self.windows.back() {
+            if window.end_ns < last.end_ns {
+                return;
+            }
+            if window.end_ns == last.end_ns {
+                *self.windows.back_mut().expect("non-empty") = window;
+                return;
+            }
+        }
+        if self.windows.len() == self.capacity {
+            self.windows.pop_front();
+            self.evicted += 1;
+        }
+        self.windows.push_back(window);
+    }
+
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Windows evicted to respect capacity (oldest-first).
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    pub fn window(&self, i: usize) -> Option<&Window> {
+        self.windows.get(i)
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &Window> {
+        self.windows.iter()
+    }
+
+    /// Sum of a metric's cumulative value across label sets in window
+    /// `i`. Rendered keys are `name` or `name{...}`.
+    pub fn total_in_window(&self, name: &str, i: usize) -> u64 {
+        self.windows
+            .get(i)
+            .map(|w| sum_named(&w.counters, name))
+            .unwrap_or(0)
+    }
+
+    /// Increment of `name` (summed across label sets) during window
+    /// `i`, i.e. cumulative(i) − cumulative(i−1); window 0's delta is
+    /// its cumulative value.
+    pub fn delta(&self, name: &str, i: usize) -> u64 {
+        let cur = self.total_in_window(name, i);
+        if i == 0 {
+            return cur;
+        }
+        cur.saturating_sub(self.total_in_window(name, i - 1))
+    }
+
+    /// Average rate of `name` (summed across label sets) over the whole
+    /// retained series, in events per virtual **second**. Needs at
+    /// least two windows spanning positive time; otherwise 0.0.
+    pub fn rate_per_sec(&self, name: &str) -> f64 {
+        let (Some(first), Some(last)) = (self.windows.front(), self.windows.back()) else {
+            return 0.0;
+        };
+        let dt_ns = last.end_ns - first.end_ns;
+        if dt_ns <= 0.0 {
+            return 0.0;
+        }
+        let d = sum_named(&last.counters, name).saturating_sub(sum_named(&first.counters, name));
+        d as f64 / (dt_ns / 1e9)
+    }
+
+    /// Metric names (label-stripped) present in any window, sorted.
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .windows
+            .iter()
+            .flat_map(|w| w.counters.keys())
+            .map(|k| base_name(k).to_string())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// JSON export: the windows (cumulative values) plus an overall
+    /// per-metric rate summary.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"windows\": [");
+        let windows: Vec<String> = self
+            .windows
+            .iter()
+            .map(|w| {
+                let counters: Vec<String> = w
+                    .counters
+                    .iter()
+                    .map(|(k, v)| format!("\"{}\": {v}", json_escape(k)))
+                    .collect();
+                format!(
+                    "\n    {{\"end_ns\": {}, \"counters\": {{{}}}}}",
+                    json_num(w.end_ns),
+                    counters.join(", "),
+                )
+            })
+            .collect();
+        out.push_str(&windows.join(","));
+        out.push_str("\n  ],\n  \"rates_per_sec\": {");
+        let rates: Vec<String> = self
+            .metric_names()
+            .iter()
+            .map(|n| {
+                format!(
+                    "\n    \"{}\": {}",
+                    json_escape(n),
+                    json_num(self.rate_per_sec(n)),
+                )
+            })
+            .collect();
+        out.push_str(&rates.join(","));
+        out.push_str(&format!("\n  }},\n  \"evicted\": {}\n}}", self.evicted));
+        out
+    }
+}
+
+/// Strip a rendered key's label block: `name{...}` -> `name`.
+fn base_name(key: &str) -> &str {
+    key.split('{').next().unwrap_or(key)
+}
+
+/// Sum every label set of `name` in one window's counter map.
+fn sum_named(counters: &BTreeMap<String, u64>, name: &str) -> u64 {
+    counters
+        .iter()
+        .filter(|(k, _)| base_name(k) == name)
+        .map(|(_, v)| v)
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win(end_ns: f64, pairs: &[(&str, u64)]) -> Window {
+        Window {
+            end_ns,
+            counters: pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        }
+    }
+
+    #[test]
+    fn deltas_are_window_increments() {
+        let mut ts = TimeSeries::default();
+        ts.push(win(1000.0, &[("reqs", 10)]));
+        ts.push(win(2000.0, &[("reqs", 25)]));
+        ts.push(win(3000.0, &[("reqs", 25)]));
+        assert_eq!(ts.delta("reqs", 0), 10);
+        assert_eq!(ts.delta("reqs", 1), 15);
+        assert_eq!(ts.delta("reqs", 2), 0);
+    }
+
+    #[test]
+    fn rate_spans_first_to_last_window() {
+        let mut ts = TimeSeries::default();
+        ts.push(win(0.0, &[("reqs", 0)]));
+        ts.push(win(2e9, &[("reqs", 100)]));
+        assert_eq!(ts.rate_per_sec("reqs"), 50.0);
+        // A single window has no span.
+        let mut one = TimeSeries::default();
+        one.push(win(5.0, &[("reqs", 3)]));
+        assert_eq!(one.rate_per_sec("reqs"), 0.0);
+    }
+
+    #[test]
+    fn label_sets_sum_under_one_name() {
+        let mut ts = TimeSeries::default();
+        ts.push(win(
+            1.0,
+            &[("d{sub=\"ee\"}", 4), ("d{sub=\"net\"}", 6), ("other", 1)],
+        ));
+        assert_eq!(ts.total_in_window("d", 0), 10);
+        assert_eq!(
+            ts.metric_names(),
+            vec!["d".to_string(), "other".to_string()]
+        );
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut ts = TimeSeries::with_capacity(2);
+        ts.push(win(1.0, &[("c", 1)]));
+        ts.push(win(2.0, &[("c", 2)]));
+        ts.push(win(3.0, &[("c", 3)]));
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts.evicted(), 1);
+        assert_eq!(ts.window(0).unwrap().end_ns, 2.0);
+    }
+
+    #[test]
+    fn out_of_order_dropped_and_same_time_replaces() {
+        let mut ts = TimeSeries::default();
+        ts.push(win(10.0, &[("c", 1)]));
+        ts.push(win(5.0, &[("c", 99)])); // dropped
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.total_in_window("c", 0), 1);
+        ts.push(win(10.0, &[("c", 7)])); // re-scrape replaces
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.total_in_window("c", 0), 7);
+    }
+
+    #[test]
+    fn json_shape() {
+        let mut ts = TimeSeries::default();
+        ts.push(win(0.0, &[("c", 0)]));
+        ts.push(win(1e9, &[("c", 8)]));
+        let j = ts.to_json();
+        for needle in [
+            "\"windows\"",
+            "\"rates_per_sec\"",
+            "\"evicted\"",
+            "\"c\": 8",
+        ] {
+            assert!(j.contains(needle), "missing {needle} in {j}");
+        }
+    }
+}

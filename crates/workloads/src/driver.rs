@@ -215,6 +215,9 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
                 pump_start,
                 (pump_end - pump_start).max(0.0),
             );
+            // Scrape the metric registry into the time-series ring at the
+            // pump cadence — one window per pump interval.
+            db.kernel.telemetry.scrape_window(now);
             next_pump = now + opts.pump_every_ns;
         }
         if now >= next_gc {
@@ -264,6 +267,8 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
             None => (0, 0, Vec::new()),
         }
     };
+    // Final window so the time-series tail reflects the fully drained run.
+    db.kernel.telemetry.scrape_window(end_ns + 2e9);
 
     let duration_ns = opts.duration_ns;
     RunStats {

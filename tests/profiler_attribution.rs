@@ -1,0 +1,130 @@
+//! Profiler and time-series invariants over a fig5-style run: every
+//! virtual-clock profiling interrupt lands in exactly one folded stack,
+//! attribution sees both the DBMS and TScout sides of the house, and the
+//! windowed time-series agrees with the final counter values after a
+//! full drain.
+
+use tscout_suite::kernel::{HardwareProfile, Kernel};
+use tscout_suite::noisetap::Database;
+use tscout_suite::tscout::{CollectionMode, TsConfig, ALL_SUBSYSTEMS};
+use tscout_suite::workloads::driver::{run, RunOptions};
+use tscout_suite::workloads::{Workload, Ycsb};
+
+/// YCSB under kernel-continuous collection at 100% sampling with the
+/// profiler armed at a fine period, fully drained at the end (the driver
+/// drains the ring and takes a final time-series window).
+fn profiled_run() -> Database {
+    let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 0xF16);
+    k.noise_frac = 0.0;
+    k.set_profile_period_ns(10_000.0);
+    let mut db = Database::new(k);
+    let mut w = Ycsb::new(2_000);
+    w.setup(&mut db);
+    let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+    cfg.enable_all_subsystems();
+    db.attach_tscout(cfg).unwrap();
+    for s in ALL_SUBSYSTEMS {
+        db.tscout_mut().unwrap().set_sampling_rate(s, 100);
+    }
+    let opts = RunOptions {
+        terminals: 2,
+        duration_ns: 20e6,
+        seed: 5,
+        ..Default::default()
+    };
+    run(&mut db, &mut w, &opts);
+    db
+}
+
+#[test]
+fn folded_samples_sum_exactly_to_interrupts_fired() {
+    let db = profiled_run();
+    let p = &db.kernel.profiler;
+    let fired = p.interrupts_fired();
+    assert!(fired > 0, "the profiler must have sampled the run");
+    let folded_total: u64 = p.folded().iter().map(|(_, e)| e.samples).sum();
+    assert_eq!(
+        fired, folded_total,
+        "every interrupt lands in exactly one folded stack"
+    );
+}
+
+#[test]
+fn attribution_sees_both_dbms_and_tscout_stacks() {
+    let db = profiled_run();
+    let folded = db.kernel.profiler.folded();
+    assert!(
+        folded.iter().any(|(s, _)| s.starts_with("dbms")),
+        "expected dbms-rooted stacks, got {:?}",
+        folded.iter().map(|(s, _)| s).collect::<Vec<_>>()
+    );
+    assert!(
+        folded.iter().any(|(s, _)| s.starts_with("tscout")),
+        "expected tscout-rooted stacks, got {:?}",
+        folded.iter().map(|(s, _)| s).collect::<Vec<_>>()
+    );
+    // Operator-level attribution under the dbms root.
+    assert!(
+        folded.iter().any(|(s, _)| s.contains(";ou:")),
+        "expected per-OU frames in the dbms stacks"
+    );
+
+    let attr = db.kernel.profiler.attribution();
+    assert_eq!(attr.total_interrupts, db.kernel.profiler.interrupts_fired());
+    let ratio = attr
+        .tscout_dbms_ratio()
+        .expect("both sides sampled, ratio must exist");
+    assert!(
+        ratio.is_finite() && ratio > 0.0,
+        "tscout/dbms overhead ratio must be finite and positive: {ratio}"
+    );
+}
+
+#[test]
+fn timeseries_agrees_with_final_counters_after_drain() {
+    let db = profiled_run();
+    let t = db.kernel.telemetry.clone();
+    assert!(
+        t.timeseries_len() >= 2,
+        "the driver scrapes a window per pump plus a final one"
+    );
+
+    // Final counter value, summed across subsystem label sets.
+    let delivered_now: u64 = ALL_SUBSYSTEMS
+        .iter()
+        .map(|s| t.counter_value("tscout_samples_delivered_total", &[("subsystem", s.name())]))
+        .sum();
+    assert!(delivered_now > 0, "100% sampling must deliver samples");
+
+    // The last window was scraped after the full drain, so its cumulative
+    // total must equal the live counter.
+    let (last_total, first_total, rate) = t.with_registry(|r| {
+        let ts = r.timeseries();
+        let last = ts.len() - 1;
+        (
+            ts.total_in_window("tscout_samples_delivered_total", last),
+            ts.total_in_window("tscout_samples_delivered_total", 0),
+            ts.rate_per_sec("tscout_samples_delivered_total"),
+        )
+    });
+    assert_eq!(
+        last_total, delivered_now,
+        "final window must capture the fully drained counter"
+    );
+
+    // rate() is (last - first) / elapsed; cross-check it against the
+    // window totals it is defined over.
+    let (t0, t1) = t.with_registry(|r| {
+        let ts = r.timeseries();
+        (
+            ts.window(0).unwrap().end_ns,
+            ts.window(ts.len() - 1).unwrap().end_ns,
+        )
+    });
+    let expect = (last_total - first_total) as f64 / ((t1 - t0) / 1e9);
+    assert!(
+        (rate - expect).abs() <= 1e-6 * expect.max(1.0),
+        "rate_per_sec {rate} must match (last-first)/elapsed {expect}"
+    );
+    assert!(rate.is_finite() && rate > 0.0);
+}
