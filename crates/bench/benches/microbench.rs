@@ -93,6 +93,111 @@ fn bpf_vm(out: &mut Results) {
     });
 }
 
+/// Compare bounded-loop vs fully-unrolled Collector codegen: instruction
+/// counts, verifier effort, execution time, and a bit-identical sample
+/// check. Returns the `BENCH_3.json` document (schema in README.md).
+fn codegen_loops(out: &mut Results) -> String {
+    use tscout::codegen::{
+        encode_ctx, gen_begin_with, gen_end_with, gen_features_with, CodegenOptions, ProbeLayout,
+        CTX_BYTES,
+    };
+    use tscout_bpf::{verify_with_stats, MapId, VerifyStats};
+
+    let probes = ProbeLayout {
+        cpu: true,
+        disk: true,
+        net: true,
+    };
+    let make_maps = |probes: &ProbeLayout| -> (MapRegistry, MapId, MapId, MapId, MapId) {
+        let mut maps = MapRegistry::new();
+        let depth = maps.create(MapDef::hash("d", 8, 8, 256));
+        let begin = maps.create(MapDef::hash("b", 8, probes.snap_words() * 8, 1024));
+        let done = maps.create(MapDef::hash("dn", 8, probes.done_words() * 8, 256));
+        let ring = maps.create(MapDef::perf_event_array("r", 1024));
+        (maps, depth, begin, done, ring)
+    };
+    let ctx = encode_ctx(1, 42, 0, 0, &[7, 8, 9]);
+
+    // Generate, verify, and run the pipeline once per mode; capture the
+    // raw ring bytes so the modes can be compared bit for bit.
+    let mut progsets: Vec<[Vec<tscout_bpf::Insn>; 3]> = Vec::new();
+    let mut stats: Vec<[VerifyStats; 3]> = Vec::new();
+    let mut rings: Vec<Vec<Vec<u8>>> = Vec::new();
+    for unroll_loops in [false, true] {
+        let opts = CodegenOptions { unroll_loops };
+        let (mut maps, depth, begin, done, ring) = make_maps(&probes);
+        let progs = [
+            gen_begin_with(&probes, depth, begin, opts),
+            gen_end_with(&probes, depth, begin, done, opts),
+            gen_features_with(&probes, done, ring, opts),
+        ];
+        stats.push([0, 1, 2].map(|i| verify_with_stats(&progs[i], &maps, CTX_BYTES).unwrap()));
+        let mut world = NullWorld {
+            time_ns: 100,
+            pid_tgid: 42,
+        };
+        Vm::run(&progs[0], &ctx, &mut maps, &mut world).unwrap();
+        world.time_ns = 900;
+        Vm::run(&progs[1], &ctx, &mut maps, &mut world).unwrap();
+        Vm::run(&progs[2], &ctx, &mut maps, &mut world).unwrap();
+        rings.push(maps.ring_drain(ring, 16));
+        progsets.push(progs);
+    }
+    let bit_identical = rings[0] == rings[1];
+    assert!(
+        bit_identical,
+        "loop and unrolled samples must match bit for bit"
+    );
+
+    let names = ["begin", "end", "features"];
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "codegen_{name}: {} insns (bounded loops) vs {} (unrolled)",
+            progsets[0][i].len(),
+            progsets[1][i].len()
+        );
+    }
+
+    // Execution and verification cost of each mode (END is the largest
+    // program; BEGIN keeps the depth/begin maps balanced between runs).
+    for (mode, progs) in [("loops", &progsets[0]), ("unrolled", &progsets[1])] {
+        let (mut maps, ..) = make_maps(&probes);
+        let mut world = NullWorld {
+            time_ns: 100,
+            pid_tgid: 42,
+        };
+        bench(out, &format!("bpf_begin_end_pair/{mode}"), 20_000, || {
+            Vm::run(&progs[0], &ctx, &mut maps, &mut world).unwrap();
+            Vm::run(&progs[1], &ctx, &mut maps, &mut world).unwrap();
+        });
+        bench(out, &format!("bpf_verify_collector/{mode}"), 2_000, || {
+            tscout_bpf::verify(black_box(&progs[1]), &maps, CTX_BYTES).unwrap();
+        });
+    }
+
+    let mut j = String::from("{\n");
+    for (i, name) in names.iter().enumerate() {
+        j.push_str(&format!(
+            "  \"{name}\": {{\"insns_loops\": {}, \"insns_unrolled\": {}, \
+             \"verify_insns_visited_loops\": {}, \"verify_insns_visited_unrolled\": {}, \
+             \"verify_states_loops\": {}, \"verify_states_unrolled\": {}, \
+             \"verify_states_pruned_loops\": {}, \"verify_peak_depth_loops\": {}}},\n",
+            progsets[0][i].len(),
+            progsets[1][i].len(),
+            stats[0][i].insns_visited,
+            stats[1][i].insns_visited,
+            stats[0][i].states_explored,
+            stats[1][i].states_explored,
+            stats[0][i].states_pruned,
+            stats[0][i].peak_depth,
+        ));
+    }
+    j.push_str(&format!(
+        "  \"samples_bit_identical\": {bit_identical}\n}}\n"
+    ));
+    j
+}
+
 fn sampler(out: &mut Results) {
     let mut s = tscout::Sampler::new(1);
     s.set_rate(Subsystem::ExecutionEngine, 10);
@@ -194,6 +299,7 @@ fn main() {
     let mut out = Results::new();
     marker_triple(&mut out);
     bpf_vm(&mut out);
+    let bench3 = codegen_loops(&mut out);
     sampler(&mut out);
     indexes(&mut out);
     records(&mut out);
@@ -202,4 +308,7 @@ fn main() {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     std::fs::write(path, to_json(&out)).expect("cannot write BENCH_2.json");
     println!("bench results -> {path}");
+    let path3 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
+    std::fs::write(path3, bench3).expect("cannot write BENCH_3.json");
+    println!("codegen loop-vs-unroll results -> {path3}");
 }

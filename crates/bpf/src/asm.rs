@@ -1,10 +1,10 @@
 //! A label-based program builder.
 //!
 //! TScout's Codegen emits Collector bytecode through this builder (paper
-//! §3.1: "TS then generates the source code for a BPF program"). Forward
-//! labels keep the generated control flow readable; `resolve()` patches
-//! jump offsets and fails loudly on undefined or backward references,
-//! matching the verifier's forward-only jump rule.
+//! §3.1: "TS then generates the source code for a BPF program"). Labels
+//! keep the generated control flow readable; `resolve()` patches jump
+//! offsets (forward or backward — the verifier accepts bounded loops)
+//! and fails loudly on undefined references.
 
 use crate::insn::{AluOp, Cond, Helper, Insn, Reg, Size, Src};
 use crate::maps::MapId;
@@ -19,17 +19,12 @@ pub struct Label(usize);
 pub enum AsmError {
     /// A jump references a label that was never `bind`-ed.
     UnboundLabel(usize),
-    /// A bound label sits at or before the jump (would be a back edge).
-    BackwardJump { from: usize, to: usize },
 }
 
 impl std::fmt::Display for AsmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             AsmError::UnboundLabel(l) => write!(f, "label L{l} was never bound"),
-            AsmError::BackwardJump { from, to } => {
-                write!(f, "jump at pc {from} targets earlier pc {to} (back edge)")
-            }
         }
     }
 }
@@ -194,12 +189,9 @@ impl ProgramBuilder {
                     let tgt = *labels
                         .get(&target)
                         .ok_or(AsmError::UnboundLabel(target.0))?;
-                    if tgt <= pc {
-                        return Err(AsmError::BackwardJump { from: pc, to: tgt });
-                    }
                     Ok(Insn::Jump {
                         cond,
-                        off: (tgt - pc - 1) as i32,
+                        off: (tgt as i64 - pc as i64 - 1) as i32,
                     })
                 }
             })
@@ -253,14 +245,21 @@ mod tests {
     }
 
     #[test]
-    fn backward_jump_rejected_at_assembly() {
+    fn backward_jump_resolves_to_negative_offset() {
         let mut b = ProgramBuilder::new();
         let top = b.label();
         b.bind(top);
         b.mov_imm(R1, 0);
         b.jump(top);
         b.exit();
-        assert!(matches!(b.resolve(), Err(AsmError::BackwardJump { .. })));
+        let prog = b.resolve().unwrap();
+        assert_eq!(
+            prog[1],
+            Insn::Jump {
+                cond: None,
+                off: -2
+            }
+        );
     }
 
     #[test]

@@ -250,7 +250,10 @@ pub enum Insn {
         off: i32,
         src: Src,
     },
-    /// Conditional (`Some`) or unconditional (`None`) forward jump.
+    /// Conditional (`Some`) or unconditional (`None`) jump. The offset
+    /// is relative to the next instruction and may be negative (the
+    /// verifier bounds back-edge trips, so loops must provably
+    /// terminate).
     /// Target is `pc + 1 + off`.
     Jump {
         cond: Option<(Cond, Reg, Src)>,

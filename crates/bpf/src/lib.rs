@@ -5,16 +5,21 @@
 //! the BPF substrate that program runs on:
 //!
 //! * [`insn`] — a register ISA modeled on eBPF: eleven registers
-//!   (`R0`–`R10`), 64-bit ALU, sized loads/stores, forward jumps, helper
-//!   calls, and `exit`.
+//!   (`R0`–`R10`), 64-bit ALU, sized loads/stores, bidirectional jumps,
+//!   helper calls, and `exit`.
 //! * [`asm`] — a label-based program builder. TScout's Codegen emits real
-//!   bytecode through it (loops are unrolled at codegen time, as BCC does
-//!   for kernel-5.4-era programs).
-//! * [`verifier`] — a static verifier in the spirit of the kernel's: it
-//!   walks every execution path, tracks register types (scalar, pointer to
-//!   stack/context/map-value, map handle), enforces bounds on every memory
-//!   access, requires null checks on map lookups, rejects back edges
-//!   (unbounded loops), uninitialized reads, and over-long programs.
+//!   bytecode through it, including bounded loops for per-counter
+//!   snapshotting (unrolling remains available as a fallback mode).
+//! * [`tnum`] — tristate numbers, the kernel verifier's known-bits
+//!   abstract domain, used by the verifier's scalar value tracking.
+//! * [`verifier`] — a range-tracking abstract interpreter in the spirit
+//!   of the kernel's: it walks every execution path, tracks register
+//!   types and scalar value ranges (tnum + signed/unsigned bounds),
+//!   refines both arms of conditional branches, proves variable-offset
+//!   accesses in bounds, accepts bounded loops (back edges with a
+//!   per-site trip budget), prunes subsumed states at jump targets, and
+//!   rejects uninitialized reads, unbounded loops, and over-long
+//!   programs.
 //! * [`maps`] — BPF maps: hash, array, per-CPU array, stack (used for
 //!   recursive operators, paper §5.2), and the perf-event ring buffer that
 //!   ships samples to the user-space Processor (bounded, overwrites when
@@ -34,6 +39,7 @@ pub mod asm;
 pub mod insn;
 pub mod loader;
 pub mod maps;
+pub mod tnum;
 pub mod verifier;
 pub mod vm;
 
@@ -41,5 +47,6 @@ pub use asm::ProgramBuilder;
 pub use insn::{AluOp, Cond, Helper, Insn, Reg, Size, Src};
 pub use loader::{LoadError, Loader, ProgId};
 pub use maps::{MapDef, MapId, MapKind, MapOpStats, MapRegistry, RingStats};
-pub use verifier::{verify, verify_with_stats, VerifyError, VerifyStats};
+pub use tnum::Tnum;
+pub use verifier::{verify, verify_with_log, verify_with_stats, VerifyError, VerifyStats};
 pub use vm::{ExecStats, HelperWorld, Vm, VmError};

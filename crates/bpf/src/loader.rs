@@ -11,7 +11,7 @@ use tscout_telemetry::{FrameGuard, Profiler};
 
 use crate::insn::Insn;
 use crate::maps::MapRegistry;
-use crate::verifier::{verify_with_stats, VerifyError, VerifyStats};
+use crate::verifier::{verify_with_log, VerifyError, VerifyStats};
 use crate::vm::{ExecStats, HelperWorld, Vm, VmError};
 
 /// Identifier of a loaded program. Also used as the attachment token in the
@@ -21,13 +21,20 @@ pub type ProgId = u64;
 /// Load-time failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum LoadError {
-    Verify(VerifyError),
+    /// The verifier rejected the program; `log` carries the kernel-style
+    /// human-readable exploration trace for diagnosis.
+    Verify { err: VerifyError, log: String },
 }
 
 impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LoadError::Verify(e) => write!(f, "verifier rejected program: {e}"),
+            LoadError::Verify { err, log } => {
+                write!(
+                    f,
+                    "verifier rejected program: {err}\n--- verifier log ---\n{log}"
+                )
+            }
         }
     }
 }
@@ -68,10 +75,16 @@ impl Loader {
         insns: Vec<Insn>,
         ctx_size: usize,
     ) -> Result<ProgId, LoadError> {
-        let stats = verify_with_stats(&insns, &self.maps, ctx_size).map_err(LoadError::Verify)?;
+        // Run with logging on: the kernel-style trace is what makes a
+        // rejection diagnosable, and verification is off the hot path.
+        let (result, log) = verify_with_log(&insns, &self.maps, ctx_size);
+        let stats = result.map_err(|err| LoadError::Verify { err, log })?;
         self.verify_totals.insns += stats.insns;
+        self.verify_totals.insns_visited += stats.insns_visited;
         self.verify_totals.states_explored += stats.states_explored;
+        self.verify_totals.states_pruned += stats.states_pruned;
         self.verify_totals.paths_completed += stats.paths_completed;
+        self.verify_totals.peak_depth = self.verify_totals.peak_depth.max(stats.peak_depth);
         self.verify_runs += 1;
         let id = self.progs.len() as ProgId;
         self.progs.push(Some(LoadedProg {
@@ -82,8 +95,10 @@ impl Loader {
         Ok(id)
     }
 
-    /// Cumulative verifier work across every successful `load` (instructions
-    /// checked, abstract states explored, execution paths walked to `exit`).
+    /// Cumulative verifier work across every successful `load`
+    /// (instructions checked and visited, abstract states explored and
+    /// pruned, execution paths walked to `exit`; `peak_depth` is the max
+    /// across runs, not a sum).
     pub fn verify_totals(&self) -> VerifyStats {
         self.verify_totals
     }
@@ -185,7 +200,10 @@ mod tests {
     fn load_rejects_bad_programs() {
         let mut l = Loader::new();
         let err = l.load("bad", vec![Insn::Exit], 0).unwrap_err();
-        assert!(matches!(err, LoadError::Verify(_)));
+        let LoadError::Verify { err, log } = err;
+        assert!(matches!(err, VerifyError::ExitWithoutScalarR0 { .. }));
+        assert!(log.contains("rejected:"), "log was: {log}");
+        assert!(format!("{}", LoadError::Verify { err, log }).contains("verifier log"));
         assert_eq!(l.loaded_count(), 0);
     }
 

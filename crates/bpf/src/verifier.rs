@@ -1,27 +1,50 @@
-//! The static verifier.
+//! The static verifier: a range-tracking abstract interpreter.
 //!
 //! Models the Linux BPF verifier's architecture (paper §5.1): it explores
-//! every execution path from the entry point, tracking an abstract type for
-//! each register, and rejects the program if *any* path can perform an
-//! unsafe operation. Enforced properties:
+//! every execution path from the entry point, tracking an abstract value
+//! for each register, and rejects the program if *any* path can perform
+//! an unsafe operation. Scalars carry a full value-tracking domain —
+//! tristate numbers ([`crate::tnum::Tnum`], known bits) plus signed and
+//! unsigned `[min, max]` intervals, kept mutually consistent — so the
+//! verifier can prove variable-offset memory accesses in bounds and
+//! loops terminating. Enforced properties:
 //!
-//! * no back edges — loops must be unrolled at codegen time (the paper's
-//!   Codegen does exactly this; bounded at compile time);
-//! * a hard instruction-count cap (the kernel's is 1M; "TS's compiled BPF
-//!   programs only contain 100s of instructions");
+//! * back edges are allowed only while the path makes progress: each
+//!   traversal of a back edge is counted per jump site and capped
+//!   ([`MAX_LOOP_TRIPS`]), so bounded loops (a counter whose refined
+//!   range narrows every iteration until the loop condition goes dead)
+//!   verify, while unbounded ones are rejected with `BackEdge`;
+//! * a hard instruction-count cap (the kernel's is 1M; "TS's compiled
+//!   BPF programs only contain 100s of instructions");
 //! * every register is written before it is read;
-//! * every memory access is through a typed pointer with statically known
-//!   offset, in bounds for its region (512-byte stack, read-only context,
-//!   map values of declared size);
+//! * every memory access is through a typed pointer whose offset range
+//!   (constant base + a bounded variable part, from pointer arithmetic
+//!   with range-tracked scalars) is provably in bounds for its region
+//!   (512-byte stack, read-only context, map values of declared size);
 //! * stack reads only touch bytes previously written on this path;
-//! * map-lookup results must be null-checked before dereference;
+//! * map-lookup results must be null-checked before dereference; both
+//!   arms of the null test are refined, as are both arms of every
+//!   scalar conditional jump (`if r2 > 15 goto exit` proves
+//!   `r2 ∈ [0, 15]` on the fall-through path);
 //! * helper calls obey typed signatures; calls clobber `R1`–`R5`;
 //! * `exit` requires `R0` to hold a scalar;
-//! * pointers never leak into arithmetic other than `±constant`, never get
-//!   compared (except null checks), and never get stored to memory.
+//! * pointers never leak into arithmetic other than `± bounded scalar`,
+//!   never get compared (except null checks), and never get stored to
+//!   memory.
+//!
+//! Exploration cost is kept tractable by *state pruning*: at every jump
+//! target the verifier records the states it has already explored and
+//! skips any new state subsumed by a recorded one (the kernel's
+//! `states_equal` walk), with a global explored-states budget
+//! ([`MAX_STATES`]) as the backstop. [`verify_with_log`] additionally
+//! produces a kernel-style human-readable trace of the exploration for
+//! rejection diagnostics.
+
+use std::collections::HashMap;
 
 use crate::insn::{AluOp, Cond, Helper, Insn, Reg, Src};
 use crate::maps::{MapId, MapKind, MapRegistry};
+use crate::tnum::Tnum;
 
 /// Stack size available to a program, like eBPF.
 pub const STACK_SIZE: i64 = 512;
@@ -31,6 +54,17 @@ pub const MAX_INSNS: usize = 1_000_000;
 pub const MAX_STATES: usize = 200_000;
 /// Largest record `perf_event_output` may publish.
 pub const MAX_OUTPUT_BYTES: i64 = 8192;
+/// Most traversals of any single back edge one path may make. Chosen so
+/// the worst verified runtime stays well under the VM's fuel budget.
+pub const MAX_LOOP_TRIPS: u32 = 512;
+/// Pointer offsets (base plus variable part) are confined to this many
+/// bytes either side of the region start, like the kernel's
+/// `BPF_MAX_VAR_OFF` discipline.
+pub const MAX_PTR_OFF: i64 = 1 << 29;
+/// How many explored states are remembered per prune point.
+const MAX_RECORDED_PER_PC: usize = 64;
+/// Verifier log size cap (the kernel truncates its log buffer too).
+const MAX_LOG_BYTES: usize = 64 * 1024;
 
 /// Why a program was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,7 +149,9 @@ impl std::fmt::Display for VerifyError {
             VerifyError::UninitRead { pc, reg } => {
                 write!(f, "read of uninitialized r{reg} at pc {pc}")
             }
-            VerifyError::BackEdge { pc } => write!(f, "back edge at pc {pc} (unbounded loop)"),
+            VerifyError::BackEdge { pc } => {
+                write!(f, "back edge at pc {pc}: loop not provably bounded")
+            }
             VerifyError::JumpOutOfBounds { pc } => write!(f, "jump out of bounds at pc {pc}"),
             VerifyError::FellOffEnd { pc } => write!(f, "control falls off program end at pc {pc}"),
             VerifyError::PointerArithmetic { pc } => {
@@ -167,45 +203,498 @@ impl std::fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
-/// Abstract register type.
+/// The scalar abstract domain: a tnum (known bits) plus unsigned and
+/// signed interval bounds, all describing the same set of `u64` values.
+/// Kept mutually consistent by [`Range::sync`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Range {
+    tnum: Tnum,
+    umin: u64,
+    umax: u64,
+    smin: i64,
+    smax: i64,
+}
+
+impl Range {
+    fn unknown() -> Self {
+        Range {
+            tnum: Tnum::unknown(),
+            umin: 0,
+            umax: u64::MAX,
+            smin: i64::MIN,
+            smax: i64::MAX,
+        }
+    }
+
+    fn cnst(v: i64) -> Self {
+        Range {
+            tnum: Tnum::cnst(v as u64),
+            umin: v as u64,
+            umax: v as u64,
+            smin: v,
+            smax: v,
+        }
+    }
+
+    fn const_u(self) -> Option<u64> {
+        if self.umin == self.umax {
+            Some(self.umin)
+        } else {
+            None
+        }
+    }
+
+    fn const_i(self) -> Option<i64> {
+        if self.smin == self.smax {
+            Some(self.smin)
+        } else {
+            None
+        }
+    }
+
+    /// Is every value admitted by `other` admitted by `self`?
+    fn subsumes(self, other: Range) -> bool {
+        self.umin <= other.umin
+            && self.umax >= other.umax
+            && self.smin <= other.smin
+            && self.smax >= other.smax
+            && self.tnum.subsumes(other.tnum)
+    }
+
+    /// Propagate information between the three sub-domains until they
+    /// agree. Returns `None` when they contradict — the abstract value
+    /// describes no concrete value, i.e. the path is dead.
+    fn sync(mut self) -> Option<Range> {
+        // The domains converge in a couple of rounds; 8 is a safe cap.
+        for _ in 0..8 {
+            let prev = self;
+            self.umin = self.umin.max(self.tnum.min());
+            self.umax = self.umax.min(self.tnum.max());
+            if self.umin > self.umax {
+                return None;
+            }
+            // Unsigned bounds imply signed ones only when the range does
+            // not straddle the sign boundary.
+            if (self.umin as i64) <= (self.umax as i64) {
+                self.smin = self.smin.max(self.umin as i64);
+                self.smax = self.smax.min(self.umax as i64);
+            }
+            if self.smin > self.smax {
+                return None;
+            }
+            // Symmetrically, a sign-pure signed range casts to unsigned.
+            if self.smin >= 0 || self.smax < 0 {
+                self.umin = self.umin.max(self.smin as u64);
+                self.umax = self.umax.min(self.smax as u64);
+                if self.umin > self.umax {
+                    return None;
+                }
+            }
+            self.tnum = self.tnum.intersect(Tnum::range(self.umin, self.umax))?;
+            if self == prev {
+                break;
+            }
+        }
+        Some(self)
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if let Some(c) = self.const_u() {
+            return write!(f, "{c:#x}");
+        }
+        write!(f, "u=[{:#x},{:#x}]", self.umin, self.umax)?;
+        if self.smin != i64::MIN || self.smax != i64::MAX {
+            write!(f, " s=[{},{}]", self.smin, self.smax)?;
+        }
+        if self.tnum != Tnum::unknown() {
+            write!(f, " t={}", self.tnum)?;
+        }
+        Ok(())
+    }
+}
+
+/// Abstract transfer function for a scalar ALU op. Always returns a
+/// sound over-approximation; contradictions collapse to `unknown` (they
+/// cannot arise from a live input, but over-approximating is safe).
+fn range_alu(op: AluOp, d: Range, s: Range) -> Range {
+    use AluOp::*;
+    let mut r = Range::unknown();
+    match op {
+        Mov | Neg => unreachable!("handled before range_alu"),
+        Add => {
+            r.tnum = d.tnum.add(s.tnum);
+            if let (Some(lo), Some(hi)) = (d.umin.checked_add(s.umin), d.umax.checked_add(s.umax)) {
+                r.umin = lo;
+                r.umax = hi;
+            }
+            if let (Some(lo), Some(hi)) = (d.smin.checked_add(s.smin), d.smax.checked_add(s.smax)) {
+                r.smin = lo;
+                r.smax = hi;
+            }
+        }
+        Sub => {
+            r.tnum = d.tnum.sub(s.tnum);
+            if let (Some(lo), Some(hi)) = (d.umin.checked_sub(s.umax), d.umax.checked_sub(s.umin)) {
+                r.umin = lo;
+                r.umax = hi;
+            }
+            if let (Some(lo), Some(hi)) = (d.smin.checked_sub(s.smax), d.smax.checked_sub(s.smin)) {
+                r.smin = lo;
+                r.smax = hi;
+            }
+        }
+        Mul => {
+            r.tnum = d.tnum.mul(s.tnum);
+            if let (Some(lo), Some(hi)) = (d.umin.checked_mul(s.umin), d.umax.checked_mul(s.umax)) {
+                r.umin = lo;
+                r.umax = hi;
+            }
+        }
+        Div => {
+            // VM semantics: unsigned division, divide-by-zero yields 0.
+            if let Some(c) = s.const_u() {
+                if c == 0 {
+                    return Range::cnst(0);
+                }
+                r.umin = d.umin / c;
+                r.umax = d.umax / c;
+            } else {
+                r.umin = 0;
+                r.umax = d.umax;
+            }
+        }
+        Mod => {
+            // VM semantics: unsigned remainder, mod-by-zero keeps dst.
+            if let (Some(a), Some(c)) = (d.const_u(), s.const_u()) {
+                return Range::cnst(if c == 0 { a } else { a % c } as i64);
+            }
+            if let Some(c) = s.const_u() {
+                if c == 0 {
+                    return d;
+                }
+                r.umin = 0;
+                r.umax = d.umax.min(c - 1);
+            } else {
+                // d % s <= d whether or not s is zero.
+                r.umin = 0;
+                r.umax = d.umax;
+            }
+        }
+        And => {
+            r.tnum = d.tnum.and(s.tnum);
+            r.umin = 0;
+            r.umax = d.umax.min(s.umax);
+        }
+        Or => {
+            r.tnum = d.tnum.or(s.tnum);
+            r.umin = d.umin.max(s.umin);
+        }
+        Xor => {
+            r.tnum = d.tnum.xor(s.tnum);
+        }
+        Lsh => {
+            if let Some(c) = s.const_u() {
+                let c = (c & 63) as u32;
+                r.tnum = d.tnum.lshift(c);
+                // Bounds shift only when no set bit can fall off the top.
+                if d.umax.leading_zeros() >= c {
+                    r.umin = d.umin << c;
+                    r.umax = d.umax << c;
+                }
+            }
+        }
+        Rsh => {
+            if let Some(c) = s.const_u() {
+                let c = (c & 63) as u32;
+                r.tnum = d.tnum.rshift(c);
+                r.umin = d.umin >> c;
+                r.umax = d.umax >> c;
+            } else {
+                r.umin = 0;
+                r.umax = d.umax;
+            }
+        }
+        Arsh => {
+            if let Some(c) = s.const_u() {
+                let c = (c & 63) as u32;
+                r.tnum = d.tnum.arshift(c);
+                r.smin = d.smin >> c;
+                r.smax = d.smax >> c;
+            }
+        }
+    }
+    r.sync().unwrap_or_else(Range::unknown)
+}
+
+/// A branch condition to assume while refining: either one of the insn
+/// set's conditions or the negation of `Set` (which has no insn form).
+#[derive(Debug, Clone, Copy)]
+enum BranchCond {
+    C(Cond),
+    NotSet,
+}
+
+/// The condition that holds on the fall-through arm when `c` does not.
+fn negate(c: Cond) -> BranchCond {
+    use BranchCond::C;
+    match c {
+        Cond::Eq => C(Cond::Ne),
+        Cond::Ne => C(Cond::Eq),
+        Cond::Lt => C(Cond::Ge),
+        Cond::Ge => C(Cond::Lt),
+        Cond::Gt => C(Cond::Le),
+        Cond::Le => C(Cond::Gt),
+        Cond::SLt => C(Cond::SGe),
+        Cond::SGe => C(Cond::SLt),
+        Cond::SGt => C(Cond::SLe),
+        Cond::SLe => C(Cond::SGt),
+        Cond::Set => BranchCond::NotSet,
+    }
+}
+
+/// Shrink `r` assuming `r != other`; only exact endpoints move. `None`
+/// when `r` must equal the excluded constant.
+fn refine_ne(r: &mut Range, other: &Range) -> Option<()> {
+    if let Some(c) = other.const_u() {
+        if r.umin == c {
+            if c == u64::MAX {
+                return None;
+            }
+            r.umin += 1;
+        }
+        if r.umax == c {
+            if c == 0 {
+                return None;
+            }
+            r.umax -= 1;
+        }
+    }
+    if let Some(c) = other.const_i() {
+        if r.smin == c {
+            if c == i64::MAX {
+                return None;
+            }
+            r.smin += 1;
+        }
+        if r.smax == c {
+            if c == i64::MIN {
+                return None;
+            }
+            r.smax -= 1;
+        }
+    }
+    Some(())
+}
+
+/// Refine both operand ranges assuming `cond(d, s)` holds. Returns the
+/// narrowed pair, or `None` when the condition cannot hold — that
+/// branch arm is dead. Every `?` on checked endpoint arithmetic below
+/// coincides exactly with a genuine contradiction (e.g. `d < s` with
+/// `s.umax == 0` means "unsigned less than zero": impossible).
+fn refine(cond: BranchCond, d: Range, s: Range) -> Option<(Range, Range)> {
+    let (mut d, mut s) = (d, s);
+    match cond {
+        BranchCond::C(Cond::Eq) => {
+            let t = d.tnum.intersect(s.tnum)?;
+            d.tnum = t;
+            s.tnum = t;
+            d.umin = d.umin.max(s.umin);
+            s.umin = d.umin;
+            d.umax = d.umax.min(s.umax);
+            s.umax = d.umax;
+            d.smin = d.smin.max(s.smin);
+            s.smin = d.smin;
+            d.smax = d.smax.min(s.smax);
+            s.smax = d.smax;
+        }
+        BranchCond::C(Cond::Ne) => {
+            refine_ne(&mut d, &s)?;
+            refine_ne(&mut s, &d)?;
+        }
+        BranchCond::C(Cond::Lt) => {
+            d.umax = d.umax.min(s.umax.checked_sub(1)?);
+            s.umin = s.umin.max(d.umin.checked_add(1)?);
+        }
+        BranchCond::C(Cond::Le) => {
+            d.umax = d.umax.min(s.umax);
+            s.umin = s.umin.max(d.umin);
+        }
+        BranchCond::C(Cond::Gt) => {
+            d.umin = d.umin.max(s.umin.checked_add(1)?);
+            s.umax = s.umax.min(d.umax.checked_sub(1)?);
+        }
+        BranchCond::C(Cond::Ge) => {
+            d.umin = d.umin.max(s.umin);
+            s.umax = s.umax.min(d.umax);
+        }
+        BranchCond::C(Cond::SLt) => {
+            d.smax = d.smax.min(s.smax.checked_sub(1)?);
+            s.smin = s.smin.max(d.smin.checked_add(1)?);
+        }
+        BranchCond::C(Cond::SLe) => {
+            d.smax = d.smax.min(s.smax);
+            s.smin = s.smin.max(d.smin);
+        }
+        BranchCond::C(Cond::SGt) => {
+            d.smin = d.smin.max(s.smin.checked_add(1)?);
+            s.smax = s.smax.min(d.smax.checked_sub(1)?);
+        }
+        BranchCond::C(Cond::SGe) => {
+            d.smin = d.smin.max(s.smin);
+            s.smax = s.smax.min(d.smax);
+        }
+        BranchCond::C(Cond::Set) => {
+            // `d & s != 0`: impossible when no bit can be set in both.
+            if (d.tnum.value | d.tnum.mask) & (s.tnum.value | s.tnum.mask) == 0 {
+                return None;
+            }
+        }
+        BranchCond::NotSet => {
+            // `d & s == 0`: impossible when a bit is known set in both;
+            // against a constant mask, the masked bits become known 0.
+            if d.tnum.value & s.tnum.value != 0 {
+                return None;
+            }
+            if let Some(c) = s.tnum.const_value() {
+                d.tnum.mask &= !c;
+            }
+            if let Some(c) = d.tnum.const_value() {
+                s.tnum.mask &= !c;
+            }
+        }
+    }
+    Some((d.sync()?, s.sync()?))
+}
+
+/// Abstract register type. Pointers carry a constant base offset plus a
+/// variable part `[vmin, vmax]` accumulated from bounded-scalar
+/// arithmetic; the concrete offset is `off + v` for some `v` in range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum RegType {
     Uninit,
-    Scalar,
-    Const(i64),
-    PtrStack { off: i64 },
-    PtrCtx { off: i64 },
-    PtrMap { map: MapId, off: i64 },
-    PtrMapOrNull { map: MapId },
+    Scalar(Range),
+    PtrStack {
+        off: i64,
+        vmin: i64,
+        vmax: i64,
+    },
+    PtrCtx {
+        off: i64,
+        vmin: i64,
+        vmax: i64,
+    },
+    PtrMap {
+        map: MapId,
+        off: i64,
+        vmin: i64,
+        vmax: i64,
+    },
+    PtrMapOrNull {
+        map: MapId,
+    },
     MapHandle(MapId),
 }
 
 impl RegType {
+    fn cnst(v: i64) -> Self {
+        RegType::Scalar(Range::cnst(v))
+    }
+
+    fn unknown_scalar() -> Self {
+        RegType::Scalar(Range::unknown())
+    }
+
     fn is_scalar(self) -> bool {
-        matches!(self, RegType::Scalar | RegType::Const(_))
+        matches!(self, RegType::Scalar(_))
     }
 
     fn is_init(self) -> bool {
         !matches!(self, RegType::Uninit)
     }
+
+    fn const_i(self) -> Option<i64> {
+        match self {
+            RegType::Scalar(r) => r.const_i(),
+            _ => None,
+        }
+    }
+}
+
+fn fmt_ptr(
+    f: &mut std::fmt::Formatter<'_>,
+    base: &str,
+    off: i64,
+    vmin: i64,
+    vmax: i64,
+) -> std::fmt::Result {
+    write!(f, "{base}{off:+}")?;
+    if (vmin, vmax) != (0, 0) {
+        write!(f, "+[{vmin},{vmax}]")?;
+    }
+    Ok(())
+}
+
+impl std::fmt::Display for RegType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegType::Uninit => write!(f, "uninit"),
+            RegType::Scalar(r) => write!(f, "{r}"),
+            RegType::PtrStack { off, vmin, vmax } => fmt_ptr(f, "fp", *off, *vmin, *vmax),
+            RegType::PtrCtx { off, vmin, vmax } => fmt_ptr(f, "ctx", *off, *vmin, *vmax),
+            RegType::PtrMap {
+                map,
+                off,
+                vmin,
+                vmax,
+            } => fmt_ptr(f, &format!("map_value({})", map.0), *off, *vmin, *vmax),
+            RegType::PtrMapOrNull { map } => write!(f, "map_value_or_null({})", map.0),
+            RegType::MapHandle(map) => write!(f, "map_handle({})", map.0),
+        }
+    }
+}
+
+/// Does the abstract value `old` cover every concrete value `new` can
+/// take? (The per-register leg of state subsumption.)
+fn reg_subsumes(old: RegType, new: RegType) -> bool {
+    match (old, new) {
+        // An uninit slot admits anything: the old path never read it.
+        (RegType::Uninit, _) => true,
+        (RegType::Scalar(a), RegType::Scalar(b)) => a.subsumes(b),
+        (a, b) => a == b,
+    }
 }
 
 /// A per-path abstract machine state.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone)]
 struct State {
     regs: [RegType; 11],
     /// One bit per stack byte: written on this path.
     stack_init: [u64; 8],
+    /// Back-edge traversal counts, keyed by the jump's pc. Kept sorted
+    /// by insertion order (first back edge met first); compared for
+    /// equality during pruning so loop iterations are never conflated.
+    trips: Vec<(u32, u32)>,
 }
 
 impl State {
     fn entry() -> Self {
         let mut regs = [RegType::Uninit; 11];
-        regs[1] = RegType::PtrCtx { off: 0 }; // R1 = ctx at entry
-        regs[10] = RegType::PtrStack { off: 0 }; // R10 = frame top
+        regs[1] = RegType::PtrCtx {
+            off: 0,
+            vmin: 0,
+            vmax: 0,
+        }; // R1 = ctx at entry
+        regs[10] = RegType::PtrStack {
+            off: 0,
+            vmin: 0,
+            vmax: 0,
+        }; // R10 = frame top
         State {
             regs,
             stack_init: [0; 8],
+            trips: Vec::new(),
         }
     }
 
@@ -228,14 +717,35 @@ impl State {
             self.stack_init[w] & m != 0
         })
     }
+
+    /// Count one traversal of the back edge at `pc`; returns the new count.
+    fn bump_trip(&mut self, pc: u32) -> u32 {
+        for t in &mut self.trips {
+            if t.0 == pc {
+                t.1 += 1;
+                return t.1;
+            }
+        }
+        self.trips.push((pc, 1));
+        1
+    }
 }
 
-struct Verifier<'a> {
-    prog: &'a [Insn],
-    maps: &'a MapRegistry,
-    ctx_size: usize,
-    states_visited: usize,
-    paths_completed: usize,
+/// Is `new` redundant given we already explored `old` from the same pc?
+fn state_subsumes(old: &State, new: &State) -> bool {
+    // Differing trip counts are different loop iterations: pruning
+    // across them could bless an infinite loop, so require equality.
+    old.trips == new.trips
+        && old
+            .stack_init
+            .iter()
+            .zip(&new.stack_init)
+            .all(|(o, n)| o & !n == 0)
+        && old
+            .regs
+            .iter()
+            .zip(&new.regs)
+            .all(|(o, n)| reg_subsumes(*o, *n))
 }
 
 /// Statistics from one verifier pass — the "verifier pass stats" leg of
@@ -244,15 +754,23 @@ struct Verifier<'a> {
 pub struct VerifyStats {
     /// Program length in instructions.
     pub insns: usize,
+    /// Instruction visits during exploration (≥ `insns` on branchy or
+    /// loopy programs; the kernel reports the same number).
+    pub insns_visited: usize,
     /// Abstract states popped off the exploration worklist.
     pub states_explored: usize,
+    /// States skipped because a recorded state at the same pc subsumed
+    /// them.
+    pub states_pruned: usize,
     /// Execution paths that reached `exit`.
     pub paths_completed: usize,
+    /// High-water mark of the pending-states worklist.
+    pub peak_depth: usize,
 }
 
 /// Verify a program against a map registry and a declared context size.
 pub fn verify(prog: &[Insn], maps: &MapRegistry, ctx_size: usize) -> Result<(), VerifyError> {
-    verify_with_stats(prog, maps, ctx_size).map(|_| ())
+    run(prog, maps, ctx_size, false).0.map(|_| ())
 }
 
 /// Like [`verify`], but reports how much work the pass did.
@@ -261,35 +779,188 @@ pub fn verify_with_stats(
     maps: &MapRegistry,
     ctx_size: usize,
 ) -> Result<VerifyStats, VerifyError> {
-    if prog.is_empty() {
-        return Err(VerifyError::EmptyProgram);
+    run(prog, maps, ctx_size, false).0
+}
+
+/// Like [`verify_with_stats`], but also produces a kernel-style
+/// human-readable exploration log (most useful on rejection).
+pub fn verify_with_log(
+    prog: &[Insn],
+    maps: &MapRegistry,
+    ctx_size: usize,
+) -> (Result<VerifyStats, VerifyError>, String) {
+    run(prog, maps, ctx_size, true)
+}
+
+fn run(
+    prog: &[Insn],
+    maps: &MapRegistry,
+    ctx_size: usize,
+    want_log: bool,
+) -> (Result<VerifyStats, VerifyError>, String) {
+    let mut log = if want_log { Some(String::new()) } else { None };
+    if let Some(l) = log.as_mut() {
+        l.push_str(&format!(
+            "verifying {} insns, ctx {} bytes\n",
+            prog.len(),
+            ctx_size
+        ));
     }
-    if prog.len() > MAX_INSNS {
-        return Err(VerifyError::TooLong { len: prog.len() });
+    let early = if prog.is_empty() {
+        Some(VerifyError::EmptyProgram)
+    } else if prog.len() > MAX_INSNS {
+        Some(VerifyError::TooLong { len: prog.len() })
+    } else {
+        None
+    };
+    if let Some(err) = early {
+        let mut log = log.unwrap_or_default();
+        if want_log {
+            log.push_str(&format!("rejected: {err}\n"));
+        }
+        return (Err(err), log);
     }
     let mut v = Verifier {
         prog,
         maps,
         ctx_size,
-        states_visited: 0,
+        states_explored: 0,
+        states_pruned: 0,
+        insns_visited: 0,
         paths_completed: 0,
+        peak_depth: 0,
+        prune_point: prune_points(prog),
+        seen: HashMap::new(),
+        log,
     };
-    let mut worklist = vec![(0usize, State::entry())];
-    while let Some((pc, state)) = worklist.pop() {
-        v.states_visited += 1;
-        if v.states_visited > MAX_STATES {
-            return Err(VerifyError::TooComplex);
-        }
-        v.step(pc, state, &mut worklist)?;
-    }
-    Ok(VerifyStats {
+    let result = v.explore();
+    let stats = VerifyStats {
         insns: prog.len(),
-        states_explored: v.states_visited,
+        insns_visited: v.insns_visited,
+        states_explored: v.states_explored,
+        states_pruned: v.states_pruned,
         paths_completed: v.paths_completed,
-    })
+        peak_depth: v.peak_depth,
+    };
+    let mut log = v.log.take().unwrap_or_default();
+    if want_log {
+        match &result {
+            Ok(()) => log.push_str("accepted\n"),
+            Err(e) => log.push_str(&format!("rejected: {e}\n")),
+        }
+        log.push_str(&format!(
+            "stats: insns {} visited {} states {} pruned {} paths {} peak depth {}\n",
+            stats.insns,
+            stats.insns_visited,
+            stats.states_explored,
+            stats.states_pruned,
+            stats.paths_completed,
+            stats.peak_depth,
+        ));
+    }
+    (result.map(|()| stats), log)
+}
+
+/// Pcs where exploration records and prunes states: every jump target
+/// plus the fall-through of every conditional jump (the kernel marks
+/// the same set).
+fn prune_points(prog: &[Insn]) -> Vec<bool> {
+    let mut marks = vec![false; prog.len()];
+    for (pc, insn) in prog.iter().enumerate() {
+        if let Insn::Jump { cond, off } = insn {
+            let target = pc as i64 + 1 + *off as i64;
+            if (0..prog.len() as i64).contains(&target) {
+                marks[target as usize] = true;
+            }
+            if cond.is_some() && pc + 1 < prog.len() {
+                marks[pc + 1] = true;
+            }
+        }
+    }
+    marks
+}
+
+struct Verifier<'a> {
+    prog: &'a [Insn],
+    maps: &'a MapRegistry,
+    ctx_size: usize,
+    states_explored: usize,
+    states_pruned: usize,
+    insns_visited: usize,
+    paths_completed: usize,
+    peak_depth: usize,
+    prune_point: Vec<bool>,
+    seen: HashMap<usize, Vec<State>>,
+    log: Option<String>,
 }
 
 impl<'a> Verifier<'a> {
+    /// Append one log line; the closure only runs when logging is on.
+    fn trace(&mut self, f: impl FnOnce() -> String) {
+        if let Some(log) = self.log.as_mut() {
+            if log.len() < MAX_LOG_BYTES {
+                log.push_str(&f());
+                log.push('\n');
+                if log.len() >= MAX_LOG_BYTES {
+                    log.push_str("...log truncated...\n");
+                }
+            }
+        }
+    }
+
+    fn explore(&mut self) -> Result<(), VerifyError> {
+        let mut worklist = vec![(0usize, State::entry())];
+        self.peak_depth = 1;
+        while let Some((pc, st)) = worklist.pop() {
+            self.states_explored += 1;
+            if self.states_explored > MAX_STATES {
+                return Err(VerifyError::TooComplex);
+            }
+            let mut pruned = false;
+            if pc < self.prune_point.len() && self.prune_point[pc] {
+                let recorded = self.seen.entry(pc).or_default();
+                if recorded.iter().any(|old| state_subsumes(old, &st)) {
+                    pruned = true;
+                } else if recorded.len() < MAX_RECORDED_PER_PC {
+                    recorded.push(st.clone());
+                }
+            }
+            if pruned {
+                self.states_pruned += 1;
+                self.trace(|| format!("{pc}: pruned (subsumed by an earlier state)"));
+                continue;
+            }
+            self.insns_visited += 1;
+            self.step(pc, st, &mut worklist)?;
+            self.peak_depth = self.peak_depth.max(worklist.len());
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, worklist: &mut Vec<(usize, State)>, pc: usize, st: State) {
+        worklist.push((pc, st));
+        self.peak_depth = self.peak_depth.max(worklist.len());
+    }
+
+    /// Push a jump successor, counting (and bounding) back-edge trips.
+    fn push_succ(
+        &mut self,
+        worklist: &mut Vec<(usize, State)>,
+        from: usize,
+        to: usize,
+        mut st: State,
+    ) -> Result<(), VerifyError> {
+        if to <= from {
+            let trips = st.bump_trip(from as u32);
+            if trips > MAX_LOOP_TRIPS {
+                return Err(VerifyError::BackEdge { pc: from });
+            }
+            self.trace(|| format!("{from}: back edge to {to} (trip {trips})"));
+        }
+        self.push(worklist, to, st);
+        Ok(())
+    }
+
     fn read_reg(&self, st: &State, pc: usize, r: Reg) -> Result<RegType, VerifyError> {
         if !r.is_valid() {
             return Err(VerifyError::InvalidRegister { pc });
@@ -303,7 +974,7 @@ impl<'a> Verifier<'a> {
 
     fn src_type(&self, st: &State, pc: usize, src: Src) -> Result<RegType, VerifyError> {
         match src {
-            Src::Imm(i) => Ok(RegType::Const(i)),
+            Src::Imm(i) => Ok(RegType::cnst(i)),
             Src::Reg(r) => self.read_reg(st, pc, r),
         }
     }
@@ -318,7 +989,8 @@ impl<'a> Verifier<'a> {
         Ok(())
     }
 
-    /// Check a pointer access and, for stack reads, initialization.
+    /// Check a pointer access over the pointer's whole offset span
+    /// `[off+vmin, off+vmax]` and, for stack reads, initialization.
     fn check_access(
         &self,
         st: &State,
@@ -327,54 +999,63 @@ impl<'a> Verifier<'a> {
         off: i32,
         size: usize,
         write: bool,
-    ) -> Result<RegType, VerifyError> {
+    ) -> Result<(), VerifyError> {
         match base {
-            RegType::PtrStack { off: p } => {
-                let a = p + off as i64;
-                if a < -STACK_SIZE || a + size as i64 > 0 {
+            RegType::PtrStack { off: p, vmin, vmax } => {
+                let lo = (p + vmin) + off as i64;
+                let hi = (p + vmax) + off as i64;
+                let span = (hi - lo) as usize + size;
+                if lo < -STACK_SIZE || hi + size as i64 > 0 {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "stack",
-                        off: a,
-                        size,
+                        off: lo,
+                        size: span,
                     });
                 }
-                if !write && !st.stack_is_init(a, size) {
-                    return Err(VerifyError::UninitStackRead { pc, off: a });
+                if !write && !st.stack_is_init(lo, span) {
+                    return Err(VerifyError::UninitStackRead { pc, off: lo });
                 }
-                Ok(base)
+                Ok(())
             }
-            RegType::PtrCtx { off: p } => {
+            RegType::PtrCtx { off: p, vmin, vmax } => {
                 if write {
                     return Err(VerifyError::CtxWrite { pc });
                 }
-                let a = p + off as i64;
-                if a < 0 || a + size as i64 > self.ctx_size as i64 {
+                let lo = (p + vmin) + off as i64;
+                let hi = (p + vmax) + off as i64;
+                if lo < 0 || hi + size as i64 > self.ctx_size as i64 {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "ctx",
-                        off: a,
-                        size,
+                        off: lo,
+                        size: (hi - lo) as usize + size,
                     });
                 }
-                Ok(base)
+                Ok(())
             }
-            RegType::PtrMap { map, off: p } => {
+            RegType::PtrMap {
+                map,
+                off: p,
+                vmin,
+                vmax,
+            } => {
                 let vs = self
                     .maps
                     .def(map)
                     .ok_or(VerifyError::UnknownMap { pc })?
                     .value_size as i64;
-                let a = p + off as i64;
-                if a < 0 || a + size as i64 > vs {
+                let lo = (p + vmin) + off as i64;
+                let hi = (p + vmax) + off as i64;
+                if lo < 0 || hi + size as i64 > vs {
                     return Err(VerifyError::OutOfBounds {
                         pc,
                         region: "map value",
-                        off: a,
-                        size,
+                        off: lo,
+                        size: (hi - lo) as usize + size,
                     });
                 }
-                Ok(base)
+                Ok(())
             }
             RegType::PtrMapOrNull { .. } => Err(VerifyError::PossiblyNullDeref { pc }),
             _ => Err(VerifyError::NotAPointer { pc }),
@@ -390,14 +1071,17 @@ impl<'a> Verifier<'a> {
         if pc >= self.prog.len() {
             return Err(VerifyError::FellOffEnd { pc });
         }
-        match self.prog[pc] {
+        let insn = self.prog[pc];
+        self.trace(|| format!("{pc}: {insn}"));
+        match insn {
             Insn::Alu { op, dst, src } => {
                 self.check_writable(pc, dst)?;
                 let d = st.regs[dst.index()];
                 let s = self.src_type(&st, pc, src)?;
                 let result = self.alu_result(pc, op, d, s)?;
                 st.regs[dst.index()] = result;
-                worklist.push((pc + 1, st));
+                self.trace(|| format!("  ; r{}={}", dst.0, result));
+                self.push(worklist, pc + 1, st);
             }
             Insn::Load {
                 size,
@@ -408,8 +1092,24 @@ impl<'a> Verifier<'a> {
                 self.check_writable(pc, dst)?;
                 let b = self.read_reg(&st, pc, base)?;
                 self.check_access(&st, pc, b, off, size.bytes(), false)?;
-                st.regs[dst.index()] = RegType::Scalar;
-                worklist.push((pc + 1, st));
+                // Loads are zero-extended, so sub-64-bit loads have
+                // known bounds.
+                st.regs[dst.index()] = if size.bytes() == 8 {
+                    RegType::unknown_scalar()
+                } else {
+                    let max = (1u64 << (size.bytes() * 8)) - 1;
+                    RegType::Scalar(Range {
+                        tnum: Tnum {
+                            value: 0,
+                            mask: max,
+                        },
+                        umin: 0,
+                        umax: max,
+                        smin: 0,
+                        smax: max as i64,
+                    })
+                };
+                self.push(worklist, pc + 1, st);
             }
             Insn::Store {
                 size,
@@ -423,26 +1123,30 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::PointerStore { pc });
                 }
                 self.check_access(&st, pc, b, off, size.bytes(), true)?;
-                if let RegType::PtrStack { off: p } = b {
-                    st.mark_stack_init(p + off as i64, size.bytes());
+                if let RegType::PtrStack { off: p, vmin, vmax } = b {
+                    // A variable-offset store initializes *some* bytes
+                    // of the span; marking the whole span is still safe
+                    // because the VM zero-fills the stack (init
+                    // tracking is a strictness check, not a safety
+                    // one).
+                    let lo = (p + vmin) + off as i64;
+                    st.mark_stack_init(lo, (vmax - vmin) as usize + size.bytes());
                 }
-                worklist.push((pc + 1, st));
+                self.push(worklist, pc + 1, st);
             }
             Insn::Jump { cond, off } => {
-                if off < 0 {
-                    return Err(VerifyError::BackEdge { pc });
-                }
-                let target = pc + 1 + off as usize;
-                if target > self.prog.len() {
+                let target = pc as i64 + 1 + off as i64;
+                if target < 0 || target > self.prog.len() as i64 {
                     return Err(VerifyError::JumpOutOfBounds { pc });
                 }
+                let target = target as usize;
                 match cond {
-                    None => worklist.push((target, st)),
+                    None => self.push_succ(worklist, pc, target, st)?,
                     Some((c, dst, src)) => {
                         let d = self.read_reg(&st, pc, dst)?;
                         let s = self.src_type(&st, pc, src)?;
                         // Null-check refinement for map lookups.
-                        let zero_cmp = matches!(s, RegType::Const(0));
+                        let zero_cmp = s.const_i() == Some(0);
                         if let RegType::PtrMapOrNull { map } = d {
                             if zero_cmp && (c == Cond::Eq || c == Cond::Ne) {
                                 let (null_pc, ptr_pc) = if c == Cond::Eq {
@@ -451,28 +1155,54 @@ impl<'a> Verifier<'a> {
                                     (pc + 1, target)
                                 };
                                 let mut null_st = st.clone();
-                                null_st.regs[dst.index()] = RegType::Const(0);
-                                worklist.push((null_pc, null_st));
+                                null_st.regs[dst.index()] = RegType::cnst(0);
+                                self.push_succ(worklist, pc, null_pc, null_st)?;
                                 let mut ptr_st = st;
-                                ptr_st.regs[dst.index()] = RegType::PtrMap { map, off: 0 };
-                                worklist.push((ptr_pc, ptr_st));
+                                ptr_st.regs[dst.index()] = RegType::PtrMap {
+                                    map,
+                                    off: 0,
+                                    vmin: 0,
+                                    vmax: 0,
+                                };
+                                self.push_succ(worklist, pc, ptr_pc, ptr_st)?;
                                 return Ok(());
                             }
                             return Err(VerifyError::PointerComparison { pc });
                         }
-                        if !d.is_scalar() || !s.is_scalar() {
-                            return Err(VerifyError::PointerComparison { pc });
+                        let (dr, sr) = match (d, s) {
+                            (RegType::Scalar(a), RegType::Scalar(b)) => (a, b),
+                            _ => return Err(VerifyError::PointerComparison { pc }),
+                        };
+                        // Taken arm first, then fall-through (LIFO pops
+                        // fall-through first). A `None` refinement means
+                        // that arm is statically dead — this is also
+                        // what terminates constant-bounded loops.
+                        if let Some((rd, rs)) = refine(BranchCond::C(c), dr, sr) {
+                            let mut t_st = st.clone();
+                            t_st.regs[dst.index()] = RegType::Scalar(rd);
+                            if let Src::Reg(sreg) = src {
+                                t_st.regs[sreg.index()] = RegType::Scalar(rs);
+                            }
+                            self.push_succ(worklist, pc, target, t_st)?;
+                        } else {
+                            self.trace(|| format!("{pc}: branch never taken (dead arm)"));
                         }
-                        // Statically decidable branches still explore both
-                        // sides; harmless over-approximation.
-                        worklist.push((target, st.clone()));
-                        worklist.push((pc + 1, st));
+                        if let Some((rd, rs)) = refine(negate(c), dr, sr) {
+                            let mut f_st = st;
+                            f_st.regs[dst.index()] = RegType::Scalar(rd);
+                            if let Src::Reg(sreg) = src {
+                                f_st.regs[sreg.index()] = RegType::Scalar(rs);
+                            }
+                            self.push_succ(worklist, pc, pc + 1, f_st)?;
+                        } else {
+                            self.trace(|| format!("{pc}: branch always taken (dead fall-through)"));
+                        }
                     }
                 }
             }
             Insn::Call { helper } => {
                 self.check_call(&mut st, pc, helper)?;
-                worklist.push((pc + 1, st));
+                self.push(worklist, pc + 1, st);
             }
             Insn::LoadMap { dst, map } => {
                 self.check_writable(pc, dst)?;
@@ -480,7 +1210,7 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::UnknownMap { pc });
                 }
                 st.regs[dst.index()] = RegType::MapHandle(map);
-                worklist.push((pc + 1, st));
+                self.push(worklist, pc + 1, st);
             }
             Insn::Exit => {
                 if !st.regs[0].is_scalar() {
@@ -488,6 +1218,7 @@ impl<'a> Verifier<'a> {
                 }
                 // Path terminates.
                 self.paths_completed += 1;
+                self.trace(|| format!("{pc}: exit; r0={}", st.regs[0]));
             }
         }
         Ok(())
@@ -510,8 +1241,7 @@ impl<'a> Verifier<'a> {
                 Ok(src)
             }
             Neg => match dst {
-                Const(c) => Ok(Const(c.wrapping_neg())),
-                Scalar => Ok(Scalar),
+                Scalar(r) => Ok(Scalar(range_alu(Sub, Range::cnst(0), r))),
                 Uninit => Err(VerifyError::UninitRead { pc, reg: 255 }),
                 _ => Err(VerifyError::PointerArithmetic { pc }),
             },
@@ -520,63 +1250,96 @@ impl<'a> Verifier<'a> {
                     return Err(VerifyError::UninitRead { pc, reg: 255 });
                 }
                 match (dst, src) {
-                    (PtrStack { off }, Const(c)) => Ok(PtrStack {
-                        off: apply_off(pc, op, off, c)?,
-                    }),
-                    (PtrCtx { off }, Const(c)) => Ok(PtrCtx {
-                        off: apply_off(pc, op, off, c)?,
-                    }),
-                    (PtrMap { map, off }, Const(c)) => Ok(PtrMap {
-                        map,
-                        off: apply_off(pc, op, off, c)?,
-                    }),
-                    (PtrStack { .. } | PtrCtx { .. } | PtrMap { .. }, _) => {
+                    (PtrStack { .. } | PtrCtx { .. } | PtrMap { .. }, Scalar(s)) => {
+                        self.ptr_math(pc, op, dst, s)
+                    }
+                    (PtrStack { .. } | PtrCtx { .. } | PtrMap { .. }, _)
+                    | (PtrMapOrNull { .. } | MapHandle(_), _) => {
                         Err(VerifyError::PointerArithmetic { pc })
                     }
-                    (PtrMapOrNull { .. } | MapHandle(_), _) => {
-                        Err(VerifyError::PointerArithmetic { pc })
-                    }
-                    (Const(a), Const(b)) => Ok(Const(if op == Add {
-                        a.wrapping_add(b)
-                    } else {
-                        a.wrapping_sub(b)
-                    })),
-                    (d, s) if d.is_scalar() && s.is_scalar() => Ok(Scalar),
+                    (Scalar(a), Scalar(b)) => Ok(Scalar(range_alu(op, a, b))),
                     _ => Err(VerifyError::PointerArithmetic { pc }),
                 }
             }
-            Div | AluOp::Mod => {
-                if !dst.is_scalar() || !src.is_scalar() {
-                    return Err(VerifyError::PointerArithmetic { pc });
+            Div | AluOp::Mod => match (dst, src) {
+                (Scalar(a), Scalar(b)) => {
+                    if b.const_u() == Some(0) {
+                        return Err(VerifyError::DivisionByZero { pc });
+                    }
+                    Ok(Scalar(range_alu(op, a, b)))
                 }
-                if src == Const(0) {
-                    return Err(VerifyError::DivisionByZero { pc });
-                }
-                match (dst, src) {
-                    (Const(a), Const(b)) => Ok(Const(if op == Div {
-                        (a as u64).checked_div(b as u64).unwrap_or(0) as i64
-                    } else {
-                        (a as u64).checked_rem(b as u64).unwrap_or(0) as i64
-                    })),
-                    _ => Ok(Scalar),
-                }
-            }
-            Mul | And | Or | Xor | Lsh | Rsh | Arsh => {
-                if !dst.is_scalar() || !src.is_scalar() {
-                    return Err(VerifyError::PointerArithmetic { pc });
-                }
-                match (dst, src) {
-                    (Const(a), Const(b)) => Ok(Const(fold(op, a, b))),
-                    _ => Ok(Scalar),
-                }
-            }
+                _ => Err(VerifyError::PointerArithmetic { pc }),
+            },
+            Mul | And | Or | Xor | Lsh | Rsh | Arsh => match (dst, src) {
+                (Scalar(a), Scalar(b)) => Ok(Scalar(range_alu(op, a, b))),
+                _ => Err(VerifyError::PointerArithmetic { pc }),
+            },
         }
+    }
+
+    /// Pointer ± scalar. Constant scalars fold into the base offset;
+    /// bounded scalars widen the variable part. All arithmetic is
+    /// checked and the resulting span is capped at ±[`MAX_PTR_OFF`], so
+    /// adversarial constants (e.g. `i64::MIN`) reject instead of
+    /// overflowing.
+    fn ptr_math(
+        &self,
+        pc: usize,
+        op: AluOp,
+        ptr: RegType,
+        s: Range,
+    ) -> Result<RegType, VerifyError> {
+        let err = VerifyError::PointerArithmetic { pc };
+        let (off, vmin, vmax) = match ptr {
+            RegType::PtrStack { off, vmin, vmax }
+            | RegType::PtrCtx { off, vmin, vmax }
+            | RegType::PtrMap {
+                off, vmin, vmax, ..
+            } => (off, vmin, vmax),
+            _ => return Err(err),
+        };
+        let add = op == AluOp::Add;
+        let (off, vmin, vmax) = if let Some(c) = s.const_i() {
+            let off = if add {
+                off.checked_add(c)
+            } else {
+                off.checked_sub(c)
+            };
+            (off.ok_or_else(|| err.clone())?, vmin, vmax)
+        } else {
+            let (lo, hi) = if add {
+                (vmin.checked_add(s.smin), vmax.checked_add(s.smax))
+            } else {
+                (vmin.checked_sub(s.smax), vmax.checked_sub(s.smin))
+            };
+            (
+                off,
+                lo.ok_or_else(|| err.clone())?,
+                hi.ok_or_else(|| err.clone())?,
+            )
+        };
+        let lo = off.checked_add(vmin).ok_or_else(|| err.clone())?;
+        let hi = off.checked_add(vmax).ok_or_else(|| err.clone())?;
+        if lo < -MAX_PTR_OFF || hi > MAX_PTR_OFF {
+            return Err(err);
+        }
+        Ok(match ptr {
+            RegType::PtrStack { .. } => RegType::PtrStack { off, vmin, vmax },
+            RegType::PtrCtx { .. } => RegType::PtrCtx { off, vmin, vmax },
+            RegType::PtrMap { map, .. } => RegType::PtrMap {
+                map,
+                off,
+                vmin,
+                vmax,
+            },
+            _ => unreachable!(),
+        })
     }
 
     fn check_call(&self, st: &mut State, pc: usize, helper: Helper) -> Result<(), VerifyError> {
         use Helper::*;
         let ret = match helper {
-            KtimeGetNs | GetCurrentPidTgid => RegType::Scalar,
+            KtimeGetNs | GetCurrentPidTgid => RegType::unknown_scalar(),
             MapLookup => {
                 let map = self.arg_map(st, pc, helper, 1, &[MapClass::Keyed])?;
                 let ks = self.maps.def(map).unwrap().key_size;
@@ -592,50 +1355,54 @@ impl<'a> Verifier<'a> {
                 self.arg_ptr(st, pc, helper, 2, ks, false)?;
                 self.arg_ptr(st, pc, helper, 3, vs, false)?;
                 self.arg_scalar(st, pc, helper, 4)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
             MapDelete => {
                 let map = self.arg_map(st, pc, helper, 1, &[MapClass::Keyed])?;
                 let ks = self.maps.def(map).unwrap().key_size;
                 self.arg_ptr(st, pc, helper, 2, ks, false)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
             MapPush => {
                 let map = self.arg_map(st, pc, helper, 1, &[MapClass::Stack])?;
                 let vs = self.maps.def(map).unwrap().value_size;
                 self.arg_ptr(st, pc, helper, 2, vs, false)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
             MapPop => {
                 let map = self.arg_map(st, pc, helper, 1, &[MapClass::Stack])?;
                 let vs = self.maps.def(map).unwrap().value_size;
                 self.arg_ptr(st, pc, helper, 2, vs, true)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
             PerfEventReadBuf => {
                 self.arg_scalar(st, pc, helper, 1)?;
                 self.arg_ptr(st, pc, helper, 2, 24, true)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
             ReadTaskIo | ReadTcpSock => {
                 self.arg_ptr(st, pc, helper, 1, 32, true)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
             PerfEventOutput => {
                 self.arg_map(st, pc, helper, 1, &[MapClass::Ring])?;
+                // The runtime length is r3; the data pointer must be
+                // valid for the largest value r3 can take.
                 let len = match st.regs[3] {
-                    RegType::Const(l) if l > 0 && l <= MAX_OUTPUT_BYTES => l as usize,
+                    RegType::Scalar(r) if r.umin >= 1 && r.umax <= MAX_OUTPUT_BYTES as u64 => {
+                        r.umax as usize
+                    }
                     _ => {
                         return Err(VerifyError::BadHelperArg {
                             pc,
                             helper,
                             arg: 3,
-                            expected: "constant length in 1..=8192",
+                            expected: "bounded length in 1..=8192",
                         })
                     }
                 };
                 self.arg_ptr(st, pc, helper, 2, len, false)?;
-                RegType::Scalar
+                RegType::unknown_scalar()
             }
         };
         // Calls clobber the caller-saved registers.
@@ -717,8 +1484,8 @@ impl<'a> Verifier<'a> {
                 other => other,
             })?;
         if write {
-            if let RegType::PtrStack { off } = t {
-                st.mark_stack_init(off, size);
+            if let RegType::PtrStack { off, vmin, vmax } = t {
+                st.mark_stack_init(off + vmin, (vmax - vmin) as usize + size);
             }
         }
         Ok(())
@@ -739,33 +1506,6 @@ impl MapClass {
             MapKind::Stack { .. } => MapClass::Stack,
             MapKind::PerfEventArray { .. } => MapClass::Ring,
         }
-    }
-}
-
-fn apply_off(pc: usize, op: AluOp, off: i64, c: i64) -> Result<i64, VerifyError> {
-    let next = if op == AluOp::Add {
-        off.wrapping_add(c)
-    } else {
-        off.wrapping_sub(c)
-    };
-    // Keep offsets sane; real verifier bounds these too.
-    if next.abs() > 1 << 29 {
-        Err(VerifyError::PointerArithmetic { pc })
-    } else {
-        Ok(next)
-    }
-}
-
-fn fold(op: AluOp, a: i64, b: i64) -> i64 {
-    match op {
-        AluOp::Mul => a.wrapping_mul(b),
-        AluOp::And => a & b,
-        AluOp::Or => a | b,
-        AluOp::Xor => a ^ b,
-        AluOp::Lsh => ((a as u64) << (b as u64 & 63)) as i64,
-        AluOp::Rsh => ((a as u64) >> (b as u64 & 63)) as i64,
-        AluOp::Arsh => a >> (b as u64 & 63),
-        _ => unreachable!("fold called for non-foldable op"),
     }
 }
 
@@ -829,7 +1569,7 @@ mod tests {
     }
 
     #[test]
-    fn back_edge_rejected() {
+    fn unconditional_back_edge_rejected() {
         let (m, ..) = maps();
         let prog = vec![
             Insn::Alu {
@@ -845,6 +1585,70 @@ mod tests {
         ];
         assert!(matches!(
             rejected(prog, &m, 0),
+            VerifyError::BackEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn unbounded_data_dependent_loop_rejected() {
+        // while (ktime() != 0) {} — the governing register never
+        // narrows, so the trip budget runs out.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        let top = b.label();
+        b.bind(top);
+        b.call(Helper::KtimeGetNs);
+        b.jump_if_imm(Cond::Ne, R0, 0, top);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::BackEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn bounded_loop_verifies() {
+        // for (r6 = 0; r6 < 10; ) r6 += 1 — refinement proves the taken
+        // arm dead once r6 reaches 10.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R6, 0);
+        let top = b.label();
+        b.bind(top);
+        b.alu_imm(AluOp::Add, R6, 1);
+        b.jump_if_imm(Cond::Lt, R6, 10, top);
+        b.mov_imm(R0, 0).exit();
+        let prog = b.resolve().unwrap();
+        let s = verify_with_stats(&prog, &m, 0).unwrap();
+        assert_eq!(s.paths_completed, 1);
+        assert!(s.insns_visited > s.insns, "loop body visited repeatedly");
+
+        // The same loop without the exit condition is rejected.
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R6, 0);
+        let top = b.label();
+        b.bind(top);
+        b.alu_imm(AluOp::Add, R6, 1);
+        b.jump(top);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::BackEdge { .. }
+        ));
+    }
+
+    #[test]
+    fn loop_exceeding_trip_budget_rejected() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R6, 0);
+        let top = b.label();
+        b.bind(top);
+        b.alu_imm(AluOp::Add, R6, 1);
+        b.jump_if_imm(Cond::Lt, R6, MAX_LOOP_TRIPS as i64 + 100, top);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
             VerifyError::BackEdge { .. }
         ));
     }
@@ -1009,6 +1813,139 @@ mod tests {
     }
 
     #[test]
+    fn branch_refinement_allows_variable_stack_access() {
+        // ktime() & guard proves r0 ∈ [0, 7]; fp-16+r0 stays in frame.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.call(Helper::KtimeGetNs);
+        let out = b.label();
+        b.jump_if_imm(Cond::Gt, R0, 7, out);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -16);
+        b.alu_reg(AluOp::Add, R2, R0);
+        b.store_imm(Size::B8, R2, 0, 1);
+        b.bind(out);
+        b.mov_imm(R0, 0).exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn too_wide_refined_range_still_rejected() {
+        // The guard only proves r0 <= 600; fp-16+600+8 overruns fp.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.call(Helper::KtimeGetNs);
+        let out = b.label();
+        b.jump_if_imm(Cond::Gt, R0, 600, out);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -16);
+        b.alu_reg(AluOp::Add, R2, R0);
+        b.store_imm(Size::B8, R2, 0, 1);
+        b.bind(out);
+        b.mov_imm(R0, 0).exit();
+        assert!(matches!(
+            rejected(b.resolve().unwrap(), &m, 0),
+            VerifyError::OutOfBounds {
+                region: "stack",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn variable_ctx_read_with_masked_index_ok() {
+        // r0 = ktime() & 7 — the tnum alone bounds the index.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_reg(R6, R1); // ctx survives the call in a callee-saved reg
+        b.call(Helper::KtimeGetNs);
+        b.alu_imm(AluOp::And, R0, 7);
+        b.mov_reg(R2, R6);
+        b.alu_reg(AluOp::Add, R2, R0);
+        b.load(Size::B1, R0, R2, 0);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 8);
+    }
+
+    #[test]
+    fn jset_refinement_proves_bit_clear() {
+        // Fall-through of jset r0, 8 proves bit 3 is 0, so r0 (already
+        // masked to bit 3 only) must be exactly 0 and the OOB store in
+        // the dead region is never explored.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.call(Helper::KtimeGetNs);
+        b.alu_imm(AluOp::And, R0, 8);
+        let t = b.label();
+        let end = b.label();
+        b.jump_if_imm(Cond::Set, R0, 8, t);
+        b.jump_if_imm(Cond::Eq, R0, 0, end);
+        b.store_imm(Size::B8, R10, 100, 1); // dead: would be OOB
+        b.bind(t);
+        b.bind(end);
+        b.mov_imm(R0, 0).exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn pointer_add_i64_min_does_not_panic() {
+        let (m, ..) = maps();
+        for op in [AluOp::Add, AluOp::Sub] {
+            let mut b = ProgramBuilder::new();
+            b.mov_reg(R2, R10);
+            b.alu_imm(op, R2, i64::MIN);
+            b.store_imm(Size::B8, R2, 0, 1);
+            b.mov_imm(R0, 0).exit();
+            assert!(matches!(
+                rejected(b.resolve().unwrap(), &m, 0),
+                VerifyError::PointerArithmetic { .. }
+            ));
+        }
+    }
+
+    #[test]
+    fn adversarial_constant_arithmetic_does_not_panic() {
+        // Overflow-prone constant folds must wrap, not panic.
+        let (m, ..) = maps();
+        for op in [AluOp::Add, AluOp::Sub, AluOp::Mul, AluOp::Neg] {
+            let mut b = ProgramBuilder::new();
+            b.mov_imm(R0, i64::MIN);
+            b.alu_imm(op, R0, i64::MAX);
+            b.alu_imm(op, R0, i64::MIN);
+            b.exit();
+            ok(b.resolve().unwrap(), &m, 0);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_states_on_diamonds() {
+        // A chain of diamonds whose merged states are identical: without
+        // pruning 2^k paths, with pruning ~linear.
+        let (m, ..) = maps();
+        let k = 6;
+        let mut b = ProgramBuilder::new();
+        for _ in 0..k {
+            b.call(Helper::KtimeGetNs);
+            let els = b.label();
+            let end = b.label();
+            b.jump_if_imm(Cond::Eq, R0, 0, els);
+            b.store_imm(Size::B8, R10, -8, 1);
+            b.jump(end);
+            b.bind(els);
+            b.store_imm(Size::B8, R10, -8, 2);
+            b.bind(end);
+        }
+        b.mov_imm(R0, 0).exit();
+        let prog = b.resolve().unwrap();
+        let s = verify_with_stats(&prog, &m, 0).unwrap();
+        assert!(s.states_pruned > 0, "expected pruning, got {s:?}");
+        assert!(
+            s.paths_completed < (1 << k),
+            "pruning should collapse the exponential paths, got {s:?}"
+        );
+    }
+
+    #[test]
     fn pointer_comparison_rejected() {
         let (m, ..) = maps();
         let mut b = ProgramBuilder::new();
@@ -1103,7 +2040,7 @@ mod tests {
     }
 
     #[test]
-    fn perf_event_output_requires_const_len() {
+    fn perf_event_output_requires_bounded_len() {
         let (m, _, _, ring) = maps();
         let mut b = ProgramBuilder::new();
         b.store_imm(Size::B8, R10, -8, 0);
@@ -1133,6 +2070,25 @@ mod tests {
         b.mov_reg(R2, R10);
         b.alu_imm(AluOp::Add, R2, -16);
         b.mov_imm(R3, 16);
+        b.call(Helper::PerfEventOutput);
+        b.exit();
+        ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    #[test]
+    fn perf_event_output_ok_with_range_bounded_len() {
+        // r3 refined into [1, 16]; the data pointer covers 16 bytes.
+        let (m, _, _, ring) = maps();
+        let mut b = ProgramBuilder::new();
+        b.store_imm(Size::B8, R10, -16, 1);
+        b.store_imm(Size::B8, R10, -8, 2);
+        b.call(Helper::KtimeGetNs);
+        b.alu_imm(AluOp::And, R0, 15);
+        b.alu_imm(AluOp::Add, R0, 1); // r0 ∈ [1, 16]
+        b.load_map(R1, ring);
+        b.mov_reg(R2, R10);
+        b.alu_imm(AluOp::Add, R2, -16);
+        b.mov_reg(R3, R0);
         b.call(Helper::PerfEventOutput);
         b.exit();
         ok(b.resolve().unwrap(), &m, 0);
@@ -1195,17 +2151,56 @@ mod tests {
         assert_eq!(s.states_explored, 2);
         assert_eq!(s.paths_completed, 1);
 
-        // One conditional fork: both sides explored, two exits reached.
+        // A genuinely two-sided fork (unknown scalar): both arms
+        // explored, two exits reached.
         let mut b = ProgramBuilder::new();
-        b.mov_imm(R0, 0);
+        b.call(Helper::KtimeGetNs);
         let l = b.label();
         b.jump_if_imm(Cond::Eq, R0, 0, l);
+        b.mov_imm(R0, 7);
         b.bind(l);
         b.exit();
         let prog = b.resolve().unwrap();
         let s = verify_with_stats(&prog, &m, 0).unwrap();
         assert_eq!(s.paths_completed, 2);
         assert!(s.states_explored > s.insns);
+        assert!(s.peak_depth >= 2);
+    }
+
+    #[test]
+    fn statically_dead_branch_not_explored() {
+        // jeq on a constant: only one arm is live now.
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 0);
+        let l = b.label();
+        b.jump_if_imm(Cond::Eq, R0, 0, l);
+        b.mov_imm(R0, 1); // dead
+        b.bind(l);
+        b.exit();
+        let prog = b.resolve().unwrap();
+        let s = verify_with_stats(&prog, &m, 0).unwrap();
+        assert_eq!(s.paths_completed, 1);
+    }
+
+    #[test]
+    fn verify_with_log_reports_rejection() {
+        let (m, ..) = maps();
+        let mut b = ProgramBuilder::new();
+        b.load(Size::B8, R0, R10, -8); // uninit stack read
+        b.exit();
+        let (res, log) = verify_with_log(&b.resolve().unwrap(), &m, 0);
+        assert!(res.is_err());
+        assert!(log.contains("verifying 2 insns"), "log was: {log}");
+        assert!(log.contains("rejected:"), "log was: {log}");
+        assert!(log.contains("ldx"), "log should show insns: {log}");
+
+        let mut b = ProgramBuilder::new();
+        b.mov_imm(R0, 0).exit();
+        let (res, log) = verify_with_log(&b.resolve().unwrap(), &m, 0);
+        assert!(res.is_ok());
+        assert!(log.contains("accepted"), "log was: {log}");
+        assert!(log.contains("stats:"), "log was: {log}");
     }
 
     #[test]
@@ -1240,5 +2235,57 @@ mod tests {
         b.call(Helper::PerfEventOutput);
         b.exit();
         ok(b.resolve().unwrap(), &m, 0);
+    }
+
+    // ---- direct unit tests of the abstract domain ----
+
+    #[test]
+    fn range_sync_detects_contradiction() {
+        let mut r = Range::unknown();
+        r.umin = 10;
+        r.umax = 5;
+        assert_eq!(r.sync(), None);
+        let mut r = Range::unknown();
+        r.tnum = Tnum::cnst(3);
+        r.umin = 4;
+        assert_eq!(r.sync(), None);
+        // Consistent case: tnum tightens bounds.
+        let mut r = Range::unknown();
+        r.tnum = Tnum::cnst(9);
+        let r = r.sync().unwrap();
+        assert_eq!((r.umin, r.umax, r.smin, r.smax), (9, 9, 9, 9));
+    }
+
+    #[test]
+    fn refine_branches_narrow_both_sides() {
+        let d = Range::unknown();
+        let s = Range::cnst(15);
+        let (d2, _) = refine(BranchCond::C(Cond::Gt), d, s).unwrap();
+        assert_eq!(d2.umin, 16);
+        let (d3, _) = refine(BranchCond::C(Cond::Le), d, s).unwrap();
+        assert_eq!(d3.umax, 15);
+        // Contradiction: nothing is unsigned-less-than zero.
+        assert!(refine(BranchCond::C(Cond::Lt), d, Range::cnst(0)).is_none());
+        // Eq against a constant pins the register.
+        let (d4, _) = refine(BranchCond::C(Cond::Eq), d, s).unwrap();
+        assert_eq!(d4.const_u(), Some(15));
+        // Ne against the only possible value kills the branch.
+        assert!(refine(BranchCond::C(Cond::Ne), Range::cnst(4), Range::cnst(4)).is_none());
+    }
+
+    #[test]
+    fn range_alu_tracks_bounds() {
+        let a = Range::cnst(10);
+        let b = Range::cnst(4);
+        assert_eq!(range_alu(AluOp::Add, a, b).const_u(), Some(14));
+        assert_eq!(range_alu(AluOp::Sub, a, b).const_u(), Some(6));
+        assert_eq!(range_alu(AluOp::Mul, a, b).const_u(), Some(40));
+        assert_eq!(range_alu(AluOp::Div, a, b).const_u(), Some(2));
+        assert_eq!(range_alu(AluOp::Mod, a, b).const_u(), Some(2));
+        let masked = range_alu(AluOp::And, Range::unknown(), Range::cnst(0xFF));
+        assert_eq!(masked.umin, 0);
+        assert_eq!(masked.umax, 0xFF);
+        let shifted = range_alu(AluOp::Lsh, masked, Range::cnst(4));
+        assert_eq!(shifted.umax, 0xFF0);
     }
 }

@@ -542,7 +542,10 @@ impl TScout {
         t.gauge_set("tscout_ring_drained", &[], ops.ring_drained as f64);
         let v = self.loader.verify_totals();
         t.gauge_set("tscout_verify_insns", &[], v.insns as f64);
+        t.gauge_set("tscout_verify_insns_visited", &[], v.insns_visited as f64);
         t.gauge_set("tscout_verify_states", &[], v.states_explored as f64);
+        t.gauge_set("tscout_verify_states_pruned", &[], v.states_pruned as f64);
+        t.gauge_set("tscout_verify_peak_depth", &[], v.peak_depth as f64);
         t.gauge_set("tscout_verify_paths", &[], v.paths_completed as f64);
         t.gauge_set("tscout_verify_runs", &[], self.loader.verify_runs() as f64);
         t.gauge_set(

@@ -101,6 +101,8 @@ fn arb_insn(rng: &mut StdRng) -> Insn {
             off: rng.random_range(-520i32..64),
             src: arb_src(rng),
         },
+        // Forward offsets only: this suite exercises the loop-free
+        // fragment; random *loops* live in `verifier_differential.rs`.
         3 => Insn::Jump {
             cond: if rng.random_bool(0.5) {
                 Some((
@@ -147,8 +149,9 @@ fn verified_programs_never_fault() {
             match Vm::run(&prog, &ctx, &mut m, &mut world) {
                 Ok(_) => {}
                 Err(e) => {
-                    // Fuel exhaustion is impossible without back edges;
-                    // any fault is a verifier soundness bug.
+                    // This generator emits forward jumps only, so fuel
+                    // exhaustion is impossible here; any fault is a
+                    // verifier soundness bug.
                     panic!(
                         "verifier accepted a faulting program: {e}\n{}",
                         tscout_suite::bpf::insn::disassemble(&prog)
