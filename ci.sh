@@ -37,4 +37,10 @@ else
 fi
 echo "observability artifacts OK"
 
+echo "== archive smoke (write -> reopen -> scan) =="
+TS_RESULTS="$CI_RESULTS" cargo run -q --release --example archive_smoke
+test -d "$CI_RESULTS/archive_smoke" \
+  || { echo "FAIL: archive_smoke store missing"; exit 1; }
+echo "archive smoke OK"
+
 echo "CI gate passed."

@@ -1,0 +1,282 @@
+//! Column codecs: varint, zigzag deltas, and frame-of-reference
+//! bit-packing.
+//!
+//! Every per-sample field in a block is stored as a column of `u64`
+//! values (floats go through `f64::to_bits`, so reconstruction is
+//! bit-identical — including NaNs). Two physical encodings compete per
+//! column and the smaller wins:
+//!
+//! * **tag 0 — delta + zigzag + varint.** Values are wrapping-delta'd
+//!   against the previous value, zigzag-mapped to `u64`, and LEB128
+//!   varint coded. Near-monotonic columns (`start_ns`) and low-variance
+//!   columns collapse to ~1 byte/value.
+//! * **tag 1 — frame-of-reference bit-packing.** The column minimum is
+//!   stored once, then `v - min` is packed at the minimum bit width that
+//!   fits the column's range. Constant columns cost 0 bits/value;
+//!   small-range columns (`tid`, `template`, vector lengths) pack to a
+//!   few bits.
+//!
+//! Both are self-describing (`tag`, value count, byte length) so a block
+//! decoder never reads past its column.
+
+/// Append `v` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Read a LEB128 varint at `*pos`, advancing it. `None` on truncation or
+/// a value that would overflow 64 bits.
+pub fn get_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // would overflow u64
+        }
+        v |= ((b & 0x7F) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Zigzag-map a signed delta into an unsigned varint-friendly value.
+fn zigzag(n: i64) -> u64 {
+    ((n << 1) ^ (n >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Bits needed to represent `v` (0 for 0).
+fn bit_width(v: u64) -> u32 {
+    64 - v.leading_zeros()
+}
+
+/// Encode the payload for tag 0 (delta + zigzag + varint).
+fn encode_delta(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 2);
+    let mut prev = 0u64;
+    for &v in values {
+        put_varint(&mut out, zigzag(v.wrapping_sub(prev) as i64));
+        prev = v;
+    }
+    out
+}
+
+fn decode_delta(buf: &[u8], n: usize) -> Option<Vec<u64>> {
+    let mut pos = 0usize;
+    let mut out = Vec::with_capacity(n);
+    let mut prev = 0u64;
+    for _ in 0..n {
+        let d = unzigzag(get_varint(buf, &mut pos)?);
+        prev = prev.wrapping_add(d as u64);
+        out.push(prev);
+    }
+    if pos != buf.len() {
+        return None; // trailing garbage: corrupt column
+    }
+    Some(out)
+}
+
+/// Encode the payload for tag 1 (frame-of-reference bit-packing):
+/// `varint min`, `u8 width`, packed little-endian bits of `v - min`.
+fn encode_packed(values: &[u64]) -> Vec<u8> {
+    let min = values.iter().copied().min().unwrap_or(0);
+    let width = values
+        .iter()
+        .map(|&v| bit_width(v - min))
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::new();
+    put_varint(&mut out, min);
+    out.push(width as u8);
+    let mut acc = 0u128;
+    let mut acc_bits = 0u32;
+    for &v in values {
+        acc |= ((v - min) as u128) << acc_bits;
+        acc_bits += width;
+        while acc_bits >= 8 {
+            out.push((acc & 0xFF) as u8);
+            acc >>= 8;
+            acc_bits -= 8;
+        }
+    }
+    if acc_bits > 0 {
+        out.push((acc & 0xFF) as u8);
+    }
+    out
+}
+
+fn decode_packed(buf: &[u8], n: usize) -> Option<Vec<u64>> {
+    let mut pos = 0usize;
+    let min = get_varint(buf, &mut pos)?;
+    let width = *buf.get(pos)? as u32;
+    pos += 1;
+    if width > 64 {
+        return None;
+    }
+    let needed = (n as u64 * width as u64).div_ceil(8) as usize;
+    if buf.len() != pos + needed {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut acc = 0u128;
+    let mut acc_bits = 0u32;
+    for _ in 0..n {
+        while acc_bits < width {
+            acc |= (buf[pos] as u128) << acc_bits;
+            pos += 1;
+            acc_bits += 8;
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        let raw = (acc & mask as u128) as u64;
+        acc >>= width;
+        acc_bits -= width;
+        out.push(min.checked_add(raw)?);
+    }
+    Some(out)
+}
+
+/// Append one self-describing column: `u8 tag`, `varint n`,
+/// `varint byte_len`, payload. Picks the cheaper of the two codecs.
+pub fn put_column(out: &mut Vec<u8>, values: &[u64]) {
+    let delta = encode_delta(values);
+    let packed = encode_packed(values);
+    let (tag, payload) = if packed.len() < delta.len() {
+        (1u8, packed)
+    } else {
+        (0u8, delta)
+    };
+    out.push(tag);
+    put_varint(out, values.len() as u64);
+    put_varint(out, payload.len() as u64);
+    out.extend_from_slice(&payload);
+}
+
+/// Decode one column at `*pos`, advancing past it. `None` on any
+/// structural inconsistency (the caller treats the block as corrupt).
+pub fn get_column(buf: &[u8], pos: &mut usize) -> Option<Vec<u64>> {
+    let tag = *buf.get(*pos)?;
+    *pos += 1;
+    let n = get_varint(buf, pos)? as usize;
+    let len = get_varint(buf, pos)? as usize;
+    let payload = buf.get(*pos..*pos + len)?;
+    *pos += len;
+    // Bound the decode allocation: a corrupt count must not OOM us. A
+    // constant (width-0) column is legitimately tiny, so the cap is a
+    // hard value count, far above any real block.
+    const MAX_COLUMN_VALUES: usize = 1 << 24;
+    if n > MAX_COLUMN_VALUES {
+        return None;
+    }
+    match tag {
+        0 => decode_delta(payload, n),
+        1 => decode_packed(payload, n),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(values: &[u64]) {
+        let mut buf = Vec::new();
+        put_column(&mut buf, values);
+        let mut pos = 0;
+        let back = get_column(&buf, &mut pos).expect("decode failed");
+        assert_eq!(back, values);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn varint_round_trip_extremes() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(get_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        let mut pos = 0;
+        assert_eq!(get_varint(&[0x80], &mut pos), None);
+        let mut pos = 0;
+        // 10 continuation bytes with a high final byte overflows u64.
+        assert_eq!(get_varint(&[0xFF; 10], &mut pos), None);
+    }
+
+    #[test]
+    fn columns_round_trip() {
+        round_trip(&[]);
+        round_trip(&[0]);
+        round_trip(&[42; 1000]); // constant → 0 bits/value packed
+        round_trip(&[u64::MAX, 0, u64::MAX, 1]); // full-range deltas
+        round_trip(&(0..500u64).map(|i| 1_000_000 + i * 8).collect::<Vec<_>>());
+        round_trip(&[
+            f64::to_bits(1.5),
+            f64::to_bits(-0.0),
+            f64::to_bits(f64::NAN),
+        ]);
+    }
+
+    #[test]
+    fn monotonic_column_is_compact() {
+        let values: Vec<u64> = (0..1000u64).map(|i| 5_000_000_000 + i * 2_100).collect();
+        let mut buf = Vec::new();
+        put_column(&mut buf, &values);
+        // Deltas are constant (~2 bytes each max); raw would be 8000 bytes.
+        assert!(
+            buf.len() < 2_200,
+            "monotonic column took {} bytes",
+            buf.len()
+        );
+    }
+
+    #[test]
+    fn small_range_column_bit_packs() {
+        let values: Vec<u64> = (0..4096u64).map(|i| 7 + (i % 4)).collect();
+        let mut buf = Vec::new();
+        put_column(&mut buf, &values);
+        // 2 bits/value = 1024 bytes + tiny header.
+        assert!(buf.len() < 1_100, "2-bit column took {} bytes", buf.len());
+        let mut pos = 0;
+        assert_eq!(get_column(&buf, &mut pos).unwrap(), values);
+    }
+
+    #[test]
+    fn corrupt_columns_fail_closed() {
+        let mut buf = Vec::new();
+        put_column(&mut buf, &[1, 2, 3, 4, 5]);
+        // Bad tag.
+        let mut bad = buf.clone();
+        bad[0] = 9;
+        assert!(get_column(&bad, &mut 0).is_none());
+        // Truncated payload.
+        assert!(get_column(&buf[..buf.len() - 1], &mut 0).is_none());
+    }
+}

@@ -1,0 +1,392 @@
+//! Segment file format: framed columnar blocks plus a footer manifest.
+//!
+//! A segment file is an append-only sequence of CRC-framed records:
+//!
+//! ```text
+//! file   := magic "TSAR" , u8 version (1) , frame* , [footer frame]
+//! frame  := u8 kind (1=block | 2=footer)
+//!         , u32le payload_len
+//!         , payload
+//!         , u32le crc32(payload)
+//! ```
+//!
+//! A **block** holds one OU's samples from one memtable flush, stored
+//! column-wise (see [`crate::encode`]). A **footer** is written once at
+//! seal time and carries the manifest: an OU directory and one entry per
+//! block (offset, length, OU, count, start-time range) so readers can
+//! plan a scan without touching block payloads. Files without a valid
+//! footer — a crash before seal, or a torn tail — are recovered by
+//! scanning frames from the start and truncating at the first invalid
+//! one; per-frame CRCs make that cut exact.
+
+use std::io::{Read, Seek, SeekFrom, Write};
+
+use crate::encode::{get_column, get_varint, put_column, put_varint};
+use crate::{crc32::crc32, ArchiveError, Sample};
+
+/// File magic ("TScout ARchive").
+pub const MAGIC: &[u8; 4] = b"TSAR";
+/// Format version.
+pub const VERSION: u8 = 1;
+/// Frame kind: columnar sample block.
+pub const FRAME_BLOCK: u8 = 1;
+/// Frame kind: seal footer (manifest).
+pub const FRAME_FOOTER: u8 = 2;
+/// Bytes of frame overhead around a payload (kind + len + crc).
+pub const FRAME_OVERHEAD: usize = 1 + 4 + 4;
+/// Header bytes before the first frame.
+pub const HEADER_LEN: u64 = 5;
+/// Sanity cap on a single frame payload (a torn length field must not
+/// trigger a huge allocation).
+pub const MAX_FRAME_LEN: u32 = 1 << 28;
+
+/// Manifest entry for one block, kept in memory per open segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// File offset of the frame's kind byte.
+    pub offset: u64,
+    pub payload_len: u32,
+    pub ou: u16,
+    pub count: u64,
+    pub min_start_ns: u64,
+    pub max_start_ns: u64,
+}
+
+/// One OU's identity as recorded in the segment (directory entry).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OuEntry {
+    pub ou: u16,
+    pub subsystem: u8,
+    pub name: String,
+}
+
+/// Encode a block payload for `samples` (all of one OU).
+pub fn encode_block(ou: u16, subsystem: u8, name: &str, samples: &[Sample]) -> Vec<u8> {
+    let n = samples.len();
+    let mut out = Vec::with_capacity(64 + n * 16);
+    put_varint(&mut out, ou as u64);
+    out.push(subsystem);
+    put_varint(&mut out, name.len() as u64);
+    out.extend_from_slice(name.as_bytes());
+    put_varint(&mut out, n as u64);
+    let min_start = samples.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let max_start = samples.iter().map(|s| s.start_ns).max().unwrap_or(0);
+    put_varint(&mut out, min_start);
+    put_varint(&mut out, max_start);
+
+    let col = |f: &dyn Fn(&Sample) -> u64| samples.iter().map(f).collect::<Vec<u64>>();
+    put_column(&mut out, &col(&|s| s.tid as u64));
+    put_column(&mut out, &col(&|s| s.template as u64));
+    put_column(&mut out, &col(&|s| s.start_ns));
+    put_column(&mut out, &col(&|s| s.elapsed_ns));
+    put_column(&mut out, &col(&|s| s.metrics.len() as u64));
+    let flat: Vec<u64> = samples
+        .iter()
+        .flat_map(|s| s.metrics.iter().copied())
+        .collect();
+    put_column(&mut out, &flat);
+    put_column(&mut out, &col(&|s| s.features.len() as u64));
+    let flat: Vec<u64> = samples
+        .iter()
+        .flat_map(|s| s.features.iter().map(|f| f.to_bits()))
+        .collect();
+    put_column(&mut out, &flat);
+    put_column(&mut out, &col(&|s| s.user_metrics.len() as u64));
+    let flat: Vec<u64> = samples
+        .iter()
+        .flat_map(|s| s.user_metrics.iter().copied())
+        .collect();
+    put_column(&mut out, &flat);
+    out
+}
+
+/// Decode a block payload back into samples. `None` ⇒ corrupt.
+pub fn decode_block(payload: &[u8]) -> Option<(OuEntry, Vec<Sample>)> {
+    let mut pos = 0usize;
+    let ou = get_varint(payload, &mut pos)? as u16;
+    let subsystem = *payload.get(pos)?;
+    pos += 1;
+    let name_len = get_varint(payload, &mut pos)? as usize;
+    let name_bytes = payload.get(pos..pos + name_len)?;
+    let name = std::str::from_utf8(name_bytes).ok()?.to_string();
+    pos += name_len;
+    let n = get_varint(payload, &mut pos)? as usize;
+    let _min_start = get_varint(payload, &mut pos)?;
+    let _max_start = get_varint(payload, &mut pos)?;
+
+    let tid = get_column(payload, &mut pos)?;
+    let template = get_column(payload, &mut pos)?;
+    let start_ns = get_column(payload, &mut pos)?;
+    let elapsed_ns = get_column(payload, &mut pos)?;
+    let metrics_len = get_column(payload, &mut pos)?;
+    let metrics_flat = get_column(payload, &mut pos)?;
+    let features_len = get_column(payload, &mut pos)?;
+    let features_flat = get_column(payload, &mut pos)?;
+    let user_len = get_column(payload, &mut pos)?;
+    let user_flat = get_column(payload, &mut pos)?;
+    if pos != payload.len() {
+        return None;
+    }
+    for c in [
+        &tid,
+        &template,
+        &start_ns,
+        &elapsed_ns,
+        &metrics_len,
+        &features_len,
+        &user_len,
+    ] {
+        if c.len() != n {
+            return None;
+        }
+    }
+    if metrics_len.iter().sum::<u64>() != metrics_flat.len() as u64
+        || features_len.iter().sum::<u64>() != features_flat.len() as u64
+        || user_len.iter().sum::<u64>() != user_flat.len() as u64
+    {
+        return None;
+    }
+
+    let mut samples = Vec::with_capacity(n);
+    let (mut mi, mut fi, mut ui) = (0usize, 0usize, 0usize);
+    for i in 0..n {
+        let ml = metrics_len[i] as usize;
+        let fl = features_len[i] as usize;
+        let ul = user_len[i] as usize;
+        samples.push(Sample {
+            ou,
+            ou_name: name.clone(),
+            subsystem,
+            tid: tid[i] as u32,
+            template: template[i] as u32,
+            start_ns: start_ns[i],
+            elapsed_ns: elapsed_ns[i],
+            metrics: metrics_flat[mi..mi + ml].to_vec(),
+            features: features_flat[fi..fi + fl]
+                .iter()
+                .map(|b| f64::from_bits(*b))
+                .collect(),
+            user_metrics: user_flat[ui..ui + ul].to_vec(),
+        });
+        mi += ml;
+        fi += fl;
+        ui += ul;
+    }
+    Some((
+        OuEntry {
+            ou,
+            subsystem,
+            name,
+        },
+        samples,
+    ))
+}
+
+/// Encode the footer manifest payload.
+pub fn encode_footer(ous: &[OuEntry], blocks: &[BlockMeta]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_varint(&mut out, ous.len() as u64);
+    for o in ous {
+        put_varint(&mut out, o.ou as u64);
+        out.push(o.subsystem);
+        put_varint(&mut out, o.name.len() as u64);
+        out.extend_from_slice(o.name.as_bytes());
+    }
+    put_varint(&mut out, blocks.len() as u64);
+    for b in blocks {
+        put_varint(&mut out, b.offset);
+        put_varint(&mut out, b.payload_len as u64);
+        put_varint(&mut out, b.ou as u64);
+        put_varint(&mut out, b.count);
+        put_varint(&mut out, b.min_start_ns);
+        put_varint(&mut out, b.max_start_ns);
+    }
+    out
+}
+
+/// Decode a footer manifest payload. `None` ⇒ corrupt.
+pub fn decode_footer(payload: &[u8]) -> Option<(Vec<OuEntry>, Vec<BlockMeta>)> {
+    let mut pos = 0usize;
+    let n_ous = get_varint(payload, &mut pos)? as usize;
+    if n_ous > payload.len() {
+        return None;
+    }
+    let mut ous = Vec::with_capacity(n_ous);
+    for _ in 0..n_ous {
+        let ou = get_varint(payload, &mut pos)? as u16;
+        let subsystem = *payload.get(pos)?;
+        pos += 1;
+        let len = get_varint(payload, &mut pos)? as usize;
+        let name = std::str::from_utf8(payload.get(pos..pos + len)?)
+            .ok()?
+            .to_string();
+        pos += len;
+        ous.push(OuEntry {
+            ou,
+            subsystem,
+            name,
+        });
+    }
+    let n_blocks = get_varint(payload, &mut pos)? as usize;
+    if n_blocks > payload.len() {
+        return None;
+    }
+    let mut blocks = Vec::with_capacity(n_blocks);
+    for _ in 0..n_blocks {
+        blocks.push(BlockMeta {
+            offset: get_varint(payload, &mut pos)?,
+            payload_len: get_varint(payload, &mut pos)? as u32,
+            ou: get_varint(payload, &mut pos)? as u16,
+            count: get_varint(payload, &mut pos)?,
+            min_start_ns: get_varint(payload, &mut pos)?,
+            max_start_ns: get_varint(payload, &mut pos)?,
+        });
+    }
+    if pos != payload.len() {
+        return None;
+    }
+    Some((ous, blocks))
+}
+
+/// Append one frame to `w`; returns bytes written.
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> std::io::Result<u64> {
+    w.write_all(&[kind])?;
+    w.write_all(&(payload.len() as u32).to_le_bytes())?;
+    w.write_all(payload)?;
+    w.write_all(&crc32(payload).to_le_bytes())?;
+    Ok((FRAME_OVERHEAD + payload.len()) as u64)
+}
+
+/// Read the frame at `offset`. Returns `(kind, payload, next_offset)`,
+/// or `None` if the frame is truncated, oversized, or fails its CRC —
+/// i.e. the valid portion of the file ends before `offset + frame`.
+pub fn read_frame(
+    f: &mut std::fs::File,
+    offset: u64,
+    file_len: u64,
+) -> Result<Option<(u8, Vec<u8>, u64)>, ArchiveError> {
+    if offset + (FRAME_OVERHEAD as u64) > file_len {
+        return Ok(None);
+    }
+    f.seek(SeekFrom::Start(offset))?;
+    let mut head = [0u8; 5];
+    f.read_exact(&mut head)?;
+    let kind = head[0];
+    let len = u32::from_le_bytes(head[1..5].try_into().unwrap());
+    if kind != FRAME_BLOCK && kind != FRAME_FOOTER {
+        return Ok(None);
+    }
+    if len > MAX_FRAME_LEN || offset + FRAME_OVERHEAD as u64 + len as u64 > file_len {
+        return Ok(None);
+    }
+    let mut payload = vec![0u8; len as usize];
+    f.read_exact(&mut payload)?;
+    let mut crc_bytes = [0u8; 4];
+    f.read_exact(&mut crc_bytes)?;
+    if crc32(&payload) != u32::from_le_bytes(crc_bytes) {
+        return Ok(None);
+    }
+    Ok(Some((
+        kind,
+        payload,
+        offset + FRAME_OVERHEAD as u64 + len as u64,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(i: u64) -> Sample {
+        Sample {
+            ou: 7,
+            ou_name: "seq_scan".into(),
+            subsystem: 0,
+            tid: 3,
+            template: (i % 5) as u32,
+            start_ns: 1_000_000 + i * 2_000,
+            elapsed_ns: 500 + i,
+            metrics: vec![i, i * 2, 0],
+            features: vec![i as f64, -1.5, f64::NAN],
+            user_metrics: vec![4096],
+        }
+    }
+
+    #[test]
+    fn block_round_trip_is_bit_identical() {
+        let samples: Vec<Sample> = (0..200).map(sample).collect();
+        let payload = encode_block(7, 0, "seq_scan", &samples);
+        let (ou, back) = decode_block(&payload).unwrap();
+        assert_eq!(ou.name, "seq_scan");
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            assert!(a.bits_eq(b), "mismatch: {a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn block_decode_rejects_any_truncation() {
+        let samples: Vec<Sample> = (0..20).map(sample).collect();
+        let payload = encode_block(7, 0, "seq_scan", &samples);
+        for cut in 0..payload.len() {
+            assert!(
+                decode_block(&payload[..cut]).is_none(),
+                "truncation at {cut} not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn footer_round_trip() {
+        let ous = vec![OuEntry {
+            ou: 1,
+            subsystem: 2,
+            name: "wal_write".into(),
+        }];
+        let blocks = vec![
+            BlockMeta {
+                offset: 5,
+                payload_len: 100,
+                ou: 1,
+                count: 10,
+                min_start_ns: 7,
+                max_start_ns: 9_000,
+            },
+            BlockMeta {
+                offset: 114,
+                payload_len: 40,
+                ou: 1,
+                count: 3,
+                min_start_ns: 10_000,
+                max_start_ns: 10_100,
+            },
+        ];
+        let payload = encode_footer(&ous, &blocks);
+        let (o2, b2) = decode_footer(&payload).unwrap();
+        assert_eq!(o2, ous);
+        assert_eq!(b2, blocks);
+    }
+
+    #[test]
+    fn frames_survive_file_round_trip_and_detect_corruption() {
+        let dir = std::env::temp_dir().join(format!("tsar_frame_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.seg");
+        let payload = b"hello columnar world".to_vec();
+        {
+            let mut f = std::fs::File::create(&path).unwrap();
+            write_frame(&mut f, FRAME_BLOCK, &payload).unwrap();
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        let mut f = std::fs::File::open(&path).unwrap();
+        let (kind, p, next) = read_frame(&mut f, 0, len).unwrap().unwrap();
+        assert_eq!((kind, p, next), (FRAME_BLOCK, payload.clone(), len));
+        // Flip one payload byte on disk: frame must fail its CRC.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[7] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut f = std::fs::File::open(&path).unwrap();
+        assert!(read_frame(&mut f, 0, len).unwrap().is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

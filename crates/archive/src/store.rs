@@ -1,0 +1,731 @@
+//! The archive store: memtables, segment lifecycle, recovery, and scans.
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use tscout_telemetry::Telemetry;
+
+use crate::segment::{
+    decode_block, decode_footer, encode_block, encode_footer, read_frame, write_frame, BlockMeta,
+    OuEntry, FRAME_BLOCK, FRAME_FOOTER, HEADER_LEN, MAGIC, VERSION,
+};
+use crate::{ArchiveError, ArchiveOptions, Sample};
+
+/// One segment file known to the archive, oldest-first by `seq`.
+#[derive(Debug)]
+pub(crate) struct SegmentMeta {
+    pub seq: u64,
+    pub path: PathBuf,
+    /// Valid bytes (file length after any recovery truncation).
+    pub bytes: u64,
+    pub sealed: bool,
+    pub ous: Vec<OuEntry>,
+    pub blocks: Vec<BlockMeta>,
+}
+
+impl SegmentMeta {
+    pub fn samples(&self) -> u64 {
+        self.blocks.iter().map(|b| b.count).sum()
+    }
+}
+
+/// Counters summarizing the archive's current shape.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ArchiveStats {
+    pub segments: usize,
+    pub sealed_segments: usize,
+    pub blocks: usize,
+    /// Samples durable in segment files.
+    pub samples_stored: u64,
+    /// Samples still buffered in memtables.
+    pub samples_buffered: usize,
+    /// Total bytes across segment files.
+    pub bytes: u64,
+}
+
+/// The append-only, segmented, columnar per-OU sample store.
+pub struct Archive {
+    pub(crate) dir: PathBuf,
+    pub(crate) opts: ArchiveOptions,
+    pub telemetry: Telemetry,
+    /// Per-OU write buffers, keyed by OU id.
+    memtables: BTreeMap<u16, (OuEntry, Vec<Sample>)>,
+    buffered: usize,
+    pub(crate) segments: Vec<SegmentMeta>,
+    /// Open handle for the unsealed last segment, if any.
+    active: Option<File>,
+    next_seq: u64,
+}
+
+fn seg_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("seg-{seq:06}.tsa"))
+}
+
+fn parse_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let rest = name.strip_prefix("seg-")?.strip_suffix(".tsa")?;
+    rest.parse().ok()
+}
+
+impl Archive {
+    /// Open (or create) an archive directory, recovering from torn or
+    /// truncated segment tails. After `open` every pre-existing segment
+    /// is sealed; new appends start a fresh segment.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        opts: ArchiveOptions,
+        telemetry: Telemetry,
+    ) -> Result<Archive, ArchiveError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        let mut paths: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().is_some_and(|e| e == "tmp") {
+                // Leftover from a crashed compaction: inputs are intact.
+                std::fs::remove_file(&path).ok();
+                continue;
+            }
+            if let Some(seq) = parse_seq(&path) {
+                paths.push((seq, path));
+            }
+        }
+        paths.sort();
+        let mut archive = Archive {
+            dir,
+            opts,
+            telemetry,
+            memtables: BTreeMap::new(),
+            buffered: 0,
+            segments: Vec::new(),
+            active: None,
+            next_seq: paths.last().map(|(s, _)| s + 1).unwrap_or(0),
+        };
+        for (seq, path) in paths {
+            if let Some(meta) = archive.recover_segment(seq, &path)? {
+                archive.segments.push(meta);
+            }
+        }
+        archive
+            .telemetry
+            .gauge_set("archive_segments", &[], archive.segments.len() as f64);
+        Ok(archive)
+    }
+
+    /// Scan one segment file frame-by-frame, truncating at the first
+    /// invalid frame. Returns `None` (file deleted) if nothing valid
+    /// remains. Any recovered unsealed segment is resealed so that all
+    /// on-disk segments are immutable after open.
+    fn recover_segment(
+        &mut self,
+        seq: u64,
+        path: &Path,
+    ) -> Result<Option<SegmentMeta>, ArchiveError> {
+        let mut f = OpenOptions::new().read(true).write(true).open(path)?;
+        let file_len = f.metadata()?.len();
+        // Header check: a file too short or with a wrong magic holds no
+        // recoverable data.
+        let mut valid_to = 0u64;
+        let mut header_ok = false;
+        if file_len >= HEADER_LEN {
+            use std::io::Read;
+            let mut head = [0u8; HEADER_LEN as usize];
+            f.seek(SeekFrom::Start(0))?;
+            f.read_exact(&mut head)?;
+            header_ok = &head[..4] == MAGIC && head[4] == VERSION;
+        }
+        let mut ous: Vec<OuEntry> = Vec::new();
+        let mut blocks: Vec<BlockMeta> = Vec::new();
+        let mut footer_at_end = false;
+        if header_ok {
+            valid_to = HEADER_LEN;
+            let mut offset = HEADER_LEN;
+            while let Some((kind, payload, next)) = read_frame(&mut f, offset, file_len)? {
+                match kind {
+                    FRAME_BLOCK => {
+                        let Some((ou, samples)) = decode_block(&payload) else {
+                            break; // CRC-valid but undecodable: stop here
+                        };
+                        blocks.push(BlockMeta {
+                            offset,
+                            payload_len: payload.len() as u32,
+                            ou: ou.ou,
+                            count: samples.len() as u64,
+                            min_start_ns: samples.iter().map(|s| s.start_ns).min().unwrap_or(0),
+                            max_start_ns: samples.iter().map(|s| s.start_ns).max().unwrap_or(0),
+                        });
+                        if !ous.iter().any(|o| o.ou == ou.ou) {
+                            ous.push(ou);
+                        }
+                        footer_at_end = false;
+                    }
+                    _ => {
+                        if decode_footer(&payload).is_none() {
+                            break;
+                        }
+                        // The manifest is advisory; the frame scan above is
+                        // authoritative. A valid footer as the final frame
+                        // marks the segment sealed.
+                        footer_at_end = true;
+                    }
+                }
+                valid_to = next;
+                offset = next;
+            }
+        }
+        let torn = valid_to < file_len;
+        if torn {
+            f.set_len(valid_to)?;
+            self.telemetry
+                .counter_inc("archive_recovered_truncations_total", &[]);
+        }
+        if blocks.is_empty() {
+            drop(f);
+            std::fs::remove_file(path)?;
+            return Ok(None);
+        }
+        let mut bytes = valid_to;
+        if !footer_at_end {
+            // Crash before seal (or the footer itself was torn): reseal in
+            // place so the segment is immutable going forward.
+            f.seek(SeekFrom::Start(valid_to))?;
+            let footer = encode_footer(&ous, &blocks);
+            bytes += write_frame(&mut f, FRAME_FOOTER, &footer)?;
+            self.telemetry
+                .counter_inc("archive_segments_sealed_total", &[]);
+        }
+        Ok(Some(SegmentMeta {
+            seq,
+            path: path.to_path_buf(),
+            bytes,
+            sealed: true,
+            ous,
+            blocks,
+        }))
+    }
+
+    /// Append one sample. Routes to the per-OU memtable; flushes when the
+    /// memtable or the global buffer bound fills. This is the only
+    /// write-side entry point, so Processor memory is bounded by
+    /// [`ArchiveOptions::max_buffered_samples`] decoded samples.
+    pub fn append(&mut self, sample: Sample) -> Result<(), ArchiveError> {
+        let ou = sample.ou;
+        let mt = self.memtables.entry(ou).or_insert_with(|| {
+            (
+                OuEntry {
+                    ou,
+                    subsystem: sample.subsystem,
+                    name: sample.ou_name.clone(),
+                },
+                Vec::new(),
+            )
+        });
+        mt.1.push(sample);
+        let mt_len = mt.1.len();
+        self.buffered += 1;
+        self.telemetry
+            .counter_inc("archive_samples_appended_total", &[]);
+        self.telemetry
+            .gauge_add("archive_buffered_samples", &[], 1.0);
+        let full_ou = if mt_len >= self.opts.memtable_flush_samples {
+            Some(ou)
+        } else if self.buffered > self.opts.max_buffered_samples {
+            // Global bound: evict the largest memtable.
+            self.memtables
+                .iter()
+                .max_by_key(|(_, (_, v))| v.len())
+                .map(|(ou, _)| *ou)
+        } else {
+            None
+        };
+        if let Some(ou) = full_ou {
+            self.flush_ou(ou)?;
+        }
+        Ok(())
+    }
+
+    /// Flush one OU's memtable into the active segment as a block.
+    fn flush_ou(&mut self, ou: u16) -> Result<(), ArchiveError> {
+        let Some((entry, samples)) = self.memtables.remove(&ou) else {
+            return Ok(());
+        };
+        if samples.is_empty() {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        self.ensure_active()?;
+        let payload = encode_block(entry.ou, entry.subsystem, &entry.name, &samples);
+        let meta = self.segments.last_mut().expect("active segment exists");
+        let f = self.active.as_mut().expect("active file open");
+        f.seek(SeekFrom::Start(meta.bytes))?;
+        let frame_len = write_frame(f, FRAME_BLOCK, &payload)?;
+        meta.blocks.push(BlockMeta {
+            offset: meta.bytes,
+            payload_len: payload.len() as u32,
+            ou: entry.ou,
+            count: samples.len() as u64,
+            min_start_ns: samples.iter().map(|s| s.start_ns).min().unwrap_or(0),
+            max_start_ns: samples.iter().map(|s| s.start_ns).max().unwrap_or(0),
+        });
+        meta.bytes += frame_len;
+        if !meta.ous.iter().any(|o| o.ou == entry.ou) {
+            meta.ous.push(entry);
+        }
+        self.buffered -= samples.len();
+        self.telemetry
+            .counter_add("archive_bytes_written_total", &[], frame_len);
+        self.telemetry
+            .gauge_add("archive_buffered_samples", &[], -(samples.len() as f64));
+        self.telemetry
+            .hist_record("archive_flush_ns", &[], t0.elapsed().as_nanos() as f64);
+        if self.segments.last().map(|m| m.bytes).unwrap_or(0) >= self.opts.segment_max_bytes {
+            self.seal_active()?;
+        }
+        Ok(())
+    }
+
+    /// Create the active segment file if there is none.
+    fn ensure_active(&mut self) -> Result<(), ArchiveError> {
+        if self.active.is_some() {
+            return Ok(());
+        }
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let path = seg_path(&self.dir, seq);
+        let mut f = OpenOptions::new()
+            .create(true)
+            .truncate(true)
+            .read(true)
+            .write(true)
+            .open(&path)?;
+        use std::io::Write;
+        f.write_all(MAGIC)?;
+        f.write_all(&[VERSION])?;
+        self.segments.push(SegmentMeta {
+            seq,
+            path,
+            bytes: HEADER_LEN,
+            sealed: false,
+            ous: Vec::new(),
+            blocks: Vec::new(),
+        });
+        self.active = Some(f);
+        self.telemetry
+            .counter_add("archive_bytes_written_total", &[], HEADER_LEN);
+        self.telemetry
+            .gauge_set("archive_segments", &[], self.segments.len() as f64);
+        Ok(())
+    }
+
+    /// Flush every memtable to the active segment (durability point for
+    /// everything appended so far, modulo OS buffering).
+    pub fn flush(&mut self) -> Result<(), ArchiveError> {
+        let ous: Vec<u16> = self.memtables.keys().copied().collect();
+        for ou in ous {
+            self.flush_ou(ou)?;
+        }
+        Ok(())
+    }
+
+    /// Flush, then seal the active segment with its footer manifest.
+    pub fn seal(&mut self) -> Result<(), ArchiveError> {
+        self.flush()?;
+        self.seal_active()
+    }
+
+    fn seal_active(&mut self) -> Result<(), ArchiveError> {
+        let Some(mut f) = self.active.take() else {
+            return Ok(());
+        };
+        let meta = self.segments.last_mut().expect("active meta exists");
+        if meta.blocks.is_empty() {
+            // Nothing flushed: drop the empty file rather than sealing it.
+            let path = meta.path.clone();
+            self.segments.pop();
+            drop(f);
+            std::fs::remove_file(path)?;
+            self.telemetry
+                .gauge_set("archive_segments", &[], self.segments.len() as f64);
+            return Ok(());
+        }
+        f.seek(SeekFrom::Start(meta.bytes))?;
+        let footer = encode_footer(&meta.ous, &meta.blocks);
+        let frame_len = write_frame(&mut f, FRAME_FOOTER, &footer)?;
+        meta.bytes += frame_len;
+        meta.sealed = true;
+        self.telemetry
+            .counter_add("archive_bytes_written_total", &[], frame_len);
+        self.telemetry
+            .counter_inc("archive_segments_sealed_total", &[]);
+        Ok(())
+    }
+
+    /// Samples currently buffered in memtables (the write-side memory
+    /// bound that `processor_buffered_samples` reports).
+    pub fn buffered_samples(&self) -> usize {
+        self.buffered
+    }
+
+    /// Per-OU memtable occupancy (compaction's retention accounting).
+    pub(crate) fn memtable_sizes(&self) -> Vec<(u16, usize)> {
+        self.memtables
+            .iter()
+            .map(|(ou, (_, v))| (*ou, v.len()))
+            .collect()
+    }
+
+    /// Every OU name the archive has seen (segments + memtables).
+    pub fn ou_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .segments
+            .iter()
+            .flat_map(|s| s.ous.iter().map(|o| o.name.clone()))
+            .chain(self.memtables.values().map(|(o, _)| o.name.clone()))
+            .collect();
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Current shape summary.
+    pub fn stats(&self) -> ArchiveStats {
+        ArchiveStats {
+            segments: self.segments.len(),
+            sealed_segments: self.segments.iter().filter(|s| s.sealed).count(),
+            blocks: self.segments.iter().map(|s| s.blocks.len()).sum(),
+            samples_stored: self.segments.iter().map(|s| s.samples()).sum(),
+            samples_buffered: self.buffered,
+            bytes: self.segments.iter().map(|s| s.bytes).sum(),
+        }
+    }
+
+    /// Stream every sample of one OU in append order: segment blocks
+    /// oldest-first, then the OU's memtable tail.
+    pub fn scan_ou(&self, ou_name: &str) -> SampleScan {
+        self.scan_filtered(Some(ou_name))
+    }
+
+    /// Stream every sample in storage order (blocks interleave OUs; each
+    /// OU's samples appear in its own append order).
+    pub fn scan_all(&self) -> SampleScan {
+        self.scan_filtered(None)
+    }
+
+    fn scan_filtered(&self, ou_name: Option<&str>) -> SampleScan {
+        let want = |o: &OuEntry| ou_name.is_none_or(|n| o.name == n);
+        let mut plan = Vec::new();
+        for seg in &self.segments {
+            let ids: Vec<u16> = seg.ous.iter().filter(|o| want(o)).map(|o| o.ou).collect();
+            if ids.is_empty() {
+                continue;
+            }
+            for b in &seg.blocks {
+                if ids.contains(&b.ou) {
+                    plan.push((seg.path.clone(), b.offset, b.payload_len, seg.bytes));
+                }
+            }
+        }
+        let tail: Vec<Sample> = self
+            .memtables
+            .values()
+            .filter(|(o, _)| want(o))
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect();
+        SampleScan {
+            plan,
+            next_block: 0,
+            file: None,
+            buf: Vec::new(),
+            buf_pos: 0,
+            tail,
+            tail_pos: 0,
+            telemetry: self.telemetry.clone(),
+        }
+    }
+}
+
+impl Drop for Archive {
+    fn drop(&mut self) {
+        // Best-effort durability on clean shutdown; a crash instead goes
+        // through torn-tail recovery at the next open.
+        let _ = self.seal();
+    }
+}
+
+/// Streaming reader: decodes one block at a time, never materializing
+/// the archive. Blocks that fail their CRC or decode (possible only if
+/// the file changed underneath us) are skipped and counted in
+/// `archive_scan_skipped_blocks_total`.
+pub struct SampleScan {
+    /// `(path, frame offset, payload_len, file_len)` per block, in order.
+    plan: Vec<(PathBuf, u64, u32, u64)>,
+    next_block: usize,
+    file: Option<(PathBuf, File)>,
+    buf: Vec<Sample>,
+    buf_pos: usize,
+    tail: Vec<Sample>,
+    tail_pos: usize,
+    telemetry: Telemetry,
+}
+
+impl Iterator for SampleScan {
+    type Item = Sample;
+
+    fn next(&mut self) -> Option<Sample> {
+        loop {
+            if self.buf_pos < self.buf.len() {
+                let s = std::mem::replace(&mut self.buf[self.buf_pos], Sample::placeholder());
+                self.buf_pos += 1;
+                return Some(s);
+            }
+            if self.next_block >= self.plan.len() {
+                if self.tail_pos < self.tail.len() {
+                    let s = std::mem::replace(&mut self.tail[self.tail_pos], Sample::placeholder());
+                    self.tail_pos += 1;
+                    return Some(s);
+                }
+                return None;
+            }
+            let (path, offset, _len, file_len) = self.plan[self.next_block].clone();
+            self.next_block += 1;
+            if self.file.as_ref().map(|(p, _)| p != &path).unwrap_or(true) {
+                match File::open(&path) {
+                    Ok(f) => self.file = Some((path.clone(), f)),
+                    Err(_) => {
+                        self.telemetry
+                            .counter_inc("archive_scan_skipped_blocks_total", &[]);
+                        continue;
+                    }
+                }
+            }
+            let f = &mut self.file.as_mut().unwrap().1;
+            let decoded = read_frame(f, offset, file_len)
+                .ok()
+                .flatten()
+                .filter(|(kind, ..)| *kind == FRAME_BLOCK)
+                .and_then(|(_, payload, _)| decode_block(&payload));
+            match decoded {
+                Some((_, samples)) => {
+                    self.buf = samples;
+                    self.buf_pos = 0;
+                }
+                None => {
+                    self.telemetry
+                        .counter_inc("archive_scan_skipped_blocks_total", &[]);
+                }
+            }
+        }
+    }
+}
+
+impl Sample {
+    /// Cheap placeholder used by the scan to move samples out of its
+    /// buffer without cloning.
+    fn placeholder() -> Sample {
+        Sample {
+            ou: 0,
+            ou_name: String::new(),
+            subsystem: 0,
+            tid: 0,
+            template: 0,
+            start_ns: 0,
+            elapsed_ns: 0,
+            metrics: Vec::new(),
+            features: Vec::new(),
+            user_metrics: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) fn test_sample(ou: u16, name: &str, i: u64) -> Sample {
+    Sample {
+        ou,
+        ou_name: name.to_string(),
+        subsystem: (ou % 6) as u8,
+        tid: (i % 4) as u32,
+        template: (i % 7) as u32,
+        start_ns: 1_000_000 + i * 1_500,
+        elapsed_ns: 200 + (i * 37) % 9_000,
+        metrics: vec![i, i * 3],
+        features: vec![i as f64, (i as f64) * 0.5 - 10.0],
+        user_metrics: vec![i % 2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("tscout_archive_{tag}_{}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn append_flush_seal_scan_round_trip() {
+        let dir = tmp_dir("roundtrip");
+        let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+        let originals: Vec<Sample> = (0..500)
+            .map(|i| {
+                test_sample(
+                    (i % 3) as u16,
+                    ["scan", "filter", "join"][(i % 3) as usize],
+                    i,
+                )
+            })
+            .collect();
+        for s in &originals {
+            a.append(s.clone()).unwrap();
+        }
+        a.seal().unwrap();
+        for name in ["scan", "filter", "join"] {
+            let got: Vec<Sample> = a.scan_ou(name).collect();
+            let want: Vec<&Sample> = originals.iter().filter(|s| s.ou_name == name).collect();
+            assert_eq!(got.len(), want.len());
+            for (g, w) in got.iter().zip(&want) {
+                assert!(g.bits_eq(w));
+            }
+        }
+        assert_eq!(a.scan_all().count(), 500);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn scan_includes_unflushed_memtable_tail() {
+        let dir = tmp_dir("tail");
+        let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+        for i in 0..10 {
+            a.append(test_sample(1, "scan", i)).unwrap();
+        }
+        assert_eq!(a.buffered_samples(), 10);
+        assert_eq!(a.scan_ou("scan").count(), 10);
+        assert_eq!(a.stats().samples_stored, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn memtable_bound_forces_flush() {
+        let dir = tmp_dir("bound");
+        let opts = ArchiveOptions {
+            memtable_flush_samples: 64,
+            max_buffered_samples: 100,
+            ..Default::default()
+        };
+        let mut a = Archive::open(&dir, opts, Telemetry::new()).unwrap();
+        // Spread across many OUs so no single memtable hits 64.
+        for i in 0..5_000u64 {
+            a.append(test_sample((i % 40) as u16, &format!("ou{}", i % 40), i))
+                .unwrap();
+        }
+        assert!(
+            a.buffered_samples() <= 100,
+            "buffered {} exceeds bound",
+            a.buffered_samples()
+        );
+        assert_eq!(
+            a.telemetry.gauge_value("archive_buffered_samples", &[]),
+            a.buffered_samples() as f64
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_after_clean_seal_preserves_everything() {
+        let dir = tmp_dir("reopen");
+        let originals: Vec<Sample> = (0..300).map(|i| test_sample(2, "join", i)).collect();
+        {
+            let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+            for s in &originals {
+                a.append(s.clone()).unwrap();
+            }
+            // Drop seals.
+        }
+        let t = Telemetry::new();
+        let a = Archive::open(&dir, ArchiveOptions::default(), t.clone()).unwrap();
+        assert_eq!(
+            t.counter_value("archive_recovered_truncations_total", &[]),
+            0
+        );
+        let got: Vec<Sample> = a.scan_ou("join").collect();
+        assert_eq!(got.len(), 300);
+        for (g, w) in got.iter().zip(&originals) {
+            assert!(g.bits_eq(w));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unsealed_segment_is_recovered_and_resealed() {
+        let dir = tmp_dir("unsealed");
+        {
+            let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+            for i in 0..50 {
+                a.append(test_sample(1, "scan", i)).unwrap();
+            }
+            a.flush().unwrap(); // blocks on disk, no footer
+            std::mem::forget(a); // simulate crash: Drop (seal) never runs
+        }
+        let t = Telemetry::new();
+        let a = Archive::open(&dir, ArchiveOptions::default(), t.clone()).unwrap();
+        assert_eq!(a.scan_ou("scan").count(), 50);
+        assert_eq!(a.stats().sealed_segments, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_valid_block() {
+        let dir = tmp_dir("torn");
+        {
+            let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+            for i in 0..100 {
+                a.append(test_sample(1, "scan", i)).unwrap();
+            }
+            a.flush().unwrap();
+            std::mem::forget(a);
+        }
+        // Append garbage: a torn half-written frame.
+        let path = seg_path(&dir, 0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let clean_len = bytes.len();
+        bytes.extend_from_slice(&[FRAME_BLOCK, 0xFF, 0xFF, 0x00, 0x00, 1, 2, 3]);
+        std::fs::write(&path, &bytes).unwrap();
+        let t = Telemetry::new();
+        let a = Archive::open(&dir, ArchiveOptions::default(), t.clone()).unwrap();
+        assert_eq!(
+            t.counter_value("archive_recovered_truncations_total", &[]),
+            1
+        );
+        assert_eq!(a.scan_ou("scan").count(), 100);
+        // The torn bytes are gone; the file was resealed past clean_len.
+        assert!(std::fs::metadata(&path).unwrap().len() >= clean_len as u64);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn segments_roll_over_at_size_cap() {
+        let dir = tmp_dir("rollover");
+        let opts = ArchiveOptions {
+            memtable_flush_samples: 32,
+            segment_max_bytes: 2_048,
+            ..Default::default()
+        };
+        let t = Telemetry::new();
+        let mut a = Archive::open(&dir, opts, t.clone()).unwrap();
+        for i in 0..2_000 {
+            a.append(test_sample(1, "scan", i)).unwrap();
+        }
+        a.seal().unwrap();
+        assert!(a.stats().segments > 1, "expected rollover: {:?}", a.stats());
+        assert_eq!(
+            t.counter_value("archive_segments_sealed_total", &[]) as usize,
+            a.stats().sealed_segments
+        );
+        assert_eq!(a.scan_ou("scan").count(), 2_000);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

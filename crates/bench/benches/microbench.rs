@@ -280,6 +280,90 @@ fn sql(out: &mut Results) {
     });
 }
 
+/// Archive append/scan throughput against an in-memory `Vec<Sample>`
+/// baseline — the cost of durability + columnar compression. Returns the
+/// `BENCH_4.json` document (schema in README.md).
+fn archive_store(out: &mut Results) -> String {
+    use tscout_archive::{Archive, ArchiveOptions, Sample};
+    use tscout_telemetry::Telemetry;
+
+    let mk = |i: u64| Sample {
+        ou: (i % 8) as u16,
+        ou_name: format!("bench_ou_{}", i % 8),
+        subsystem: (i % 4) as u8,
+        tid: (i % 16) as u32,
+        template: (i % 5) as u32,
+        start_ns: 5_000_000_000 + i * 2_100,
+        elapsed_ns: 4_000 + (i * 37) % 900,
+        metrics: vec![i, i * 2, 64],
+        features: vec![(i % 64) as f64, 1.5],
+        user_metrics: vec![4096],
+    };
+    const N: u32 = 20_000;
+
+    // Baseline: decoded samples accumulated in memory (what accuracy
+    // experiments did before the archive existed).
+    let mut v: Vec<Sample> = Vec::new();
+    let mut i = 0u64;
+    bench(out, "sample_vec_push", N, || {
+        v.push(black_box(mk(i)));
+        i += 1;
+    });
+    let vec_push_ns = out.last().unwrap().1;
+
+    let dir = std::env::temp_dir().join(format!("tscout_bench_arch_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+    let mut i = 0u64;
+    bench(out, "archive_append", N, || {
+        a.append(black_box(mk(i))).unwrap();
+        i += 1;
+    });
+    let append_ns = out.last().unwrap().1;
+    a.seal().unwrap();
+    let st = a.stats();
+
+    bench(out, "sample_vec_scan", 50, || {
+        let mut acc = 0u64;
+        for s in &v {
+            acc = acc.wrapping_add(black_box(s.elapsed_ns));
+        }
+        black_box(acc);
+    });
+    let vec_scan_ns = out.last().unwrap().1 / v.len().max(1) as f64;
+    bench(out, "archive_scan", 50, || {
+        let mut acc = 0u64;
+        for s in a.scan_all() {
+            acc = acc.wrapping_add(black_box(s.elapsed_ns));
+        }
+        black_box(acc);
+    });
+    let scan_ns = out.last().unwrap().1 / st.samples_stored.max(1) as f64;
+
+    // In-memory footprint of one decoded sample (struct + heap).
+    let probe = mk(0);
+    let mem_bytes = std::mem::size_of::<Sample>()
+        + probe.ou_name.len()
+        + 8 * (probe.metrics.len() + probe.user_metrics.len() + probe.features.len());
+    let disk_bytes = st.bytes as f64 / st.samples_stored.max(1) as f64;
+    println!(
+        "archive: {:.1} bytes/sample on disk vs ~{mem_bytes} in memory ({:.1}x)",
+        disk_bytes,
+        mem_bytes as f64 / disk_bytes.max(1e-9)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    format!(
+        "{{\n  \"samples_stored\": {},\n  \"vec_push_ns_per_sample\": {vec_push_ns:.1},\n  \
+         \"archive_append_ns_per_sample\": {append_ns:.1},\n  \
+         \"vec_scan_ns_per_sample\": {vec_scan_ns:.1},\n  \
+         \"archive_scan_ns_per_sample\": {scan_ns:.1},\n  \
+         \"disk_bytes_per_sample\": {disk_bytes:.1},\n  \
+         \"memory_bytes_per_sample\": {mem_bytes},\n  \
+         \"segments\": {}, \"blocks\": {}\n}}\n",
+        st.samples_stored, st.segments, st.blocks,
+    )
+}
+
 /// Render the results as the `BENCH_2.json` document:
 /// `{"<case>": {"ns_per_op": N, "samples_per_sec": N}, ...}`.
 fn to_json(results: &Results) -> String {
@@ -304,6 +388,7 @@ fn main() {
     indexes(&mut out);
     records(&mut out);
     sql(&mut out);
+    let bench4 = archive_store(&mut out);
     // Machine-readable results at the repo root (next to Cargo.lock).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     std::fs::write(path, to_json(&out)).expect("cannot write BENCH_2.json");
@@ -311,4 +396,7 @@ fn main() {
     let path3 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_3.json");
     std::fs::write(path3, bench3).expect("cannot write BENCH_3.json");
     println!("codegen loop-vs-unroll results -> {path3}");
+    let path4 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
+    std::fs::write(path4, bench4).expect("cannot write BENCH_4.json");
+    println!("archive append/scan results -> {path4}");
 }

@@ -12,16 +12,19 @@
 
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::OnceLock;
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use noisetap::engine::Database;
 use tscout::{CollectionMode, Subsystem, TsConfig, ALL_SUBSYSTEMS};
+use tscout_archive::{Archive, ArchiveOptions};
 use tscout_kernel::{HardwareProfile, Kernel};
 use tscout_models::dataset::OuData;
 use tscout_models::eval::{avg_abs_error_per_template_us, OuModelSet};
 use tscout_models::ModelKind;
 use tscout_telemetry::{Profiler, Telemetry, DEFAULT_PROFILE_PERIOD_NS};
-use tscout_workloads::driver::{collect_datasets, RunOptions, RunStats, Workload};
+use tscout_workloads::driver::{
+    assign_templates, collect_datasets, RunOptions, RunStats, Workload,
+};
 use tscout_workloads::{ChBenchmark, OfflineRunner, SmallBank, Tatp, Tpcc, Ycsb};
 
 /// Experiment time scale: `TS_SCALE` multiplies all virtual durations
@@ -54,6 +57,40 @@ pub fn global_telemetry() -> &'static Telemetry {
 pub fn global_profiler() -> &'static Profiler {
     static P: OnceLock<Profiler> = OnceLock::new();
     P.get_or_init(Profiler::default)
+}
+
+/// Process-wide training-data archive, mirroring [`global_telemetry`]:
+/// every run's tagged points can be persisted here so one figure binary
+/// leaves one archive (under `results/archive_store/`) covering the whole
+/// experiment. Its telemetry lands in the global registry.
+pub fn global_archive() -> &'static Mutex<Archive> {
+    static A: OnceLock<Mutex<Archive>> = OnceLock::new();
+    A.get_or_init(|| {
+        let dir = result_path("archive_store");
+        Mutex::new(
+            Archive::open(&dir, ArchiveOptions::default(), global_telemetry().clone())
+                .expect("cannot open training-data archive"),
+        )
+    })
+}
+
+/// Tag a run's collected points against its query trace and persist them
+/// to the process-wide archive (flush + compaction policy applied).
+/// Returns how many samples were archived.
+pub fn archive_run(stats: &RunStats) -> u64 {
+    let tagged = assign_templates(&stats.points, &stats.trace);
+    let mut a = global_archive()
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    let mut n = 0u64;
+    for (p, template) in &tagged {
+        if a.append(p.to_sample(*template)).is_ok() {
+            n += 1;
+        }
+    }
+    let _ = a.flush();
+    let _ = a.maybe_compact();
+    n
 }
 
 /// Profiling interrupt period: `TS_PROFILE_PERIOD_NS` overrides (<= 0
@@ -104,7 +141,44 @@ pub fn dump_observability(fig: &str) -> PathBuf {
     );
     std::fs::write(&ts_path, json).expect("cannot write timeseries snapshot");
     println!("timeseries snapshot -> {}", ts_path.display());
+
+    let arch_path = result_path(&format!("archive_{fig}.json"));
+    std::fs::write(&arch_path, archive_stats_json()).expect("cannot write archive stats");
+    println!("archive stats -> {}", arch_path.display());
     path
+}
+
+/// JSON summary of the process-wide archive: shape (segments, blocks,
+/// bytes, samples) plus the archive and model-lifecycle counters.
+pub fn archive_stats_json() -> String {
+    let st = {
+        let mut a = global_archive()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let _ = a.flush();
+        a.stats()
+    };
+    let t = global_telemetry();
+    format!(
+        "{{\n  \"segments\": {}, \"sealed_segments\": {}, \"blocks\": {},\n  \
+         \"samples_stored\": {}, \"samples_buffered\": {}, \"bytes\": {},\n  \
+         \"bytes_written_total\": {}, \"segments_sealed_total\": {},\n  \
+         \"segments_compacted_total\": {}, \"recovered_truncations_total\": {},\n  \
+         \"model_generation\": {}, \"model_swaps_accepted\": {}, \"model_swaps_rejected\": {}\n}}\n",
+        st.segments,
+        st.sealed_segments,
+        st.blocks,
+        st.samples_stored,
+        st.samples_buffered,
+        st.bytes,
+        t.counter_total("archive_bytes_written_total"),
+        t.counter_total("archive_segments_sealed_total"),
+        t.counter_total("archive_segments_compacted_total"),
+        t.counter_total("archive_recovered_truncations_total"),
+        t.gauge_value("model_generation", &[]),
+        t.counter_total("model_swap_accepted_total"),
+        t.counter_total("model_swap_rejected_total"),
+    )
 }
 
 /// CSV writer that tees rows to stdout.
@@ -254,7 +328,8 @@ pub fn offline_data(hw: HardwareProfile, seed: u64, duration_ns: f64) -> Vec<OuD
         seed,
         ..Default::default()
     };
-    let (_, data) = collect_datasets(&mut db, &mut runner, &opts);
+    let (stats, data) = collect_datasets(&mut db, &mut runner, &opts);
+    archive_run(&stats);
     absorb_db(&db);
     data
 }
@@ -278,6 +353,7 @@ pub fn online_data(
         ..Default::default()
     };
     let out = collect_datasets(&mut db, workload, &opts);
+    archive_run(&out.0);
     absorb_db(&db);
     out
 }

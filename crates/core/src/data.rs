@@ -118,6 +118,27 @@ pub struct TrainingPoint {
     pub user_metrics: Vec<u64>,
 }
 
+impl TrainingPoint {
+    /// Convert to the archive's storage form. The query template is not
+    /// part of the wire record — it is assigned post-hoc from the
+    /// driver's query trace — so the caller supplies it (0 = untagged /
+    /// background work).
+    pub fn to_sample(&self, template: u32) -> tscout_archive::Sample {
+        tscout_archive::Sample {
+            ou: self.ou,
+            ou_name: self.ou_name.clone(),
+            subsystem: self.subsystem.index() as u8,
+            tid: self.tid,
+            template,
+            start_ns: self.start_ns,
+            elapsed_ns: self.elapsed_ns,
+            metrics: self.metrics.clone(),
+            features: self.features.clone(),
+            user_metrics: self.user_metrics.clone(),
+        }
+    }
+}
+
 /// Split a raw record into training points using the OU registry's
 /// feature schemas. Plain records produce one point; fused-pipeline
 /// records (flags = n groups) produce one point per OU, with the shared

@@ -14,6 +14,7 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::Path;
 
+use tscout_archive::{Archive, ArchiveOptions};
 use tscout_kernel::{Kernel, TaskId};
 use tscout_telemetry::Telemetry;
 
@@ -26,6 +27,10 @@ pub enum Sink {
     Memory(Vec<TrainingPoint>),
     /// Append CSV rows to a file on local disk.
     Csv(BufWriter<File>),
+    /// Append into the persistent columnar training-data archive.
+    /// Memory stays bounded: full memtables flush to segment files as
+    /// part of `append` (see `tscout-archive`).
+    Archive(Archive),
     /// Count only (overhead experiments).
     Discard,
 }
@@ -39,6 +44,15 @@ impl Sink {
             "ou,subsystem,tid,start_ns,elapsed_ns,metrics,features,user_metrics"
         )?;
         Ok(Sink::Csv(w))
+    }
+
+    /// Open (or recover) an archive sink rooted at `dir`.
+    pub fn archive(
+        dir: &Path,
+        opts: ArchiveOptions,
+        telemetry: Telemetry,
+    ) -> Result<Sink, tscout_archive::ArchiveError> {
+        Ok(Sink::Archive(Archive::open(dir, opts, telemetry)?))
     }
 }
 
@@ -95,7 +109,7 @@ impl Processor {
                 break;
             }
             kernel.charge_overhead(self.task, kernel.cost.processor_per_sample_ns);
-            self.consume(&recs[0], ts);
+            self.consume(kernel, &recs[0], ts);
             n += 1;
         }
         let dur = kernel.now(self.task) - start_ns;
@@ -123,13 +137,13 @@ impl Processor {
             }
             for r in &recs {
                 kernel.charge_overhead(self.task, kernel.cost.processor_per_sample_ns);
-                self.consume(r, ts);
+                self.consume(kernel, r, ts);
                 n += 1;
             }
         }
     }
 
-    fn consume(&mut self, bytes: &[u8], ts: &TScout) {
+    fn consume(&mut self, kernel: &mut Kernel, bytes: &[u8], ts: &TScout) {
         let Some(raw) = decode_record(bytes) else {
             self.malformed += 1;
             self.telemetry
@@ -167,10 +181,55 @@ impl Processor {
                         join(&p.user_metrics),
                     );
                 }
+                Sink::Archive(a) => {
+                    // Columnar encode + (possible) memtable flush happens
+                    // inside append; templates are assigned post-hoc from
+                    // the query trace, so inline archival stores 0.
+                    let _frame = kernel.profile_frame(self.task, "processor:archive", false);
+                    kernel.charge_overhead(self.task, kernel.cost.archive_per_sample_ns);
+                    if let Err(e) = a.append(p.to_sample(0)) {
+                        self.telemetry
+                            .counter_inc("archive_append_errors_total", &[]);
+                        debug_assert!(false, "archive append failed: {e}");
+                    }
+                }
                 Sink::Discard => {}
             }
         }
         self.processed += 1;
+        self.telemetry.gauge_set(
+            "processor_buffered_samples",
+            &[],
+            self.buffered_samples() as f64,
+        );
+    }
+
+    /// Decoded samples currently held in Processor memory: the in-memory
+    /// sink's backlog, or the archive's unflushed memtables. This is the
+    /// quantity the archive pipeline bounds (DESIGN.md §2.4).
+    pub fn buffered_samples(&self) -> usize {
+        match &self.sink {
+            Sink::Memory(v) => v.len(),
+            Sink::Archive(a) => a.buffered_samples(),
+            _ => 0,
+        }
+    }
+
+    /// Borrow the archive sink, if that is what this Processor writes to.
+    pub fn archive(&self) -> Option<&Archive> {
+        match &self.sink {
+            Sink::Archive(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the archive sink (sealing, compaction, scans at
+    /// retraining points).
+    pub fn archive_mut(&mut self) -> Option<&mut Archive> {
+        match &mut self.sink {
+            Sink::Archive(a) => Some(a),
+            _ => None,
+        }
     }
 
     /// Feedback mechanism (§3.2), driven by the exact lost-sample
@@ -200,10 +259,18 @@ impl Processor {
         }
     }
 
-    /// Flush file-backed sinks.
+    /// Flush file-backed sinks (CSV buffers; archive memtables down to
+    /// the active segment file).
     pub fn flush(&mut self) -> std::io::Result<()> {
-        if let Sink::Csv(w) = &mut self.sink {
-            w.flush()?;
+        match &mut self.sink {
+            Sink::Csv(w) => w.flush()?,
+            Sink::Archive(a) => {
+                a.flush()
+                    .map_err(|e| std::io::Error::other(e.to_string()))?;
+                self.telemetry
+                    .gauge_set("processor_buffered_samples", &[], 0.0);
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -284,10 +351,41 @@ mod tests {
     fn malformed_records_are_counted_not_fatal() {
         let (mut k, mut ts, _, _) = harness();
         let mut p = Processor::new(&mut k, Sink::Discard);
-        p.consume(&[1, 2, 3], &ts);
+        p.consume(&mut k, &[1, 2, 3], &ts);
         assert_eq!(p.malformed, 1);
         assert_eq!(p.processed, 0);
         let _ = &mut ts;
+    }
+
+    #[test]
+    fn archive_sink_persists_samples_and_reports_backlog() {
+        let dir = std::env::temp_dir().join(format!("tscout_proc_arch_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let (mut k, mut ts, t, ou) = harness();
+        emit(&mut k, &mut ts, t, ou, 25);
+        let sink = Sink::archive(&dir, ArchiveOptions::default(), k.telemetry.clone()).unwrap();
+        let mut p = Processor::new(&mut k, sink);
+        assert_eq!(p.drain_all(&mut k, &mut ts), 25);
+        assert_eq!(p.buffered_samples(), 25);
+        assert_eq!(
+            p.telemetry.gauge_value("processor_buffered_samples", &[]),
+            25.0
+        );
+        p.flush().unwrap();
+        assert_eq!(p.buffered_samples(), 0);
+        let a = p.archive_mut().unwrap();
+        a.seal().unwrap();
+        let back: Vec<_> = a.scan_ou("scan").collect();
+        assert_eq!(back.len(), 25);
+        assert_eq!(back[3].features, vec![3.0]);
+        assert_eq!(back[3].template, 0, "inline archival is untagged");
+        // The archive frame showed up in the profiler under the root.
+        assert!(
+            k.telemetry
+                .counter_value("archive_bytes_written_total", &[])
+                > 0
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -46,6 +46,13 @@ pub struct CostModel {
     pub user_emit_lock_ns: f64,
     /// Processor cost to transform + archive one drained sample, ns.
     pub processor_per_sample_ns: f64,
+    /// Additional Processor cost to columnar-encode one sample into the
+    /// persistent training-data archive (memtable append amortizing the
+    /// per-block delta/bit-pack encode + CRC), ns.
+    pub archive_per_sample_ns: f64,
+    /// Model-lifecycle cost to fit on one training point during a
+    /// periodic retrain (background, off the transaction path), ns.
+    pub retrain_per_point_ns: f64,
     /// Sampling-decision cost paid at every candidate event even when
     /// collection is off (one bit test + offset bump), ns.
     pub sampling_check_ns: f64,
@@ -78,6 +85,8 @@ impl Default for CostModel {
             ringbuf_publish_ns: 420.0,
             user_emit_lock_ns: 68_000.0,
             processor_per_sample_ns: 21_000.0,
+            archive_per_sample_ns: 2_400.0,
+            retrain_per_point_ns: 900.0,
             sampling_check_ns: 4.0,
             ipc: 1.6,
             contention_alpha: 0.9,

@@ -102,6 +102,33 @@ pub fn cross_validated_error_us(kind: ModelKind, seed: u64, data: &[OuData], k: 
     total / k as f64
 }
 
+/// Mean absolute percentage error over a test set, in percent.
+///
+/// The model-lifecycle accuracy gate uses this relative statistic so the
+/// decision is scale-free across OUs with very different runtimes.
+/// Points with a zero/negative actual time are skipped (a percentage of
+/// nothing is undefined); points whose OU has no model count the model's
+/// implicit 0 prediction as 100% error.
+pub fn mape_pct(models: &OuModelSet, test: &[OuData]) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for d in test {
+        for p in &d.points {
+            if p.target_ns <= 0.0 {
+                continue;
+            }
+            let predicted = models.predict_ns(&d.name, &p.features).unwrap_or(0.0);
+            sum += (p.target_ns - predicted).abs() / p.target_ns * 100.0;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
 /// Percentage reduction in error from `baseline` to `improved`
 /// (the statistic of Figs. 2 and 11). Positive = improvement.
 pub fn error_reduction_pct(baseline_us: f64, improved_us: f64) -> f64 {
@@ -176,6 +203,26 @@ mod tests {
         let data = vec![linear_ou("scan", 400, 1.0)];
         let err = cross_validated_error_us(ModelKind::Forest, 2, &data, 5);
         assert!(err < 2.0, "cv error {err} us");
+    }
+
+    #[test]
+    fn mape_is_scale_free_and_skips_zero_targets() {
+        let train = vec![linear_ou("scan", 200, 0.0)];
+        let models = OuModelSet::train(ModelKind::Ridge, 1, &train);
+        let err = mape_pct(&models, &train);
+        assert!(err < 1.0, "training MAPE should be tiny: {err}%");
+        // No model for this OU → predicts 0 → 100% error per point.
+        let unknown = vec![linear_ou("mystery", 10, 0.0)];
+        let err = mape_pct(&models, &unknown);
+        assert!((err - 100.0).abs() < 1e-9, "{err}");
+        // Zero-target points are skipped, not divided by.
+        let mut zeros = OuData::new("scan");
+        zeros.points.push(LabeledPoint {
+            features: vec![1.0],
+            target_ns: 0.0,
+            template: 0,
+        });
+        assert_eq!(mape_pct(&models, &[zeros]), 0.0);
     }
 
     #[test]

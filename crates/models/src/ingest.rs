@@ -1,0 +1,104 @@
+//! Streaming dataset ingestion from the training-data archive.
+//!
+//! The archive's scans yield samples one block at a time; this module
+//! folds them straight into per-OU [`OuData`] without ever holding the
+//! raw byte form and the decoded form of the whole archive at once —
+//! the memory high-water mark is one decoded block plus the datasets
+//! being built. Context features are appended exactly like the driver's
+//! `build_datasets` (paper §2.2: the CPU clock in GHz and the number of
+//! concurrent workers are the only environment descriptors).
+
+use std::collections::BTreeMap;
+
+use tscout_archive::{Archive, Sample};
+
+use crate::dataset::{LabeledPoint, OuData};
+
+/// Convert one archived sample into a labeled point with the two
+/// context features appended.
+pub fn labeled_point(s: &Sample, clock_ghz: f64, concurrency: usize) -> LabeledPoint {
+    let mut features = s.features.clone();
+    features.push(clock_ghz);
+    features.push(concurrency as f64);
+    LabeledPoint {
+        features,
+        target_ns: s.elapsed_ns as f64,
+        template: s.template,
+    }
+}
+
+/// Stream every archived sample into per-OU datasets (ordered by OU
+/// name, like the driver's `build_datasets`).
+pub fn datasets_from_archive(archive: &Archive, clock_ghz: f64, concurrency: usize) -> Vec<OuData> {
+    let mut by_ou: BTreeMap<String, OuData> = BTreeMap::new();
+    for s in archive.scan_all() {
+        let d = by_ou
+            .entry(s.ou_name.clone())
+            .or_insert_with(|| OuData::new(&s.ou_name));
+        d.points.push(labeled_point(&s, clock_ghz, concurrency));
+    }
+    by_ou.into_values().collect()
+}
+
+/// Stream one OU's archived samples into a dataset.
+pub fn ou_data_from_archive(
+    archive: &Archive,
+    ou_name: &str,
+    clock_ghz: f64,
+    concurrency: usize,
+) -> OuData {
+    let mut d = OuData::new(ou_name);
+    for s in archive.scan_ou(ou_name) {
+        d.points.push(labeled_point(&s, clock_ghz, concurrency));
+    }
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tscout_archive::ArchiveOptions;
+    use tscout_telemetry::Telemetry;
+
+    fn sample(ou: u16, name: &str, i: u64) -> Sample {
+        Sample {
+            ou,
+            ou_name: name.to_string(),
+            subsystem: 0,
+            tid: 1,
+            template: (i % 3) as u32,
+            start_ns: i * 100,
+            elapsed_ns: 500 + i,
+            metrics: vec![i],
+            features: vec![i as f64, 2.0 * i as f64],
+            user_metrics: vec![],
+        }
+    }
+
+    #[test]
+    fn archive_streams_into_datasets_with_context_features() {
+        let dir = std::env::temp_dir().join(format!("tscout_ingest_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut a = Archive::open(&dir, ArchiveOptions::default(), Telemetry::new()).unwrap();
+        for i in 0..60 {
+            a.append(sample(
+                (i % 2) as u16,
+                ["scan", "sort"][(i % 2) as usize],
+                i,
+            ))
+            .unwrap();
+        }
+        a.seal().unwrap();
+        let data = datasets_from_archive(&a, 2.1, 4);
+        assert_eq!(data.len(), 2);
+        assert_eq!(data[0].name, "scan");
+        assert_eq!(data[0].len() + data[1].len(), 60);
+        let p = &data[0].points[1]; // sample i=2
+        assert_eq!(p.features, vec![2.0, 4.0, 2.1, 4.0]);
+        assert_eq!(p.target_ns, 502.0);
+        assert_eq!(p.template, 2);
+        let scan_only = ou_data_from_archive(&a, "scan", 2.1, 4);
+        assert_eq!(scan_only.points, data[0].points);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

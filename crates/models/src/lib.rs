@@ -12,24 +12,31 @@
 //! * [`dataset`] — labeled per-OU datasets with query-template tags,
 //!   train/test splits, and k-fold cross-validation;
 //! * [`eval`] — the paper's accuracy statistic: **average absolute error
-//!   per query template**, plus error-reduction percentages.
+//!   per query template**, plus error-reduction percentages and MAPE;
+//! * [`ingest`] — streaming dataset construction from the training-data
+//!   archive (`tscout-archive`);
+//! * [`registry`] — generation-counted, accuracy-gated model hot-swap.
 //!
 //! Models are deterministic for a fixed seed.
 
 pub mod dataset;
 pub mod eval;
 pub mod forest;
+pub mod ingest;
 pub mod knn;
 pub mod linreg;
+pub mod registry;
 
 pub use dataset::{kfold, LabeledPoint, OuData};
-pub use eval::{avg_abs_error_per_template_us, error_reduction_pct, OuModelSet};
+pub use eval::{avg_abs_error_per_template_us, error_reduction_pct, mape_pct, OuModelSet};
 pub use forest::RandomForest;
+pub use ingest::{datasets_from_archive, ou_data_from_archive};
 pub use knn::Knn;
 pub use linreg::Ridge;
+pub use registry::{LiveModel, ModelRegistry, SwapDecision};
 
 /// A trained regression model.
-pub trait Regressor: Send {
+pub trait Regressor: Send + Sync {
     /// Fit on rows of `(features, target)`.
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
     /// Predict one target.

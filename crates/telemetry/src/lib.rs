@@ -102,6 +102,12 @@ impl Telemetry {
         self.lock().gauge_max(name, labels, v);
     }
 
+    /// Add `delta` (possibly negative) to the gauge `name{labels}` —
+    /// occupancy gauges that several owners update incrementally.
+    pub fn gauge_add(&self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        self.lock().gauge_add(name, labels, delta);
+    }
+
     /// Read a gauge back (0.0 if never written).
     pub fn gauge_value(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
         self.lock().gauge_value(name, labels)
@@ -238,6 +244,15 @@ mod tests {
         assert_eq!(t.gauge_value("depth", &[]), 3.0);
         t.gauge_max("depth", &[], 9.0);
         assert_eq!(t.gauge_value("depth", &[]), 9.0);
+    }
+
+    #[test]
+    fn gauge_add_accumulates_and_goes_negative() {
+        let t = Telemetry::new();
+        t.gauge_add("buffered", &[], 5.0);
+        t.gauge_add("buffered", &[], 2.0);
+        t.gauge_add("buffered", &[], -6.0);
+        assert_eq!(t.gauge_value("buffered", &[]), 1.0);
     }
 
     #[test]

@@ -102,6 +102,17 @@ impl Registry {
         self.gauges.insert(MetricKey::new(name, labels), v);
     }
 
+    /// Add `delta` (possibly negative) to a gauge, creating it at 0.
+    /// Occupancy-style gauges (buffered samples, open segments) use this
+    /// so concurrent owners sharing a registry aggregate instead of
+    /// overwriting each other.
+    pub fn gauge_add(&mut self, name: &str, labels: &[(&str, &str)], delta: f64) {
+        *self
+            .gauges
+            .entry(MetricKey::new(name, labels))
+            .or_insert(0.0) += delta;
+    }
+
     pub fn gauge_max(&mut self, name: &str, labels: &[(&str, &str)], v: f64) {
         let e = self
             .gauges

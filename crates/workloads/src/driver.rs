@@ -18,7 +18,10 @@ use rand::SeedableRng;
 use noisetap::engine::{Database, DbError, SessionId, StatementId};
 use noisetap::{ExecOutcome, Value};
 use tscout::{Processor, Sink, TrainingPoint};
+use tscout_archive::{Archive, ArchiveOptions};
 use tscout_models::dataset::{LabeledPoint, OuData};
+use tscout_models::registry::{ModelRegistry, SwapDecision};
+use tscout_models::{datasets_from_archive, ModelKind};
 
 /// One traced client request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -137,6 +140,10 @@ pub struct RunStats {
     pub samples_processed: u64,
     /// Samples lost to ring overwrites.
     pub samples_dropped: u64,
+    /// Samples persisted to the training-data archive (lifecycle runs).
+    pub archived_samples: u64,
+    /// Retraining attempts the model lifecycle made (lifecycle runs).
+    pub retrains: u64,
 }
 
 impl RunStats {
@@ -157,8 +164,126 @@ impl RunStats {
     }
 }
 
+/// The model lifecycle a live run carries: persistent training-data
+/// archive + generation-counted model registry, retrained on the pump
+/// timeline (paper §2: collection feeds models that steer the DBMS; the
+/// lifecycle closes that loop inside the simulation).
+pub struct ModelLifecycle {
+    pub archive: Archive,
+    pub registry: ModelRegistry,
+    /// Retrain every this many virtual ns (`f64::MAX` = only at the end
+    /// of the run).
+    pub retrain_every_ns: f64,
+    /// Holdout split for the accuracy gate: every Nth point per OU.
+    pub holdout_every: usize,
+    /// Samples persisted to the archive so far.
+    pub archived_samples: u64,
+    /// Retraining attempts (accepted + rejected + skipped).
+    pub retrains: u64,
+    pub swaps_accepted: u64,
+    pub swaps_rejected: u64,
+}
+
+impl ModelLifecycle {
+    /// Open (or recover) the archive at `dir` and start an empty
+    /// registry at generation 0.
+    pub fn new(
+        dir: &std::path::Path,
+        opts: ArchiveOptions,
+        kind: ModelKind,
+        seed: u64,
+        retrain_every_ns: f64,
+        telemetry: tscout_telemetry::Telemetry,
+    ) -> Result<ModelLifecycle, tscout_archive::ArchiveError> {
+        Ok(ModelLifecycle {
+            archive: Archive::open(dir, opts, telemetry.clone())?,
+            registry: ModelRegistry::new(kind, seed, telemetry),
+            retrain_every_ns,
+            holdout_every: 5,
+            archived_samples: 0,
+            retrains: 0,
+            swaps_accepted: 0,
+            swaps_rejected: 0,
+        })
+    }
+
+    /// One lifecycle turn: tag `points` against the trace so far, persist
+    /// them to the archive (flush + compaction policy), then retrain from
+    /// the full archived history behind the accuracy gate.
+    ///
+    /// Runs on the Processor's task: archival is charged per sample and
+    /// retraining per training point, under the profiler frames
+    /// `tscout;processor:archive` and `tscout;models:retrain`.
+    pub fn step(
+        &mut self,
+        kernel: &mut tscout_kernel::Kernel,
+        task: tscout_kernel::TaskId,
+        points: &[TrainingPoint],
+        trace: &[QuerySpan],
+        concurrency: usize,
+    ) {
+        let _root = kernel.profile_frame(task, "tscout", true);
+        if !points.is_empty() {
+            let _frame = kernel.profile_frame(task, "processor:archive", false);
+            let start = kernel.now(task);
+            let tagged = assign_templates(points, trace);
+            kernel.charge_overhead(
+                task,
+                tagged.len() as f64 * kernel.cost.archive_per_sample_ns,
+            );
+            for (p, template) in &tagged {
+                if self.archive.append(p.to_sample(*template)).is_ok() {
+                    self.archived_samples += 1;
+                }
+            }
+            let _ = self.archive.flush();
+            let _ = self.archive.maybe_compact();
+            let now = kernel.now(task);
+            kernel
+                .telemetry
+                .span("archive_ingest", "processor", start, now - start);
+        }
+        let _frame = kernel.profile_frame(task, "models:retrain", false);
+        let start = kernel.now(task);
+        let data = datasets_from_archive(&self.archive, kernel.hw.clock_ghz, concurrency);
+        let n_points: usize = data.iter().map(|d| d.len()).sum();
+        kernel.charge_overhead(task, n_points as f64 * kernel.cost.retrain_per_point_ns);
+        match self.registry.retrain_split(&data, self.holdout_every) {
+            SwapDecision::Accepted { .. } => self.swaps_accepted += 1,
+            SwapDecision::Rejected { .. } => self.swaps_rejected += 1,
+            SwapDecision::Skipped => {}
+        }
+        self.retrains += 1;
+        let now = kernel.now(task);
+        kernel
+            .telemetry
+            .span("retrain", "models", start, now - start);
+    }
+}
+
 /// Run a workload for a virtual duration.
 pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) -> RunStats {
+    run_inner(db, workload, opts, None)
+}
+
+/// Run a workload with a live model lifecycle: collected points are
+/// tagged and persisted to the archive at the lifecycle's retrain
+/// cadence, and the registry hot-swaps models behind its accuracy gate.
+pub fn run_with_lifecycle(
+    db: &mut Database,
+    workload: &mut dyn Workload,
+    opts: &RunOptions,
+    lifecycle: &mut ModelLifecycle,
+) -> RunStats {
+    run_inner(db, workload, opts, Some(lifecycle))
+}
+
+fn run_inner(
+    db: &mut Database,
+    workload: &mut dyn Workload,
+    opts: &RunOptions,
+    mut lifecycle: Option<&mut ModelLifecycle>,
+) -> RunStats {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let terminals: Vec<SessionId> = (0..opts.terminals).map(|_| db.create_session()).collect();
     // Align all terminal clocks to the same start line.
@@ -188,6 +313,13 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
     } else {
         f64::MAX
     };
+    // Lifecycle runs drain the in-memory sink at each retrain; keep the
+    // full point stream for the caller regardless.
+    let mut all_points: Vec<TrainingPoint> = Vec::new();
+    let mut next_retrain = match lifecycle.as_ref() {
+        Some(lc) if lc.retrain_every_ns < f64::MAX => start_ns + lc.retrain_every_ns,
+        _ => f64::MAX,
+    };
 
     loop {
         // Earliest-first: advance the terminal with the smallest clock.
@@ -207,6 +339,14 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
             let (kernel, ts) = db.collection_parts();
             if let Some(ts) = ts {
                 processor.poll(kernel, ts, now);
+            }
+            if now >= next_retrain {
+                if let Some(lc) = lifecycle.as_deref_mut() {
+                    let points = processor.take_points();
+                    lc.step(kernel, processor.task, &points, &trace, opts.terminals);
+                    all_points.extend(points);
+                    next_retrain = now + lc.retrain_every_ns;
+                }
             }
             let pump_end = db.kernel.now(db.wal.task);
             db.kernel.telemetry.span(
@@ -257,20 +397,32 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
     db.pump_wal(end_ns + 1e9);
     let (samples_processed, samples_dropped, points) = {
         let (kernel, ts) = db.collection_parts();
-        match ts {
+        let r = match ts {
             Some(ts) => {
                 processor.poll(kernel, ts, end_ns);
                 let in_run = processor.processed;
                 processor.drain_all(kernel, ts);
-                (in_run, ts.ring_dropped(), processor.take_points())
+                let tail = processor.take_points();
+                // Final lifecycle turn: persist the tail, seal the active
+                // segment, and retrain one last time over the full history.
+                if let Some(lc) = lifecycle.as_deref_mut() {
+                    lc.step(kernel, processor.task, &tail, &trace, opts.terminals);
+                    let _ = lc.archive.seal();
+                }
+                all_points.extend(tail);
+                (in_run, ts.ring_dropped(), std::mem::take(&mut all_points))
             }
             None => (0, 0, Vec::new()),
-        }
+        };
+        r
     };
     // Final window so the time-series tail reflects the fully drained run.
     db.kernel.telemetry.scrape_window(end_ns + 2e9);
 
     let duration_ns = opts.duration_ns;
+    let (archived_samples, retrains) = lifecycle
+        .as_ref()
+        .map_or((0, 0), |lc| (lc.archived_samples, lc.retrains));
     RunStats {
         committed,
         aborted,
@@ -282,6 +434,8 @@ pub fn run(db: &mut Database, workload: &mut dyn Workload, opts: &RunOptions) ->
         points,
         samples_processed,
         samples_dropped,
+        archived_samples,
+        retrains,
     }
 }
 
@@ -360,6 +514,74 @@ pub fn collect_datasets(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tscout::{CollectionMode, TsConfig};
+    use tscout_kernel::{HardwareProfile, Kernel};
+
+    #[test]
+    fn lifecycle_archives_tags_and_swaps_models() {
+        let dir = std::env::temp_dir().join(format!("tscout_lc_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 11);
+        k.noise_frac = 0.0;
+        k.set_profile_period_ns(tscout_telemetry::DEFAULT_PROFILE_PERIOD_NS);
+        let mut db = Database::new(k);
+        let mut w = crate::Ycsb::new(300);
+        w.setup(&mut db);
+        let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+        cfg.enable_all_subsystems();
+        db.attach_tscout(cfg).unwrap();
+        {
+            let ts = db.tscout_mut().unwrap();
+            for s in tscout::ALL_SUBSYSTEMS {
+                ts.set_sampling_rate(s, 100);
+            }
+        }
+        let mut lc = ModelLifecycle::new(
+            &dir,
+            ArchiveOptions::default(),
+            ModelKind::Ridge,
+            7,
+            10e6, // retrain every 10 virtual ms
+            db.kernel.telemetry.clone(),
+        )
+        .unwrap();
+        let opts = RunOptions {
+            terminals: 2,
+            duration_ns: 40e6,
+            ..Default::default()
+        };
+        let stats = run_with_lifecycle(&mut db, &mut w, &opts, &mut lc);
+        assert!(stats.committed > 10, "committed {}", stats.committed);
+        assert!(stats.retrains >= 2, "retrains {}", stats.retrains);
+        assert_eq!(stats.archived_samples, stats.points.len() as u64);
+        assert!(stats.archived_samples > 0);
+        assert!(lc.swaps_accepted >= 1, "first retrain must install");
+        assert_eq!(lc.registry.generation(), lc.swaps_accepted);
+        // Archived samples round-trip with the post-hoc template tags.
+        let back: Vec<_> = lc.archive.scan_all().collect();
+        assert_eq!(back.len(), stats.points.len());
+        assert!(
+            back.iter().any(|s| s.template > 0),
+            "foreground samples carry their query template"
+        );
+        // The live model predicts for OUs the run exercised.
+        let live = lc.registry.live().unwrap();
+        assert!(!live.models.ou_names().is_empty());
+        assert_eq!(
+            db.kernel.telemetry.gauge_value("model_generation", &[]),
+            lc.registry.generation() as f64
+        );
+        // Lifecycle work surfaced in the profiler under the tscout root.
+        let folded = db.kernel.profiler.folded();
+        assert!(
+            folded
+                .iter()
+                .any(|(stack, _)| stack.contains("models:retrain")),
+            "missing retrain frame in {:?}",
+            folded.iter().map(|(stack, _)| stack).collect::<Vec<_>>()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
 
     #[test]
     fn template_assignment_picks_enclosing_span() {
@@ -424,6 +646,8 @@ mod tests {
             points: vec![],
             samples_processed: 0,
             samples_dropped: 0,
+            archived_samples: 0,
+            retrains: 0,
         };
         assert!((stats.latency_percentile_ms(99.0) - 99.0).abs() < 1.5);
         assert!((stats.latency_percentile_ms(50.0) - 50.0).abs() < 1.5);

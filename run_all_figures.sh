@@ -26,6 +26,7 @@ BINS=(
   ablation_sampling_shuffle
   ablation_fusion
   ablation_ringbuf
+  ablation_archive_lifecycle
 )
 
 for bin in "${BINS[@]}"; do
@@ -38,3 +39,5 @@ echo
 echo "All figures regenerated under results/."
 echo "Telemetry snapshots:"
 ls -1 results/telemetry_*.json 2>/dev/null || echo "  (none written?)"
+echo "Training-data archive stats:"
+ls -1 results/archive_*.json 2>/dev/null || echo "  (none written?)"

@@ -6,7 +6,10 @@
 //! * [`bpf`] (`tscout-bpf`) — the BPF-style VM, verifier, and maps;
 //! * [`tscout`] — the TScout framework itself (the paper's contribution);
 //! * [`noisetap`] — the NoisePage-style DBMS substrate;
-//! * [`models`] (`tscout-models`) — OU behavior models;
+//! * [`archive`] (`tscout-archive`) — the columnar per-OU training-data
+//!   archive (segments, compaction, crash recovery);
+//! * [`models`] (`tscout-models`) — OU behavior models plus the
+//!   generation-counted model registry;
 //! * [`workloads`] (`tscout-workloads`) — YCSB/SmallBank/TATP/TPC-C/
 //!   CH-benCHmark, offline runners, and the virtual-time driver;
 //! * [`telemetry`] (`tscout-telemetry`) — the self-telemetry layer
@@ -20,6 +23,7 @@
 
 pub use noisetap;
 pub use tscout;
+pub use tscout_archive as archive;
 pub use tscout_bpf as bpf;
 pub use tscout_kernel as kernel;
 pub use tscout_models as models;
