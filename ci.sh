@@ -35,6 +35,10 @@ else
   grep -q '"attribution"' "$CI_RESULTS/timeseries_fig1.json" \
     || { echo "FAIL: timeseries_fig1.json missing attribution key"; exit 1; }
 fi
+test -s "$CI_RESULTS/health_fig1.json" \
+  || { echo "FAIL: health_fig1.json missing or empty"; exit 1; }
+grep -q '"subsystems"' "$CI_RESULTS/health_fig1.json" \
+  || { echo "FAIL: health_fig1.json missing subsystems key"; exit 1; }
 echo "observability artifacts OK"
 
 echo "== archive smoke (write -> reopen -> scan) =="
@@ -42,5 +46,18 @@ TS_RESULTS="$CI_RESULTS" cargo run -q --release --example archive_smoke
 test -d "$CI_RESULTS/archive_smoke" \
   || { echo "FAIL: archive_smoke store missing"; exit 1; }
 echo "archive smoke OK"
+
+echo "== metric docs cross-check (README table + runtime names) =="
+cargo run -q --release -p tscout-bench --bin metrics_doc -- --check
+
+echo "== drift-detector smoke (injected shift must alert, control silent) =="
+# Fixed virtual duration by design (no TS_SCALE): the binary asserts the
+# detector contract itself; CI checks it exits clean and dumps health.
+TS_RESULTS="$CI_RESULTS" cargo run -q --release -p tscout-bench --bin ablation_drift
+test -s "$CI_RESULTS/health_ablation_drift.json" \
+  || { echo "FAIL: health_ablation_drift.json missing or empty"; exit 1; }
+grep -q 'ou_drift' "$CI_RESULTS/health_ablation_drift.json" \
+  || { echo "FAIL: health_ablation_drift.json records no ou_drift alerts"; exit 1; }
+echo "drift smoke OK"
 
 echo "CI gate passed."

@@ -364,6 +364,92 @@ fn archive_store(out: &mut Results) -> String {
     )
 }
 
+/// Per-sample and per-evaluation cost of the data-quality layer: sketch
+/// inserts, the PSI/KS scoring primitives, and a full drift-registry
+/// pump cycle. Returns the `BENCH_5.json` document (schema in
+/// README.md). These measured costs are what the virtual cost model's
+/// `sketch_per_sample_ns` / `drift_eval_per_ou_ns` constants stand for.
+fn sketch_drift(out: &mut Results) -> String {
+    use tscout_telemetry::{
+        DriftRegistry, Sketch, DEFAULT_MIN_LIVE_SAMPLES, DEFAULT_REFERENCE_SAMPLES,
+    };
+
+    let mut sk = Sketch::new();
+    let mut i = 0u64;
+    bench(out, "sketch_insert", 200_000, || {
+        sk.insert(black_box(1_000.0 + (i * 7_919 % 997) as f64));
+        i += 1;
+    });
+    let insert_ns = out.last().unwrap().1;
+
+    // The per-channel scoring primitives, on realistically full sketches.
+    let mut reference = Sketch::new();
+    let mut live = Sketch::new();
+    for j in 0..4_096u64 {
+        reference.insert(1_000.0 + (j * 7_919 % 997) as f64);
+        live.insert(1_150.0 + (j * 104_729 % 997) as f64);
+    }
+    bench(out, "sketch_psi", 50_000, || {
+        black_box(reference.psi(black_box(&live)));
+    });
+    let psi_ns = out.last().unwrap().1;
+    bench(out, "sketch_ks", 50_000, || {
+        black_box(reference.ks_distance(black_box(&live)));
+    });
+    let ks_ns = out.last().unwrap().1;
+
+    // Full drift-registry path with every OU past its reference freeze.
+    const OUS: u64 = 16;
+    let window = DEFAULT_MIN_LIVE_SAMPLES;
+    let mut dr = DriftRegistry::new();
+    let names: Vec<String> = (0..OUS).map(|o| format!("bench_ou_{o}")).collect();
+    for (o, name) in names.iter().enumerate() {
+        for j in 0..DEFAULT_REFERENCE_SAMPLES {
+            let v = 1_000.0 + ((j * 7_919 + o as u64) % 997) as f64;
+            dr.observe_sample(name, "execution_engine", v, 3.0);
+        }
+    }
+    let mut i = 0u64;
+    bench(out, "drift_observe_sample", 100_000, || {
+        let name = &names[(i % OUS) as usize];
+        dr.observe_sample(
+            name,
+            "execution_engine",
+            black_box(1_000.0 + (i % 997) as f64),
+            3.0,
+        );
+        i += 1;
+    });
+    let observe_ns = out.last().unwrap().1;
+    dr.evaluate(); // drain whatever the warm-up left in the live windows
+
+    // One pump cycle: fill every OU's live window, score them all.
+    // `evaluate()` resets the scored windows, so the refill is part of
+    // each iteration; its cost is subtracted using the rate above.
+    let mut i = 0u64;
+    bench(out, "drift_pump_cycle_16ou", 200, || {
+        for name in &names {
+            for _ in 0..window {
+                dr.observe_sample(name, "execution_engine", 1_000.0 + (i % 997) as f64, 3.0);
+                i += 1;
+            }
+        }
+        black_box(dr.evaluate());
+    });
+    let cycle_ns = out.last().unwrap().1;
+    let eval_per_ou_ns = ((cycle_ns - observe_ns * (window * OUS) as f64) / OUS as f64).max(0.0);
+    println!("drift_eval: {eval_per_ou_ns:.1} ns/OU (refill cost subtracted)");
+
+    format!(
+        "{{\n  \"sketch_insert_ns_per_op\": {insert_ns:.1},\n  \
+         \"sketch_psi_ns_per_eval\": {psi_ns:.1},\n  \
+         \"sketch_ks_ns_per_eval\": {ks_ns:.1},\n  \
+         \"drift_observe_sample_ns\": {observe_ns:.1},\n  \
+         \"drift_eval_ns_per_ou\": {eval_per_ou_ns:.1},\n  \
+         \"ous\": {OUS}, \"live_window\": {window}\n}}\n"
+    )
+}
+
 /// Render the results as the `BENCH_2.json` document:
 /// `{"<case>": {"ns_per_op": N, "samples_per_sec": N}, ...}`.
 fn to_json(results: &Results) -> String {
@@ -389,6 +475,7 @@ fn main() {
     records(&mut out);
     sql(&mut out);
     let bench4 = archive_store(&mut out);
+    let bench5 = sketch_drift(&mut out);
     // Machine-readable results at the repo root (next to Cargo.lock).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     std::fs::write(path, to_json(&out)).expect("cannot write BENCH_2.json");
@@ -399,4 +486,7 @@ fn main() {
     let path4 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_4.json");
     std::fs::write(path4, bench4).expect("cannot write BENCH_4.json");
     println!("archive append/scan results -> {path4}");
+    let path5 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_5.json");
+    std::fs::write(path5, bench5).expect("cannot write BENCH_5.json");
+    println!("sketch/drift cost results -> {path5}");
 }

@@ -1,0 +1,120 @@
+//! Keep the README metric table honest.
+//!
+//! Default mode rewrites the block between `<!-- METRICS -->` and
+//! `<!-- /METRICS -->` in the repo-root README.md from
+//! [`tscout_telemetry::METRIC_DOCS`]. `--check` mode (run by ci.sh)
+//! fails if the README block is stale, and then runs a small in-process
+//! smoke workload — collector attached, model lifecycle retraining,
+//! virtual tables queried — and fails if the run registers any metric
+//! name that `METRIC_DOCS` does not document. Together the two
+//! directions mean the README can neither miss a live metric nor carry
+//! one the code no longer emits.
+
+use tscout_archive::ArchiveOptions;
+use tscout_bench::{attach_collect, new_db};
+use tscout_kernel::HardwareProfile;
+use tscout_models::ModelKind;
+use tscout_telemetry::{is_documented, metric_table_markdown};
+use tscout_workloads::driver::{run_with_lifecycle, ModelLifecycle, RunOptions};
+use tscout_workloads::{Workload, Ycsb};
+
+const README: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../README.md");
+const BEGIN: &str = "<!-- METRICS -->";
+const END: &str = "<!-- /METRICS -->";
+
+/// Replace the marker block's interior with `table`, returning the new
+/// README contents. Panics with a clear message if the markers are
+/// missing or out of order — that is a repo defect, not a user error.
+fn splice(readme: &str, table: &str) -> String {
+    let begin = readme
+        .find(BEGIN)
+        .unwrap_or_else(|| panic!("README.md is missing the {BEGIN} marker"))
+        + BEGIN.len();
+    let end = readme
+        .find(END)
+        .unwrap_or_else(|| panic!("README.md is missing the {END} marker"));
+    assert!(begin <= end, "README.md metric markers are out of order");
+    format!("{}\n{}{}", &readme[..begin], table, &readme[end..])
+}
+
+/// Run a small end-to-end smoke — workload + collector + model
+/// lifecycle + virtual-table introspection — and return every metric
+/// name the run registered.
+fn smoke_metric_names() -> Vec<String> {
+    let dir = std::env::temp_dir().join(format!("metrics_doc_smoke_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+
+    let mut db = new_db(HardwareProfile::server_2x20(), 0xD0C5);
+    let mut w = Ycsb::new(1_000);
+    w.setup(&mut db);
+    attach_collect(&mut db);
+    let mut lc = ModelLifecycle::new(
+        &dir,
+        ArchiveOptions::default(),
+        ModelKind::Ridge,
+        5,
+        30e6,
+        db.kernel.telemetry.clone(),
+    )
+    .expect("cannot open smoke archive");
+    run_with_lifecycle(
+        &mut db,
+        &mut w,
+        &RunOptions {
+            terminals: 2,
+            duration_ns: 120e6,
+            seed: 0xD0C5,
+            ..Default::default()
+        },
+        &mut lc,
+    );
+    // Touch the introspection path too, so its own counters register.
+    let sid = db.create_session();
+    for table in noisetap::stat::VIRTUAL_TABLES {
+        db.execute(sid, &format!("SELECT count(*) FROM {table}"), &[])
+            .unwrap();
+    }
+    let names = db.kernel.telemetry.with_registry(|r| r.metric_names());
+    std::fs::remove_dir_all(&dir).ok();
+    names
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let readme = std::fs::read_to_string(README).expect("cannot read README.md");
+    let updated = splice(&readme, &metric_table_markdown());
+
+    if !check {
+        if updated == readme {
+            println!("README.md metric table already up to date");
+        } else {
+            std::fs::write(README, &updated).expect("cannot write README.md");
+            println!("README.md metric table rewritten");
+        }
+        return;
+    }
+
+    let mut failed = false;
+    if updated != readme {
+        eprintln!(
+            "FAIL: README.md metric table is stale; \
+             run `cargo run -p tscout-bench --bin metrics_doc` and commit the diff"
+        );
+        failed = true;
+    }
+    let names = smoke_metric_names();
+    let undocumented: Vec<&String> = names.iter().filter(|n| !is_documented(n)).collect();
+    for name in &undocumented {
+        eprintln!("FAIL: metric `{name}` is registered at runtime but not in METRIC_DOCS");
+        failed = true;
+    }
+    println!(
+        "checked {} runtime metric names against METRIC_DOCS ({} undocumented)",
+        names.len(),
+        undocumented.len()
+    );
+    if failed {
+        std::process::exit(1);
+    }
+    println!("README.md metric table is current");
+}

@@ -120,20 +120,25 @@ pub fn dump_telemetry(fig: &str) -> PathBuf {
     path
 }
 
-/// Write every observability artifact for a figure binary: the telemetry
-/// snapshot, the flamegraph-ready folded stacks
-/// (`results/profile_<fig>.folded`), and the windowed time-series plus
-/// per-root overhead attribution (`results/timeseries_<fig>.json`).
-/// Every figure binary calls this last.
-pub fn dump_observability(fig: &str) -> PathBuf {
-    let path = dump_telemetry(fig);
+/// Write the registry-backed observability artifacts — telemetry
+/// snapshot, folded stacks, windowed time-series + attribution, and the
+/// health/drift report — into an explicit directory (created if
+/// missing). Split out from [`dump_observability`] so the dump path is
+/// testable against an empty registry without touching the process-wide
+/// archive or the `TS_RESULTS` environment variable.
+pub fn dump_observability_files(dir: &std::path::Path, fig: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).ok();
+    let path = dir.join(format!("telemetry_{fig}.json"));
+    std::fs::write(&path, global_telemetry().snapshot_json())
+        .expect("cannot write telemetry snapshot");
+    println!("telemetry snapshot -> {}", path.display());
 
-    let folded_path = result_path(&format!("profile_{fig}.folded"));
+    let folded_path = dir.join(format!("profile_{fig}.folded"));
     std::fs::write(&folded_path, global_profiler().folded_text())
         .expect("cannot write folded profile");
     println!("folded profile -> {}", folded_path.display());
 
-    let ts_path = result_path(&format!("timeseries_{fig}.json"));
+    let ts_path = dir.join(format!("timeseries_{fig}.json"));
     let json = format!(
         "{{\n\"timeseries\": {},\n\"attribution\": {}\n}}\n",
         global_telemetry().timeseries_json(),
@@ -141,6 +146,23 @@ pub fn dump_observability(fig: &str) -> PathBuf {
     );
     std::fs::write(&ts_path, json).expect("cannot write timeseries snapshot");
     println!("timeseries snapshot -> {}", ts_path.display());
+
+    let health_path = dir.join(format!("health_{fig}.json"));
+    std::fs::write(&health_path, global_telemetry().health_json())
+        .expect("cannot write health report");
+    println!("health report -> {}", health_path.display());
+    path
+}
+
+/// Write every observability artifact for a figure binary: the telemetry
+/// snapshot, the flamegraph-ready folded stacks
+/// (`results/profile_<fig>.folded`), the windowed time-series plus
+/// per-root overhead attribution (`results/timeseries_<fig>.json`), the
+/// data-quality health report (`results/health_<fig>.json`), and the
+/// archive stats. Every figure binary calls this last.
+pub fn dump_observability(fig: &str) -> PathBuf {
+    let dir = PathBuf::from(std::env::var("TS_RESULTS").unwrap_or_else(|_| "results".into()));
+    let path = dump_observability_files(&dir, fig);
 
     let arch_path = result_path(&format!("archive_{fig}.json"));
     std::fs::write(&arch_path, archive_stats_json()).expect("cannot write archive stats");
@@ -496,6 +518,27 @@ mod tests {
         );
         assert_eq!(subsystem_of("disk_write"), Some(Subsystem::DiskWriter));
         assert_eq!(subsystem_of("nonsense"), None);
+    }
+
+    #[test]
+    fn observability_dump_works_on_an_empty_registry() {
+        // A figure binary that collected nothing must still dump cleanly
+        // (and create the output directory itself).
+        let dir = std::env::temp_dir().join(format!("tsbench_dump_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dump_observability_files(&dir, "empty");
+        assert!(path.exists());
+        for f in [
+            "telemetry_empty.json",
+            "profile_empty.folded",
+            "timeseries_empty.json",
+            "health_empty.json",
+        ] {
+            assert!(dir.join(f).exists(), "missing {f}");
+        }
+        let health = std::fs::read_to_string(dir.join("health_empty.json")).unwrap();
+        assert!(health.contains("\"subsystems\""), "{health}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

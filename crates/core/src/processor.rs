@@ -164,6 +164,25 @@ impl Processor {
             .counter_add("processor_points_total", &[], points.len() as u64);
         self.telemetry
             .hist_record("processor_deagg_fanout", &[], points.len() as f64);
+        {
+            // Data-quality observability: fold every point into its OU's
+            // drift sketches (target = elapsed time, feature = L2 norm of
+            // the feature vector) before the sink consumes it.
+            let _frame = kernel.profile_frame(self.task, "processor:sketch", false);
+            kernel.charge_overhead(
+                self.task,
+                kernel.cost.sketch_per_sample_ns * points.len() as f64,
+            );
+            for p in &points {
+                let norm = p.features.iter().map(|f| f * f).sum::<f64>().sqrt();
+                self.telemetry.observe_ou_sample(
+                    &p.ou_name,
+                    p.subsystem.name(),
+                    p.elapsed_ns as f64,
+                    norm,
+                );
+            }
+        }
         for p in points {
             match &mut self.sink {
                 Sink::Memory(v) => v.push(p),

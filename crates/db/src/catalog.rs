@@ -60,10 +60,32 @@ impl std::fmt::Display for CatalogError {
 impl std::error::Error for CatalogError {}
 
 /// The catalog.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Catalog {
     tables: Vec<TableMeta>,
     indexes: Vec<IndexMeta>,
+    /// Virtual (`pg_stat`-style) introspection tables: name + schema.
+    /// Registered at construction; they own no storage and no OIDs.
+    virtuals: Vec<(String, Schema)>,
+}
+
+impl Default for Catalog {
+    fn default() -> Self {
+        let virtuals = crate::stat::VIRTUAL_TABLES
+            .iter()
+            .map(|n| {
+                (
+                    n.to_string(),
+                    crate::stat::virtual_schema(n).expect("registered virtual table"),
+                )
+            })
+            .collect();
+        Catalog {
+            tables: Vec::new(),
+            indexes: Vec::new(),
+            virtuals,
+        }
+    }
 }
 
 impl Catalog {
@@ -77,7 +99,7 @@ impl Catalog {
         schema: Schema,
         primary_key: Vec<usize>,
     ) -> Result<TableId, CatalogError> {
-        if self.table_by_name(name).is_some() {
+        if self.table_by_name(name).is_some() || self.virtual_table(name).is_some() {
             return Err(CatalogError::DuplicateTable(name.into()));
         }
         let id = TableId(self.tables.len() as u32);
@@ -129,6 +151,14 @@ impl Catalog {
             .find(|t| t.name.eq_ignore_ascii_case(name))
     }
 
+    /// Resolve a virtual introspection table: canonical name + schema.
+    pub fn virtual_table(&self, name: &str) -> Option<(&str, &Schema)> {
+        self.virtuals
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(n, s)| (n.as_str(), s))
+    }
+
     #[allow(clippy::should_implement_trait)]
     pub fn index(&self, id: IndexId) -> &IndexMeta {
         &self.indexes[id.0 as usize]
@@ -169,6 +199,23 @@ mod tests {
         assert_eq!(c.table(t).primary_key, vec![0]);
         assert_eq!(c.index(i).table, t);
         assert_eq!(c.table_indexes(t).len(), 1);
+    }
+
+    #[test]
+    fn virtual_tables_are_registered_and_reserved() {
+        let mut c = Catalog::new();
+        let (name, schema) = c.virtual_table("TS_STAT_OU").unwrap();
+        assert_eq!(name, "ts_stat_ou");
+        assert!(schema.column_index("drift_score").is_some());
+        // Base tables may not shadow a virtual name.
+        let s = Schema::new(&[("id", DataType::Int)]);
+        assert!(matches!(
+            c.create_table("ts_alerts", s, vec![]),
+            Err(CatalogError::DuplicateTable(_))
+        ));
+        // Virtuals own no OIDs: the base-table namespace starts empty.
+        assert_eq!(c.num_tables(), 0);
+        assert!(c.table_by_name("ts_stat_ou").is_none());
     }
 
     #[test]

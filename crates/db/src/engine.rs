@@ -856,6 +856,78 @@ mod tests {
     }
 
     #[test]
+    fn virtual_stat_tables_query_live_telemetry() {
+        let (mut db, sid) = db();
+        // Feed the drift detector directly through the kernel's handle —
+        // the same path the Processor uses.
+        for i in 0..300 {
+            db.kernel.telemetry.observe_ou_sample(
+                "seq_scan",
+                "execution_engine",
+                1_000.0 + (i % 7) as f64,
+                3.0,
+            );
+        }
+        db.kernel.telemetry.observability_tick(1e9);
+
+        let out = db
+            .execute(sid, "SELECT ou, subsystem, health FROM ts_stat_ou", &[])
+            .unwrap();
+        assert_eq!(out.rows.len(), 1);
+        assert_eq!(out.rows[0][0], Value::Text("seq_scan".into()));
+        assert_eq!(out.rows[0][1], Value::Text("execution_engine".into()));
+        assert_eq!(out.rows[0][2], Value::Text("OK".into()));
+
+        // Filters, aggregation, and ORDER BY compose over virtual scans.
+        let out = db
+            .execute(
+                sid,
+                "SELECT count(*) FROM ts_stat_ou WHERE drift_score > 0.99",
+                &[],
+            )
+            .unwrap();
+        assert_eq!(out.rows[0][0], Value::Int(0));
+        let out = db
+            .execute(
+                sid,
+                "SELECT subsystem FROM ts_stat_subsystem ORDER BY subsystem",
+                &[],
+            )
+            .unwrap();
+        assert!(!out.rows.is_empty());
+        let out = db
+            .execute(sid, "SELECT generation FROM ts_stat_model", &[])
+            .unwrap();
+        assert_eq!(out.rows, vec![vec![Value::Int(0)]]);
+
+        // The scan was accounted for.
+        assert!(
+            db.kernel
+                .telemetry
+                .counter_value("db_virtual_scans_total", &[("table", "ts_stat_ou")])
+                >= 2
+        );
+
+        // EXPLAIN renders the virtual operator without executing it.
+        let out = db
+            .execute(
+                sid,
+                "EXPLAIN SELECT * FROM ts_alerts WHERE value > 1.0",
+                &[],
+            )
+            .unwrap();
+        let text: Vec<String> = out
+            .rows
+            .iter()
+            .map(|r| r[0].as_text().unwrap().to_string())
+            .collect();
+        assert!(
+            text.iter().any(|l| l.contains("VirtualScan on ts_alerts")),
+            "{text:?}"
+        );
+    }
+
+    #[test]
     fn fused_mode_emits_pipeline_samples() {
         let (mut db, sid) = db();
         db.mode = EngineMode::Fused;

@@ -303,6 +303,30 @@ fn exec_node(
             .into_iter()
             .map(|(_, r)| r)
             .collect()),
+        PlanNode::VirtualScan { name, residual } => {
+            // Materialize from the live telemetry registry. Virtual scans
+            // are introspection, not workload: they charge CPU (registry
+            // lock + per-row formatting) but emit no TScout markers, so
+            // they never pollute the training data they report on.
+            let _frame = ctx.kernel.profile_frame(ctx.task, "ou:virtual_scan", false);
+            let all = crate::stat::virtual_rows(name, &ctx.kernel.telemetry);
+            let ws: u64 = all.iter().map(|r| row_bytes(r) as u64).sum();
+            ctx.kernel
+                .charge_cpu(ctx.task, 2_000.0 + 400.0 * all.len() as f64, ws);
+            ctx.kernel
+                .telemetry
+                .counter_inc("db_virtual_scans_total", &[("table", name)]);
+            let mut rows = Vec::new();
+            for row in all {
+                if let Some(f) = residual {
+                    if !truthy(&eval(f, &row, params)?) {
+                        continue;
+                    }
+                }
+                rows.push(row);
+            }
+            Ok(rows)
+        }
         PlanNode::HashJoin {
             left,
             right,

@@ -69,6 +69,14 @@ pub struct ScanNode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum PlanNode {
     Scan(ScanNode),
+    /// Scan of a `ts_stat_*` virtual introspection table: rows are
+    /// materialized from the live telemetry registry at execution time
+    /// (no storage, no index — always a full scan with a residual filter).
+    VirtualScan {
+        /// Canonical (lowercase) virtual table name.
+        name: String,
+        residual: Option<PExpr>,
+    },
     HashJoin {
         left: Box<PlanNode>,
         right: Box<PlanNode>,
@@ -105,7 +113,7 @@ impl PlanNode {
     pub fn walk(&self, f: &mut impl FnMut(&PlanNode)) {
         f(self);
         match self {
-            PlanNode::Scan(_) => {}
+            PlanNode::Scan(_) | PlanNode::VirtualScan { .. } => {}
             PlanNode::HashJoin { left, right, .. } => {
                 left.walk(f);
                 right.walk(f);
@@ -197,6 +205,12 @@ pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
         let pad = "  ".repeat(depth);
         match n {
             PlanNode::Scan(s) => scan(s, catalog, depth, out),
+            PlanNode::VirtualScan { name, residual } => {
+                out.push(format!("{pad}VirtualScan on {name}"));
+                if let Some(f) = residual {
+                    out.push(format!("{pad}  Filter: {}", expr(f)));
+                }
+            }
             PlanNode::HashJoin {
                 left,
                 right,

@@ -25,6 +25,7 @@ pub mod engine;
 pub mod exec;
 pub mod index;
 pub mod sql;
+pub mod stat;
 pub mod storage;
 pub mod txn;
 pub mod types;

@@ -7,7 +7,7 @@
 //! range scan, otherwise sequential scan; unused predicates become
 //! residual filters.
 
-use crate::catalog::{Catalog, TableId};
+use crate::catalog::{Catalog, TableId, TableMeta};
 use crate::exec::plan::{Access, PExpr, Plan, PlanNode, ScanNode};
 use crate::index::IndexKind;
 use crate::sql::ast::{BinOp, Expr, Projection, SelectStmt, Stmt};
@@ -92,9 +92,7 @@ pub fn plan(catalog: &Catalog, stmt: &Stmt) -> Result<Plan, PlanError> {
             kind,
             unique,
         } => {
-            let meta = catalog
-                .table_by_name(table)
-                .ok_or_else(|| PlanError::NoSuchTable(table.clone()))?;
+            let meta = base_table(catalog, table, "CREATE INDEX")?;
             let cols = columns
                 .iter()
                 .map(|c| {
@@ -112,9 +110,7 @@ pub fn plan(catalog: &Catalog, stmt: &Stmt) -> Result<Plan, PlanError> {
             })
         }
         Stmt::Insert { table, rows } => {
-            let meta = catalog
-                .table_by_name(table)
-                .ok_or_else(|| PlanError::NoSuchTable(table.clone()))?;
+            let meta = base_table(catalog, table, "INSERT")?;
             let empty = Scope { bindings: vec![] };
             let resolved = rows
                 .iter()
@@ -175,15 +171,32 @@ fn resolve(e: &Expr, scope: &Scope<'_>) -> Result<PExpr, PlanError> {
     }
 }
 
+/// Resolve a *base* (stored) table. Virtual introspection tables are
+/// read-only and unjoinable, so every non-SELECT resolution goes through
+/// here and reports `Unsupported` rather than `NoSuchTable` for them.
+fn base_table<'a>(
+    catalog: &'a Catalog,
+    table: &str,
+    verb: &str,
+) -> Result<&'a TableMeta, PlanError> {
+    if let Some(meta) = catalog.table_by_name(table) {
+        return Ok(meta);
+    }
+    if catalog.virtual_table(table).is_some() {
+        return Err(PlanError::Unsupported(format!(
+            "{verb} on virtual table {table}"
+        )));
+    }
+    Err(PlanError::NoSuchTable(table.to_string()))
+}
+
 /// Build a scan node for a single table with an optional predicate.
 fn plan_scan<'a>(
     catalog: &'a Catalog,
     table: &str,
     pred: Option<&Expr>,
 ) -> Result<(ScanNode, Scope<'a>), PlanError> {
-    let meta = catalog
-        .table_by_name(table)
-        .ok_or_else(|| PlanError::NoSuchTable(table.to_string()))?;
+    let meta = base_table(catalog, table, "DML")?;
     let scope = Scope {
         bindings: vec![Binding {
             name: meta.name.clone(),
@@ -353,14 +366,52 @@ fn residual_of(conjuncts: &[PExpr], used: &[usize]) -> Option<PExpr> {
 }
 
 fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
+    // Virtual introspection tables: always a full materialized scan with
+    // the whole WHERE clause as residual; the downstream aggregation /
+    // sort / limit / projection wrapping composes unchanged.
+    if catalog.table_by_name(&sel.from.name).is_none() {
+        if let Some((vname, vschema)) = catalog.virtual_table(&sel.from.name) {
+            if sel.join.is_some() {
+                return Err(PlanError::Unsupported(format!(
+                    "JOIN involving virtual table {vname}"
+                )));
+            }
+            let scope = Scope {
+                bindings: vec![Binding {
+                    name: sel.from.binding().to_string(),
+                    schema: vschema,
+                    offset: 0,
+                }],
+            };
+            let conjuncts: Vec<PExpr> = match &sel.where_clause {
+                Some(p) => p
+                    .conjuncts()
+                    .into_iter()
+                    .map(|c| resolve(c, &scope))
+                    .collect::<Result<_, _>>()?,
+                None => Vec::new(),
+            };
+            let root = PlanNode::VirtualScan {
+                name: vname.to_string(),
+                residual: PExpr::conjoin(conjuncts),
+            };
+            return finish_select(root, &scope, sel);
+        }
+    }
     let left_meta = catalog
         .table_by_name(&sel.from.name)
         .ok_or_else(|| PlanError::NoSuchTable(sel.from.name.clone()))?;
 
     // Build the scope (and for joins, per-side scopes for predicate pushdown).
-    let mut root: PlanNode;
+    let root: PlanNode;
     let scope: Scope<'_>;
     if let Some((right_ref, on)) = &sel.join {
+        if catalog.virtual_table(&right_ref.name).is_some() {
+            return Err(PlanError::Unsupported(format!(
+                "JOIN involving virtual table {}",
+                right_ref.name
+            )));
+        }
         let right_meta = catalog
             .table_by_name(&right_ref.name)
             .ok_or_else(|| PlanError::NoSuchTable(right_ref.name.clone()))?;
@@ -440,7 +491,16 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
         scope = s;
         root = PlanNode::Scan(scan);
     }
+    finish_select(root, &scope, sel)
+}
 
+/// Wrap a resolved scan/join root with the statement's aggregation,
+/// ORDER BY, LIMIT, and projection operators.
+fn finish_select(
+    mut root: PlanNode,
+    scope: &Scope<'_>,
+    sel: &SelectStmt,
+) -> Result<Plan, PlanError> {
     // Aggregation.
     let has_aggs = sel
         .projections
@@ -527,7 +587,7 @@ fn plan_select(catalog: &Catalog, sel: &SelectStmt) -> Result<Plan, PlanError> {
                     exprs.push(PExpr::Col(i));
                 }
             }
-            Projection::Expr(e) => exprs.push(resolve(e, &scope)?),
+            Projection::Expr(e) => exprs.push(resolve(e, scope)?),
         }
     }
     let identity =
@@ -700,6 +760,81 @@ mod tests {
         assert!(matches!(
             plan(&c, &parse("SELECT bal, count(*) FROM accounts").unwrap()),
             Err(PlanError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn virtual_table_select_composes_with_sort_limit_projection() {
+        let c = catalog();
+        let p = plan(
+            &c,
+            &parse(
+                "SELECT ou, drift_score FROM ts_stat_ou \
+                 WHERE drift_score > 0.2 ORDER BY drift_score DESC LIMIT 5",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let Plan::Query { root } = p else { panic!() };
+        let PlanNode::Project { input, exprs } = root else {
+            panic!()
+        };
+        assert_eq!(exprs.len(), 2);
+        let PlanNode::Limit { input, n: 5 } = *input else {
+            panic!()
+        };
+        let PlanNode::Sort { input, .. } = *input else {
+            panic!()
+        };
+        let PlanNode::VirtualScan { name, residual } = *input else {
+            panic!()
+        };
+        assert_eq!(name, "ts_stat_ou");
+        assert!(residual.is_some(), "WHERE clause becomes the residual");
+    }
+
+    #[test]
+    fn virtual_table_aggregation_plans() {
+        let c = catalog();
+        let p = plan(
+            &c,
+            &parse("SELECT subsystem, count(*) FROM ts_stat_ou GROUP BY subsystem").unwrap(),
+        )
+        .unwrap();
+        let Plan::Query { root } = p else { panic!() };
+        let mut saw_virtual = false;
+        let mut saw_agg = false;
+        root.walk(&mut |n| match n {
+            PlanNode::VirtualScan { .. } => saw_virtual = true,
+            PlanNode::Aggregate { .. } => saw_agg = true,
+            _ => {}
+        });
+        assert!(saw_virtual && saw_agg);
+    }
+
+    #[test]
+    fn virtual_tables_reject_dml_joins_and_indexes() {
+        let c = catalog();
+        for sql in [
+            "INSERT INTO ts_alerts VALUES (1, 0.0, 'r', 's', 't', 'OK', 'OK', 0.0, 0.0)",
+            "UPDATE ts_stat_ou SET drift_score = 0.0",
+            "DELETE FROM ts_alerts",
+            "CREATE INDEX bad ON ts_stat_ou (ou)",
+            "SELECT * FROM accounts a JOIN ts_stat_ou s ON a.id = s.samples",
+            "SELECT * FROM ts_stat_ou s JOIN accounts a ON s.samples = a.id",
+        ] {
+            assert!(
+                matches!(
+                    plan(&c, &parse(sql).unwrap()),
+                    Err(PlanError::Unsupported(_))
+                ),
+                "{sql} should be Unsupported"
+            );
+        }
+        // Unknown columns on virtual tables still surface as such.
+        assert!(matches!(
+            plan(&c, &parse("SELECT zzz FROM ts_stat_ou").unwrap()),
+            Err(PlanError::NoSuchColumn(_))
         ));
     }
 

@@ -1,0 +1,204 @@
+//! `pg_stat`-style virtual introspection tables over the live telemetry.
+//!
+//! PostgreSQL exposes its collector through `pg_stat_*` views; NoiseTap
+//! does the same for the TScout observability plane. Four read-only
+//! virtual tables are registered in every catalog at creation time and
+//! materialize on scan from the kernel's telemetry registry — no storage,
+//! no MVCC, always-current:
+//!
+//! * `ts_stat_ou` — one row per OU the drift detector tracks: lifetime
+//!   sample counts, target-latency quantiles from the streaming sketch,
+//!   PSI/KS drift scores per channel, residual MAPE, and the OU's health
+//!   state;
+//! * `ts_stat_subsystem` — one row per health-engine subsystem with its
+//!   OK/DEGRADED/CRITICAL state and alert counts;
+//! * `ts_stat_model` — a single row describing the live behavior-model
+//!   generation and its accuracy gate history;
+//! * `ts_alerts` — the health engine's recent alert ring, newest last.
+//!
+//! Scans run through the normal planner/executor path, so projections,
+//! filters, aggregation, ORDER BY, and LIMIT all compose:
+//! `SELECT ou, drift_score FROM ts_stat_ou WHERE drift_score > 0.2`.
+
+use tscout_telemetry::Telemetry;
+
+use crate::types::{DataType, Row, Schema, Value};
+
+/// Names of all virtual tables, lowercase (the catalog's canonical form).
+pub const VIRTUAL_TABLES: &[&str] = &[
+    "ts_stat_ou",
+    "ts_stat_subsystem",
+    "ts_stat_model",
+    "ts_alerts",
+];
+
+/// True if `name` refers to a virtual introspection table.
+pub fn is_virtual(name: &str) -> bool {
+    VIRTUAL_TABLES.iter().any(|v| v.eq_ignore_ascii_case(name))
+}
+
+/// Schema of a virtual table; `None` for unknown names.
+pub fn virtual_schema(name: &str) -> Option<Schema> {
+    let s = match name.to_ascii_lowercase().as_str() {
+        "ts_stat_ou" => Schema::new(&[
+            ("ou", DataType::Text),
+            ("subsystem", DataType::Text),
+            ("samples", DataType::Int),
+            ("target_mean_ns", DataType::Float),
+            ("target_p50_ns", DataType::Float),
+            ("target_p99_ns", DataType::Float),
+            ("psi_target", DataType::Float),
+            ("psi_feature", DataType::Float),
+            ("ks_target", DataType::Float),
+            ("ks_feature", DataType::Float),
+            ("drift_score", DataType::Float),
+            ("residual_mape_pct", DataType::Float),
+            ("health", DataType::Text),
+        ]),
+        "ts_stat_subsystem" => Schema::new(&[
+            ("subsystem", DataType::Text),
+            ("state", DataType::Text),
+            ("state_code", DataType::Int),
+            ("rules", DataType::Int),
+            ("alerts_fired", DataType::Int),
+        ]),
+        "ts_stat_model" => Schema::new(&[
+            ("generation", DataType::Int),
+            ("holdout_mape_pct", DataType::Float),
+            ("trained_points", DataType::Int),
+            ("swaps_accepted", DataType::Int),
+            ("swaps_rejected", DataType::Int),
+        ]),
+        "ts_alerts" => Schema::new(&[
+            ("seq", DataType::Int),
+            ("at_ns", DataType::Float),
+            ("rule", DataType::Text),
+            ("subsystem", DataType::Text),
+            ("target", DataType::Text),
+            ("from_state", DataType::Text),
+            ("to_state", DataType::Text),
+            ("value", DataType::Float),
+            ("threshold", DataType::Float),
+        ]),
+        _ => return None,
+    };
+    Some(s)
+}
+
+/// Materialize the current rows of a virtual table from the live
+/// telemetry registry. Unknown names yield no rows (the planner rejects
+/// them long before execution).
+pub fn virtual_rows(name: &str, telemetry: &Telemetry) -> Vec<Row> {
+    match name.to_ascii_lowercase().as_str() {
+        "ts_stat_ou" => telemetry.with_registry(|r| {
+            let mut rows: Vec<Row> = r
+                .drift()
+                .iter()
+                .map(|(ou, d)| {
+                    vec![
+                        Value::Text(ou.clone()),
+                        Value::Text(d.subsystem.clone()),
+                        Value::Int(d.samples as i64),
+                        Value::Float(d.lifetime.mean()),
+                        Value::Float(d.lifetime.quantile(0.50)),
+                        Value::Float(d.lifetime.quantile(0.99)),
+                        Value::Float(d.target.psi()),
+                        Value::Float(d.feature.psi()),
+                        Value::Float(d.target.ks()),
+                        Value::Float(d.feature.ks()),
+                        Value::Float(d.drift_score()),
+                        Value::Float(d.residual_mape_pct()),
+                        Value::Text(r.health().state_for_target(ou).name().to_string()),
+                    ]
+                })
+                .collect();
+            rows.sort_by(|a, b| a[0].cmp(&b[0]));
+            rows
+        }),
+        "ts_stat_subsystem" => telemetry.with_registry(|r| {
+            r.health()
+                .subsystem_states()
+                .into_iter()
+                .map(|(subsystem, state)| {
+                    vec![
+                        Value::Text(subsystem.clone()),
+                        Value::Text(state.name().to_string()),
+                        Value::Int(state.as_f64() as i64),
+                        Value::Int(r.health().rules_for_subsystem(&subsystem) as i64),
+                        Value::Int(r.health().fired_for_subsystem(&subsystem) as i64),
+                    ]
+                })
+                .collect()
+        }),
+        "ts_stat_model" => telemetry.with_registry(|r| {
+            vec![vec![
+                Value::Int(r.gauge_value("model_generation", &[]) as i64),
+                Value::Float(r.gauge_value("model_holdout_mape_pct", &[])),
+                Value::Int(r.gauge_value("model_trained_points", &[]) as i64),
+                Value::Int(r.counter_value("model_swap_accepted_total", &[]) as i64),
+                Value::Int(r.counter_value("model_swap_rejected_total", &[]) as i64),
+            ]]
+        }),
+        "ts_alerts" => telemetry.with_registry(|r| {
+            r.health()
+                .alerts()
+                .map(|a| {
+                    vec![
+                        Value::Int(a.seq as i64),
+                        Value::Float(a.at_ns),
+                        Value::Text(a.rule.clone()),
+                        Value::Text(a.subsystem.clone()),
+                        Value::Text(a.target.clone()),
+                        Value::Text(a.from.name().to_string()),
+                        Value::Text(a.to.name().to_string()),
+                        Value::Float(a.value),
+                        Value::Float(a.threshold),
+                    ]
+                })
+                .collect()
+        }),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_virtual_table_has_a_schema() {
+        for name in VIRTUAL_TABLES {
+            assert!(is_virtual(name));
+            assert!(is_virtual(&name.to_uppercase()));
+            let s = virtual_schema(name).unwrap();
+            assert!(!s.is_empty());
+        }
+        assert!(!is_virtual("acct"));
+        assert!(virtual_schema("acct").is_none());
+    }
+
+    #[test]
+    fn rows_match_schema_width_and_registry_content() {
+        let t = Telemetry::new();
+        t.observe_ou_sample("seq_scan", "execution_engine", 1_000.0, 3.0);
+        t.observe_ou_sample("seq_scan", "execution_engine", 2_000.0, 4.0);
+        t.observability_tick(1e9);
+        for name in VIRTUAL_TABLES {
+            let schema = virtual_schema(name).unwrap();
+            for row in virtual_rows(name, &t) {
+                assert_eq!(row.len(), schema.len(), "width mismatch in {name}");
+            }
+        }
+        let ou_rows = virtual_rows("ts_stat_ou", &t);
+        assert_eq!(ou_rows.len(), 1);
+        assert_eq!(ou_rows[0][0], Value::Text("seq_scan".into()));
+        assert_eq!(ou_rows[0][2], Value::Int(2));
+        // One row per default-rule subsystem, states all OK at rest.
+        let sub_rows = virtual_rows("ts_stat_subsystem", &t);
+        assert!(!sub_rows.is_empty());
+        assert!(sub_rows.iter().all(|r| r[1] == Value::Text("OK".into())));
+        // The model table always has exactly one row.
+        assert_eq!(virtual_rows("ts_stat_model", &t).len(), 1);
+        assert!(virtual_rows("nope", &t).is_empty());
+    }
+}

@@ -56,6 +56,15 @@ pub struct CostModel {
     /// Sampling-decision cost paid at every candidate event even when
     /// collection is off (one bit test + offset bump), ns.
     pub sampling_check_ns: f64,
+    /// Processor cost to fold one decoded sample into its OU's drift
+    /// sketches (two bucket updates + moment sums), ns.
+    pub sketch_per_sample_ns: f64,
+    /// Per-OU cost of one drift evaluation pass (PSI + KS over the
+    /// aligned bucket arrays, both channels), ns.
+    pub drift_eval_per_ou_ns: f64,
+    /// Cost of evaluating one health rule against its resolved signal
+    /// (selector lookup + hysteresis update), ns.
+    pub health_rule_eval_ns: f64,
     /// Instructions-per-cycle the simulated pipeline sustains on ALU work.
     pub ipc: f64,
     /// Contention coefficient: CPU work inflates by
@@ -88,6 +97,9 @@ impl Default for CostModel {
             archive_per_sample_ns: 2_400.0,
             retrain_per_point_ns: 900.0,
             sampling_check_ns: 4.0,
+            sketch_per_sample_ns: 140.0,
+            drift_eval_per_ou_ns: 5_200.0,
+            health_rule_eval_ns: 750.0,
             ipc: 1.6,
             contention_alpha: 0.9,
             contention_lock_per_task: 0.06,

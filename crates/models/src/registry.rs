@@ -130,6 +130,10 @@ impl ModelRegistry {
         self.telemetry.counter_inc("model_swap_accepted_total", &[]);
         self.telemetry
             .gauge_set("model_generation", &[], generation as f64);
+        self.telemetry
+            .gauge_set("model_holdout_mape_pct", &[], candidate_mape);
+        self.telemetry
+            .gauge_set("model_trained_points", &[], trained_points as f64);
         SwapDecision::Accepted {
             generation,
             candidate_mape_pct: candidate_mape,

@@ -38,7 +38,9 @@ impl Default for Histogram {
 
 /// Bucket index for a value. Values below 1.0 (including negatives,
 /// which latency paths never produce) land in the underflow bucket 0.
-fn bucket_index(v: f64) -> usize {
+/// Shared with the distribution sketches (`sketch.rs`) so histogram and
+/// sketch views of the same stream bucket identically.
+pub(crate) fn bucket_index(v: f64) -> usize {
     if v.is_nan() || v < 1.0 || v.is_infinite() {
         return 0;
     }
@@ -61,7 +63,7 @@ fn bucket_index(v: f64) -> usize {
 
 /// Representative (upper-bound) value for a bucket, used when
 /// interpolating percentiles.
-fn bucket_upper(idx: usize) -> f64 {
+pub(crate) fn bucket_upper(idx: usize) -> f64 {
     if idx == 0 {
         return 1.0;
     }

@@ -25,17 +25,30 @@
 //!   ([`Registry::snapshot_json`]) that the bench binaries write to
 //!   `results/telemetry_<fig>.json`.
 
+mod docs;
+mod drift;
+mod health;
 mod histogram;
 mod metrics;
 mod profile;
+mod sketch;
 mod spans;
 mod timeseries;
 
+pub use docs::{is_documented, metric_table_markdown, METRIC_DOCS};
+pub use drift::{
+    DriftChannel, DriftRegistry, DriftScore, OuDrift, DEFAULT_MIN_LIVE_SAMPLES,
+    DEFAULT_REFERENCE_SAMPLES,
+};
+pub use health::{
+    default_rules, Alert, HealthEngine, HealthState, Rule, Selector, Signals, ALERT_CAPACITY,
+};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use metrics::{MetricKey, Registry};
 pub use profile::{
     Attribution, FoldedEntry, FrameGuard, Profiler, DEFAULT_PROFILE_PERIOD_NS, OTHER_STACK,
 };
+pub use sketch::Sketch;
 pub use spans::{Span, SpanRing, DEFAULT_SPAN_CAPACITY};
 pub use timeseries::{TimeSeries, Window, DEFAULT_WINDOW_CAPACITY};
 
@@ -168,6 +181,31 @@ impl Telemetry {
     /// JSON export of the scraped time series.
     pub fn timeseries_json(&self) -> String {
         self.lock().timeseries_json()
+    }
+
+    /// Feed one decoded training sample into the per-OU drift channels
+    /// (see [`DriftRegistry::observe_sample`]).
+    pub fn observe_ou_sample(&self, ou: &str, subsystem: &str, target_ns: f64, feature_norm: f64) {
+        self.lock()
+            .observe_ou_sample(ou, subsystem, target_ns, feature_norm);
+    }
+
+    /// Feed one live-model residual pair for an OU (see
+    /// [`DriftRegistry::observe_residual`]).
+    pub fn observe_residual(&self, ou: &str, predicted_ns: f64, actual_ns: f64) {
+        self.lock().observe_residual(ou, predicted_ns, actual_ns);
+    }
+
+    /// One full observability turn: evaluate drift, scrape a counter
+    /// window, run the health rules. Returns this tick's health
+    /// transitions (see [`Registry::observability_tick`]).
+    pub fn observability_tick(&self, now_ns: f64) -> Vec<Alert> {
+        self.lock().observability_tick(now_ns)
+    }
+
+    /// JSON export of drift + health state (see [`Registry::health_json`]).
+    pub fn health_json(&self) -> String {
+        self.lock().health_json()
     }
 
     /// Merge another handle's registry into this one (counters add,

@@ -3,6 +3,8 @@
 
 use std::collections::BTreeMap;
 
+use crate::drift::DriftRegistry;
+use crate::health::{Alert, HealthEngine, Selector, Signals};
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::spans::{Span, SpanRing};
 use crate::timeseries::{TimeSeries, Window};
@@ -28,7 +30,10 @@ impl MetricKey {
         }
     }
 
-    /// Prometheus-style rendering: `name{k="v",k2="v2"}`.
+    /// Prometheus-style rendering: `name{k="v",k2="v2"}`. Label values
+    /// are escaped per the text exposition format: backslash, double
+    /// quote, and line feed (in that order, so the backslash introduced
+    /// by `\n` is not re-escaped).
     fn render(&self) -> String {
         if self.labels.is_empty() {
             return self.name.clone();
@@ -36,7 +41,14 @@ impl MetricKey {
         let inner: Vec<String> = self
             .labels
             .iter()
-            .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+            .map(|(k, v)| {
+                format!(
+                    "{k}=\"{}\"",
+                    v.replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
+                )
+            })
             .collect();
         format!("{}{{{}}}", self.name, inner.join(","))
     }
@@ -51,6 +63,8 @@ pub struct Registry {
     histograms: BTreeMap<MetricKey, Histogram>,
     spans: SpanRing,
     timeseries: TimeSeries,
+    drift: DriftRegistry,
+    health: HealthEngine,
 }
 
 impl Registry {
@@ -87,6 +101,22 @@ impl Registry {
             .filter(|(k, _)| k.name == name)
             .map(|(_, v)| v)
             .sum()
+    }
+
+    /// Distinct metric *names* (labels stripped) across all kinds, sorted.
+    /// This is what the docs cross-check compares against
+    /// [`crate::docs::METRIC_DOCS`].
+    pub fn metric_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.name.clone())
+            .collect();
+        names.sort();
+        names.dedup();
+        names
     }
 
     /// All `(key, value)` counter pairs for a name, across label sets.
@@ -180,6 +210,196 @@ impl Registry {
         self.timeseries.to_json()
     }
 
+    pub fn drift(&self) -> &DriftRegistry {
+        &self.drift
+    }
+
+    pub fn drift_mut(&mut self) -> &mut DriftRegistry {
+        &mut self.drift
+    }
+
+    pub fn health(&self) -> &HealthEngine {
+        &self.health
+    }
+
+    pub fn health_mut(&mut self) -> &mut HealthEngine {
+        &mut self.health
+    }
+
+    /// Feed one decoded training sample into the OU's drift channels
+    /// (the Processor calls this per point).
+    pub fn observe_ou_sample(
+        &mut self,
+        ou: &str,
+        subsystem: &str,
+        target_ns: f64,
+        feature_norm: f64,
+    ) {
+        self.drift
+            .observe_sample(ou, subsystem, target_ns, feature_norm);
+    }
+
+    /// Feed one live-model residual pair (the model lifecycle calls
+    /// this at its retrain cadence).
+    pub fn observe_residual(&mut self, ou: &str, predicted_ns: f64, actual_ns: f64) {
+        self.drift.observe_residual(ou, predicted_ns, actual_ns);
+    }
+
+    /// Score every OU's drift windows and publish the (sticky) scores
+    /// as gauges: `ts_drift_psi{channel,ou}`, `ts_drift_ks{channel,ou}`,
+    /// `ts_drift_score{ou}`, `ts_residual_mape_pct{ou}`.
+    pub fn drift_evaluate(&mut self) {
+        let scores = self.drift.evaluate();
+        self.counter_add("ts_drift_evaluations_total", &[], 1);
+        for s in scores {
+            let ou = s.ou.as_str();
+            self.gauge_set("ts_drift_score", &[("ou", ou)], s.drift_score);
+            for (channel, psi, ks) in [
+                ("target", s.psi_target, s.ks_target),
+                ("feature", s.psi_feature, s.ks_feature),
+            ] {
+                self.gauge_set("ts_drift_psi", &[("channel", channel), ("ou", ou)], psi);
+                self.gauge_set("ts_drift_ks", &[("channel", channel), ("ou", ou)], ks);
+            }
+            if s.residual_mape_pct > 0.0 || self.drift.ou(ou).is_some_and(|d| d.residual_points > 0)
+            {
+                self.gauge_set("ts_residual_mape_pct", &[("ou", ou)], s.residual_mape_pct);
+            }
+        }
+    }
+
+    /// Run the health engine over the current gauges and counter rates,
+    /// count transitions into `alerts_fired_total` /
+    /// `alerts_recovered_total`, and publish `ts_health_state` per
+    /// subsystem. Returns this tick's transitions.
+    pub fn health_tick(&mut self, now_ns: f64) -> Vec<Alert> {
+        // Resolve only the signals the rules actually reference.
+        let mut signals = Signals::default();
+        for rule in self.health.rules() {
+            match &rule.selector {
+                Selector::Gauge(name) => {
+                    if signals.gauges.contains_key(name) {
+                        continue;
+                    }
+                    let series: Vec<(Vec<(String, String)>, f64)> = self
+                        .gauges
+                        .iter()
+                        .filter(|(k, _)| &k.name == name)
+                        .map(|(k, v)| (k.labels.clone(), *v))
+                        .collect();
+                    if !series.is_empty() {
+                        signals.gauges.insert(name.clone(), series);
+                    }
+                }
+                Selector::CounterRate(name) => {
+                    if let Some(rate) = self.timeseries.latest_rate_per_sec(name) {
+                        signals.rates.insert(name.clone(), rate);
+                    }
+                }
+            }
+        }
+        let transitions = self.health.tick(now_ns, &signals);
+        for t in &transitions {
+            let name = if t.fired() {
+                "alerts_fired_total"
+            } else {
+                "alerts_recovered_total"
+            };
+            self.counter_add(
+                name,
+                &[
+                    ("rule", t.rule.as_str()),
+                    ("subsystem", t.subsystem.as_str()),
+                ],
+                1,
+            );
+        }
+        for (subsystem, state) in self.health.subsystem_states() {
+            self.gauge_set(
+                "ts_health_state",
+                &[("subsystem", subsystem.as_str())],
+                state.as_f64(),
+            );
+        }
+        transitions
+    }
+
+    /// One combined observability turn, in dependency order: score drift
+    /// (updates gauges), scrape the counters into the time series (the
+    /// rates health rules read), then run the health rules.
+    pub fn observability_tick(&mut self, now_ns: f64) -> Vec<Alert> {
+        self.drift_evaluate();
+        self.scrape_window(now_ns);
+        self.health_tick(now_ns)
+    }
+
+    /// JSON export of the data-health state: per-subsystem health,
+    /// per-OU drift summary, and the alert ring. Written by the bench
+    /// binaries as `results/health_<fig>.json`.
+    pub fn health_json(&self) -> String {
+        let mut out = String::from("{\n  \"subsystems\": {");
+        let subs: Vec<String> = self
+            .health
+            .subsystem_states()
+            .iter()
+            .map(|(s, st)| format!("\n    \"{}\": \"{}\"", json_escape(s), st.name()))
+            .collect();
+        out.push_str(&subs.join(","));
+        out.push_str(&format!(
+            "\n  }},\n  \"alerts_fired_total\": {},\n  \"health_ticks\": {},\n  \"ous\": {{",
+            self.health.fired_total(),
+            self.health.ticks,
+        ));
+        let ous: Vec<String> = self
+            .drift
+            .iter()
+            .map(|(name, d)| {
+                format!(
+                    "\n    \"{}\": {{\"subsystem\": \"{}\", \"samples\": {}, \
+                     \"drift_score\": {}, \"psi_target\": {}, \"psi_feature\": {}, \
+                     \"ks_target\": {}, \"residual_mape_pct\": {}, \
+                     \"target_p50_ns\": {}, \"target_p99_ns\": {}, \"health\": \"{}\"}}",
+                    json_escape(name),
+                    json_escape(&d.subsystem),
+                    d.samples,
+                    json_num(d.drift_score()),
+                    json_num(d.target.psi()),
+                    json_num(d.feature.psi()),
+                    json_num(d.target.ks()),
+                    json_num(d.residual_mape_pct()),
+                    json_num(d.lifetime.quantile(0.5)),
+                    json_num(d.lifetime.quantile(0.99)),
+                    self.health.state_for_target(name).name(),
+                )
+            })
+            .collect();
+        out.push_str(&ous.join(","));
+        out.push_str("\n  },\n  \"alerts\": [");
+        let alerts: Vec<String> = self
+            .health
+            .alerts()
+            .map(|a| {
+                format!(
+                    "\n    {{\"seq\": {}, \"at_ns\": {}, \"rule\": \"{}\", \
+                     \"subsystem\": \"{}\", \"target\": \"{}\", \"from\": \"{}\", \
+                     \"to\": \"{}\", \"value\": {}, \"threshold\": {}}}",
+                    a.seq,
+                    json_num(a.at_ns),
+                    json_escape(&a.rule),
+                    json_escape(&a.subsystem),
+                    json_escape(&a.target),
+                    a.from.name(),
+                    a.to.name(),
+                    json_num(a.value),
+                    json_num(a.threshold),
+                )
+            })
+            .collect();
+        out.push_str(&alerts.join(","));
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
     /// Merge `other` into `self`: counters add, gauges take the max
     /// (every gauge we export is a level or high-water mark, for which
     /// max is the meaningful union), histograms merge bucket-wise, and
@@ -207,6 +427,17 @@ impl Registry {
         // representative run's dynamics).
         if self.timeseries.is_empty() && !other.timeseries.is_empty() {
             self.timeseries = other.timeseries.clone();
+        }
+        // Same reasoning for the drift windows and health state machine:
+        // reference/live windows and hysteresis streaks from different
+        // runs don't compose, so an empty (never-fed / never-ticked)
+        // accumulator adopts the other side wholesale and an active one
+        // keeps its own.
+        if self.drift.is_empty() && !other.drift.is_empty() {
+            self.drift = other.drift.clone();
+        }
+        if self.health.ticks == 0 && other.health.ticks > 0 {
+            self.health = other.health.clone();
         }
     }
 
@@ -417,6 +648,120 @@ mod tests {
         c.scrape_window(6.0);
         a.merge_from(&c);
         assert_eq!(a.timeseries().len(), 1);
+    }
+
+    #[test]
+    fn label_values_are_escaped_in_exposition() {
+        // Regression: newline in a label value used to split the
+        // exposition line in two (backslash and quote were already
+        // escaped, line feed was not).
+        let mut r = Registry::new();
+        r.counter_add("weird_total", &[("q", "a\\b\"c\nd")], 1);
+        let prom = r.to_prometheus();
+        assert!(
+            prom.contains("weird_total{q=\"a\\\\b\\\"c\\nd\"} 1"),
+            "got: {prom}"
+        );
+        // The rendered sample must stay a single line.
+        let line = prom
+            .lines()
+            .find(|l| l.starts_with("weird_total"))
+            .expect("sample line present");
+        assert!(line.ends_with(" 1"));
+    }
+
+    #[test]
+    fn drift_feeding_and_evaluation_publish_gauges() {
+        let mut r = Registry::new();
+        for i in 0..300 {
+            r.observe_ou_sample(
+                "ExecSeqScan",
+                "execution_engine",
+                1_000.0 + (i % 7) as f64,
+                3.0,
+            );
+        }
+        // Reference frozen at 256; the remaining 44 live samples are
+        // below min_live, so scores stay at their initial zero.
+        r.drift_evaluate();
+        assert_eq!(r.counter_value("ts_drift_evaluations_total", &[]), 1);
+        assert_eq!(
+            r.gauge_value("ts_drift_score", &[("ou", "ExecSeqScan")]),
+            0.0
+        );
+        // Shift the live window far above the reference and re-evaluate.
+        for _ in 0..64 {
+            r.observe_ou_sample("ExecSeqScan", "execution_engine", 64_000.0, 3.0);
+        }
+        r.drift_evaluate();
+        let score = r.gauge_value("ts_drift_score", &[("ou", "ExecSeqScan")]);
+        assert!(score > 0.25, "score={score}");
+        assert!(
+            r.gauge_value(
+                "ts_drift_psi",
+                &[("channel", "target"), ("ou", "ExecSeqScan")]
+            ) > 0.25
+        );
+    }
+
+    #[test]
+    fn observability_tick_fires_and_recovers_alerts() {
+        let mut r = Registry::new();
+        // Freeze a reference then shift the live window hard.
+        for i in 0..256 {
+            r.observe_ou_sample("ExecAgg", "execution_engine", 2_000.0 + (i % 5) as f64, 1.0);
+        }
+        for _ in 0..64 {
+            r.observe_ou_sample("ExecAgg", "execution_engine", 90_000.0, 1.0);
+        }
+        let fired = r.observability_tick(1_000_000.0);
+        assert!(fired.iter().any(|a| a.fired()), "expected a fired alert");
+        assert!(r.counter_total("alerts_fired_total") >= 1);
+        assert!(r.gauge_value("ts_health_state", &[("subsystem", "data")]) >= 1.0);
+        // Back to the reference distribution: hysteresis needs two clear
+        // evaluations before stepping down.
+        for tick in 0..4u32 {
+            for i in 0..64 {
+                r.observe_ou_sample("ExecAgg", "execution_engine", 2_000.0 + (i % 5) as f64, 1.0);
+            }
+            r.observability_tick(2_000_000.0 + tick as f64);
+        }
+        assert_eq!(
+            r.gauge_value("ts_health_state", &[("subsystem", "data")]),
+            0.0
+        );
+        assert!(r.counter_total("alerts_recovered_total") >= 1);
+    }
+
+    #[test]
+    fn health_json_shape() {
+        let mut r = Registry::new();
+        r.observe_ou_sample("ExecSort", "execution_engine", 5.0, 1.0);
+        r.observability_tick(10.0);
+        let j = r.health_json();
+        assert!(j.contains("\"subsystems\""));
+        assert!(j.contains("\"data\": \"OK\""));
+        assert!(j.contains("\"ExecSort\""));
+        assert!(j.contains("\"alerts_fired_total\": 0"));
+        assert!(j.contains("\"alerts\": ["));
+    }
+
+    #[test]
+    fn merge_adopts_drift_and_health_only_when_idle() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        b.observe_ou_sample("OuX", "s", 1.0, 1.0);
+        b.observability_tick(10.0);
+        a.merge_from(&b);
+        assert_eq!(a.drift().len(), 1);
+        assert_eq!(a.health().ticks, 1);
+        // An active accumulator keeps its own windows.
+        let mut c = Registry::new();
+        c.observe_ou_sample("OuY", "s", 1.0, 1.0);
+        c.observe_ou_sample("OuZ", "s", 1.0, 1.0);
+        a.merge_from(&c);
+        assert_eq!(a.drift().len(), 1);
+        assert!(a.drift().ou("OuX").is_some());
     }
 
     #[test]

@@ -128,6 +128,24 @@ impl TimeSeries {
         d as f64 / (dt_ns / 1e9)
     }
 
+    /// Instantaneous rate of `name` over the **latest** window only
+    /// (events per virtual second between the last two scrapes). `None`
+    /// with fewer than two windows or a non-positive span — the health
+    /// rules treat that as "no signal" rather than a zero rate.
+    pub fn latest_rate_per_sec(&self, name: &str) -> Option<f64> {
+        let n = self.windows.len();
+        if n < 2 {
+            return None;
+        }
+        let (prev, last) = (&self.windows[n - 2], &self.windows[n - 1]);
+        let dt_ns = last.end_ns - prev.end_ns;
+        if dt_ns <= 0.0 {
+            return None;
+        }
+        let d = sum_named(&last.counters, name).saturating_sub(sum_named(&prev.counters, name));
+        Some(d as f64 / (dt_ns / 1e9))
+    }
+
     /// Metric names (label-stripped) present in any window, sorted.
     pub fn metric_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self
@@ -263,6 +281,52 @@ mod tests {
         ts.push(win(10.0, &[("c", 7)])); // re-scrape replaces
         assert_eq!(ts.len(), 1);
         assert_eq!(ts.total_in_window("c", 0), 7);
+    }
+
+    #[test]
+    fn eviction_preserves_deltas_and_rates_across_wraparound() {
+        // A capacity-4 ring scraped 10 times: the retained suffix must
+        // still produce exact deltas and a first-to-last rate, with the
+        // evicted count telling the caller the prefix is gone.
+        let mut ts = TimeSeries::with_capacity(4);
+        for i in 0..10u64 {
+            ts.push(win(i as f64 * 1e9, &[("c", i * 100)]));
+        }
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.evicted(), 6);
+        // Windows 6..=9 remain; window 0 of the ring is cumulative 600.
+        assert_eq!(ts.total_in_window("c", 0), 600);
+        assert_eq!(ts.delta("c", 0), 600); // no predecessor retained
+        assert_eq!(ts.delta("c", 1), 100);
+        assert_eq!(ts.rate_per_sec("c"), 100.0);
+        assert_eq!(ts.latest_rate_per_sec("c"), Some(100.0));
+    }
+
+    #[test]
+    fn zero_elapsed_span_reports_zero_rate() {
+        // Two scrapes at the same virtual instant: the second replaces
+        // the first, leaving a single window — rate must be 0, not a
+        // division by zero.
+        let mut ts = TimeSeries::default();
+        ts.push(win(5.0, &[("c", 1)]));
+        ts.push(win(5.0, &[("c", 9)]));
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.rate_per_sec("c"), 0.0);
+        assert_eq!(ts.latest_rate_per_sec("c"), None);
+    }
+
+    #[test]
+    fn latest_rate_uses_only_last_two_windows() {
+        let mut ts = TimeSeries::default();
+        ts.push(win(0.0, &[("c", 0)]));
+        ts.push(win(1e9, &[("c", 1_000)]));
+        ts.push(win(2e9, &[("c", 1_010)]));
+        // Overall rate averages the burst away; the latest rate doesn't.
+        assert_eq!(ts.rate_per_sec("c"), 505.0);
+        assert_eq!(ts.latest_rate_per_sec("c"), Some(10.0));
+        let mut one = TimeSeries::default();
+        one.push(win(1.0, &[("c", 5)]));
+        assert_eq!(one.latest_rate_per_sec("c"), None);
     }
 
     #[test]

@@ -223,6 +223,24 @@ impl ModelLifecycle {
         concurrency: usize,
     ) {
         let _root = kernel.profile_frame(task, "tscout", true);
+        // Online residual tracking: score the live models against this
+        // batch's actuals (before the batch can influence a retrain),
+        // feeding each OU's residual-MAPE drift channel. Features get the
+        // same hardware/concurrency context columns the datasets append.
+        if !points.is_empty() && self.registry.live().is_some() {
+            let mut feats: Vec<f64> = Vec::new();
+            for p in points {
+                feats.clear();
+                feats.extend_from_slice(&p.features);
+                feats.push(kernel.hw.clock_ghz);
+                feats.push(concurrency as f64);
+                if let Some(predicted) = self.registry.predict_ns(&p.ou_name, &feats) {
+                    kernel
+                        .telemetry
+                        .observe_residual(&p.ou_name, predicted, p.elapsed_ns as f64);
+                }
+            }
+        }
         if !points.is_empty() {
             let _frame = kernel.profile_frame(task, "processor:archive", false);
             let start = kernel.now(task);
@@ -355,9 +373,25 @@ fn run_inner(
                 pump_start,
                 (pump_end - pump_start).max(0.0),
             );
-            // Scrape the metric registry into the time-series ring at the
-            // pump cadence — one window per pump interval.
-            db.kernel.telemetry.scrape_window(now);
+            // Observability turn at the pump cadence: evaluate drift,
+            // scrape a counter window into the time-series ring, then run
+            // the health rules over the fresh gauges and rates. The
+            // analysis is charged to the Processor's task like the rest of
+            // its background work.
+            {
+                let kernel = &mut db.kernel;
+                let (n_ous, n_rules) = kernel
+                    .telemetry
+                    .with_registry(|r| (r.drift().len(), r.health().rules().len()));
+                let _root = kernel.profile_frame(processor.task, "tscout", true);
+                let _frame = kernel.profile_frame(processor.task, "telemetry:observability", false);
+                kernel.charge_overhead(
+                    processor.task,
+                    kernel.cost.drift_eval_per_ou_ns * n_ous as f64
+                        + kernel.cost.health_rule_eval_ns * n_rules as f64,
+                );
+                kernel.telemetry.observability_tick(now);
+            }
             next_pump = now + opts.pump_every_ns;
         }
         if now >= next_gc {
@@ -416,8 +450,9 @@ fn run_inner(
         };
         r
     };
-    // Final window so the time-series tail reflects the fully drained run.
-    db.kernel.telemetry.scrape_window(end_ns + 2e9);
+    // Final observability turn so the time-series tail, drift scores, and
+    // health states reflect the fully drained run.
+    db.kernel.telemetry.observability_tick(end_ns + 2e9);
 
     let duration_ns = opts.duration_ns;
     let (archived_samples, retrains) = lifecycle
