@@ -58,6 +58,39 @@ test -s "$CI_RESULTS/health_ablation_drift.json" \
   || { echo "FAIL: health_ablation_drift.json missing or empty"; exit 1; }
 grep -q 'ou_drift' "$CI_RESULTS/health_ablation_drift.json" \
   || { echo "FAIL: health_ablation_drift.json records no ou_drift alerts"; exit 1; }
+test -s "$CI_RESULTS/flightrec_ablation_drift_1.json" \
+  || { echo "FAIL: CRITICAL transition left no flight-recorder bundle"; exit 1; }
 echo "drift smoke OK"
+
+echo "== lineage-trace smoke (traced workload -> artifact + accounting) =="
+# Fixed virtual duration by design (no TS_SCALE): the binary asserts the
+# tracer contract itself; CI re-checks the exported artifact.
+TS_RESULTS="$CI_RESULTS" cargo run -q --release -p tscout-bench --bin ablation_trace
+TRACE_JSON="$CI_RESULTS/trace_ablation_trace.json"
+test -s "$TRACE_JSON" \
+  || { echo "FAIL: trace_ablation_trace.json missing or empty"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$TRACE_JSON" <<'EOF' || { echo "FAIL: trace artifact check"; exit 1; }
+import json, sys
+t = json.load(open(sys.argv[1]))
+st = t["stats"]
+assert st["started"] == st["completed"] + st["dropped"] + st["in_flight"], \
+    f"trace accounting does not close: {st}"
+done = [x for x in t["traces"] if x["outcome"] != "in_flight"]
+assert len(done) >= 1, "no completed traces in artifact"
+for tr in done:
+    assert tr["monotone"], f"trace {tr['id']} not monotone"
+    prev = tr["started_ns"]
+    for s in tr["stages"]:
+        assert s["enter_ns"] >= prev - 1e-9, f"trace {tr['id']}: stage enters backwards"
+        assert s["exit_ns"] >= s["enter_ns"] - 1e-9, f"trace {tr['id']}: stage exits backwards"
+        prev = s["enter_ns"]
+print(f"trace artifact OK: {len(done)} completed traces, accounting closes")
+EOF
+else
+  grep -q '"monotone": true' "$TRACE_JSON" \
+    || { echo "FAIL: no monotone completed trace in artifact"; exit 1; }
+fi
+echo "trace smoke OK"
 
 echo "CI gate passed."

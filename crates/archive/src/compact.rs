@@ -94,13 +94,18 @@ impl Archive {
                 *newer.entry(ou).or_default() += n;
             }
             let mut retired = 0u64;
-            for (ou, (_, samples)) in per_ou.iter_mut() {
+            for (ou, (entry, samples)) in per_ou.iter_mut() {
                 let elsewhere = newer.get(ou).copied().unwrap_or(0);
                 let keep = self.opts.retention_per_ou.saturating_sub(elsewhere);
                 if samples.len() > keep {
                     let drop_n = samples.len() - keep;
                     samples.drain(..drop_n);
                     retired += drop_n as u64;
+                    self.telemetry.counter_add(
+                        "archive_ou_samples_retired_total",
+                        &[("ou", &entry.name)],
+                        drop_n as u64,
+                    );
                 }
             }
             if retired > 0 {

@@ -223,11 +223,14 @@ impl Archive {
                 Vec::new(),
             )
         });
+        let ou_name = mt.0.name.clone();
         mt.1.push(sample);
         let mt_len = mt.1.len();
         self.buffered += 1;
         self.telemetry
             .counter_inc("archive_samples_appended_total", &[]);
+        self.telemetry
+            .counter_inc("archive_ou_samples_appended_total", &[("ou", &ou_name)]);
         self.telemetry
             .gauge_add("archive_buffered_samples", &[], 1.0);
         let full_ou = if mt_len >= self.opts.memtable_flush_samples {
@@ -255,6 +258,7 @@ impl Archive {
         if samples.is_empty() {
             return Ok(());
         }
+        let entry_name = entry.name.clone();
         let t0 = Instant::now();
         self.ensure_active()?;
         let payload = encode_block(entry.ou, entry.subsystem, &entry.name, &samples);
@@ -277,6 +281,13 @@ impl Archive {
         self.buffered -= samples.len();
         self.telemetry
             .counter_add("archive_bytes_written_total", &[], frame_len);
+        self.telemetry
+            .counter_inc("archive_ou_blocks_total", &[("ou", &entry_name)]);
+        self.telemetry.counter_add(
+            "archive_ou_bytes_written_total",
+            &[("ou", &entry_name)],
+            frame_len,
+        );
         self.telemetry
             .gauge_add("archive_buffered_samples", &[], -(samples.len() as f64));
         self.telemetry

@@ -10,12 +10,15 @@
 //!
 //! Both the detector state and the alert log are read back *through SQL*
 //! (`ts_stat_ou`, `ts_alerts`), exercising the introspection path
-//! end-to-end.
+//! end-to-end. The shifted arm also runs with the lineage tracer on and
+//! the flight recorder armed: the CRITICAL `ou_drift` transition must
+//! leave a `flightrec_ablation_drift_*.json` evidence bundle carrying
+//! the triggering alert and the trace ring.
 
 use noisetap::engine::{Database, StatementId};
 use noisetap::Value;
 use rand::RngExt;
-use tscout_bench::{absorb_db, attach_collect, dump_observability, new_db, Csv};
+use tscout_bench::{absorb_db, attach_collect, dump_observability, new_db, results_dir, Csv};
 use tscout_kernel::HardwareProfile;
 use tscout_workloads::driver::{run, RunOptions, TxnCtx, Workload};
 
@@ -102,6 +105,13 @@ fn run_arm(shift_after: u64, seed: u64) -> (Database, ArmResult) {
     let mut w = ShiftScan::new(shift_after);
     w.setup(&mut db);
     attach_collect(&mut db);
+    // Trace 1-in-64 markers and arm the flight recorder: a CRITICAL
+    // health transition mid-run dumps an evidence bundle with the
+    // triggering alert, the trace ring, and the profiler state.
+    db.kernel.telemetry.trace_set_every(64);
+    db.kernel
+        .telemetry
+        .arm_flight_recorder(results_dir(), "ablation_drift");
     // Fixed virtual duration (no TS_SCALE): the detector freezes its
     // reference after a fixed sample count, so the phase lengths are part
     // of the experiment design, not a runtime knob.
@@ -204,6 +214,24 @@ fn main() {
         "# expectation: injected shift trips the detector ({} alerts, {} OUs unhealthy); control is silent",
         shifted.alerts_fired,
         shifted.unhealthy_ous.len()
+    );
+
+    // The CRITICAL transition in the shifted arm must have dumped a
+    // flight-recorder bundle with the triggering alert and the traces.
+    let bundle = results_dir().join("flightrec_ablation_drift_1.json");
+    let body = std::fs::read_to_string(&bundle)
+        .unwrap_or_else(|e| panic!("CRITICAL transition left no bundle at {bundle:?}: {e}"));
+    assert!(
+        body.contains("\"ou_drift\""),
+        "bundle must carry the triggering ou_drift alert"
+    );
+    assert!(
+        body.contains("\"traces\"") && body.contains("\"outcome\": \""),
+        "bundle must carry a non-empty lineage-trace ring"
+    );
+    println!(
+        "# flight recorder: CRITICAL transition dumped {}",
+        bundle.display()
     );
 
     // Absorb the shifted arm first: the global registry adopts the first

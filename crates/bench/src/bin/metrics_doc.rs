@@ -4,17 +4,19 @@
 //! `<!-- /METRICS -->` in the repo-root README.md from
 //! [`tscout_telemetry::METRIC_DOCS`]. `--check` mode (run by ci.sh)
 //! fails if the README block is stale, and then runs a small in-process
-//! smoke workload — collector attached, model lifecycle retraining,
-//! virtual tables queried — and fails if the run registers any metric
-//! name that `METRIC_DOCS` does not document. Together the two
-//! directions mean the README can neither miss a live metric nor carry
-//! one the code no longer emits.
+//! smoke workload — collector attached, lineage tracer sampling, model
+//! lifecycle retraining, flight recorder exercised, virtual tables
+//! queried — and fails if the run registers any metric name that
+//! `METRIC_DOCS` does not document, or if a documented trace /
+//! flight-recorder metric never registers (a stale doc entry). Together
+//! the directions mean the README can neither miss a live metric nor
+//! carry one the code no longer emits.
 
 use tscout_archive::ArchiveOptions;
 use tscout_bench::{attach_collect, new_db};
 use tscout_kernel::HardwareProfile;
 use tscout_models::ModelKind;
-use tscout_telemetry::{is_documented, metric_table_markdown};
+use tscout_telemetry::{is_documented, metric_table_markdown, Alert, HealthState, METRIC_DOCS};
 use tscout_workloads::driver::{run_with_lifecycle, ModelLifecycle, RunOptions};
 use tscout_workloads::{Workload, Ycsb};
 
@@ -48,6 +50,8 @@ fn smoke_metric_names() -> Vec<String> {
     let mut w = Ycsb::new(1_000);
     w.setup(&mut db);
     attach_collect(&mut db);
+    // Sample lineage traces so every trace metric registers.
+    db.kernel.telemetry.trace_set_every(16);
     let mut lc = ModelLifecycle::new(
         &dir,
         ArchiveOptions::default(),
@@ -74,6 +78,26 @@ fn smoke_metric_names() -> Vec<String> {
         db.execute(sid, &format!("SELECT count(*) FROM {table}"), &[])
             .unwrap();
     }
+    // Exercise the flight recorder with a synthetic CRITICAL transition
+    // so its bundle counter registers (the bundle lands in the temp dir).
+    db.kernel
+        .telemetry
+        .arm_flight_recorder(dir.clone(), "metrics_doc_smoke");
+    db.kernel.telemetry.flight_record(
+        1e9,
+        &[Alert {
+            seq: 0,
+            at_ns: 1e9,
+            rule: "smoke".into(),
+            subsystem: "data".into(),
+            target: String::new(),
+            from: HealthState::Ok,
+            to: HealthState::Critical,
+            value: 1.0,
+            threshold: 0.5,
+        }],
+        "",
+    );
     let names = db.kernel.telemetry.with_registry(|r| r.metric_names());
     std::fs::remove_dir_all(&dir).ok();
     names
@@ -108,10 +132,24 @@ fn main() {
         eprintln!("FAIL: metric `{name}` is registered at runtime but not in METRIC_DOCS");
         failed = true;
     }
+    // Stale direction for the tracing plane: every documented trace /
+    // flight-recorder metric must actually register during the traced
+    // smoke — a renamed or removed metric fails here.
+    let stale: Vec<&str> = METRIC_DOCS
+        .iter()
+        .map(|(n, _, _)| *n)
+        .filter(|n| n.starts_with("tscout_trace") || n.starts_with("ts_flightrec"))
+        .filter(|n| !names.iter().any(|have| have == n))
+        .collect();
+    for name in &stale {
+        eprintln!("FAIL: trace metric `{name}` is in METRIC_DOCS but never registered at runtime");
+        failed = true;
+    }
     println!(
-        "checked {} runtime metric names against METRIC_DOCS ({} undocumented)",
+        "checked {} runtime metric names against METRIC_DOCS ({} undocumented, {} stale trace)",
         names.len(),
-        undocumented.len()
+        undocumented.len(),
+        stale.len()
     );
     if failed {
         std::process::exit(1);

@@ -36,11 +36,29 @@ pub fn time_scale() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// The results directory (`TS_RESULTS`, default `results/`). Not created
+/// until something is written into it.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from(std::env::var("TS_RESULTS").unwrap_or_else(|_| "results".into()))
+}
+
 /// Where figure CSVs land.
 pub fn result_path(name: &str) -> PathBuf {
-    let dir = std::env::var("TS_RESULTS").unwrap_or_else(|_| "results".into());
+    let dir = results_dir();
     std::fs::create_dir_all(&dir).ok();
-    PathBuf::from(dir).join(name)
+    dir.join(name)
+}
+
+/// The one artifact-writing path every per-fig dump goes through:
+/// creates `dir` if missing, writes `name` there, tees the destination
+/// to stdout (tagged `what`), and returns the path. Telemetry, profile,
+/// timeseries, health, archive, and trace dumps all funnel here.
+pub fn dump_artifact(dir: &std::path::Path, name: &str, what: &str, contents: &str) -> PathBuf {
+    std::fs::create_dir_all(dir).ok();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap_or_else(|e| panic!("cannot write {what}: {e}"));
+    println!("{what} -> {}", path.display());
+    path
 }
 
 /// Process-wide telemetry accumulator. Every database the harness builds
@@ -113,44 +131,57 @@ pub fn absorb_db(db: &Database) {
 /// Write the accumulated telemetry snapshot to
 /// `results/telemetry_<fig>.json`.
 pub fn dump_telemetry(fig: &str) -> PathBuf {
-    let path = result_path(&format!("telemetry_{fig}.json"));
-    std::fs::write(&path, global_telemetry().snapshot_json())
-        .expect("cannot write telemetry snapshot");
-    println!("telemetry snapshot -> {}", path.display());
-    path
+    dump_artifact(
+        &results_dir(),
+        &format!("telemetry_{fig}.json"),
+        "telemetry snapshot",
+        &global_telemetry().snapshot_json(),
+    )
 }
 
 /// Write the registry-backed observability artifacts — telemetry
-/// snapshot, folded stacks, windowed time-series + attribution, and the
-/// health/drift report — into an explicit directory (created if
-/// missing). Split out from [`dump_observability`] so the dump path is
-/// testable against an empty registry without touching the process-wide
-/// archive or the `TS_RESULTS` environment variable.
+/// snapshot, folded stacks, windowed time-series + attribution, the
+/// health/drift report, and the lineage-trace export — into an explicit
+/// directory (created if missing). Split out from [`dump_observability`]
+/// so the dump path is testable against an empty registry without
+/// touching the process-wide archive or the `TS_RESULTS` environment
+/// variable. Every file goes through [`dump_artifact`].
 pub fn dump_observability_files(dir: &std::path::Path, fig: &str) -> PathBuf {
-    std::fs::create_dir_all(dir).ok();
-    let path = dir.join(format!("telemetry_{fig}.json"));
-    std::fs::write(&path, global_telemetry().snapshot_json())
-        .expect("cannot write telemetry snapshot");
-    println!("telemetry snapshot -> {}", path.display());
-
-    let folded_path = dir.join(format!("profile_{fig}.folded"));
-    std::fs::write(&folded_path, global_profiler().folded_text())
-        .expect("cannot write folded profile");
-    println!("folded profile -> {}", folded_path.display());
-
-    let ts_path = dir.join(format!("timeseries_{fig}.json"));
-    let json = format!(
-        "{{\n\"timeseries\": {},\n\"attribution\": {}\n}}\n",
-        global_telemetry().timeseries_json(),
-        global_profiler().attribution().to_json()
+    let t = global_telemetry();
+    let path = dump_artifact(
+        dir,
+        &format!("telemetry_{fig}.json"),
+        "telemetry snapshot",
+        &t.snapshot_json(),
     );
-    std::fs::write(&ts_path, json).expect("cannot write timeseries snapshot");
-    println!("timeseries snapshot -> {}", ts_path.display());
-
-    let health_path = dir.join(format!("health_{fig}.json"));
-    std::fs::write(&health_path, global_telemetry().health_json())
-        .expect("cannot write health report");
-    println!("health report -> {}", health_path.display());
+    dump_artifact(
+        dir,
+        &format!("profile_{fig}.folded"),
+        "folded profile",
+        &global_profiler().folded_text(),
+    );
+    dump_artifact(
+        dir,
+        &format!("timeseries_{fig}.json"),
+        "timeseries snapshot",
+        &format!(
+            "{{\n\"timeseries\": {},\n\"attribution\": {}\n}}\n",
+            t.timeseries_json(),
+            global_profiler().attribution().to_json()
+        ),
+    );
+    dump_artifact(
+        dir,
+        &format!("health_{fig}.json"),
+        "health report",
+        &t.health_json(),
+    );
+    dump_artifact(
+        dir,
+        &format!("trace_{fig}.json"),
+        "lineage traces",
+        &t.trace_json(),
+    );
     path
 }
 
@@ -158,15 +189,17 @@ pub fn dump_observability_files(dir: &std::path::Path, fig: &str) -> PathBuf {
 /// snapshot, the flamegraph-ready folded stacks
 /// (`results/profile_<fig>.folded`), the windowed time-series plus
 /// per-root overhead attribution (`results/timeseries_<fig>.json`), the
-/// data-quality health report (`results/health_<fig>.json`), and the
-/// archive stats. Every figure binary calls this last.
+/// data-quality health report (`results/health_<fig>.json`), the lineage
+/// traces (`results/trace_<fig>.json`), and the archive stats. Every
+/// figure binary calls this last.
 pub fn dump_observability(fig: &str) -> PathBuf {
-    let dir = PathBuf::from(std::env::var("TS_RESULTS").unwrap_or_else(|_| "results".into()));
-    let path = dump_observability_files(&dir, fig);
-
-    let arch_path = result_path(&format!("archive_{fig}.json"));
-    std::fs::write(&arch_path, archive_stats_json()).expect("cannot write archive stats");
-    println!("archive stats -> {}", arch_path.display());
+    let path = dump_observability_files(&results_dir(), fig);
+    dump_artifact(
+        &results_dir(),
+        &format!("archive_{fig}.json"),
+        "archive stats",
+        &archive_stats_json(),
+    );
     path
 }
 
@@ -533,6 +566,7 @@ mod tests {
             "profile_empty.folded",
             "timeseries_empty.json",
             "health_empty.json",
+            "trace_empty.json",
         ] {
             assert!(dir.join(f).exists(), "missing {f}");
         }

@@ -38,7 +38,7 @@ use tscout_kernel::pmu::ALL_COUNTERS;
 use tscout_kernel::task::{Ioac, TcpSock};
 use tscout_kernel::tracepoint::TracepointId;
 use tscout_kernel::{Kernel, PmuReading, SyscallKind, TaskId};
-use tscout_telemetry::Telemetry;
+use tscout_telemetry::{Telemetry, TraceId};
 
 use crate::codegen::{self, encode_ctx, ProbeLayout, CTX_BYTES};
 use crate::data::{
@@ -105,6 +105,11 @@ pub struct TsConfig {
     /// overwrites when the Processor falls behind.
     pub ring_capacity: usize,
     pub sampler_seed: u64,
+    /// Lineage tracing: assign a `TraceId` to 1 in `trace_every`
+    /// *collected* markers and follow it through every pipeline stage
+    /// (0 = off). The id travels out of band — record bytes are
+    /// bit-identical with tracing on or off.
+    pub trace_every: u64,
 }
 
 impl TsConfig {
@@ -114,6 +119,7 @@ impl TsConfig {
             subsystems: BTreeMap::new(),
             ring_capacity: 4096,
             sampler_seed: 0x7511,
+            trace_every: 0,
         }
     }
 
@@ -189,6 +195,8 @@ struct InFlight {
     snap: Option<UserSnapshot>,
     /// User-mode END result: (start, elapsed, metrics).
     done: Option<(u64, u64, Vec<u64>)>,
+    /// Lineage trace id when this collection was sampled for tracing.
+    trace: Option<TraceId>,
 }
 
 #[derive(Debug, Default)]
@@ -250,6 +258,10 @@ pub struct TScout {
     subsys: BTreeMap<Subsystem, SubsysRt>,
     tasks: HashMap<TaskId, TaskState>,
     enabled: bool,
+    /// Most recent marker-side virtual timestamp. Ring evictions are
+    /// discovered lazily (at the next push or drain) with no Kernel in
+    /// scope, so their traces are closed at this time instead.
+    last_now: f64,
 }
 
 /// Bridges BPF helper calls to the simulated kernel, charging the
@@ -390,7 +402,11 @@ impl TScout {
             subsys,
             tasks: HashMap::new(),
             enabled: true,
+            last_now: 0.0,
         };
+        if ts.config.trace_every > 0 {
+            ts.telemetry.trace_set_every(ts.config.trace_every);
+        }
         ts.publish_bpf_telemetry();
         Ok(ts)
     }
@@ -495,9 +511,10 @@ impl TScout {
             .counter_inc("tscout_ou_samples_lost_total", &[("ou", &o)]);
     }
 
-    /// Parse subsystem + OU out of an encoded record's header (word 0 is
-    /// the OU id, word 2 the subsystem index) without a full decode.
-    fn record_ids(bytes: &[u8]) -> (Option<Subsystem>, Option<OuId>) {
+    /// Parse subsystem + OU + emitting thread out of an encoded record's
+    /// header (word 0 is the OU id, word 1 the tid, word 2 the subsystem
+    /// index) without a full decode.
+    fn record_ids(bytes: &[u8]) -> (Option<Subsystem>, Option<OuId>, u64) {
         let word = |i: usize| {
             bytes
                 .get(i * 8..i * 8 + 8)
@@ -505,7 +522,8 @@ impl TScout {
         };
         let s = word(2).and_then(|i| Subsystem::from_index(i as usize));
         let ou = word(0).map(|id| OuId(id as u16));
-        (s, ou)
+        let tid = word(1).unwrap_or(0);
+        (s, ou, tid)
     }
 
     /// Harvest records the ring buffer overwrote since the last call and
@@ -515,10 +533,11 @@ impl TScout {
     fn account_ring_evictions(&mut self) {
         let evicted = self.loader.maps.ring_take_evicted(self.ring);
         for bytes in evicted {
-            let (s, ou) = Self::record_ids(&bytes);
+            let (s, ou, tid) = Self::record_ids(&bytes);
             let s = s.unwrap_or(Subsystem::ExecutionEngine);
             let ou = ou.unwrap_or(OuId(u16::MAX));
             self.mark_lost(s, ou, "ring_overwrite");
+            self.telemetry.trace_ring_evict(ou.0, tid, self.last_now);
         }
     }
 
@@ -590,14 +609,30 @@ impl TScout {
             self.enabled && configured && self.sampler.decide(task.0 as usize, subsystem);
 
         let mut snap = None;
+        let mut trace = None;
         if collected {
             self.stats.sampled_events += 1;
             self.mark_begun(subsystem, ou);
+            // Lineage sampling happens at marker fire time. The id lives
+            // in a side table keyed by (ou, tid) — never in the record —
+            // and the (virtual) cost is charged on the Processor's clock,
+            // so sample bytes are identical with tracing on or off.
+            self.last_now = k.now(task);
+            trace = self.telemetry.trace_begin(
+                ou.0,
+                subsystem.index() as u8,
+                task.as_u64(),
+                self.last_now,
+            );
             match self.config.mode {
                 CollectionMode::KernelContinuous => {
                     let r0 = self.fire(k, task, subsystem, Marker::Begin, ou, 0, &[]);
                     if r0 != 0 {
                         self.mark_lost(subsystem, ou, "begin_error");
+                        if let Some(id) = trace {
+                            self.telemetry
+                                .trace_marker_abort(id, k.now(task), "begin_error");
+                        }
                         self.state_machine_reset(k, task);
                         return;
                     }
@@ -624,6 +659,7 @@ impl TScout {
             phase: Phase::Began,
             snap,
             done: None,
+            trace,
         });
     }
 
@@ -746,10 +782,18 @@ impl TScout {
             CollectionMode::KernelContinuous => {
                 let before = self.stats.samples_emitted;
                 let r0 = self.fire(k, task, top.subsystem, Marker::Features, ou, flags, payload);
+                self.last_now = k.now(task);
                 // The FEATURES program is the one that publishes; a sample
                 // that produced no ring record is lost right here.
                 if self.stats.samples_emitted == before {
                     self.mark_lost(top.subsystem, ou, "features_error");
+                    if let Some(id) = top.trace {
+                        self.telemetry
+                            .trace_marker_abort(id, self.last_now, "features_error");
+                    }
+                } else if let Some(id) = top.trace {
+                    self.telemetry
+                        .trace_publish(id, self.last_now, self.ring_len() as u64);
                 }
                 self.account_ring_evictions();
                 if r0 != 0 {
@@ -759,6 +803,10 @@ impl TScout {
             CollectionMode::UserToggle | CollectionMode::UserContinuous => {
                 let Some((start, elapsed, metrics)) = top.done else {
                     self.mark_lost(top.subsystem, ou, "no_end_snapshot");
+                    if let Some(id) = top.trace {
+                        self.telemetry
+                            .trace_marker_abort(id, k.now(task), "no_end_snapshot");
+                    }
                     return;
                 };
                 let mut p = payload.to_vec();
@@ -773,7 +821,7 @@ impl TScout {
                     metrics,
                     payload: p,
                 };
-                self.emit_user(k, task, &rec);
+                self.emit_user(k, task, &rec, top.trace);
             }
         }
     }
@@ -856,13 +904,14 @@ impl TScout {
     /// queued — TScout never applies back pressure to the DBMS (§3) —
     /// which is what caps the user-space methods' aggregate data rate at
     /// roughly `1 / user_emit_lock_ns` (Fig. 6).
-    fn emit_user(&mut self, k: &mut Kernel, task: TaskId, rec: &RawRecord) {
+    fn emit_user(&mut self, k: &mut Kernel, task: TaskId, rec: &RawRecord, trace: Option<TraceId>) {
         let _frame = k.profile_frame(task, "emit:user", false);
         // The emitting thread pays an asynchronous hand-off (write syscall
         // + record copy into the staging buffer)...
         k.syscall(task, SyscallKind::Generic);
         k.charge_overhead(task, 1_800.0);
         let now = k.now(task);
+        self.last_now = now;
         let hold = k.cost.user_emit_lock_ns;
         if k.user_emit_path.free_at() - now > 24.0 * hold {
             // ...but the serialized delivery path drains at 1/hold; past a
@@ -872,12 +921,19 @@ impl TScout {
             let s =
                 Subsystem::from_index(rec.subsystem as usize).unwrap_or(Subsystem::ExecutionEngine);
             self.mark_lost(s, OuId(rec.ou as u16), "emit_backlog");
+            if let Some(id) = trace {
+                self.telemetry.trace_marker_abort(id, now, "emit_backlog");
+            }
             return;
         }
         let bytes = encode_record(rec);
         k.user_emit_path.acquire(now, hold);
         let _ = self.loader.maps.ring_push(self.ring, &bytes);
         self.stats.samples_emitted += 1;
+        if let Some(id) = trace {
+            self.telemetry
+                .trace_publish(id, now, self.ring_len() as u64);
+        }
         self.account_ring_evictions();
     }
 
@@ -941,25 +997,29 @@ impl TScout {
 
     /// §5.1: on out-of-order markers, reset collection for the thread,
     /// discard intermediate results, and count the error.
-    fn state_machine_reset(&mut self, _k: &mut Kernel, task: TaskId) {
+    fn state_machine_reset(&mut self, k: &mut Kernel, task: TaskId) {
         self.stats.state_machine_errors += 1;
         self.telemetry
             .counter_inc("tscout_state_machine_resets_total", &[]);
         // Every collected sample still in flight on this thread dies with
         // the reset — attribute each one before discarding.
-        let discarded: Vec<(Subsystem, OuId)> = self
+        let discarded: Vec<(Subsystem, OuId, Option<TraceId>)> = self
             .tasks
             .get(&task)
             .map(|t| {
                 t.inflight
                     .iter()
                     .filter(|f| f.collected)
-                    .map(|f| (f.subsystem, f.ou))
+                    .map(|f| (f.subsystem, f.ou, f.trace))
                     .collect()
             })
             .unwrap_or_default();
-        for (s, ou) in discarded {
+        for (s, ou, trace) in discarded {
             self.mark_lost(s, ou, "state_reset");
+            if let Some(id) = trace {
+                self.telemetry
+                    .trace_marker_abort(id, k.now(task), "state_reset");
+            }
         }
         if let Some(t) = self.tasks.get_mut(&task) {
             t.inflight.clear();
@@ -989,7 +1049,7 @@ impl TScout {
         self.account_ring_evictions();
         let raw = self.loader.maps.ring_drain(self.ring, max);
         for bytes in &raw {
-            let (s, ou) = Self::record_ids(bytes);
+            let (s, ou, _tid) = Self::record_ids(bytes);
             let s = s.unwrap_or(Subsystem::ExecutionEngine);
             let o = ou
                 .map(|o| self.ou_label(o))

@@ -67,6 +67,11 @@ pub struct Processor {
     pub malformed: u64,
     /// Cloned from the kernel at construction.
     pub telemetry: Telemetry,
+    /// Lineage tracing: park consumed traces for the archive/model
+    /// lifecycle even on a non-archive sink. The driver sets this when a
+    /// `ModelLifecycle` stages points through the in-memory sink before
+    /// archiving them.
+    pub trace_parks: bool,
     /// Lost-sample total at the last `recommended_rate` check.
     last_lost: u64,
 }
@@ -78,6 +83,20 @@ fn join<T: std::fmt::Display>(xs: &[T]) -> String {
         .join("|")
 }
 
+/// The `(ou, tid)` lineage key from a raw record header (words 0 and 1),
+/// readable even when the full decode fails.
+fn record_key(bytes: &[u8]) -> (u16, u64) {
+    let word = |i: usize| {
+        bytes
+            .get(i * 8..i * 8 + 8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    };
+    (
+        word(0).map(|w| w as u16).unwrap_or(u16::MAX),
+        word(1).unwrap_or(0),
+    )
+}
+
 impl Processor {
     pub fn new(kernel: &mut Kernel, sink: Sink) -> Processor {
         Processor {
@@ -86,6 +105,7 @@ impl Processor {
             processed: 0,
             malformed: 0,
             telemetry: kernel.telemetry.clone(),
+            trace_parks: false,
             last_lost: 0,
         }
     }
@@ -108,8 +128,9 @@ impl Processor {
                 kernel.advance_to(self.task, until_ns);
                 break;
             }
+            let drained_at = kernel.now(self.task);
             kernel.charge_overhead(self.task, kernel.cost.processor_per_sample_ns);
-            self.consume(kernel, &recs[0], ts);
+            self.consume(kernel, &recs[0], ts, drained_at);
             n += 1;
         }
         let dur = kernel.now(self.task) - start_ns;
@@ -136,18 +157,22 @@ impl Processor {
                 return n;
             }
             for r in &recs {
+                let drained_at = kernel.now(self.task);
                 kernel.charge_overhead(self.task, kernel.cost.processor_per_sample_ns);
-                self.consume(kernel, r, ts);
+                self.consume(kernel, r, ts, drained_at);
                 n += 1;
             }
         }
     }
 
-    fn consume(&mut self, kernel: &mut Kernel, bytes: &[u8], ts: &TScout) {
+    fn consume(&mut self, kernel: &mut Kernel, bytes: &[u8], ts: &TScout, drained_at: f64) {
+        let (tr_ou, tr_tid) = record_key(bytes);
         let Some(raw) = decode_record(bytes) else {
             self.malformed += 1;
             self.telemetry
                 .counter_inc("processor_decode_errors_total", &[]);
+            self.telemetry
+                .trace_decode_error(tr_ou, tr_tid, kernel.now(self.task));
             return;
         };
         let points = split_record(&raw, &ts.registry);
@@ -155,8 +180,11 @@ impl Processor {
             self.malformed += 1;
             self.telemetry
                 .counter_inc("processor_decode_errors_total", &[]);
+            self.telemetry
+                .trace_decode_error(tr_ou, tr_tid, kernel.now(self.task));
             return;
         }
+        let sink_enter = kernel.now(self.task);
         // De-aggregation fan-out: fused-pipeline records expand into one
         // point per constituent OU (§5.2).
         self.telemetry.counter_inc("processor_records_total", &[]);
@@ -216,6 +244,29 @@ impl Processor {
             }
         }
         self.processed += 1;
+        // Stamp the drain + sink stages on this record's trace (if it
+        // carries one). Only the archive sink continues the lineage into
+        // the memtable/segment/dataset lifecycle; the others terminate
+        // delivered here. Tracing cost — the id assignment plus one
+        // enter/exit record per marker/ring/drain/sink stage — lands on
+        // the Processor's clock so sample bytes never shift.
+        let terminal = !self.trace_parks && !matches!(self.sink, Sink::Archive(_));
+        let traced = self.telemetry.trace_consume(
+            tr_ou,
+            tr_tid,
+            drained_at,
+            sink_enter,
+            kernel.now(self.task),
+            ts.ring_len() as u64,
+            terminal,
+        );
+        if traced {
+            let _frame = kernel.profile_frame(self.task, "processor:trace", false);
+            kernel.charge_overhead(
+                self.task,
+                kernel.cost.trace_begin_ns + 4.0 * kernel.cost.trace_stage_record_ns,
+            );
+        }
         self.telemetry.gauge_set(
             "processor_buffered_samples",
             &[],
@@ -370,7 +421,7 @@ mod tests {
     fn malformed_records_are_counted_not_fatal() {
         let (mut k, mut ts, _, _) = harness();
         let mut p = Processor::new(&mut k, Sink::Discard);
-        p.consume(&mut k, &[1, 2, 3], &ts);
+        p.consume(&mut k, &[1, 2, 3], &ts, 0.0);
         assert_eq!(p.malformed, 1);
         assert_eq!(p.processed, 0);
         let _ = &mut ts;

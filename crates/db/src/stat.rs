@@ -14,13 +14,23 @@
 //!   OK/DEGRADED/CRITICAL state and alert counts;
 //! * `ts_stat_model` — a single row describing the live behavior-model
 //!   generation and its accuracy gate history;
-//! * `ts_alerts` — the health engine's recent alert ring, newest last.
+//! * `ts_alerts` — the health engine's recent alert ring, newest last;
+//! * `ts_traces` — the lineage tracer's completed-trace ring: one row
+//!   per sampled marker that reached a terminal outcome, with its
+//!   critical stage and end-to-end latency;
+//! * `ts_stat_pipeline` — one row per pipeline stage with visit counts,
+//!   latency aggregates (p50/p99 from the stage histograms), the
+//!   exemplar TraceId behind the worst visit, and how often the stage
+//!   dominated a trace's critical path;
+//! * `ts_stat_archive` — one row per OU stored in the training-data
+//!   archive: samples appended/retired, blocks and bytes written, plus
+//!   the archive-global segment and recovery counters on every row.
 //!
 //! Scans run through the normal planner/executor path, so projections,
 //! filters, aggregation, ORDER BY, and LIMIT all compose:
 //! `SELECT ou, drift_score FROM ts_stat_ou WHERE drift_score > 0.2`.
 
-use tscout_telemetry::Telemetry;
+use tscout_telemetry::{Telemetry, ALL_STAGES};
 
 use crate::types::{DataType, Row, Schema, Value};
 
@@ -30,6 +40,9 @@ pub const VIRTUAL_TABLES: &[&str] = &[
     "ts_stat_subsystem",
     "ts_stat_model",
     "ts_alerts",
+    "ts_traces",
+    "ts_stat_pipeline",
+    "ts_stat_archive",
 ];
 
 /// True if `name` refers to a virtual introspection table.
@@ -79,6 +92,45 @@ pub fn virtual_schema(name: &str) -> Option<Schema> {
             ("to_state", DataType::Text),
             ("value", DataType::Float),
             ("threshold", DataType::Float),
+        ]),
+        "ts_traces" => Schema::new(&[
+            ("trace_id", DataType::Int),
+            ("ou", DataType::Int),
+            ("subsystem", DataType::Int),
+            ("tid", DataType::Int),
+            ("started_ns", DataType::Float),
+            ("stages", DataType::Int),
+            ("outcome", DataType::Text),
+            ("fail_reason", DataType::Text),
+            ("critical_stage", DataType::Text),
+            ("critical_ns", DataType::Float),
+            ("total_ns", DataType::Float),
+            ("model_generation", DataType::Int),
+            ("monotone", DataType::Bool),
+        ]),
+        "ts_stat_pipeline" => Schema::new(&[
+            ("stage", DataType::Text),
+            ("seq", DataType::Int),
+            ("visits", DataType::Int),
+            ("mean_ns", DataType::Float),
+            ("p50_ns", DataType::Float),
+            ("p99_ns", DataType::Float),
+            ("max_ns", DataType::Float),
+            ("exemplar_trace_id", DataType::Int),
+            ("avg_queue_depth", DataType::Float),
+            ("critical_count", DataType::Int),
+        ]),
+        "ts_stat_archive" => Schema::new(&[
+            ("ou", DataType::Text),
+            ("samples_appended", DataType::Int),
+            ("samples_retired", DataType::Int),
+            ("blocks", DataType::Int),
+            ("bytes_written", DataType::Int),
+            ("segments", DataType::Int),
+            ("buffered_samples", DataType::Int),
+            ("segments_sealed", DataType::Int),
+            ("segments_compacted", DataType::Int),
+            ("recovered_truncations", DataType::Int),
         ]),
         _ => return None,
     };
@@ -157,6 +209,110 @@ pub fn virtual_rows(name: &str, telemetry: &Telemetry) -> Vec<Row> {
                 })
                 .collect()
         }),
+        "ts_traces" => telemetry.with_registry(|r| {
+            r.tracer()
+                .completed_iter()
+                .map(|t| {
+                    let crit = t.critical_stage();
+                    vec![
+                        Value::Int(t.id.0 as i64),
+                        Value::Int(t.ou as i64),
+                        Value::Int(t.subsystem as i64),
+                        Value::Int(t.tid as i64),
+                        Value::Float(t.started_ns),
+                        Value::Int(t.stages.len() as i64),
+                        t.outcome
+                            .map(|o| Value::Text(o.name().to_string()))
+                            .unwrap_or(Value::Null),
+                        t.fail_reason
+                            .as_ref()
+                            .map(|f| Value::Text(f.clone()))
+                            .unwrap_or(Value::Null),
+                        crit.map(|(s, _)| Value::Text(s.name().to_string()))
+                            .unwrap_or(Value::Null),
+                        Value::Float(crit.map(|(_, d)| d).unwrap_or(0.0)),
+                        Value::Float(t.total_ns()),
+                        t.model_generation
+                            .map(|g| Value::Int(g as i64))
+                            .unwrap_or(Value::Null),
+                        Value::Bool(t.timestamps_monotone()),
+                    ]
+                })
+                .collect()
+        }),
+        "ts_stat_pipeline" => telemetry.with_registry(|r| {
+            let aggs: std::collections::BTreeMap<_, _> = r
+                .tracer()
+                .stage_aggs()
+                .map(|(s, a)| (s.name(), *a))
+                .collect();
+            ALL_STAGES
+                .iter()
+                .enumerate()
+                .map(|(i, stage)| {
+                    let a = aggs.get(stage.name()).copied().unwrap_or_default();
+                    let (p50, p99) = r
+                        .hist_snapshot("tscout_trace_stage_ns", &[("stage", stage.name())])
+                        .map(|s| (s.p50, s.p99))
+                        .unwrap_or((0.0, 0.0));
+                    let n = a.count.max(1) as f64;
+                    vec![
+                        Value::Text(stage.name().to_string()),
+                        Value::Int(i as i64),
+                        Value::Int(a.count as i64),
+                        Value::Float(a.total_ns / n),
+                        Value::Float(p50),
+                        Value::Float(p99),
+                        Value::Float(a.max_ns),
+                        Value::Int(a.max_id as i64),
+                        Value::Float(a.queue_sum / n),
+                        Value::Int(a.critical as i64),
+                    ]
+                })
+                .collect()
+        }),
+        "ts_stat_archive" => telemetry.with_registry(|r| {
+            // OUs are discovered from the per-OU labeled counters the
+            // archive records at append/flush/retention time; the
+            // archive-global columns repeat on every row so a single
+            // scan answers both per-OU and whole-archive questions.
+            let mut ous: Vec<String> = Vec::new();
+            for name in [
+                "archive_ou_samples_appended_total",
+                "archive_ou_samples_retired_total",
+                "archive_ou_blocks_total",
+                "archive_ou_bytes_written_total",
+            ] {
+                for (k, _) in r.counters_named(name) {
+                    if let Some((_, v)) = k.labels.iter().find(|(l, _)| l == "ou") {
+                        if !ous.contains(v) {
+                            ous.push(v.clone());
+                        }
+                    }
+                }
+            }
+            ous.sort();
+            let per_ou =
+                |name: &str, ou: &str| Value::Int(r.counter_value(name, &[("ou", ou)]) as i64);
+            ous.iter()
+                .map(|ou| {
+                    vec![
+                        Value::Text(ou.clone()),
+                        per_ou("archive_ou_samples_appended_total", ou),
+                        per_ou("archive_ou_samples_retired_total", ou),
+                        per_ou("archive_ou_blocks_total", ou),
+                        per_ou("archive_ou_bytes_written_total", ou),
+                        Value::Int(r.gauge_value("archive_segments", &[]) as i64),
+                        Value::Int(r.gauge_value("archive_buffered_samples", &[]) as i64),
+                        Value::Int(r.counter_value("archive_segments_sealed_total", &[]) as i64),
+                        Value::Int(r.counter_value("archive_segments_compacted_total", &[]) as i64),
+                        Value::Int(
+                            r.counter_value("archive_recovered_truncations_total", &[]) as i64
+                        ),
+                    ]
+                })
+                .collect()
+        }),
         _ => Vec::new(),
     }
 }
@@ -200,5 +356,49 @@ mod tests {
         // The model table always has exactly one row.
         assert_eq!(virtual_rows("ts_stat_model", &t).len(), 1);
         assert!(virtual_rows("nope", &t).is_empty());
+    }
+
+    #[test]
+    fn trace_tables_materialize_from_tracer_state() {
+        let t = Telemetry::new();
+        t.trace_set_every(1);
+        let id = t.trace_begin(7, 2, 42, 100.0).unwrap();
+        t.trace_publish(id, 200.0, 3);
+        assert!(t.trace_consume(7, 42, 300.0, 350.0, 400.0, 2, true));
+        let rows = virtual_rows("ts_traces", &t);
+        assert_eq!(rows.len(), 1);
+        let schema = virtual_schema("ts_traces").unwrap();
+        assert_eq!(rows[0].len(), schema.len());
+        assert_eq!(rows[0][0], Value::Int(id.0 as i64));
+        assert_eq!(rows[0][6], Value::Text("delivered".into()));
+        assert_eq!(rows[0][12], Value::Bool(true));
+        // The pipeline table always lists every stage, visited or not.
+        let pipe = virtual_rows("ts_stat_pipeline", &t);
+        assert_eq!(pipe.len(), tscout_telemetry::ALL_STAGES.len());
+        let marker = &pipe[0];
+        assert_eq!(marker[0], Value::Text("marker".into()));
+        assert_eq!(marker[2], Value::Int(1), "one visit through marker");
+    }
+
+    #[test]
+    fn archive_table_rows_per_ou_with_global_columns() {
+        let t = Telemetry::new();
+        assert!(virtual_rows("ts_stat_archive", &t).is_empty());
+        t.counter_add("archive_ou_samples_appended_total", &[("ou", "scan")], 5);
+        t.counter_add("archive_ou_blocks_total", &[("ou", "scan")], 1);
+        t.counter_add("archive_ou_samples_appended_total", &[("ou", "probe")], 2);
+        t.counter_add("archive_segments_sealed_total", &[], 3);
+        t.gauge_set("archive_segments", &[], 4.0);
+        let rows = virtual_rows("ts_stat_archive", &t);
+        assert_eq!(rows.len(), 2, "one row per OU");
+        // Sorted by OU name; global columns repeat on every row.
+        assert_eq!(rows[0][0], Value::Text("probe".into()));
+        assert_eq!(rows[1][0], Value::Text("scan".into()));
+        assert_eq!(rows[1][1], Value::Int(5));
+        assert_eq!(rows[1][3], Value::Int(1));
+        for row in &rows {
+            assert_eq!(row[5], Value::Int(4));
+            assert_eq!(row[7], Value::Int(3));
+        }
     }
 }

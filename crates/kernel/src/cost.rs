@@ -65,6 +65,13 @@ pub struct CostModel {
     /// Cost of evaluating one health rule against its resolved signal
     /// (selector lookup + hysteresis update), ns.
     pub health_rule_eval_ns: f64,
+    /// Cost of assigning a lineage `TraceId` at marker fire time
+    /// (counter bump + side-table insert). Charged on the Processor's
+    /// clock (like the sketch costs) so traced samples stay bit-identical.
+    pub trace_begin_ns: f64,
+    /// Cost of recording one pipeline-stage enter/exit pair for a traced
+    /// sample (timestamp pair + queue-depth read + ring append), ns.
+    pub trace_stage_record_ns: f64,
     /// Instructions-per-cycle the simulated pipeline sustains on ALU work.
     pub ipc: f64,
     /// Contention coefficient: CPU work inflates by
@@ -100,6 +107,8 @@ impl Default for CostModel {
             sketch_per_sample_ns: 140.0,
             drift_eval_per_ou_ns: 5_200.0,
             health_rule_eval_ns: 750.0,
+            trace_begin_ns: 180.0,
+            trace_stage_record_ns: 90.0,
             ipc: 1.6,
             contention_alpha: 0.9,
             contention_lock_per_task: 0.06,

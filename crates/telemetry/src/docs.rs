@@ -42,6 +42,26 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "Virtual duration of archive memtable flushes",
     ),
     (
+        "archive_ou_blocks_total",
+        "counter",
+        "Column blocks flushed to segment files, per OU",
+    ),
+    (
+        "archive_ou_bytes_written_total",
+        "counter",
+        "Bytes persisted to segment files, per OU",
+    ),
+    (
+        "archive_ou_samples_appended_total",
+        "counter",
+        "Samples appended to the training-data archive, per OU",
+    ),
+    (
+        "archive_ou_samples_retired_total",
+        "counter",
+        "Samples dropped by compaction's retention policy, per OU",
+    ),
+    (
         "archive_recovered_truncations_total",
         "counter",
         "Torn segment tails truncated during crash recovery",
@@ -260,6 +280,11 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "Per-OU headline drift score: worst PSI across target/feature channels",
     ),
     (
+        "ts_flightrec_bundles_total",
+        "counter",
+        "Flight-recorder evidence bundles written on CRITICAL transitions",
+    ),
+    (
         "ts_health_state",
         "gauge",
         "Per-subsystem health: 0=OK, 1=DEGRADED, 2=CRITICAL",
@@ -378,6 +403,36 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "tscout_state_machine_resets_total",
         "counter",
         "OU marker state machines reset after protocol violations",
+    ),
+    (
+        "tscout_trace_critical_stage_total",
+        "counter",
+        "Completed traces whose critical path a stage dominated, per stage",
+    ),
+    (
+        "tscout_trace_ring_evicted_total",
+        "counter",
+        "Completed traces evicted from the bounded trace ring (lineage kept in metrics)",
+    ),
+    (
+        "tscout_trace_stage_ns",
+        "histogram",
+        "Per-stage virtual latency of traced samples (exemplar TraceIds ride the buckets)",
+    ),
+    (
+        "tscout_traces_completed_total",
+        "counter",
+        "Lineage traces that reached a terminal outcome, per outcome",
+    ),
+    (
+        "tscout_traces_dropped_total",
+        "counter",
+        "Lineage traces abandoned before completion (in-flight table overflow)",
+    ),
+    (
+        "tscout_traces_started_total",
+        "counter",
+        "TraceIds assigned at marker fire time (1-in-N sampled)",
     ),
     (
         "tscout_verify_insns",

@@ -34,6 +34,7 @@ mod profile;
 mod sketch;
 mod spans;
 mod timeseries;
+mod trace;
 
 pub use docs::{is_documented, metric_table_markdown, METRIC_DOCS};
 pub use drift::{
@@ -51,6 +52,10 @@ pub use profile::{
 pub use sketch::Sketch;
 pub use spans::{Span, SpanRing, DEFAULT_SPAN_CAPACITY};
 pub use timeseries::{TimeSeries, Window, DEFAULT_WINDOW_CAPACITY};
+pub use trace::{
+    FlightRecorderArm, Stage, StageAgg, StageRecord, Trace, TraceId, TraceOutcome, TraceStats,
+    Tracer, ALL_STAGES, DEFAULT_ACTIVE_TRACE_CAPACITY, DEFAULT_TRACE_CAPACITY,
+};
 
 use std::sync::{Arc, Mutex, PoisonError};
 
@@ -206,6 +211,116 @@ impl Telemetry {
     /// JSON export of drift + health state (see [`Registry::health_json`]).
     pub fn health_json(&self) -> String {
         self.lock().health_json()
+    }
+
+    /// Enable lineage tracing: trace 1 in `every` collected markers
+    /// (0 disables).
+    pub fn trace_set_every(&self, every: u64) {
+        self.lock().tracer_mut().set_every(every);
+    }
+
+    /// Current trace sampling divisor (0 = off).
+    pub fn trace_every(&self) -> u64 {
+        self.lock().tracer().every()
+    }
+
+    /// Sampling decision at marker fire time (see
+    /// [`Registry::trace_begin`]).
+    pub fn trace_begin(&self, ou: u16, subsystem: u8, tid: u64, now_ns: f64) -> Option<TraceId> {
+        self.lock().trace_begin(ou, subsystem, tid, now_ns)
+    }
+
+    /// The traced marker's record was published into the ring.
+    pub fn trace_publish(&self, id: TraceId, now_ns: f64, ring_depth: u64) {
+        self.lock().trace_publish(id, now_ns, ring_depth);
+    }
+
+    /// The traced marker died before publishing.
+    pub fn trace_marker_abort(&self, id: TraceId, now_ns: f64, reason: &str) {
+        self.lock().trace_marker_abort(id, now_ns, reason);
+    }
+
+    /// The ring overwrote its oldest `(ou, tid)` record.
+    pub fn trace_ring_evict(&self, ou: u16, tid: u64, now_ns: f64) {
+        self.lock().trace_ring_evict(ou, tid, now_ns);
+    }
+
+    /// Processor-side drain + sink stamp (see [`Registry::trace_consume`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_consume(
+        &self,
+        ou: u16,
+        tid: u64,
+        drain_ns: f64,
+        sink_enter_ns: f64,
+        sink_exit_ns: f64,
+        queue_depth: u64,
+        terminal: bool,
+    ) -> bool {
+        self.lock().trace_consume(
+            ou,
+            tid,
+            drain_ns,
+            sink_enter_ns,
+            sink_exit_ns,
+            queue_depth,
+            terminal,
+        )
+    }
+
+    /// A traced record failed to decode at the Processor.
+    pub fn trace_decode_error(&self, ou: u16, tid: u64, now_ns: f64) {
+        self.lock().trace_decode_error(ou, tid, now_ns);
+    }
+
+    /// Collective lifecycle stamp for parked traces (archive memtable,
+    /// segment seal, dataset stages).
+    pub fn trace_lifecycle_stamp(&self, stage: Stage, enter_ns: f64, exit_ns: f64, depth: u64) {
+        self.lock()
+            .trace_lifecycle_stamp(stage, enter_ns, exit_ns, depth);
+    }
+
+    /// Retrain completion: parked traces terminate delivered. Returns
+    /// how many completed.
+    pub fn trace_lifecycle_complete(&self, now_ns: f64, generation: u64) -> usize {
+        self.lock().trace_lifecycle_complete(now_ns, generation)
+    }
+
+    /// Compaction retention retired `n` archived samples.
+    pub fn trace_compacted(&self, n: u64, now_ns: f64) {
+        self.lock().trace_compacted(n, now_ns);
+    }
+
+    /// Exact trace accounting (see [`TraceStats`]).
+    pub fn trace_stats(&self) -> TraceStats {
+        self.lock().trace_stats()
+    }
+
+    /// JSON export of the tracer (see [`Registry::trace_json`]).
+    pub fn trace_json(&self) -> String {
+        self.lock().trace_json()
+    }
+
+    /// Arm the on-CRITICAL flight recorder (see
+    /// [`Registry::arm_flight_recorder`]).
+    pub fn arm_flight_recorder(&self, dir: std::path::PathBuf, fig: &str) {
+        self.lock().arm_flight_recorder(dir, fig);
+    }
+
+    /// Whether a flight-recorder output directory is armed.
+    pub fn flight_recorder_armed(&self) -> bool {
+        self.lock().flight_recorder_armed()
+    }
+
+    /// Write a flight-recorder bundle if `alerts` contains a fired
+    /// CRITICAL transition (see [`Registry::flight_record`]).
+    pub fn flight_record(
+        &self,
+        now_ns: f64,
+        alerts: &[Alert],
+        profile_folded: &str,
+    ) -> Option<std::path::PathBuf> {
+        self.lock().flight_record(now_ns, alerts, profile_folded)
     }
 
     /// Merge another handle's registry into this one (counters add,

@@ -4,10 +4,11 @@
 use std::collections::BTreeMap;
 
 use crate::drift::DriftRegistry;
-use crate::health::{Alert, HealthEngine, Selector, Signals};
+use crate::health::{Alert, HealthEngine, HealthState, Selector, Signals};
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::spans::{Span, SpanRing};
 use crate::timeseries::{TimeSeries, Window};
+use crate::trace::{FlightRecorderArm, Stage, TraceId, TraceStats, Tracer};
 use crate::{json_escape, json_num};
 
 /// A metric identity: name plus sorted `label=value` pairs.
@@ -65,6 +66,8 @@ pub struct Registry {
     timeseries: TimeSeries,
     drift: DriftRegistry,
     health: HealthEngine,
+    tracer: Tracer,
+    flightrec: FlightRecorderArm,
 }
 
 impl Registry {
@@ -224,6 +227,234 @@ impl Registry {
 
     pub fn health_mut(&mut self) -> &mut HealthEngine {
         &mut self.health
+    }
+
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Turn every trace completion the tracer produced since the last
+    /// flush into metrics: per-stage latency histograms
+    /// (`tscout_trace_stage_ns{stage}` — the exemplar TraceIds attached
+    /// to these buckets live in the tracer and export via
+    /// `ts_stat_pipeline` / the trace JSON), outcome counters, and the
+    /// critical-path counter.
+    fn trace_flush_completions(&mut self) {
+        for c in self.tracer.take_pending() {
+            self.counter_add(
+                "tscout_traces_completed_total",
+                &[("outcome", c.outcome.name())],
+                1,
+            );
+            if let Some(s) = c.critical {
+                self.counter_add(
+                    "tscout_trace_critical_stage_total",
+                    &[("stage", s.name())],
+                    1,
+                );
+            }
+            for (stage, dur) in c.stage_durs {
+                self.hist_record("tscout_trace_stage_ns", &[("stage", stage.name())], dur);
+            }
+        }
+    }
+
+    /// Sync the tracer's drop/eviction counters into registry counters
+    /// (they originate inside the tracer's bounded structures).
+    fn trace_sync_counters(&mut self) {
+        let st = self.tracer.stats();
+        for (name, v) in [
+            ("tscout_traces_started_total", st.started),
+            ("tscout_traces_dropped_total", st.dropped),
+            ("tscout_trace_ring_evicted_total", st.ring_evicted),
+        ] {
+            let have = self.counter_value(name, &[]);
+            // A zero add still registers the name, so the counters exist
+            // (at 0) from the first sampled marker on — `metrics_doc
+            // --check` relies on a traced run registering all of them.
+            self.counter_add(name, &[], v.saturating_sub(have));
+        }
+    }
+
+    /// Sampling decision at marker fire time (see [`Tracer::maybe_begin`]).
+    pub fn trace_begin(
+        &mut self,
+        ou: u16,
+        subsystem: u8,
+        tid: u64,
+        now_ns: f64,
+    ) -> Option<TraceId> {
+        let id = self.tracer.maybe_begin(ou, subsystem, tid, now_ns);
+        if id.is_some() {
+            self.trace_sync_counters();
+            self.trace_flush_completions();
+        }
+        id
+    }
+
+    pub fn trace_publish(&mut self, id: TraceId, now_ns: f64, ring_depth: u64) {
+        self.tracer.on_publish(id, now_ns, ring_depth);
+    }
+
+    pub fn trace_marker_abort(&mut self, id: TraceId, now_ns: f64, reason: &str) {
+        self.tracer.on_marker_abort(id, now_ns, reason);
+        self.trace_flush_completions();
+        self.trace_sync_counters();
+    }
+
+    pub fn trace_ring_evict(&mut self, ou: u16, tid: u64, now_ns: f64) {
+        self.tracer.on_ring_evict(ou, tid, now_ns);
+        self.trace_flush_completions();
+        self.trace_sync_counters();
+    }
+
+    /// Processor-side stamp (see [`Tracer::on_consume`]). Returns
+    /// whether a trace matched, so the caller charges tracing cost only
+    /// for traced records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn trace_consume(
+        &mut self,
+        ou: u16,
+        tid: u64,
+        drain_ns: f64,
+        sink_enter_ns: f64,
+        sink_exit_ns: f64,
+        queue_depth: u64,
+        terminal: bool,
+    ) -> bool {
+        let hit = self.tracer.on_consume(
+            ou,
+            tid,
+            drain_ns,
+            sink_enter_ns,
+            sink_exit_ns,
+            queue_depth,
+            terminal,
+        );
+        if hit {
+            self.trace_flush_completions();
+            self.trace_sync_counters();
+        }
+        hit
+    }
+
+    pub fn trace_decode_error(&mut self, ou: u16, tid: u64, now_ns: f64) {
+        self.tracer.on_decode_error(ou, tid, now_ns);
+        self.trace_flush_completions();
+        self.trace_sync_counters();
+    }
+
+    /// Collective lifecycle stamp for parked traces.
+    pub fn trace_lifecycle_stamp(&mut self, stage: Stage, enter_ns: f64, exit_ns: f64, depth: u64) {
+        self.tracer.lifecycle_stamp(stage, enter_ns, exit_ns, depth);
+    }
+
+    /// Retrain completion: parked traces terminate delivered at model
+    /// `generation`. Returns how many completed.
+    pub fn trace_lifecycle_complete(&mut self, now_ns: f64, generation: u64) -> usize {
+        let n = self.tracer.lifecycle_complete(now_ns, generation);
+        self.trace_flush_completions();
+        self.trace_sync_counters();
+        n
+    }
+
+    pub fn trace_compacted(&mut self, n: u64, now_ns: f64) {
+        self.tracer.on_compacted(n, now_ns);
+        self.trace_flush_completions();
+        self.trace_sync_counters();
+    }
+
+    pub fn trace_stats(&self) -> TraceStats {
+        self.tracer.stats()
+    }
+
+    /// Per-stage `(p50, p99)` from the trace latency histograms.
+    fn trace_stage_p50p99(&self, stage: Stage) -> (f64, f64) {
+        self.hist_snapshot("tscout_trace_stage_ns", &[("stage", stage.name())])
+            .map(|s| (s.p50, s.p99))
+            .unwrap_or((0.0, 0.0))
+    }
+
+    /// JSON export of the tracer: stats, per-stage summary (with p50/p99
+    /// from the registry histograms and exemplar TraceIds), and the
+    /// completed-trace ring. Written as `results/trace_<fig>.json`.
+    pub fn trace_json(&self) -> String {
+        self.tracer.to_json(&|s| self.trace_stage_p50p99(s))
+    }
+
+    /// Arm the flight recorder: on any CRITICAL health transition,
+    /// [`Registry::flight_record`] writes an evidence bundle under `dir`.
+    pub fn arm_flight_recorder(&mut self, dir: std::path::PathBuf, fig: &str) {
+        self.flightrec.dir = Some(dir);
+        self.flightrec.fig = fig.to_string();
+    }
+
+    pub fn flight_recorder_armed(&self) -> bool {
+        self.flightrec.dir.is_some()
+    }
+
+    /// If armed and `alerts` contains a fired CRITICAL transition, write
+    /// `flightrec_<fig>_<seq>.json` bundling the triggering alerts, the
+    /// trace ring, the alert ring + health state, the full metrics
+    /// snapshot, and the active (folded) profile. Returns the bundle
+    /// path when one was written.
+    pub fn flight_record(
+        &mut self,
+        now_ns: f64,
+        alerts: &[Alert],
+        profile_folded: &str,
+    ) -> Option<std::path::PathBuf> {
+        let dir = self.flightrec.dir.clone()?;
+        let trig: Vec<&Alert> = alerts
+            .iter()
+            .filter(|a| a.fired() && a.to == HealthState::Critical)
+            .collect();
+        if trig.is_empty() {
+            return None;
+        }
+        self.flightrec.seq += 1;
+        let path = dir.join(format!(
+            "flightrec_{}_{}.json",
+            self.flightrec.fig, self.flightrec.seq
+        ));
+        let trig_json: Vec<String> = trig
+            .iter()
+            .map(|a| {
+                format!(
+                    "\n    {{\"rule\": \"{}\", \"subsystem\": \"{}\", \"target\": \"{}\", \
+                     \"at_ns\": {}, \"value\": {}, \"threshold\": {}}}",
+                    json_escape(&a.rule),
+                    json_escape(&a.subsystem),
+                    json_escape(&a.target),
+                    json_num(a.at_ns),
+                    json_num(a.value),
+                    json_num(a.threshold),
+                )
+            })
+            .collect();
+        let bundle = format!(
+            "{{\n  \"at_ns\": {},\n  \"fig\": \"{}\",\n  \"seq\": {},\n  \
+             \"triggering_alerts\": [{}\n  ],\n  \"traces\": {},\n  \"health\": {},\n  \
+             \"metrics\": {},\n  \"profile_folded\": \"{}\"\n}}\n",
+            json_num(now_ns),
+            json_escape(&self.flightrec.fig),
+            self.flightrec.seq,
+            trig_json.join(","),
+            self.trace_json().trim_end(),
+            self.health_json().trim_end(),
+            self.snapshot_json().trim_end(),
+            json_escape(profile_folded),
+        );
+        std::fs::create_dir_all(&dir).ok();
+        if std::fs::write(&path, bundle).is_err() {
+            return None;
+        }
+        self.counter_add("ts_flightrec_bundles_total", &[], 1);
+        Some(path)
     }
 
     /// Feed one decoded training sample into the OU's drift channels
@@ -438,6 +669,11 @@ impl Registry {
         }
         if self.health.ticks == 0 && other.health.ticks > 0 {
             self.health = other.health.clone();
+        }
+        // Trace lineage from a different run doesn't interleave with
+        // ours either: adopt wholesale into an idle accumulator only.
+        if self.tracer.is_idle() && !other.tracer.is_idle() {
+            self.tracer = other.tracer.clone();
         }
     }
 

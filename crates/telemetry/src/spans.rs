@@ -102,4 +102,55 @@ mod tests {
         r.record(span(0));
         assert_eq!(r.len(), 1);
     }
+
+    #[test]
+    fn eviction_is_strict_fifo_across_multiple_wraps() {
+        // Wrap the ring several times over; at every step the survivors
+        // must be exactly the newest `capacity` spans, oldest first.
+        let mut r = SpanRing::with_capacity(3);
+        for i in 0..17 {
+            r.record(span(i));
+            let names: Vec<&str> = r.iter().map(|s| s.name.as_str()).collect();
+            let lo = (i + 1).saturating_sub(3);
+            let want: Vec<String> = (lo..=i).map(|j| format!("s{j}")).collect();
+            assert_eq!(names, want, "after record {i}");
+        }
+    }
+
+    #[test]
+    fn dropped_counts_every_overflow_exactly() {
+        let mut r = SpanRing::with_capacity(1);
+        assert_eq!(r.dropped(), 0);
+        r.record(span(0));
+        assert_eq!(r.dropped(), 0, "filling to capacity drops nothing");
+        for i in 1..=100 {
+            r.record(span(i));
+            assert_eq!(r.dropped(), i as u64);
+            assert_eq!(r.len(), 1);
+        }
+        // Accounting closes: recorded = retained + dropped.
+        assert_eq!(101, r.len() as u64 + r.dropped());
+    }
+
+    #[test]
+    fn iterator_after_wraparound_preserves_order_and_contents() {
+        let mut r = SpanRing::with_capacity(4);
+        for i in 0..10 {
+            r.record(span(i));
+        }
+        // Contents are the newest four, in insertion order, with their
+        // payload fields (not just names) intact.
+        let got: Vec<(String, f64)> = r.iter().map(|s| (s.name.clone(), s.start_ns)).collect();
+        assert_eq!(
+            got,
+            vec![
+                ("s6".to_string(), 6.0),
+                ("s7".to_string(), 7.0),
+                ("s8".to_string(), 8.0),
+                ("s9".to_string(), 9.0),
+            ]
+        );
+        assert!(!r.is_empty());
+        assert_eq!(r.iter().count(), r.len());
+    }
 }

@@ -254,9 +254,37 @@ impl ModelLifecycle {
                     self.archived_samples += 1;
                 }
             }
+            // Lineage: the batch entered a memtable; parked traces pick
+            // up the archive_memtable stage collectively (a flush is a
+            // batch operation, one stamp covers every parked sample).
+            let appended = kernel.now(task);
+            kernel.telemetry.trace_lifecycle_stamp(
+                tscout_telemetry::Stage::ArchiveMemtable,
+                start,
+                appended,
+                self.archive.buffered_samples() as u64,
+            );
+            let retired_before = kernel
+                .telemetry
+                .counter_value("archive_samples_retired_total", &[]);
             let _ = self.archive.flush();
             let _ = self.archive.maybe_compact();
             let now = kernel.now(task);
+            kernel.telemetry.trace_lifecycle_stamp(
+                tscout_telemetry::Stage::SegmentSeal,
+                appended,
+                now,
+                0,
+            );
+            // Compaction retention retires the oldest archived samples:
+            // their traces terminate as compacted rather than delivered.
+            let retired = kernel
+                .telemetry
+                .counter_value("archive_samples_retired_total", &[])
+                .saturating_sub(retired_before);
+            if retired > 0 {
+                kernel.telemetry.trace_compacted(retired, now);
+            }
             kernel
                 .telemetry
                 .span("archive_ingest", "processor", start, now - start);
@@ -265,6 +293,12 @@ impl ModelLifecycle {
         let start = kernel.now(task);
         let data = datasets_from_archive(&self.archive, kernel.hw.clock_ghz, concurrency);
         let n_points: usize = data.iter().map(|d| d.len()).sum();
+        kernel.telemetry.trace_lifecycle_stamp(
+            tscout_telemetry::Stage::Dataset,
+            start,
+            kernel.now(task),
+            n_points as u64,
+        );
         kernel.charge_overhead(task, n_points as f64 * kernel.cost.retrain_per_point_ns);
         match self.registry.retrain_split(&data, self.holdout_every) {
             SwapDecision::Accepted { .. } => self.swaps_accepted += 1,
@@ -273,6 +307,19 @@ impl ModelLifecycle {
         }
         self.retrains += 1;
         let now = kernel.now(task);
+        // Lineage terminal: every parked trace completes delivered at the
+        // current model generation. The lifecycle-side tracing cost (one
+        // stage record per memtable/seal/dataset/generation stamp) lands
+        // on this task's clock, like the rest of the lifecycle work.
+        let completed = kernel
+            .telemetry
+            .trace_lifecycle_complete(now, self.registry.generation());
+        if completed > 0 {
+            kernel.charge_overhead(
+                task,
+                completed as f64 * 4.0 * kernel.cost.trace_stage_record_ns,
+            );
+        }
         kernel
             .telemetry
             .span("retrain", "models", start, now - start);
@@ -317,6 +364,10 @@ fn run_inner(
     db.kernel.set_runnable(opts.terminals as u32 + 1); // +1 for background
 
     let mut processor = Processor::new(&mut db.kernel, Sink::Memory(Vec::new()));
+    // With a lifecycle, the memory sink is a staging buffer on the way to
+    // the archive: traced samples park at the sink stage and complete at
+    // the next retrain instead of terminating on consume.
+    processor.trace_parks = lifecycle.is_some();
     db.kernel.advance_to(processor.task, start_ns);
 
     let end_ns = start_ns + opts.duration_ns;
@@ -390,7 +441,14 @@ fn run_inner(
                     kernel.cost.drift_eval_per_ou_ns * n_ous as f64
                         + kernel.cost.health_rule_eval_ns * n_rules as f64,
                 );
-                kernel.telemetry.observability_tick(now);
+                let alerts = kernel.telemetry.observability_tick(now);
+                // Flight recorder: a CRITICAL transition snapshots the
+                // trace ring, alert history, metrics, and active profile
+                // into an on-disk evidence bundle.
+                if !alerts.is_empty() && kernel.telemetry.flight_recorder_armed() {
+                    let folded = kernel.profiler.folded_text();
+                    kernel.telemetry.flight_record(now, &alerts, &folded);
+                }
             }
             next_pump = now + opts.pump_every_ns;
         }
@@ -452,7 +510,13 @@ fn run_inner(
     };
     // Final observability turn so the time-series tail, drift scores, and
     // health states reflect the fully drained run.
-    db.kernel.telemetry.observability_tick(end_ns + 2e9);
+    let alerts = db.kernel.telemetry.observability_tick(end_ns + 2e9);
+    if !alerts.is_empty() && db.kernel.telemetry.flight_recorder_armed() {
+        let folded = db.kernel.profiler.folded_text();
+        db.kernel
+            .telemetry
+            .flight_record(end_ns + 2e9, &alerts, &folded);
+    }
 
     let duration_ns = opts.duration_ns;
     let (archived_samples, retrains) = lifecycle
