@@ -93,4 +93,18 @@ else
 fi
 echo "trace smoke OK"
 
+echo "== query-stats smoke (EXPLAIN ANALYZE + ts_stat_statements) =="
+# Fixed virtual duration by design (no TS_SCALE): the binary asserts the
+# accounting contract itself (per-row consistency, calls vs recorded,
+# model generation in the EXPLAIN ANALYZE footer); CI re-checks the CSV.
+TS_RESULTS="$CI_RESULTS" cargo run -q --release -p tscout-bench --bin ablation_query_stats
+QS_CSV="$CI_RESULTS/ablation_query_stats.csv"
+test -s "$QS_CSV" \
+  || { echo "FAIL: ablation_query_stats.csv missing or empty"; exit 1; }
+head -1 "$QS_CSV" | grep -q 'fingerprint,calls' \
+  || { echo "FAIL: ablation_query_stats.csv has wrong header"; exit 1; }
+test "$(wc -l < "$QS_CSV")" -ge 2 \
+  || { echo "FAIL: ablation_query_stats.csv has no data rows"; exit 1; }
+echo "query-stats smoke OK"
+
 echo "CI gate passed."

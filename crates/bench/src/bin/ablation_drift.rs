@@ -102,6 +102,13 @@ struct ArmResult {
 
 fn run_arm(shift_after: u64, seed: u64) -> (Database, ArmResult) {
     let mut db = new_db(HardwareProfile::server_2x20(), seed);
+    // Single-variable isolation: this ablation demonstrates the drift
+    // detector's false-positive/false-negative contract, so statement
+    // stats stay off — their pump-cadence accounting shifts Processor
+    // drain timing, which perturbs which samples sit in the live drift
+    // window at evaluation time. `ablation_query_stats` covers the
+    // stats-on driven path.
+    db.stmt_stats_enabled = false;
     let mut w = ShiftScan::new(shift_after);
     w.setup(&mut db);
     attach_collect(&mut db);

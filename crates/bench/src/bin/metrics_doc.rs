@@ -78,6 +78,10 @@ fn smoke_metric_names() -> Vec<String> {
         db.execute(sid, &format!("SELECT count(*) FROM {table}"), &[])
             .unwrap();
     }
+    // And the query-observability path: EXPLAIN ANALYZE registers its
+    // counter (statement stats registered during the driven run above).
+    db.execute(sid, "EXPLAIN ANALYZE SELECT count(*) FROM usertable", &[])
+        .unwrap();
     // Exercise the flight recorder with a synthetic CRITICAL transition
     // so its bundle counter registers (the bundle lands in the temp dir).
     db.kernel

@@ -3,12 +3,15 @@
 
 use tscout::{TScout, TsConfig, TsError};
 use tscout_kernel::{Kernel, TaskId};
+use tscout_models::LiveModel;
 
 use crate::catalog::Catalog;
+use crate::exec::obs::StmtObs;
 use crate::exec::ou::{work_for, EngineOu, OuMap};
 use crate::exec::plan::Plan;
 use crate::exec::{execute, EngineMode, ExecCtx, ExecError, ExecOutcome};
 use crate::index::{key_from_row, Index, IndexKind};
+use crate::sql::fingerprint::fingerprint;
 use crate::sql::parser::{parse, ParseError};
 use crate::sql::planner::{plan as plan_stmt, PlanError};
 use crate::storage::VersionedTable;
@@ -61,6 +64,9 @@ struct Prepared {
     #[allow(dead_code)]
     sql: String,
     plan: Plan,
+    /// Normalized statement template for `ts_stat_statements`. Shared,
+    /// so the per-execution hot path clones a refcount, not a string.
+    fingerprint: std::sync::Arc<str>,
 }
 
 /// The NoiseTap DBMS instance.
@@ -80,6 +86,23 @@ pub struct Database {
     pub mode: EngineMode,
     /// Versions pruned by GC so far.
     pub gc_pruned: u64,
+    /// Record per-statement actuals into `ts_stat_statements`. Recording
+    /// is clock-neutral on the session task (reads only); its accounting
+    /// cost is charged by the driver at pump cadence, so the training
+    /// samples a traced workload produces are bit-identical on/off.
+    pub stmt_stats_enabled: bool,
+    /// Snapshot of the live model generation, for predicted-vs-actual
+    /// cost attribution (EXPLAIN ANALYZE, ts_stat_statements MAPE).
+    live_model: Option<LiveModel>,
+    /// Concurrency context feature used at prediction time — must match
+    /// the training datasets' appended concurrency column.
+    model_concurrency: f64,
+    /// Pooled statement-observation buffer: the per-statement hot path
+    /// takes it, resets it, and returns it, so steady-state recording
+    /// allocates nothing.
+    obs_scratch: StmtObs,
+    /// Pooled per-OU breakdown buffer for `record_stmt` (same idea).
+    breakdown_scratch: Vec<(&'static str, f64)>,
 }
 
 impl Database {
@@ -101,7 +124,55 @@ impl Database {
             stmts: Vec::new(),
             mode: EngineMode::PerOperator,
             gc_pruned: 0,
+            stmt_stats_enabled: true,
+            live_model: None,
+            model_concurrency: 1.0,
+            obs_scratch: StmtObs::default(),
+            breakdown_scratch: Vec::new(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Model installation (predicted-vs-actual attribution)
+    // ------------------------------------------------------------------
+
+    /// Install the current live model snapshot (or clear it with `None`).
+    /// `concurrency` is the context feature the lifecycle trained with
+    /// (the driver passes its terminal count).
+    pub fn install_live_model(&mut self, live: Option<LiveModel>, concurrency: f64) {
+        self.live_model = live;
+        self.model_concurrency = concurrency.max(1.0);
+    }
+
+    /// Generation of the installed model snapshot, if any.
+    pub fn live_model_generation(&self) -> Option<u64> {
+        self.live_model.as_ref().map(|m| m.generation)
+    }
+
+    /// Predict one OU invocation's elapsed ns from its charged features,
+    /// with the same context columns the training datasets append
+    /// (CPU clock GHz, concurrency).
+    fn predict_ou_ns(&self, ou: &str, features: &[u64]) -> Option<f64> {
+        let live = self.live_model.as_ref()?;
+        let mut f: Vec<f64> = features.iter().map(|&v| v as f64).collect();
+        f.push(self.kernel.hw.clock_ghz);
+        f.push(self.model_concurrency);
+        live.models.predict_ns(ou, &f)
+    }
+
+    /// Predicted total ns for an observed statement (sum over its OU
+    /// charges); `None` when no model is installed or no OU had one.
+    fn predict_stmt_ns(&self, obs: &StmtObs) -> Option<f64> {
+        self.live_model.as_ref()?;
+        let mut sum = 0.0;
+        let mut any = false;
+        for c in &obs.ou {
+            if let Some(p) = self.predict_ou_ns(c.name, &c.features) {
+                sum += p;
+                any = true;
+            }
+        }
+        any.then_some(sum)
     }
 
     // ------------------------------------------------------------------
@@ -168,9 +239,11 @@ impl Database {
     pub fn prepare(&mut self, sql: &str) -> Result<StatementId, DbError> {
         let stmt = parse(sql).map_err(DbError::Parse)?;
         let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
+        let fingerprint = fingerprint(&stmt).into();
         self.stmts.push(Prepared {
             sql: sql.to_string(),
             plan,
+            fingerprint,
         });
         Ok(StatementId(self.stmts.len() - 1))
     }
@@ -184,7 +257,8 @@ impl Database {
     ) -> Result<ExecOutcome, DbError> {
         let stmt = parse(sql).map_err(DbError::Parse)?;
         let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
-        self.run_plan(sid, &plan, params)
+        let fp = self.stmt_stats_enabled.then(|| fingerprint(&stmt));
+        self.run_plan(sid, &plan, params, fp.as_deref())
     }
 
     /// Execute a prepared statement.
@@ -194,13 +268,10 @@ impl Database {
         stmt: StatementId,
         params: &[Value],
     ) -> Result<ExecOutcome, DbError> {
-        let plan = self
-            .stmts
-            .get(stmt.0)
-            .ok_or(DbError::NoSuchStatement)?
-            .plan
-            .clone();
-        self.run_plan(sid, &plan, params)
+        let p = self.stmts.get(stmt.0).ok_or(DbError::NoSuchStatement)?;
+        let plan = p.plan.clone();
+        let fp = self.stmt_stats_enabled.then(|| p.fingerprint.clone());
+        self.run_plan(sid, &plan, params, fp.as_deref())
     }
 
     // ------------------------------------------------------------------
@@ -287,6 +358,7 @@ impl Database {
         sid: SessionId,
         plan: &Plan,
         params: &[Value],
+        fp: Option<&str>,
     ) -> Result<ExecOutcome, DbError> {
         let _root = self
             .kernel
@@ -304,9 +376,23 @@ impl Database {
                 self.rollback(sid)?;
                 Ok(ExecOutcome::default())
             }
-            Plan::Explain(inner) => {
-                // EXPLAIN never executes (and unlike the paper's external
-                // approach, our internal collection never needs it).
+            Plan::Explain { analyze, inner } => {
+                if *analyze
+                    && matches!(
+                        **inner,
+                        Plan::Insert { .. }
+                            | Plan::Update { .. }
+                            | Plan::Delete { .. }
+                            | Plan::Query { .. }
+                    )
+                {
+                    return self.run_explain_analyze(sid, inner, params, fp);
+                }
+                // Plain EXPLAIN never executes (and unlike the paper's
+                // external approach, our internal collection never needs
+                // it). ANALYZE over non-executable statements (DDL,
+                // transaction control) also falls back to the plain
+                // rendering.
                 let rows = crate::exec::plan::explain(inner, &self.catalog)
                     .into_iter()
                     .map(|l| vec![Value::Text(l)])
@@ -335,13 +421,23 @@ impl Database {
                 Ok(ExecOutcome::default())
             }
             dml => {
+                let scratch = if fp.is_some() {
+                    // Feature vectors are only worth copying when a
+                    // live model will predict from them.
+                    let keep = self.live_model.is_some();
+                    let mut o = std::mem::take(&mut self.obs_scratch);
+                    o.reset(keep);
+                    Some(o)
+                } else {
+                    None
+                };
                 let implicit = self.sessions[sid.0].txn.is_none();
                 if implicit {
                     self.begin(sid);
                 }
                 let txn = self.sessions[sid.0].txn.unwrap();
                 let task = self.sessions[sid.0].task;
-                let result = {
+                let (result, obs, actual_ns) = {
                     let mut ctx = ExecCtx::new(
                         &mut self.kernel,
                         self.ts.as_mut(),
@@ -354,12 +450,20 @@ impl Database {
                         txn,
                         self.mode,
                     );
-                    execute(&mut ctx, dml, params)
+                    ctx.obs = scratch;
+                    let t0 = ctx.kernel.now(task);
+                    let r = execute(&mut ctx, dml, params);
+                    let t1 = ctx.kernel.now(task);
+                    (r, ctx.obs.take(), t1 - t0)
                 };
                 match result {
                     Ok(outcome) => {
                         if implicit {
                             self.commit(sid)?;
+                        }
+                        if let (Some(obs), Some(fp)) = (obs, fp) {
+                            self.record_stmt(fp, &obs, actual_ns, outcome.rows_affected);
+                            self.obs_scratch = obs; // return buffers to the pool
                         }
                         Ok(outcome)
                     }
@@ -372,6 +476,139 @@ impl Database {
                 }
             }
         }
+    }
+
+    /// `EXPLAIN ANALYZE`: execute the inner statement for real under
+    /// observation, then render the plan tree annotated with per-node
+    /// actuals (inclusive virtual-clock ns, rows, loops) and, when a
+    /// model is installed, the live model's predicted ns and error.
+    fn run_explain_analyze(
+        &mut self,
+        sid: SessionId,
+        inner: &Plan,
+        params: &[Value],
+        fp: Option<&str>,
+    ) -> Result<ExecOutcome, DbError> {
+        let implicit = self.sessions[sid.0].txn.is_none();
+        if implicit {
+            self.begin(sid);
+        }
+        let txn = self.sessions[sid.0].txn.unwrap();
+        let task = self.sessions[sid.0].task;
+        let (result, obs, actual_ns) = {
+            let mut ctx = ExecCtx::new(
+                &mut self.kernel,
+                self.ts.as_mut(),
+                self.ous.as_ref(),
+                task,
+                &self.catalog,
+                &mut self.tables,
+                &mut self.indexes,
+                &mut self.txns,
+                txn,
+                self.mode,
+            );
+            ctx.obs = Some(StmtObs::new(true));
+            let t0 = ctx.kernel.now(task);
+            let r = execute(&mut ctx, inner, params);
+            let t1 = ctx.kernel.now(task);
+            (r, ctx.obs.take().unwrap_or_default(), t1 - t0)
+        };
+        let outcome = match result {
+            Ok(o) => {
+                if implicit {
+                    self.commit(sid)?;
+                }
+                o
+            }
+            Err(e) => {
+                let _ = self.rollback(sid);
+                return Err(DbError::Aborted(e));
+            }
+        };
+        // Annotating the tree is user-visible statement work, not part of
+        // a driven workload — charge it on the session clock directly.
+        let render_ns = self.kernel.cost.explain_analyze_node_ns * obs.nodes.len().max(1) as f64;
+        self.kernel.charge_overhead(task, render_ns);
+        self.kernel
+            .telemetry
+            .counter_inc("db_explain_analyze_total", &[]);
+        if let Some(fp) = fp {
+            self.record_stmt(fp, &obs, actual_ns, outcome.rows_affected);
+        }
+        let annots = self.annotations(&obs);
+        let mut lines = crate::exec::plan::explain_annotated(inner, &self.catalog, &annots);
+        let ou_ns = obs.ou_total_ns();
+        let head = format!("Execution: actual={actual_ns:.0}ns ou_actual={ou_ns:.0}ns");
+        let footer = match self.live_model_generation() {
+            Some(g) => match self.predict_stmt_ns(&obs) {
+                Some(p) => format!(
+                    "{head} predicted={p:.0}ns err={:.1}% (model generation {g})",
+                    (p - ou_ns).abs() / ou_ns.max(1e-9) * 100.0
+                ),
+                None => format!("{head} predicted=- (model generation {g})"),
+            },
+            None => format!("{head} predicted=- (no model installed)"),
+        };
+        lines.push(footer);
+        let rows: Vec<Vec<Value>> = lines.into_iter().map(|l| vec![Value::Text(l)]).collect();
+        Ok(ExecOutcome {
+            rows_affected: rows.len() as u64,
+            rows,
+        })
+    }
+
+    /// Per-node annotation suffixes in `StmtObs` node order (pre-order).
+    fn annotations(&self, obs: &StmtObs) -> Vec<String> {
+        obs.nodes
+            .iter()
+            .enumerate()
+            .map(|(idx, n)| {
+                // The node's *own* OU-accounted cost (children excluded) —
+                // what the per-OU models actually predict.
+                let own_actual: f64 = obs.node_charges(idx).map(|c| c.ns).sum();
+                let mut predicted = None;
+                if self.live_model.is_some() {
+                    let mut sum = 0.0;
+                    let mut any = false;
+                    for c in obs.node_charges(idx) {
+                        if let Some(p) = self.predict_ou_ns(c.name, &c.features) {
+                            sum += p;
+                            any = true;
+                        }
+                    }
+                    predicted = any.then_some(sum);
+                }
+                match predicted {
+                    Some(p) => format!(
+                        " (actual={:.0}ns rows={} loops={} predicted={:.0}ns err={:.1}%)",
+                        n.ns,
+                        n.rows,
+                        n.loops,
+                        p,
+                        (p - own_actual).abs() / own_actual.max(1e-9) * 100.0
+                    ),
+                    None => format!(
+                        " (actual={:.0}ns rows={} loops={} predicted=-)",
+                        n.ns, n.rows, n.loops
+                    ),
+                }
+            })
+            .collect()
+    }
+
+    /// Record one executed statement into the telemetry stats registry.
+    /// Reads only on the session clock — the accounting cost is charged
+    /// by the driver at pump cadence (`stmt_fingerprint_ns` +
+    /// `stmt_record_ns` per recorded statement).
+    fn record_stmt(&mut self, fp: &str, obs: &StmtObs, actual_ns: f64, rows: u64) {
+        let mut breakdown = std::mem::take(&mut self.breakdown_scratch);
+        obs.ou_breakdown_into(&mut breakdown);
+        let predicted = self.predict_stmt_ns(obs);
+        self.kernel
+            .telemetry
+            .stmt_record(fp, actual_ns, rows, &breakdown, predicted);
+        self.breakdown_scratch = breakdown;
     }
 
     fn create_table(
@@ -1023,5 +1260,181 @@ mod explain_tests {
             Some(1),
             "EXPLAIN must not delete"
         );
+    }
+
+    fn seeded(n: i64) -> (Database, SessionId) {
+        let (mut db, sid) = db();
+        for i in 0..n {
+            db.execute(
+                sid,
+                "INSERT INTO t VALUES ($1, $2, $3)",
+                &[Value::Int(i), Value::Int(i % 4), Value::Float(1.0)],
+            )
+            .unwrap();
+        }
+        (db, sid)
+    }
+
+    /// Ridge fit on a constant target predicts ~that constant for any
+    /// input, so two target scales give two visibly different "model
+    /// generations" without running the full training pipeline.
+    fn synth_live(generation: u64, target_ns: f64) -> LiveModel {
+        use tscout_models::{LabeledPoint, ModelKind, OuData, OuModelSet};
+        let mk = |name: &str, nf: usize| {
+            let mut d = OuData::new(name);
+            for i in 0..64usize {
+                let mut features: Vec<f64> = (0..nf).map(|k| ((i + k) % 9) as f64).collect();
+                features.push(2.5); // clock_ghz column
+                features.push(1.0); // concurrency column
+                d.points.push(LabeledPoint {
+                    features,
+                    target_ns,
+                    template: 0,
+                });
+            }
+            d
+        };
+        let data = vec![
+            mk("idx_lookup", 3),
+            mk("idx_range_scan", 2),
+            mk("seq_scan", 2),
+            mk("filter", 1),
+            mk("output", 2),
+        ];
+        LiveModel {
+            generation,
+            trained_points: data.iter().map(|d| d.len()).sum(),
+            models: std::sync::Arc::new(OuModelSet::train(ModelKind::Ridge, 1, &data)),
+            holdout_mape_pct: 0.0,
+        }
+    }
+
+    fn footer_predicted_ns(lines: &[String]) -> f64 {
+        let footer = lines.last().unwrap();
+        footer
+            .split("predicted=")
+            .nth(1)
+            .unwrap()
+            .split("ns")
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("no numeric prediction in {footer:?}"))
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_annotates_actuals() {
+        let (mut db, sid) = seeded(20);
+        let out = lines(&mut db, sid, "EXPLAIN ANALYZE SELECT v FROM t WHERE id = 7");
+        assert!(out[0].starts_with("Project"), "{out:?}");
+        assert!(
+            out[0].contains("actual=") && out[0].contains("rows=") && out[0].contains("loops="),
+            "{out:?}"
+        );
+        // No model installed: per-node and statement predictions absent.
+        assert!(out[0].contains("predicted=-"), "{out:?}");
+        let footer = out.last().unwrap();
+        assert!(footer.starts_with("Execution: actual="), "{out:?}");
+        assert!(footer.contains("(no model installed)"), "{out:?}");
+        assert_eq!(
+            db.kernel
+                .telemetry
+                .counter_value("db_explain_analyze_total", &[]),
+            1
+        );
+
+        // ANALYZE ran the statement for real: the DELETE deletes.
+        db.execute(sid, "EXPLAIN ANALYZE DELETE FROM t WHERE b = 1", &[])
+            .unwrap();
+        assert_eq!(db.table_live_tuples("t"), Some(15), "b=1 rows are gone");
+    }
+
+    #[test]
+    fn explain_analyze_predictions_follow_model_hot_swap() {
+        let (mut db, sid) = seeded(50);
+        db.install_live_model(Some(synth_live(1, 1_000.0)), 1.0);
+        let gen1 = lines(&mut db, sid, "EXPLAIN ANALYZE SELECT v FROM t WHERE id = 7");
+        assert!(
+            gen1.iter()
+                .any(|l| l.contains("predicted=") && !l.contains("predicted=-")),
+            "{gen1:?}"
+        );
+        assert!(gen1.iter().any(|l| l.contains("err=")), "{gen1:?}");
+        assert!(
+            gen1.last().unwrap().contains("(model generation 1)"),
+            "{gen1:?}"
+        );
+
+        // Hot swap: a new generation must change the predicted columns.
+        db.install_live_model(Some(synth_live(2, 50_000.0)), 1.0);
+        let gen2 = lines(&mut db, sid, "EXPLAIN ANALYZE SELECT v FROM t WHERE id = 7");
+        assert!(
+            gen2.last().unwrap().contains("(model generation 2)"),
+            "{gen2:?}"
+        );
+        assert!(
+            footer_predicted_ns(&gen2) > footer_predicted_ns(&gen1) * 5.0,
+            "swap to a 50x-scale model must move predictions: {gen1:?} vs {gen2:?}"
+        );
+
+        db.install_live_model(None, 1.0);
+        let off = lines(&mut db, sid, "EXPLAIN ANALYZE SELECT v FROM t WHERE id = 7");
+        assert!(
+            off.last().unwrap().contains("(no model installed)"),
+            "{off:?}"
+        );
+    }
+
+    #[test]
+    fn ts_stat_statements_aggregates_by_fingerprint() {
+        let (mut db, sid) = seeded(10);
+        for i in 0..7 {
+            db.execute(sid, "SELECT v FROM t WHERE id = $1", &[Value::Int(i)])
+                .unwrap();
+        }
+        // Different literals, identical shape → one fingerprint.
+        db.execute(sid, "SELECT v FROM t WHERE id = 3", &[])
+            .unwrap();
+        db.execute(sid, "SELECT v FROM t WHERE id = 4", &[])
+            .unwrap();
+        let out = db
+            .execute(
+                sid,
+                "SELECT fingerprint, calls, total_ns, mean_ns, ou_ns_total \
+                 FROM ts_stat_statements ORDER BY calls DESC",
+                &[],
+            )
+            .unwrap();
+        let find = |fp: &str| {
+            out.rows
+                .iter()
+                .find(|r| r[0].as_text() == Some(fp))
+                .unwrap_or_else(|| panic!("fingerprint {fp:?} missing from {:?}", out.rows))
+                .clone()
+        };
+        let prepared = find("select v from t where (id = $1)");
+        assert_eq!(prepared[1], Value::Int(7));
+        let literal = find("select v from t where (id = ?)");
+        assert_eq!(literal[1], Value::Int(2));
+        for row in &out.rows {
+            let calls = row[1].as_int().unwrap() as f64;
+            let total = row[2].as_float().unwrap();
+            let mean = row[3].as_float().unwrap();
+            let ou_total = row[4].as_float().unwrap();
+            assert!(
+                (mean * calls - total).abs() < 1e-6 * total.max(1.0),
+                "{row:?}"
+            );
+            assert!(
+                ou_total <= total + 1e-6,
+                "OU self time exceeds inclusive: {row:?}"
+            );
+        }
+        // Disabled: nothing new is recorded.
+        let before = db.kernel.telemetry.stmt_recorded();
+        db.stmt_stats_enabled = false;
+        db.execute(sid, "SELECT v FROM t WHERE id = 5", &[])
+            .unwrap();
+        assert_eq!(db.kernel.telemetry.stmt_recorded(), before);
     }
 }

@@ -16,6 +16,7 @@
 //! ([`ou::work_for`]) additionally charges virtual CPU time so the
 //! kernel's counters and clocks reflect the work.
 
+pub mod obs;
 pub mod ou;
 pub mod plan;
 
@@ -82,6 +83,10 @@ pub struct ExecCtx<'a> {
     pub txns: &'a mut TxnManager,
     pub txn: TxnHandle,
     pub mode: EngineMode,
+    /// Per-statement observation (plan-node actuals + OU attribution).
+    /// Clock-neutral: set by the engine when statement stats or
+    /// EXPLAIN ANALYZE need actuals; `None` costs nothing on the hot path.
+    pub obs: Option<obs::StmtObs>,
     /// Fused-mode accumulator of (OU, features) groups.
     fused: Option<Vec<(OuId, Vec<u64>)>>,
 }
@@ -111,7 +116,26 @@ impl<'a> ExecCtx<'a> {
             txns,
             txn,
             mode,
+            obs: None,
             fused: None,
+        }
+    }
+
+    /// Open an observation node at the current virtual clock (no-op and
+    /// zero-cost when observation is off).
+    fn obs_enter(&mut self) -> Option<usize> {
+        self.obs.as_ref()?;
+        let now = self.kernel.now(self.task);
+        self.obs.as_mut().map(|o| o.enter(now))
+    }
+
+    /// Close an observation node opened by [`Self::obs_enter`].
+    fn obs_exit(&mut self, tok: Option<usize>, rows: u64) {
+        if let Some(idx) = tok {
+            let now = self.kernel.now(self.task);
+            if let Some(o) = self.obs.as_mut() {
+                o.exit(idx, now, rows);
+            }
         }
     }
 
@@ -130,8 +154,21 @@ impl<'a> ExecCtx<'a> {
             .kernel
             .profile_frame_lazy(self.task, false, || format!("ou:{}", eou.name()));
         let w = work_for(eou, features);
-        self.kernel
-            .charge_cpu(self.task, w.instructions, w.ws_bytes);
+        if self.obs.is_some() {
+            // Bracket the charge with clock reads so the observation
+            // captures exactly this OU's modeled elapsed ns. Reads only —
+            // the charge itself is identical with observation off.
+            let t0 = self.kernel.now(self.task);
+            self.kernel
+                .charge_cpu(self.task, w.instructions, w.ws_bytes);
+            let t1 = self.kernel.now(self.task);
+            if let Some(o) = self.obs.as_mut() {
+                o.record_ou(eou.name(), t1 - t0, features);
+            }
+        } else {
+            self.kernel
+                .charge_cpu(self.task, w.instructions, w.ws_bytes);
+        }
         w.mem_bytes
     }
 
@@ -294,6 +331,20 @@ fn exec_query(
 }
 
 fn exec_node(
+    ctx: &mut ExecCtx<'_>,
+    node: &PlanNode,
+    params: &[Value],
+) -> Result<Vec<Row>, ExecError> {
+    // Observation nodes are assigned in pre-order execution order — the
+    // same order `plan::explain` renders operator lines — so annotations
+    // line up with the rendered tree by ordinal.
+    let tok = ctx.obs_enter();
+    let result = exec_node_inner(ctx, node, params);
+    ctx.obs_exit(tok, result.as_ref().map_or(0, |r| r.len() as u64));
+    result
+}
+
+fn exec_node_inner(
     ctx: &mut ExecCtx<'_>,
     node: &PlanNode,
     params: &[Value],
@@ -675,6 +726,7 @@ fn exec_insert(
     row_exprs: &[Vec<PExpr>],
     params: &[Value],
 ) -> Result<ExecOutcome, ExecError> {
+    let tok = ctx.obs_enter();
     ctx.begin(EngineOu::Insert);
     let meta = ctx.catalog.table(table_id);
     let index_metas = ctx.catalog.table_indexes(table_id);
@@ -701,6 +753,7 @@ fn exec_insert(
                         // the collector state machine stays consistent.
                         let feats = vec![inserted, total_bytes, index_metas.len() as u64];
                         ctx.finish(EngineOu::Insert, feats, total_bytes);
+                        ctx.obs_exit(tok, inserted);
                         return Err(ExecError::UniqueViolation(im.name.clone()));
                     }
                 }
@@ -725,6 +778,7 @@ fn exec_insert(
     let feats = vec![inserted, total_bytes, index_metas.len() as u64];
     let mem = ctx.charge(EngineOu::Insert, &feats);
     ctx.finish(EngineOu::Insert, feats, mem.max(total_bytes));
+    ctx.obs_exit(tok, inserted);
     Ok(ExecOutcome {
         rows: Vec::new(),
         rows_affected: inserted,
@@ -740,8 +794,11 @@ fn exec_update(
     // The child scan runs first (emitting its own OUs); the UPDATE OU
     // covers only the update work itself so its features explain its
     // metrics — the OU-decomposition principle of §2.1.
+    let hdr = ctx.obs_enter();
     let run_result = {
+        let scan_tok = ctx.obs_enter();
         let targets = exec_scan(ctx, scan, params);
+        ctx.obs_exit(scan_tok, targets.as_ref().map_or(0, |t| t.len() as u64));
         ctx.begin(EngineOu::Update);
         match targets {
             Err(e) => Err(e),
@@ -816,6 +873,7 @@ fn exec_update(
             let feats = vec![n, bytes, touched.max(1)];
             let mem = ctx.charge(EngineOu::Update, &feats);
             ctx.finish(EngineOu::Update, feats, mem);
+            ctx.obs_exit(hdr, n);
             Ok(ExecOutcome {
                 rows: Vec::new(),
                 rows_affected: n,
@@ -824,6 +882,7 @@ fn exec_update(
         Err(e) => {
             let feats = vec![0, 0, 0];
             ctx.finish(EngineOu::Update, feats, 0);
+            ctx.obs_exit(hdr, 0);
             Err(e)
         }
     }
@@ -834,12 +893,16 @@ fn exec_delete(
     scan: &ScanNode,
     params: &[Value],
 ) -> Result<ExecOutcome, ExecError> {
+    let hdr = ctx.obs_enter();
+    let scan_tok = ctx.obs_enter();
     let targets = exec_scan(ctx, scan, params);
+    ctx.obs_exit(scan_tok, targets.as_ref().map_or(0, |t| t.len() as u64));
     ctx.begin(EngineOu::Delete);
     let targets = match targets {
         Ok(t) => t,
         Err(e) => {
             ctx.finish(EngineOu::Delete, vec![0, 0], 0);
+            ctx.obs_exit(hdr, 0);
             return Err(e);
         }
     };
@@ -867,6 +930,7 @@ fn exec_delete(
     let feats = vec![n, n_indexes];
     let mem = ctx.charge(EngineOu::Delete, &feats);
     ctx.finish(EngineOu::Delete, feats, mem);
+    ctx.obs_exit(hdr, n);
     if conflict {
         Err(ExecError::Conflict)
     } else {

@@ -159,13 +159,40 @@ pub enum Plan {
     Begin,
     Commit,
     Rollback,
-    Explain(Box<Plan>),
+    Explain {
+        analyze: bool,
+        inner: Box<Plan>,
+    },
 }
 
 /// Render a physical plan as `EXPLAIN` output lines (one per operator,
 /// indented by tree depth) — the human-readable plan description the
 /// paper's §2.2 external collection approach decomposes into features.
 pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
+    render(plan, catalog, &[])
+}
+
+/// Render the plan with a per-operator suffix appended to each operator
+/// line. `annots` is indexed by the operator's *pre-order ordinal* — the
+/// same order the executor assigns [`StmtObs`](super::obs::StmtObs) node
+/// indices — so `annots[i]` lands on the operator that produced
+/// `nodes[i]`. Detail lines (`Filter: …`) are never annotated. Missing
+/// entries render unannotated.
+pub fn explain_annotated(
+    plan: &Plan,
+    catalog: &crate::catalog::Catalog,
+    annots: &[String],
+) -> Vec<String> {
+    render(plan, catalog, annots)
+}
+
+fn render(plan: &Plan, catalog: &crate::catalog::Catalog, annots: &[String]) -> Vec<String> {
+    /// Annotation suffix for the next operator line (pre-order).
+    fn tag(annots: &[String], ord: &mut usize) -> String {
+        let s = annots.get(*ord).cloned().unwrap_or_default();
+        *ord += 1;
+        s
+    }
     fn expr(e: &PExpr) -> String {
         match e {
             PExpr::Col(i) => format!("#{i}"),
@@ -174,7 +201,14 @@ pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
             PExpr::Bin(l, op, r) => format!("({} {op:?} {})", expr(l), expr(r)),
         }
     }
-    fn scan(s: &ScanNode, catalog: &crate::catalog::Catalog, depth: usize, out: &mut Vec<String>) {
+    fn scan(
+        s: &ScanNode,
+        catalog: &crate::catalog::Catalog,
+        depth: usize,
+        out: &mut Vec<String>,
+        annots: &[String],
+        ord: &mut usize,
+    ) {
         let pad = "  ".repeat(depth);
         let table = &catalog.table(s.table).name;
         let line = match &s.access {
@@ -196,17 +230,24 @@ pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
                 hi.as_ref().map(expr).unwrap_or_else(|| "+inf".into()),
             ),
         };
-        out.push(line);
+        out.push(line + &tag(annots, ord));
         if let Some(f) = &s.residual {
             out.push(format!("{}Filter: {}", "  ".repeat(depth + 1), expr(f)));
         }
     }
-    fn node(n: &PlanNode, catalog: &crate::catalog::Catalog, depth: usize, out: &mut Vec<String>) {
+    fn node(
+        n: &PlanNode,
+        catalog: &crate::catalog::Catalog,
+        depth: usize,
+        out: &mut Vec<String>,
+        annots: &[String],
+        ord: &mut usize,
+    ) {
         let pad = "  ".repeat(depth);
         match n {
-            PlanNode::Scan(s) => scan(s, catalog, depth, out),
+            PlanNode::Scan(s) => scan(s, catalog, depth, out, annots, ord),
             PlanNode::VirtualScan { name, residual } => {
-                out.push(format!("{pad}VirtualScan on {name}"));
+                out.push(format!("{pad}VirtualScan on {name}") + &tag(annots, ord));
                 if let Some(f) = residual {
                     out.push(format!("{pad}  Filter: {}", expr(f)));
                 }
@@ -218,73 +259,86 @@ pub fn explain(plan: &Plan, catalog: &crate::catalog::Catalog) -> Vec<String> {
                 right_key,
                 residual,
             } => {
-                out.push(format!(
-                    "{pad}HashJoin build_key={} probe_key={}",
-                    expr(left_key),
-                    expr(right_key)
-                ));
+                out.push(
+                    format!(
+                        "{pad}HashJoin build_key={} probe_key={}",
+                        expr(left_key),
+                        expr(right_key)
+                    ) + &tag(annots, ord),
+                );
                 if let Some(f) = residual {
                     out.push(format!("{pad}  Filter: {}", expr(f)));
                 }
-                node(left, catalog, depth + 1, out);
-                node(right, catalog, depth + 1, out);
+                node(left, catalog, depth + 1, out, annots, ord);
+                node(right, catalog, depth + 1, out, annots, ord);
             }
             PlanNode::Aggregate {
                 input,
                 group_by,
                 aggs,
             } => {
-                out.push(format!(
-                    "{pad}Aggregate group_by={group_by:?} aggs=[{}]",
-                    aggs.iter()
-                        .map(|(f, c)| match c {
-                            Some(c) => format!("{}(#{c})", f.name()),
-                            None => format!("{}(*)", f.name()),
-                        })
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ));
-                node(input, catalog, depth + 1, out);
+                out.push(
+                    format!(
+                        "{pad}Aggregate group_by={group_by:?} aggs=[{}]",
+                        aggs.iter()
+                            .map(|(f, c)| match c {
+                                Some(c) => format!("{}(#{c})", f.name()),
+                                None => format!("{}(*)", f.name()),
+                            })
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ) + &tag(annots, ord),
+                );
+                node(input, catalog, depth + 1, out, annots, ord);
             }
             PlanNode::Sort { input, by } => {
-                out.push(format!("{pad}Sort by={by:?}"));
-                node(input, catalog, depth + 1, out);
+                out.push(format!("{pad}Sort by={by:?}") + &tag(annots, ord));
+                node(input, catalog, depth + 1, out, annots, ord);
             }
             PlanNode::Limit { input, n } => {
-                out.push(format!("{pad}Limit {n}"));
-                node(input, catalog, depth + 1, out);
+                out.push(format!("{pad}Limit {n}") + &tag(annots, ord));
+                node(input, catalog, depth + 1, out, annots, ord);
             }
             PlanNode::Project { input, exprs } => {
-                out.push(format!(
-                    "{pad}Project [{}]",
-                    exprs.iter().map(expr).collect::<Vec<_>>().join(", ")
-                ));
-                node(input, catalog, depth + 1, out);
+                out.push(
+                    format!(
+                        "{pad}Project [{}]",
+                        exprs.iter().map(expr).collect::<Vec<_>>().join(", ")
+                    ) + &tag(annots, ord),
+                );
+                node(input, catalog, depth + 1, out, annots, ord);
             }
         }
     }
     let mut out = Vec::new();
+    let mut ord = 0usize;
     match plan {
-        Plan::Query { root } => node(root, catalog, 0, &mut out),
-        Plan::Insert { table, rows } => out.push(format!(
-            "Insert into {} ({} rows)",
-            catalog.table(*table).name,
-            rows.len()
-        )),
+        Plan::Query { root } => node(root, catalog, 0, &mut out, annots, &mut ord),
+        Plan::Insert { table, rows } => out.push(
+            format!(
+                "Insert into {} ({} rows)",
+                catalog.table(*table).name,
+                rows.len()
+            ) + &tag(annots, &mut ord),
+        ),
         Plan::Update { scan: s, sets } => {
-            out.push(format!(
-                "Update {} set=[{}]",
-                catalog.table(s.table).name,
-                sets.iter()
-                    .map(|(c, e)| format!("#{c} = {}", expr(e)))
-                    .collect::<Vec<_>>()
-                    .join(", ")
-            ));
-            scan(s, catalog, 1, &mut out);
+            out.push(
+                format!(
+                    "Update {} set=[{}]",
+                    catalog.table(s.table).name,
+                    sets.iter()
+                        .map(|(c, e)| format!("#{c} = {}", expr(e)))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ) + &tag(annots, &mut ord),
+            );
+            scan(s, catalog, 1, &mut out, annots, &mut ord);
         }
         Plan::Delete { scan: s } => {
-            out.push(format!("Delete from {}", catalog.table(s.table).name));
-            scan(s, catalog, 1, &mut out);
+            out.push(
+                format!("Delete from {}", catalog.table(s.table).name) + &tag(annots, &mut ord),
+            );
+            scan(s, catalog, 1, &mut out, annots, &mut ord);
         }
         other => out.push(format!("{other:?}")),
     }

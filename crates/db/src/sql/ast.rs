@@ -152,9 +152,15 @@ pub enum Stmt {
     Begin,
     Commit,
     Rollback,
-    /// `EXPLAIN <statement>` — the paper's §2.2 external feature-collection
-    /// path: returns the physical plan instead of executing.
-    Explain(Box<Stmt>),
+    /// `EXPLAIN [ANALYZE] <statement>` — the paper's §2.2 external
+    /// feature-collection path: plain EXPLAIN returns the physical plan
+    /// without executing; with ANALYZE the statement executes for real
+    /// and each plan node is annotated with its actual virtual-clock
+    /// cost and the live model's predicted cost.
+    Explain {
+        analyze: bool,
+        stmt: Box<Stmt>,
+    },
 }
 
 #[cfg(test)]

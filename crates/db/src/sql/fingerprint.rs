@@ -1,0 +1,282 @@
+//! Statement fingerprinting for the statement-stats registry.
+//!
+//! A fingerprint is the statement's AST rendered back to canonical SQL
+//! with every literal replaced by `?`. Because it is computed from the
+//! parsed tree — where the lexer already lowercased identifiers and
+//! discarded whitespace — `SELECT  V FROM T WHERE ID=42` and
+//! `select v from t where id = 7` produce the same template, while any
+//! structural difference (different columns, extra predicate, ORDER BY)
+//! produces a distinct one. Parameters keep their `$n` positions: a
+//! prepared statement and its literal-inlined equivalent collapse to the
+//! same shape only up to literal positions, which is exactly
+//! pg_stat_statements' behavior.
+
+use crate::sql::ast::{BinOp, Expr, Projection, SelectStmt, Stmt};
+
+/// Render a canonical, literal-normalized template for `stmt`.
+pub fn fingerprint(stmt: &Stmt) -> String {
+    let mut out = String::with_capacity(64);
+    render_stmt(stmt, &mut out);
+    out
+}
+
+fn render_stmt(stmt: &Stmt, out: &mut String) {
+    match stmt {
+        Stmt::CreateTable { name, .. } => {
+            out.push_str("create table ");
+            out.push_str(name);
+        }
+        Stmt::CreateIndex { name, table, .. } => {
+            out.push_str("create index ");
+            out.push_str(name);
+            out.push_str(" on ");
+            out.push_str(table);
+        }
+        Stmt::Insert { table, rows } => {
+            // Row count is part of the shape: a 1-row and a 100-row
+            // INSERT have very different costs.
+            out.push_str("insert into ");
+            out.push_str(table);
+            out.push_str(" values ");
+            for (i, row) in rows.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push('(');
+                for (j, e) in row.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    render_expr(e, out);
+                }
+                out.push(')');
+            }
+        }
+        Stmt::Select(sel) => render_select(sel, out),
+        Stmt::Update {
+            table,
+            sets,
+            where_clause,
+        } => {
+            out.push_str("update ");
+            out.push_str(table);
+            out.push_str(" set ");
+            for (i, (col, e)) in sets.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(col);
+                out.push_str(" = ");
+                render_expr(e, out);
+            }
+            if let Some(w) = where_clause {
+                out.push_str(" where ");
+                render_expr(w, out);
+            }
+        }
+        Stmt::Delete {
+            table,
+            where_clause,
+        } => {
+            out.push_str("delete from ");
+            out.push_str(table);
+            if let Some(w) = where_clause {
+                out.push_str(" where ");
+                render_expr(w, out);
+            }
+        }
+        Stmt::Begin => out.push_str("begin"),
+        Stmt::Commit => out.push_str("commit"),
+        Stmt::Rollback => out.push_str("rollback"),
+        Stmt::Explain { analyze, stmt } => {
+            out.push_str(if *analyze {
+                "explain analyze "
+            } else {
+                "explain "
+            });
+            render_stmt(stmt, out);
+        }
+    }
+}
+
+fn render_select(sel: &SelectStmt, out: &mut String) {
+    out.push_str("select ");
+    for (i, p) in sel.projections.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        match p {
+            Projection::Star => out.push('*'),
+            Projection::Expr(e) => render_expr(e, out),
+        }
+    }
+    out.push_str(" from ");
+    out.push_str(&sel.from.name);
+    if let Some(alias) = &sel.from.alias {
+        out.push(' ');
+        out.push_str(alias);
+    }
+    if let Some((t, on)) = &sel.join {
+        out.push_str(" join ");
+        out.push_str(&t.name);
+        if let Some(alias) = &t.alias {
+            out.push(' ');
+            out.push_str(alias);
+        }
+        out.push_str(" on ");
+        render_expr(on, out);
+    }
+    if let Some(w) = &sel.where_clause {
+        out.push_str(" where ");
+        render_expr(w, out);
+    }
+    if !sel.group_by.is_empty() {
+        out.push_str(" group by ");
+        out.push_str(&sel.group_by.join(", "));
+    }
+    if !sel.order_by.is_empty() {
+        out.push_str(" order by ");
+        for (i, (col, desc)) in sel.order_by.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(col);
+            if *desc {
+                out.push_str(" desc");
+            }
+        }
+    }
+    if sel.limit.is_some() {
+        // The limit value is a literal: normalize it away too.
+        out.push_str(" limit ?");
+    }
+    if sel.for_update {
+        out.push_str(" for update");
+    }
+}
+
+fn render_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Column(q, c) => {
+            if let Some(q) = q {
+                out.push_str(q);
+                out.push('.');
+            }
+            out.push_str(c);
+        }
+        Expr::Literal(_) => out.push('?'),
+        Expr::Param(p) => {
+            out.push('$');
+            out.push_str(&(p + 1).to_string());
+        }
+        Expr::Binary(l, op, r) => {
+            out.push('(');
+            render_expr(l, out);
+            out.push(' ');
+            out.push_str(op_str(*op));
+            out.push(' ');
+            render_expr(r, out);
+            out.push(')');
+        }
+        Expr::Agg(f, arg) => {
+            out.push_str(f.name());
+            out.push('(');
+            out.push_str(arg.as_deref().unwrap_or("*"));
+            out.push(')');
+        }
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Or => "or",
+        BinOp::And => "and",
+        BinOp::Eq => "=",
+        BinOp::Ne => "<>",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sql::parser::parse;
+
+    fn fp(sql: &str) -> String {
+        fingerprint(&parse(sql).unwrap())
+    }
+
+    #[test]
+    fn literals_whitespace_and_case_collapse() {
+        let a = fp("SELECT bal FROM acct WHERE id = 7");
+        let b = fp("select   BAL from ACCT\n where ID=42");
+        assert_eq!(a, b);
+        assert_eq!(a, "select bal from acct where (id = ?)");
+        // Text and float literals normalize the same way.
+        assert_eq!(
+            fp("UPDATE t SET name = 'x' WHERE id = 1.5"),
+            fp("update t set name='other' where id=99.0"),
+        );
+        // LIMIT values are literals too.
+        assert_eq!(
+            fp("SELECT * FROM t LIMIT 5"),
+            fp("SELECT * FROM t LIMIT 500")
+        );
+    }
+
+    #[test]
+    fn distinct_shapes_stay_distinct() {
+        let shapes = [
+            fp("SELECT bal FROM acct WHERE id = 1"),
+            fp("SELECT bal FROM acct WHERE id > 1"),
+            fp("SELECT bal FROM acct"),
+            fp("SELECT id FROM acct WHERE id = 1"),
+            fp("SELECT bal FROM acct WHERE id = 1 ORDER BY bal"),
+            fp("SELECT bal FROM acct WHERE id = 1 ORDER BY bal DESC"),
+            fp("SELECT bal FROM other WHERE id = 1"),
+            fp("DELETE FROM acct WHERE id = 1"),
+            fp("EXPLAIN SELECT bal FROM acct WHERE id = 1"),
+            fp("EXPLAIN ANALYZE SELECT bal FROM acct WHERE id = 1"),
+        ];
+        for (i, a) in shapes.iter().enumerate() {
+            for (j, b) in shapes.iter().enumerate() {
+                if i != j {
+                    assert_ne!(a, b, "shapes {i} and {j} must differ");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn params_keep_their_positions() {
+        assert_eq!(
+            fp("SELECT * FROM t WHERE a = $1 AND b = $2"),
+            "select * from t where ((a = $1) and (b = $2))"
+        );
+        // A param and a literal are different shapes (prepared vs inline).
+        assert_ne!(
+            fp("SELECT * FROM t WHERE a = $1"),
+            fp("SELECT * FROM t WHERE a = 1")
+        );
+    }
+
+    #[test]
+    fn joins_aggregates_and_dml_render() {
+        assert_eq!(
+            fp("SELECT a.x, count(*) FROM a JOIN b ON a.id = b.aid \
+                WHERE a.x > 3 GROUP BY x"),
+            "select a.x, count(*) from a join b on (a.id = b.aid) \
+             where (a.x > ?) group by x"
+        );
+        assert_eq!(
+            fp("INSERT INTO t VALUES (1, 'x'), ($1, 'y')"),
+            "insert into t values (?, ?), ($1, ?)"
+        );
+    }
+}

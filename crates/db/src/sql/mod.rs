@@ -1,6 +1,7 @@
 //! SQL front end: lexer, parser, AST, and planner.
 
 pub mod ast;
+pub mod fingerprint;
 pub mod lexer;
 pub mod parser;
 pub mod planner;

@@ -129,8 +129,11 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Stmt, ParseError> {
         if self.eat_kw("explain") {
-            self.eat_kw("analyze"); // EXPLAIN ANALYZE parses identically here
-            return Ok(Stmt::Explain(Box::new(self.statement()?)));
+            let analyze = self.eat_kw("analyze");
+            return Ok(Stmt::Explain {
+                analyze,
+                stmt: Box::new(self.statement()?),
+            });
         }
         if self.eat_kw("create") {
             return self.create();
@@ -690,6 +693,26 @@ mod tests {
         assert_eq!(parse("COMMIT;").unwrap(), Stmt::Commit);
         assert_eq!(parse("ROLLBACK").unwrap(), Stmt::Rollback);
         assert_eq!(parse("ABORT").unwrap(), Stmt::Rollback);
+    }
+
+    #[test]
+    fn parses_explain_and_explain_analyze() {
+        let s = parse("EXPLAIN SELECT * FROM t").unwrap();
+        match s {
+            Stmt::Explain { analyze, stmt } => {
+                assert!(!analyze);
+                assert!(matches!(*stmt, Stmt::Select(_)));
+            }
+            other => panic!("{other:?}"),
+        }
+        let s = parse("EXPLAIN ANALYZE UPDATE t SET a = 1").unwrap();
+        match s {
+            Stmt::Explain { analyze, stmt } => {
+                assert!(analyze);
+                assert!(matches!(*stmt, Stmt::Update { .. }));
+            }
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

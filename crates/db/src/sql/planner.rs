@@ -153,7 +153,10 @@ pub fn plan(catalog: &Catalog, stmt: &Stmt) -> Result<Plan, PlanError> {
             Ok(Plan::Delete { scan })
         }
         Stmt::Select(sel) => plan_select(catalog, sel),
-        Stmt::Explain(inner) => Ok(Plan::Explain(Box::new(plan(catalog, inner)?))),
+        Stmt::Explain { analyze, stmt } => Ok(Plan::Explain {
+            analyze: *analyze,
+            inner: Box::new(plan(catalog, stmt)?),
+        }),
     }
 }
 

@@ -24,7 +24,11 @@
 //!   dominated a trace's critical path;
 //! * `ts_stat_archive` — one row per OU stored in the training-data
 //!   archive: samples appended/retired, blocks and bytes written, plus
-//!   the archive-global segment and recovery counters on every row.
+//!   the archive-global segment and recovery counters on every row;
+//! * `ts_stat_statements` — one row per statement fingerprint (the
+//!   `pg_stat_statements` shape): call counts, total/min/max/mean actual
+//!   ns, rows, the OU-attributed cost breakdown, and the rolling
+//!   predicted-vs-actual MAPE against the live behavior models.
 //!
 //! Scans run through the normal planner/executor path, so projections,
 //! filters, aggregation, ORDER BY, and LIMIT all compose:
@@ -43,6 +47,7 @@ pub const VIRTUAL_TABLES: &[&str] = &[
     "ts_traces",
     "ts_stat_pipeline",
     "ts_stat_archive",
+    "ts_stat_statements",
 ];
 
 /// True if `name` refers to a virtual introspection table.
@@ -131,6 +136,19 @@ pub fn virtual_schema(name: &str) -> Option<Schema> {
             ("segments_sealed", DataType::Int),
             ("segments_compacted", DataType::Int),
             ("recovered_truncations", DataType::Int),
+        ]),
+        "ts_stat_statements" => Schema::new(&[
+            ("fingerprint", DataType::Text),
+            ("calls", DataType::Int),
+            ("rows", DataType::Int),
+            ("total_ns", DataType::Float),
+            ("min_ns", DataType::Float),
+            ("max_ns", DataType::Float),
+            ("mean_ns", DataType::Float),
+            ("ou_ns_total", DataType::Float),
+            ("ou_breakdown", DataType::Text),
+            ("predicted_calls", DataType::Int),
+            ("mape_pct", DataType::Float),
         ]),
         _ => return None,
     };
@@ -313,6 +331,34 @@ pub fn virtual_rows(name: &str, telemetry: &Telemetry) -> Vec<Row> {
                 })
                 .collect()
         }),
+        "ts_stat_statements" => telemetry.with_registry(|r| {
+            // Entries iterate in fingerprint order (BTreeMap), so the
+            // unsorted scan output is already deterministic.
+            r.stmts()
+                .entries()
+                .map(|e| {
+                    let breakdown = e
+                        .ou_ns
+                        .iter()
+                        .map(|(ou, ns)| format!("{ou}={ns:.0}"))
+                        .collect::<Vec<_>>()
+                        .join(";");
+                    vec![
+                        Value::Text(e.fingerprint.clone()),
+                        Value::Int(e.calls as i64),
+                        Value::Int(e.rows as i64),
+                        Value::Float(e.total_ns),
+                        Value::Float(if e.calls == 0 { 0.0 } else { e.min_ns }),
+                        Value::Float(e.max_ns),
+                        Value::Float(e.mean_ns()),
+                        Value::Float(e.ou_ns_total()),
+                        Value::Text(breakdown),
+                        Value::Int(e.predicted_calls as i64),
+                        Value::Float(e.mape_pct()),
+                    ]
+                })
+                .collect()
+        }),
         _ => Vec::new(),
     }
 }
@@ -338,6 +384,13 @@ mod tests {
         let t = Telemetry::new();
         t.observe_ou_sample("seq_scan", "execution_engine", 1_000.0, 3.0);
         t.observe_ou_sample("seq_scan", "execution_engine", 2_000.0, 4.0);
+        t.stmt_record(
+            "select v from t where (id = ?)",
+            5_000.0,
+            1,
+            &[("idx_lookup", 3_000.0), ("output", 500.0)],
+            Some(4_200.0),
+        );
         t.observability_tick(1e9);
         for name in VIRTUAL_TABLES {
             let schema = virtual_schema(name).unwrap();
@@ -355,6 +408,21 @@ mod tests {
         assert!(sub_rows.iter().all(|r| r[1] == Value::Text("OK".into())));
         // The model table always has exactly one row.
         assert_eq!(virtual_rows("ts_stat_model", &t).len(), 1);
+        // Statement stats surface the recorded fingerprint with its
+        // OU breakdown rendered as `ou=ns` pairs.
+        let stmt_rows = virtual_rows("ts_stat_statements", &t);
+        assert_eq!(stmt_rows.len(), 1);
+        assert_eq!(
+            stmt_rows[0][0],
+            Value::Text("select v from t where (id = ?)".into())
+        );
+        assert_eq!(stmt_rows[0][1], Value::Int(1));
+        assert_eq!(stmt_rows[0][3], Value::Float(5_000.0));
+        assert_eq!(stmt_rows[0][7], Value::Float(3_500.0));
+        assert_eq!(
+            stmt_rows[0][8],
+            Value::Text("idx_lookup=3000;output=500".into())
+        );
         assert!(virtual_rows("nope", &t).is_empty());
     }
 

@@ -72,6 +72,21 @@ pub struct CostModel {
     /// Cost of recording one pipeline-stage enter/exit pair for a traced
     /// sample (timestamp pair + queue-depth read + ring append), ns.
     pub trace_stage_record_ns: f64,
+    /// Cost of fingerprinting one SQL statement for the statement-stats
+    /// registry (AST walk rendering a literal-normalized template), ns.
+    /// Charged on the Processor's clock at pump cadence (like the sketch
+    /// costs) so collected samples stay bit-identical stats on/off.
+    pub stmt_fingerprint_ns: f64,
+    /// Cost of folding one executed statement into its fingerprint's
+    /// stats entry (map lookup + accumulator updates + LRU touch), ns.
+    /// Charged on the Processor's clock alongside the fingerprint cost.
+    pub stmt_record_ns: f64,
+    /// Per-plan-node bookkeeping cost of an `EXPLAIN ANALYZE` run
+    /// (clock reads + per-OU actuals capture + model prediction).
+    /// Charged on the issuing session's clock — the statement is
+    /// user-visible and executes for real, so its observation cost is
+    /// part of the query, not of the collection pipeline.
+    pub explain_analyze_node_ns: f64,
     /// Instructions-per-cycle the simulated pipeline sustains on ALU work.
     pub ipc: f64,
     /// Contention coefficient: CPU work inflates by
@@ -109,6 +124,9 @@ impl Default for CostModel {
             health_rule_eval_ns: 750.0,
             trace_begin_ns: 180.0,
             trace_stage_record_ns: 90.0,
+            stmt_fingerprint_ns: 650.0,
+            stmt_record_ns: 380.0,
+            explain_analyze_node_ns: 900.0,
             ipc: 1.6,
             contention_alpha: 0.9,
             contention_lock_per_task: 0.06,

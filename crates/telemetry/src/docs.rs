@@ -107,6 +107,11 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "Client requests executed by the engine",
     ),
     (
+        "db_explain_analyze_total",
+        "counter",
+        "EXPLAIN ANALYZE statements executed",
+    ),
+    (
         "db_gc_pruned_total",
         "counter",
         "Row versions pruned by garbage collection",
@@ -127,6 +132,21 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "OUs executed inside fused pipelines",
     ),
     ("db_pipelines_total", "counter", "Fused pipelines executed"),
+    (
+        "db_stmt_evicted_total",
+        "counter",
+        "Statement-stats fingerprints evicted by the LRU cap",
+    ),
+    (
+        "db_stmt_fingerprints",
+        "gauge",
+        "Distinct statement fingerprints currently tracked",
+    ),
+    (
+        "db_stmt_recorded_total",
+        "counter",
+        "Statements folded into the statement-stats registry",
+    ),
     ("db_txn_aborts_total", "counter", "Transactions aborted"),
     ("db_txn_commits_total", "counter", "Transactions committed"),
     (

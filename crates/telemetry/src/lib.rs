@@ -33,6 +33,7 @@ mod metrics;
 mod profile;
 mod sketch;
 mod spans;
+mod stmt;
 mod timeseries;
 mod trace;
 
@@ -51,6 +52,7 @@ pub use profile::{
 };
 pub use sketch::Sketch;
 pub use spans::{Span, SpanRing, DEFAULT_SPAN_CAPACITY};
+pub use stmt::{StmtEntry, StmtStats, DEFAULT_STMT_CAP};
 pub use timeseries::{TimeSeries, Window, DEFAULT_WINDOW_CAPACITY};
 pub use trace::{
     FlightRecorderArm, Stage, StageAgg, StageRecord, Trace, TraceId, TraceOutcome, TraceStats,
@@ -211,6 +213,26 @@ impl Telemetry {
     /// JSON export of drift + health state (see [`Registry::health_json`]).
     pub fn health_json(&self) -> String {
         self.lock().health_json()
+    }
+
+    /// Fold one executed statement into the statement-stats registry
+    /// (see [`Registry::stmt_record`]).
+    pub fn stmt_record(
+        &self,
+        fingerprint: &str,
+        actual_ns: f64,
+        rows: u64,
+        ou_ns: &[(&str, f64)],
+        predicted_ns: Option<f64>,
+    ) {
+        self.lock()
+            .stmt_record(fingerprint, actual_ns, rows, ou_ns, predicted_ns);
+    }
+
+    /// Total statements folded into the stats registry (drives the
+    /// driver's pump-cadence accounting charge).
+    pub fn stmt_recorded(&self) -> u64 {
+        self.lock().stmts().recorded()
     }
 
     /// Enable lineage tracing: trace 1 in `every` collected markers

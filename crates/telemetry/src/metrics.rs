@@ -7,6 +7,7 @@ use crate::drift::DriftRegistry;
 use crate::health::{Alert, HealthEngine, HealthState, Selector, Signals};
 use crate::histogram::{Histogram, HistogramSnapshot};
 use crate::spans::{Span, SpanRing};
+use crate::stmt::StmtStats;
 use crate::timeseries::{TimeSeries, Window};
 use crate::trace::{FlightRecorderArm, Stage, TraceId, TraceStats, Tracer};
 use crate::{json_escape, json_num};
@@ -55,6 +56,21 @@ impl MetricKey {
     }
 }
 
+/// Cached metric identities for the statement-stats fast path — it runs
+/// on every executed statement and cannot afford a key allocation per
+/// counter update.
+fn stmt_metric_keys() -> &'static (MetricKey, MetricKey, MetricKey) {
+    static KEYS: std::sync::OnceLock<(MetricKey, MetricKey, MetricKey)> =
+        std::sync::OnceLock::new();
+    KEYS.get_or_init(|| {
+        (
+            MetricKey::new("db_stmt_recorded_total", &[]),
+            MetricKey::new("db_stmt_evicted_total", &[]),
+            MetricKey::new("db_stmt_fingerprints", &[]),
+        )
+    })
+}
+
 /// The registry proper. Usually accessed through the cheap-clone
 /// [`crate::Telemetry`] handle rather than directly.
 #[derive(Debug, Clone, Default)]
@@ -68,6 +84,7 @@ pub struct Registry {
     health: HealthEngine,
     tracer: Tracer,
     flightrec: FlightRecorderArm,
+    stmts: StmtStats,
 }
 
 impl Registry {
@@ -235,6 +252,91 @@ impl Registry {
 
     pub fn tracer_mut(&mut self) -> &mut Tracer {
         &mut self.tracer
+    }
+
+    pub fn stmts(&self) -> &StmtStats {
+        &self.stmts
+    }
+
+    pub fn stmts_mut(&mut self) -> &mut StmtStats {
+        &mut self.stmts
+    }
+
+    /// Fold one executed statement into the statement-stats registry and
+    /// sync its internal counters into registry metrics
+    /// (`db_stmt_recorded_total`, `db_stmt_evicted_total`,
+    /// `db_stmt_fingerprints`). A zero value still registers the
+    /// eviction counter, so all three exist from the first recorded
+    /// statement on — `metrics_doc --check` relies on that. This runs
+    /// once per executed statement, so the steady state updates the
+    /// counters in place through cached keys (no allocation) and only
+    /// touches the eviction counter / fingerprint gauge when their
+    /// values actually moved.
+    pub fn stmt_record(
+        &mut self,
+        fingerprint: &str,
+        actual_ns: f64,
+        rows: u64,
+        ou_ns: &[(&str, f64)],
+        predicted_ns: Option<f64>,
+    ) {
+        let evicted_before = self.stmts.evicted();
+        let len_before = self.stmts.len();
+        self.stmts
+            .record(fingerprint, actual_ns, rows, ou_ns, predicted_ns);
+        let (rk, ek, fk) = stmt_metric_keys();
+        match self.counters.get_mut(rk) {
+            Some(v) => *v += 1,
+            None => {
+                // First record (or a registry reset): register all three
+                // series at their authoritative values.
+                self.counters.insert(rk.clone(), self.stmts.recorded());
+                self.counters.insert(ek.clone(), self.stmts.evicted());
+                self.gauges.insert(fk.clone(), self.stmts.len() as f64);
+                return;
+            }
+        }
+        if self.stmts.evicted() != evicted_before {
+            if let Some(v) = self.counters.get_mut(ek) {
+                *v += self.stmts.evicted() - evicted_before;
+            }
+        }
+        if self.stmts.len() != len_before {
+            if let Some(v) = self.gauges.get_mut(fk) {
+                *v = self.stmts.len() as f64;
+            }
+        }
+    }
+
+    /// Top-K statement-stats snapshot for the flight recorder: the
+    /// heaviest fingerprints by total actual ns and the worst by rolling
+    /// predicted-vs-actual MAPE, so a CRITICAL bundle carries
+    /// query-level context.
+    fn stmt_json_topk(&self, k: usize) -> String {
+        let entry = |e: &crate::stmt::StmtEntry| {
+            format!(
+                "\n      {{\"fingerprint\": \"{}\", \"calls\": {}, \"total_ns\": {}, \
+                 \"mean_ns\": {}, \"rows\": {}, \"mape_pct\": {}}}",
+                json_escape(&e.fingerprint),
+                e.calls,
+                json_num(e.total_ns),
+                json_num(e.mean_ns()),
+                e.rows,
+                json_num(e.mape_pct()),
+            )
+        };
+        let by_total: Vec<String> = self
+            .stmts
+            .top_by_total_ns(k)
+            .into_iter()
+            .map(entry)
+            .collect();
+        let by_mape: Vec<String> = self.stmts.top_by_mape(k).into_iter().map(entry).collect();
+        format!(
+            "{{\n    \"by_total_ns\": [{}\n    ],\n    \"by_mape_pct\": [{}\n    ]\n  }}",
+            by_total.join(","),
+            by_mape.join(","),
+        )
     }
 
     /// Turn every trace completion the tracer produced since the last
@@ -439,6 +541,7 @@ impl Registry {
         let bundle = format!(
             "{{\n  \"at_ns\": {},\n  \"fig\": \"{}\",\n  \"seq\": {},\n  \
              \"triggering_alerts\": [{}\n  ],\n  \"traces\": {},\n  \"health\": {},\n  \
+             \"statements\": {},\n  \
              \"metrics\": {},\n  \"profile_folded\": \"{}\"\n}}\n",
             json_num(now_ns),
             json_escape(&self.flightrec.fig),
@@ -446,6 +549,7 @@ impl Registry {
             trig_json.join(","),
             self.trace_json().trim_end(),
             self.health_json().trim_end(),
+            self.stmt_json_topk(5),
             self.snapshot_json().trim_end(),
             json_escape(profile_folded),
         );
@@ -674,6 +778,11 @@ impl Registry {
         // ours either: adopt wholesale into an idle accumulator only.
         if self.tracer.is_idle() && !other.tracer.is_idle() {
             self.tracer = other.tracer.clone();
+        }
+        // Statement stats carry LRU stamps from their own run's record
+        // order, which don't compose across runs: same idle-adoption rule.
+        if self.stmts.is_idle() && !other.stmts.is_idle() {
+            self.stmts = other.stmts.clone();
         }
     }
 
@@ -998,6 +1107,38 @@ mod tests {
         a.merge_from(&c);
         assert_eq!(a.drift().len(), 1);
         assert!(a.drift().ou("OuX").is_some());
+    }
+
+    #[test]
+    fn stmt_record_syncs_metrics() {
+        let mut r = Registry::new();
+        r.stmt_record("select ?", 100.0, 1, &[("seq_scan", 80.0)], None);
+        r.stmt_record("select ?", 200.0, 1, &[("seq_scan", 150.0)], Some(140.0));
+        assert_eq!(r.counter_value("db_stmt_recorded_total", &[]), 2);
+        // The eviction counter registers at zero from the first record.
+        assert_eq!(r.counter_value("db_stmt_evicted_total", &[]), 0);
+        assert!(r
+            .metric_names()
+            .iter()
+            .any(|n| n == "db_stmt_evicted_total"));
+        assert_eq!(r.gauge_value("db_stmt_fingerprints", &[]), 1.0);
+        let e = r.stmts().get("select ?").unwrap();
+        assert_eq!(e.calls, 2);
+        assert!(r.stmt_json_topk(3).contains("select ?"));
+    }
+
+    #[test]
+    fn merge_adopts_stmt_stats_only_when_idle() {
+        let mut a = Registry::new();
+        let mut b = Registry::new();
+        b.stmt_record("q1", 10.0, 0, &[], None);
+        a.merge_from(&b);
+        assert!(a.stmts().get("q1").is_some());
+        // An active accumulator keeps its own entries.
+        let mut c = Registry::new();
+        c.stmt_record("q2", 10.0, 0, &[], None);
+        a.merge_from(&c);
+        assert!(a.stmts().get("q2").is_none());
     }
 
     #[test]

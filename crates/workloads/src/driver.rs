@@ -389,6 +389,9 @@ fn run_inner(
         Some(lc) if lc.retrain_every_ns < f64::MAX => start_ns + lc.retrain_every_ns,
         _ => f64::MAX,
     };
+    // Baseline for the statement-stats accounting delta charged at pump
+    // cadence (statements recorded before this run are not ours to bill).
+    let mut last_stmt_recorded = db.kernel.telemetry.stmt_recorded();
 
     loop {
         // Earliest-first: advance the terminal with the smallest clock.
@@ -417,6 +420,12 @@ fn run_inner(
                     next_retrain = now + lc.retrain_every_ns;
                 }
             }
+            // Refresh the engine's installed model snapshot at pump
+            // cadence so per-statement predicted-vs-actual attribution
+            // (EXPLAIN ANALYZE, ts_stat_statements MAPE) tracks hot swaps.
+            if let Some(lc) = lifecycle.as_deref_mut() {
+                db.install_live_model(lc.registry.live(), opts.terminals as f64);
+            }
             let pump_end = db.kernel.now(db.wal.task);
             db.kernel.telemetry.span(
                 "pump",
@@ -436,10 +445,20 @@ fn run_inner(
                     .with_registry(|r| (r.drift().len(), r.health().rules().len()));
                 let _root = kernel.profile_frame(processor.task, "tscout", true);
                 let _frame = kernel.profile_frame(processor.task, "telemetry:observability", false);
+                // Statement-stats accounting rides the same cadence: the
+                // engine's recording path is clock-neutral (PR-6 tracer
+                // discipline), so its cost is charged here from the
+                // recorded-counter delta — training samples stay
+                // bit-identical with statement stats on or off.
+                let stmt_recorded = kernel.telemetry.stmt_recorded();
+                let stmt_delta = stmt_recorded.saturating_sub(last_stmt_recorded) as f64;
+                last_stmt_recorded = stmt_recorded;
                 kernel.charge_overhead(
                     processor.task,
                     kernel.cost.drift_eval_per_ou_ns * n_ous as f64
-                        + kernel.cost.health_rule_eval_ns * n_rules as f64,
+                        + kernel.cost.health_rule_eval_ns * n_rules as f64
+                        + (kernel.cost.stmt_fingerprint_ns + kernel.cost.stmt_record_ns)
+                            * stmt_delta,
                 );
                 let alerts = kernel.telemetry.observability_tick(now);
                 // Flight recorder: a CRITICAL transition snapshots the
