@@ -8,8 +8,14 @@ cd "$(dirname "$0")"
 echo "== cargo fmt --check =="
 cargo fmt --all --check
 
-echo "== cargo clippy (deny warnings) =="
-cargo clippy --workspace --all-targets -- -D warnings
+echo "== cargo clippy (deny warnings + curated pedantic lints) =="
+cargo clippy --workspace --all-targets -- -D warnings \
+  -W clippy::redundant-closure-for-method-calls \
+  -W clippy::semicolon-if-nothing-returned \
+  -W clippy::manual-let-else \
+  -W clippy::explicit-iter-loop \
+  -W clippy::needless-continue \
+  -W clippy::inefficient-to-string
 
 echo "== cargo build --release =="
 cargo build --workspace --release
@@ -92,6 +98,13 @@ else
     || { echo "FAIL: no monotone completed trace in artifact"; exit 1; }
 fi
 echo "trace smoke OK"
+
+echo "== optimizer smoke (all collector programs re-verify + shrink) =="
+# Loads every probe-layout collector triple with the optimizer off and
+# on, re-verifies each optimized program, compares samples bit for bit,
+# and fails if the total executed-instruction reduction drops below 15%.
+cargo run -q --release -p tscout-bench --bin opt_smoke
+echo "optimizer smoke OK"
 
 echo "== query-stats smoke (EXPLAIN ANALYZE + ts_stat_statements) =="
 # Fixed virtual duration by design (no TS_SCALE): the binary asserts the

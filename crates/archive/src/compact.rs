@@ -94,7 +94,7 @@ impl Archive {
                 *newer.entry(ou).or_default() += n;
             }
             let mut retired = 0u64;
-            for (ou, (entry, samples)) in per_ou.iter_mut() {
+            for (ou, (entry, samples)) in &mut per_ou {
                 let elsewhere = newer.get(ou).copied().unwrap_or(0);
                 let keep = self.opts.retention_per_ou.saturating_sub(elsewhere);
                 if samples.len() > keep {

@@ -25,6 +25,8 @@
 //!
 //! Everything is hand-rolled on `std` only; the workspace builds fully
 //! offline.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 mod compact;
 mod crc32;

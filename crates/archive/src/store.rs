@@ -47,6 +47,7 @@ pub struct ArchiveStats {
 }
 
 /// The append-only, segmented, columnar per-OU sample store.
+#[derive(Debug)]
 pub struct Archive {
     pub(crate) dir: PathBuf,
     pub(crate) opts: ArchiveOptions,
@@ -407,7 +408,7 @@ impl Archive {
             segments: self.segments.len(),
             sealed_segments: self.segments.iter().filter(|s| s.sealed).count(),
             blocks: self.segments.iter().map(|s| s.blocks.len()).sum(),
-            samples_stored: self.segments.iter().map(|s| s.samples()).sum(),
+            samples_stored: self.segments.iter().map(SegmentMeta::samples).sum(),
             samples_buffered: self.buffered,
             bytes: self.segments.iter().map(|s| s.bytes).sum(),
         }
@@ -470,6 +471,7 @@ impl Drop for Archive {
 /// the archive. Blocks that fail their CRC or decode (possible only if
 /// the file changed underneath us) are skipped and counted in
 /// `archive_scan_skipped_blocks_total`.
+#[derive(Debug)]
 pub struct SampleScan {
     /// `(path, frame offset, payload_len, file_len)` per block, in order.
     plan: Vec<(PathBuf, u64, u32, u64)>,

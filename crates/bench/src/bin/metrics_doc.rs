@@ -136,13 +136,18 @@ fn main() {
         eprintln!("FAIL: metric `{name}` is registered at runtime but not in METRIC_DOCS");
         failed = true;
     }
-    // Stale direction for the tracing plane: every documented trace /
-    // flight-recorder metric must actually register during the traced
-    // smoke — a renamed or removed metric fails here.
+    // Stale direction for the tracing plane and the load-time
+    // optimizer: every documented trace / flight-recorder / optimizer
+    // metric must actually register during the traced smoke — a renamed
+    // or removed metric fails here.
     let stale: Vec<&str> = METRIC_DOCS
         .iter()
         .map(|(n, _, _)| *n)
-        .filter(|n| n.starts_with("tscout_trace") || n.starts_with("ts_flightrec"))
+        .filter(|n| {
+            n.starts_with("tscout_trace")
+                || n.starts_with("ts_flightrec")
+                || n.starts_with("tscout_opt")
+        })
         .filter(|n| !names.iter().any(|have| have == n))
         .collect();
     for name in &stale {

@@ -1,0 +1,133 @@
+//! CI smoke for the load-time BPF optimizer.
+//!
+//! For every probe-layout combination, loads the collector triple
+//! (begin / end / features) through two [`Loader`]s — optimizer off and
+//! on — drives one full sample through each, then:
+//!
+//!  - asserts zero optimizer fallbacks (the pipeline re-verifies its
+//!    own output and falls back on failure, so zero fallbacks means
+//!    every optimized program re-verified);
+//!  - independently re-verifies each optimized instruction stream as a
+//!    belt-and-braces check;
+//!  - asserts the published samples are bit-identical across modes;
+//!  - reports per-program *executed* instruction reductions (static
+//!    size may grow: unrolling trades bytes for branches) and fails if
+//!    the total reduction falls under a 15% floor.
+//!
+//! Exits nonzero on any failure so ci.sh can gate on it.
+
+use tscout::codegen::{encode_ctx, gen_begin, gen_end, gen_features, ProbeLayout, CTX_BYTES};
+use tscout_bpf::maps::MapDef;
+use tscout_bpf::vm::NullWorld;
+use tscout_bpf::{verify, Loader};
+
+fn main() {
+    let mut failed = false;
+    let mut total = [0u64; 2]; // executed insns: [unoptimized, optimized]
+    for bits in 0u8..8 {
+        let probes = ProbeLayout {
+            cpu: bits & 1 != 0,
+            disk: bits & 2 != 0,
+            net: bits & 4 != 0,
+        };
+        let layout = format!(
+            "cpu={} disk={} net={}",
+            probes.cpu as u8, probes.disk as u8, probes.net as u8
+        );
+        let ctx = encode_ctx(1, 42, 0, 0, &[7, 8, 9]);
+        let mut executed = [[0u64; 3]; 2];
+        let mut rings: Vec<Vec<Vec<u8>>> = Vec::new();
+        for (mode, optimize) in [(0usize, false), (1usize, true)] {
+            let mut loader = Loader::new();
+            loader.set_optimize(optimize);
+            let depth = loader.maps.create(MapDef::hash("d", 8, 8, 256));
+            let begin = loader
+                .maps
+                .create(MapDef::hash("b", 8, probes.snap_words() * 8, 1024));
+            let done = loader
+                .maps
+                .create(MapDef::hash("dn", 8, probes.done_words() * 8, 256));
+            let ring = loader.maps.create(MapDef::perf_event_array("r", 1024));
+            let progs = [
+                ("begin", gen_begin(&probes, depth, begin)),
+                ("end", gen_end(&probes, depth, begin, done)),
+                ("features", gen_features(&probes, done, ring)),
+            ];
+            let mut world = NullWorld {
+                time_ns: 100,
+                pid_tgid: 42,
+            };
+            for (i, (name, insns)) in progs.into_iter().enumerate() {
+                let id = match loader.load(name, insns, CTX_BYTES) {
+                    Ok(id) => id,
+                    Err(e) => {
+                        eprintln!("FAIL: [{layout}] {name} did not load: {e}");
+                        failed = true;
+                        continue;
+                    }
+                };
+                if optimize {
+                    let prog = loader.get(id).expect("just loaded");
+                    // The optimizer already re-verified; do it again here
+                    // so the smoke does not rely on the pipeline backstop.
+                    if let Err(e) = verify(&prog.insns, &loader.maps, CTX_BYTES) {
+                        eprintln!("FAIL: [{layout}] optimized {name} does not re-verify: {e}");
+                        failed = true;
+                    }
+                }
+                if i == 1 {
+                    world.time_ns = 900;
+                }
+                match loader.run(id, &ctx, &mut world) {
+                    Ok((0, stats)) => executed[mode][i] = stats.insns,
+                    Ok((r0, _)) => {
+                        eprintln!("FAIL: [{layout}] {name} returned {r0}, expected 0");
+                        failed = true;
+                    }
+                    Err(e) => {
+                        eprintln!("FAIL: [{layout}] {name} did not run: {e}");
+                        failed = true;
+                    }
+                }
+            }
+            if optimize && loader.opt_fallbacks() != 0 {
+                eprintln!(
+                    "FAIL: [{layout}] optimizer fell back {} time(s)",
+                    loader.opt_fallbacks()
+                );
+                failed = true;
+            }
+            rings.push(loader.maps.ring_drain(ring, 16));
+        }
+        if rings[0] != rings[1] {
+            eprintln!("FAIL: [{layout}] samples differ between optimizer modes");
+            failed = true;
+        }
+        for (i, name) in ["begin", "end", "features"].iter().enumerate() {
+            let (before, after) = (executed[0][i], executed[1][i]);
+            total[0] += before;
+            total[1] += after;
+            if after > before {
+                eprintln!("FAIL: [{layout}] {name} executed more insns: {before} -> {after}");
+                failed = true;
+            }
+            let pct = 100.0 * before.saturating_sub(after) as f64 / before.max(1) as f64;
+            println!("[{layout}] {name}: {before} -> {after} executed insns ({pct:.1}% fewer)");
+        }
+    }
+    let pct = 100.0 * total[0].saturating_sub(total[1]) as f64 / total[0].max(1) as f64;
+    println!(
+        "total: {} -> {} executed insns ({pct:.1}% fewer)",
+        total[0], total[1]
+    );
+    // Collector programs with probes enabled carry real redundancy; a
+    // total executed reduction under 15% means a pass regressed.
+    if pct < 15.0 {
+        eprintln!("FAIL: total executed reduction {pct:.1}% is below the 15% smoke floor");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("optimizer smoke passed");
+}

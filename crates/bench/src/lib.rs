@@ -9,6 +9,8 @@
 //! writes a CSV under `results/`. Absolute numbers come from the
 //! simulation's cost model; the *shape* (who wins, by what factor, where
 //! crossovers fall) is the reproduction target — see EXPERIMENTS.md.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 use std::io::Write;
 use std::path::PathBuf;
@@ -237,6 +239,7 @@ pub fn archive_stats_json() -> String {
 }
 
 /// CSV writer that tees rows to stdout.
+#[derive(Debug)]
 pub struct Csv {
     file: std::io::BufWriter<std::fs::File>,
 }
@@ -510,7 +513,7 @@ pub fn merge_data(a: &[OuData], b: &[OuData]) -> Vec<OuData> {
 
 /// Total points across datasets.
 pub fn total_points(data: &[OuData]) -> usize {
-    data.iter().map(|d| d.len()).sum()
+    data.iter().map(tscout_models::OuData::len).sum()
 }
 
 /// Subsample every OU dataset to cap the total at roughly `n` points,

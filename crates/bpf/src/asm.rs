@@ -31,6 +31,7 @@ impl std::fmt::Display for AsmError {
 
 impl std::error::Error for AsmError {}
 
+#[derive(Debug)]
 enum Pending {
     Done(Insn),
     Jump {
@@ -40,7 +41,7 @@ enum Pending {
 }
 
 /// Builder for straight-line-with-forward-branches BPF programs.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct ProgramBuilder {
     insns: Vec<Pending>,
     labels: HashMap<Label, usize>,

@@ -214,6 +214,24 @@ pub enum Helper {
 }
 
 impl Helper {
+    /// How many argument registers (`R1..=R{n}`) the helper reads. The
+    /// optimizer's liveness analysis uses this to avoid keeping dead
+    /// argument setup alive across calls that never read it; the VM
+    /// still clobbers all of `R1`–`R5` regardless.
+    pub fn num_args(self) -> usize {
+        match self {
+            Helper::MapLookup
+            | Helper::MapDelete
+            | Helper::MapPush
+            | Helper::MapPop
+            | Helper::PerfEventReadBuf => 2,
+            Helper::MapUpdate => 4,
+            Helper::ReadTaskIo | Helper::ReadTcpSock => 1,
+            Helper::PerfEventOutput => 3,
+            Helper::KtimeGetNs | Helper::GetCurrentPidTgid => 0,
+        }
+    }
+
     pub fn name(self) -> &'static str {
         match self {
             Helper::MapLookup => "map_lookup_elem",
@@ -306,11 +324,29 @@ impl fmt::Display for Insn {
     }
 }
 
-/// Disassemble a program into one line per instruction.
+impl Insn {
+    /// Disassemble one instruction at `pc`, resolving relative jump
+    /// offsets to absolute targets (`ja +3 -> 12`). This is the form
+    /// the optimization report, the verifier log header, and test
+    /// failure messages use; [`Insn::fmt`] keeps the bare relative
+    /// rendering for contexts where the pc is unknown.
+    pub fn disasm(&self, pc: usize) -> String {
+        match self {
+            Insn::Jump { off, .. } => {
+                let target = pc as i64 + 1 + *off as i64;
+                format!("{self} -> {target}")
+            }
+            _ => format!("{self}"),
+        }
+    }
+}
+
+/// Disassemble a program into one line per instruction, with jump
+/// targets resolved to absolute pcs.
 pub fn disassemble(prog: &[Insn]) -> String {
     let mut out = String::new();
     for (pc, insn) in prog.iter().enumerate() {
-        out.push_str(&format!("{pc:4}: {insn}\n"));
+        out.push_str(&format!("{pc:4}: {}\n", insn.disasm(pc)));
     }
     out
 }
@@ -362,9 +398,29 @@ mod tests {
         let text = disassemble(&prog);
         assert!(text.contains("mov r0, 0"));
         assert!(text.contains("ldx8 r1, [r10-8]"));
-        assert!(text.contains("jeq r0, 0, +1"));
+        assert!(text.contains("jeq r0, 0, +1 -> 4"), "got: {text}");
         assert!(text.contains("call ktime_get_ns"));
         assert!(text.contains("exit"));
+    }
+
+    #[test]
+    fn disasm_resolves_jump_targets() {
+        let ja = Insn::Jump {
+            cond: None,
+            off: -3,
+        };
+        assert_eq!(ja.disasm(10), "ja -3 -> 8");
+        let exit = Insn::Exit;
+        assert_eq!(exit.disasm(5), "exit");
+    }
+
+    #[test]
+    fn helper_arity_matches_documented_signatures() {
+        assert_eq!(Helper::MapUpdate.num_args(), 4);
+        assert_eq!(Helper::PerfEventOutput.num_args(), 3);
+        assert_eq!(Helper::MapLookup.num_args(), 2);
+        assert_eq!(Helper::ReadTaskIo.num_args(), 1);
+        assert_eq!(Helper::KtimeGetNs.num_args(), 0);
     }
 
     #[test]

@@ -28,17 +28,26 @@
 //!   everything defensively; helper calls reach the simulated kernel
 //!   through the [`vm::HelperWorld`] trait, which keeps this crate
 //!   independent of `tscout-kernel`.
-//! * [`loader`] — load → verify → attach lifecycle, including detach and
-//!   reload for dynamic feature selection (paper §5.4).
+//! * [`opt`] — a load-time optimizer seeded by verifier facts: CFG and
+//!   dominator discovery, liveness and reaching-definitions dataflow,
+//!   constant/copy propagation, dead-arm branch folding, redundant
+//!   bounds-check elision, dead-code/dead-store elimination, peephole
+//!   simplification, and bounded-loop unrolling — every collector
+//!   program is shortened before interpretation, and must re-verify.
+//! * [`loader`] — load → verify → optimize → attach lifecycle, including
+//!   detach and reload for dynamic feature selection (paper §5.4).
 //!
 //! The crate is deliberately self-contained (its only dependency is the
 //! zero-dep in-workspace telemetry crate, for profiler frame guards) so
 //! the verifier and interpreter can be property-tested in isolation.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod asm;
 pub mod insn;
 pub mod loader;
 pub mod maps;
+pub mod opt;
 pub mod tnum;
 pub mod verifier;
 pub mod vm;
@@ -47,6 +56,7 @@ pub use asm::ProgramBuilder;
 pub use insn::{AluOp, Cond, Helper, Insn, Reg, Size, Src};
 pub use loader::{LoadError, Loader, ProgId};
 pub use maps::{MapDef, MapId, MapKind, MapOpStats, MapRegistry, RingStats};
+pub use opt::{optimize, OptError, OptOptions, OptStats, Optimized, PASS_NAMES};
 pub use tnum::Tnum;
 pub use verifier::{verify, verify_with_log, verify_with_stats, VerifyError, VerifyStats};
 pub use vm::{ExecStats, HelperWorld, Vm, VmError};

@@ -221,10 +221,10 @@ impl MapRegistry {
         self.lookups.set(self.lookups.get() + 1);
         let m = self.map(id);
         match &m.storage {
-            Storage::Hash(h) => h.get(key).map(|v| v.as_slice()),
+            Storage::Hash(h) => h.get(key).map(Vec::as_slice),
             Storage::Array(a) => {
                 let idx = array_index(key)?;
-                a.get(idx).map(|v| v.as_slice())
+                a.get(idx).map(Vec::as_slice)
             }
             _ => None,
         }
@@ -235,10 +235,10 @@ impl MapRegistry {
         self.lookups.set(self.lookups.get() + 1);
         let m = self.map_mut(id);
         match &mut m.storage {
-            Storage::Hash(h) => h.get_mut(key).map(|v| v.as_mut_slice()),
+            Storage::Hash(h) => h.get_mut(key).map(Vec::as_mut_slice),
             Storage::Array(a) => {
                 let idx = array_index(key)?;
-                a.get_mut(idx).map(|v| v.as_mut_slice())
+                a.get_mut(idx).map(Vec::as_mut_slice)
             }
             _ => None,
         }
@@ -428,6 +428,34 @@ impl MapRegistry {
     /// Current ring occupancy.
     pub fn ring_len(&self, id: MapId) -> usize {
         self.entries(id)
+    }
+
+    /// Canonical snapshot of one map's data, for differential testing
+    /// and diagnostics: `(key, value)` pairs in deterministic order.
+    /// Hash maps report sorted key/value pairs; arrays report index →
+    /// value; stacks and rings report position → record (bottom/oldest
+    /// first). Does not consume or mutate anything (unlike
+    /// [`MapRegistry::ring_drain`]) and bumps no op counters.
+    pub fn dump(&self, id: MapId) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let idx_key = |i: usize| (i as u32).to_le_bytes().to_vec();
+        match &self.map(id).storage {
+            Storage::Hash(h) => h.iter().map(|(k, v)| (k.clone(), v.clone())).collect(),
+            Storage::Array(a) => a
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (idx_key(i), v.clone()))
+                .collect(),
+            Storage::Stack(s) => s
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (idx_key(i), v.clone()))
+                .collect(),
+            Storage::Ring { buf, .. } => buf
+                .iter()
+                .enumerate()
+                .map(|(i, v)| (idx_key(i), v.clone()))
+                .collect(),
+        }
     }
 
     /// Clear all dynamic contents (reload support, §5.4).

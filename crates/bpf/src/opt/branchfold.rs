@@ -1,0 +1,298 @@
+//! Branch folding, bounds-check elision, jump threading, and
+//! unreachable-code elimination.
+//!
+//! The verifier walks every feasible path and records, per conditional
+//! jump, whether each arm was ever live. A dead arm is a *proof by
+//! contradiction* (refining the operand ranges through the condition
+//! yields an empty range), so folding it cannot change any execution:
+//!
+//! * taken arm dead  → the jump never fires: delete it;
+//! * fall-through dead → the jump always fires: make it unconditional.
+//!
+//! Re-verification stays green because a dead arm means the surviving
+//! arm's refinement was already a no-op — the ranges flowing out of the
+//! folded jump are exactly the ranges that flowed in.
+//!
+//! **Check elision vs. branch folding.** Both use the same dead-arm
+//! facts; the split is *why* the arm is dead. If the verifier proved it
+//! from constant operands, that's classic constant-branch folding. If
+//! an operand is non-constant and the proof needed the interval/tnum
+//! span of a verified pointer-bounds guard (e.g. `jge r9, 7` with
+//! r9 ∈ [0,6] from a loop bound), the jump is a redundant bounds check
+//! and its removal is accounted as `checkelide`.
+
+use crate::insn::{Insn, Src};
+use crate::opt::cfg::{compact, reachable};
+use crate::verifier::PcFacts;
+
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FoldCounts {
+    /// Instructions removed / rewritten with constant operands.
+    pub fold_removed: u64,
+    pub fold_rewritten: u64,
+    /// Instructions removed / rewritten via range-proven dead arms.
+    pub elide_removed: u64,
+    pub elide_rewritten: u64,
+}
+
+/// Fold conditional jumps whose arms the verifier proved dead.
+pub(crate) fn fold_branches(prog: &mut Vec<Insn>, facts: &[PcFacts]) -> FoldCounts {
+    let mut counts = FoldCounts::default();
+    let mut kill = vec![false; prog.len()];
+    for pc in 0..prog.len() {
+        let f = &facts[pc];
+        if !f.visited {
+            continue;
+        }
+        let Insn::Jump {
+            cond: Some((_, dst, src)),
+            off,
+        } = prog[pc]
+        else {
+            continue;
+        };
+        if f.taken_live && f.fallthrough_live {
+            continue;
+        }
+        if !f.taken_live && !f.fallthrough_live {
+            // Visited but neither arm recorded can only mean the state
+            // errored at this pc — impossible on a verified program.
+            continue;
+        }
+        // Statically decidable (both operands constant) → branch fold;
+        // interval-proven with a non-constant operand → check elision.
+        let src_const = match src {
+            Src::Imm(_) => true,
+            Src::Reg(r) => f.reg_const[r.index()].value().is_some(),
+        };
+        let decidable = src_const && f.reg_const[dst.index()].value().is_some();
+        if !f.taken_live {
+            // Never taken: the check is pure fall-through — delete it.
+            kill[pc] = true;
+            if decidable {
+                counts.fold_removed += 1;
+            } else {
+                counts.elide_removed += 1;
+            }
+        } else {
+            // Always taken: drop the condition.
+            prog[pc] = Insn::Jump { cond: None, off };
+            if decidable {
+                counts.fold_rewritten += 1;
+            } else {
+                counts.elide_rewritten += 1;
+            }
+        }
+    }
+    compact(prog, &kill);
+    counts
+}
+
+/// Retarget jumps that land on unconditional jumps (following chains),
+/// and collapse `ja → exit` into a direct `exit`. Returns rewrites.
+pub fn jump_thread(prog: &mut [Insn]) -> u64 {
+    let mut rewrites = 0u64;
+    let n = prog.len();
+    for pc in 0..n {
+        let Insn::Jump { cond, off } = prog[pc] else {
+            continue;
+        };
+        let mut target = pc as i64 + 1 + off as i64;
+        // Follow a chain of unconditional jumps (hop cap guards cycles).
+        let mut hops = 0;
+        while hops < 64 {
+            let t = target as usize;
+            if !(0..n as i64).contains(&target) {
+                break;
+            }
+            match prog[t] {
+                Insn::Jump {
+                    cond: None,
+                    off: o2,
+                } if o2 != -1 => {
+                    target = t as i64 + 1 + o2 as i64;
+                    hops += 1;
+                }
+                _ => break,
+            }
+        }
+        let final_off = (target - (pc as i64 + 1)) as i32;
+        // `ja → exit` runs one instruction fewer as a plain exit.
+        // (Conditional jumps still need the branch; retargeting them to
+        // the exit directly is still worth it if the chain moved.)
+        if (0..n as i64).contains(&target)
+            && matches!(prog[target as usize], Insn::Exit)
+            && cond.is_none()
+        {
+            prog[pc] = Insn::Exit;
+            rewrites += 1;
+            continue;
+        }
+        if final_off != off {
+            prog[pc] = Insn::Jump {
+                cond,
+                off: final_off,
+            };
+            rewrites += 1;
+        }
+    }
+    rewrites
+}
+
+/// Remove instructions no execution can reach. Returns removed count.
+pub fn unreachable_elim(prog: &mut Vec<Insn>) -> u64 {
+    if prog.is_empty() {
+        return 0;
+    }
+    let seen = reachable(prog);
+    let kill: Vec<bool> = seen.iter().map(|&s| !s).collect();
+    compact(prog, &kill) as u64
+}
+
+/// Sanity helper for tests: every jump target stays in bounds.
+#[cfg(test)]
+fn targets_in_bounds(prog: &[Insn]) -> bool {
+    (0..prog.len()).all(|pc| match prog[pc] {
+        Insn::Jump { off, .. } => {
+            let t = pc as i64 + 1 + off as i64;
+            (0..prog.len() as i64).contains(&t)
+        }
+        _ => true,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, Cond, Reg, R0, R6, R9};
+    use crate::maps::MapRegistry;
+    use crate::verifier::verify_with_facts;
+
+    fn mov_imm(dst: Reg, v: i64) -> Insn {
+        Insn::Alu {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Imm(v),
+        }
+    }
+
+    fn facts_for(prog: &[Insn]) -> Vec<PcFacts> {
+        let maps = MapRegistry::new();
+        let (res, facts) = verify_with_facts(prog, &maps, 0);
+        res.expect("test program must verify");
+        facts
+    }
+
+    #[test]
+    fn constant_dead_arm_is_deleted() {
+        // r6 = 3; jeq r6, 5 → never taken; the guarded mov survives.
+        let mut prog = vec![
+            mov_imm(R6, 3),
+            Insn::Jump {
+                cond: Some((Cond::Eq, R6, Src::Imm(5))),
+                off: 1,
+            },
+            mov_imm(R0, 1),
+            Insn::Exit,
+        ];
+        let facts = facts_for(&prog);
+        let c = fold_branches(&mut prog, &facts);
+        assert_eq!(c.fold_removed, 1);
+        assert_eq!(c.elide_removed, 0);
+        assert_eq!(prog, vec![mov_imm(R6, 3), mov_imm(R0, 1), Insn::Exit]);
+        assert!(targets_in_bounds(&prog));
+    }
+
+    #[test]
+    fn range_proven_check_is_elided_not_folded() {
+        // r9 = pid_tgid & 3 ∈ [0,3]; jge r9, 8 can never fire — that is
+        // a redundant bounds check, proven by intervals, not constants.
+        let mut prog = vec![
+            Insn::Call {
+                helper: crate::insn::Helper::GetCurrentPidTgid,
+            },
+            Insn::Alu {
+                op: AluOp::Mov,
+                dst: R9,
+                src: Src::Reg(R0),
+            },
+            Insn::Alu {
+                op: AluOp::And,
+                dst: R9,
+                src: Src::Imm(3),
+            },
+            Insn::Jump {
+                cond: Some((Cond::Ge, R9, Src::Imm(8))),
+                off: 1,
+            },
+            mov_imm(R0, 1),
+            Insn::Exit,
+        ];
+        let facts = facts_for(&prog);
+        let c = fold_branches(&mut prog, &facts);
+        assert_eq!(c.elide_removed, 1, "interval proof → check elision");
+        assert_eq!(c.fold_removed, 0);
+        assert_eq!(prog.len(), 5);
+    }
+
+    #[test]
+    fn always_taken_becomes_unconditional() {
+        // r6 = 9; jge r6, 5 always fires → plain ja; the skipped mov
+        // becomes unreachable and is removed by unreachable_elim.
+        let mut prog = vec![
+            mov_imm(R6, 9),
+            Insn::Jump {
+                cond: Some((Cond::Ge, R6, Src::Imm(5))),
+                off: 1,
+            },
+            mov_imm(R0, 7), // dead fall-through
+            mov_imm(R0, 1),
+            Insn::Exit,
+        ];
+        let facts = facts_for(&prog);
+        let c = fold_branches(&mut prog, &facts);
+        assert_eq!(c.fold_rewritten, 1);
+        assert!(matches!(prog[1], Insn::Jump { cond: None, .. }));
+        let removed = unreachable_elim(&mut prog);
+        assert_eq!(removed, 1);
+        assert_eq!(prog[2], mov_imm(R0, 1));
+    }
+
+    #[test]
+    fn jump_threading_follows_chains_and_inlines_exit() {
+        // 0: ja → 2; 2: ja → 4; 4: exit — pc0 becomes a direct exit.
+        let mut prog = vec![
+            Insn::Jump { cond: None, off: 1 },
+            mov_imm(R0, 0),
+            Insn::Jump { cond: None, off: 1 },
+            mov_imm(R0, 0),
+            Insn::Exit,
+        ];
+        let n = jump_thread(&mut prog);
+        assert!(n >= 1);
+        assert_eq!(prog[0], Insn::Exit);
+    }
+
+    #[test]
+    fn conditional_jump_threads_through_trampoline() {
+        // jeq → ja → target: the conditional retargets past the ja.
+        let mut prog = vec![
+            mov_imm(R6, 1),
+            Insn::Jump {
+                cond: Some((Cond::Eq, R6, Src::Imm(1))),
+                off: 1,
+            }, // → 3
+            mov_imm(R0, 0),
+            Insn::Jump { cond: None, off: 1 }, // → 5
+            mov_imm(R0, 2),
+            mov_imm(R0, 1),
+            Insn::Exit,
+        ];
+        let n = jump_thread(&mut prog);
+        assert_eq!(n, 1);
+        match prog[1] {
+            Insn::Jump { cond: Some(_), off } => assert_eq!(off, 3), // 1+1+3 = 5
+            ref other => panic!("{other:?}"),
+        }
+    }
+}

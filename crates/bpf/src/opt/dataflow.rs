@@ -1,0 +1,352 @@
+//! Register dataflow: per-instruction use/def sets, per-block liveness
+//! (backward may-analysis), and reaching definitions (forward
+//! may-analysis). Both lattices are finite — register bitmasks for
+//! liveness, bounded def-site sets for reaching defs — so the worklist
+//! iterations terminate at a fixed point.
+
+use crate::insn::{Helper, Insn, Src};
+use crate::opt::cfg::Cfg;
+
+/// Register set as a bitmask (bit i = Ri).
+pub type RegSet = u16;
+
+pub const ALL_REGS: RegSet = (1 << 11) - 1;
+
+fn bit(i: usize) -> RegSet {
+    1 << i
+}
+
+fn src_bit(src: Src) -> RegSet {
+    match src {
+        Src::Reg(r) => bit(r.index()),
+        Src::Imm(_) => 0,
+    }
+}
+
+/// Registers the helper reads on entry: `R1..=R{arity}`.
+fn helper_uses(h: Helper) -> RegSet {
+    let mut m = 0;
+    for i in 1..=h.num_args() {
+        m |= bit(i);
+    }
+    m
+}
+
+/// Registers read by `insn`.
+pub fn insn_uses(insn: &Insn) -> RegSet {
+    use crate::insn::AluOp;
+    match insn {
+        Insn::Alu {
+            op: AluOp::Mov,
+            src,
+            ..
+        } => src_bit(*src),
+        Insn::Alu {
+            op: AluOp::Neg,
+            dst,
+            ..
+        } => bit(dst.index()),
+        Insn::Alu { dst, src, .. } => bit(dst.index()) | src_bit(*src),
+        Insn::Load { base, .. } => bit(base.index()),
+        Insn::Store { base, src, .. } => bit(base.index()) | src_bit(*src),
+        Insn::Jump { cond: None, .. } => 0,
+        Insn::Jump {
+            cond: Some((_, dst, src)),
+            ..
+        } => bit(dst.index()) | src_bit(*src),
+        Insn::Call { helper } => helper_uses(*helper),
+        Insn::LoadMap { .. } => 0,
+        Insn::Exit => bit(0),
+    }
+}
+
+/// Registers written by `insn`. Calls define `R0`–`R5` (the VM clobbers
+/// the caller-saved argument registers with a poison pattern).
+pub fn insn_defs(insn: &Insn) -> RegSet {
+    match insn {
+        Insn::Alu { dst, .. } | Insn::Load { dst, .. } | Insn::LoadMap { dst, .. } => {
+            bit(dst.index())
+        }
+        Insn::Call { .. } => 0b11_1111, // R0..=R5
+        _ => 0,
+    }
+}
+
+/// Per-block liveness solution: `live_out[b]` is the set of registers
+/// that may be read before being written on some path leaving block `b`.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    pub live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Backward worklist iteration to fixed point. A block whose
+    /// terminator can fall off the program end is given `ALL_REGS`
+    /// out-liveness (unreachable in verified programs, but harmlessly
+    /// conservative).
+    pub fn solve(prog: &[Insn], cfg: &Cfg) -> Liveness {
+        let nb = cfg.blocks.len();
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![0 as RegSet; nb];
+        let mut kill = vec![0 as RegSet; nb];
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            for insn in &prog[b.start..b.end] {
+                let u = insn_uses(insn);
+                gen[i] |= u & !kill[i];
+                kill[i] |= insn_defs(insn);
+            }
+        }
+        let mut live_in = vec![0 as RegSet; nb];
+        let mut live_out = vec![0 as RegSet; nb];
+        for (i, b) in cfg.blocks.iter().enumerate() {
+            let last = b.end - 1;
+            let falls_off =
+                !matches!(prog[last], Insn::Jump { .. } | Insn::Exit) && b.end == prog.len();
+            if falls_off {
+                live_out[i] = ALL_REGS;
+            }
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in (0..nb).rev() {
+                let mut out = live_out[i];
+                for &s in &cfg.blocks[i].succs {
+                    out |= live_in[s];
+                }
+                let inn = gen[i] | (out & !kill[i]);
+                if out != live_out[i] || inn != live_in[i] {
+                    live_out[i] = out;
+                    live_in[i] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_out }
+    }
+}
+
+/// A definition site. `ENTRY_DEF` stands for the implicit program-entry
+/// definitions (`R1` = ctx pointer, `R10` = frame pointer).
+pub const ENTRY_DEF: u32 = u32::MAX;
+
+/// Reaching definitions, summarized per reg as a bounded set of def
+/// pcs. Sets larger than [`MAX_DEFS`] collapse to `Top` (unknown) — the
+/// consumer only cares about the unique-def case, so precision beyond a
+/// handful of sites buys nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Defs {
+    /// No definition reaches (register is uninit on every path here).
+    None,
+    /// Sorted set of def pcs, at most [`MAX_DEFS`] of them.
+    Sites(Vec<u32>),
+    /// Too many or unknowable definition sites.
+    Top,
+}
+
+pub const MAX_DEFS: usize = 8;
+
+impl Defs {
+    fn join(&mut self, other: &Defs) -> bool {
+        let merged = match (&*self, other) {
+            (Defs::Top, _) => return false,
+            (_, Defs::Top) => Defs::Top,
+            (Defs::None, o) => o.clone(),
+            (s, Defs::None) => s.clone(),
+            (Defs::Sites(a), Defs::Sites(b)) => {
+                let mut v = a.clone();
+                for &d in b {
+                    if let Err(i) = v.binary_search(&d) {
+                        v.insert(i, d);
+                    }
+                }
+                if v.len() > MAX_DEFS {
+                    Defs::Top
+                } else {
+                    Defs::Sites(v)
+                }
+            }
+        };
+        if *self != merged {
+            *self = merged;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The single pc that defines this register, if unique.
+    pub fn unique(&self) -> Option<u32> {
+        match self {
+            Defs::Sites(v) if v.len() == 1 => Some(v[0]),
+            _ => None,
+        }
+    }
+}
+
+/// Reaching-definitions solution: per-block entry state, one `Defs` per
+/// register.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    pub block_in: Vec<[Defs; 11]>,
+}
+
+const NONE_DEFS: Defs = Defs::None;
+
+impl ReachingDefs {
+    pub fn solve(prog: &[Insn], cfg: &Cfg) -> ReachingDefs {
+        let nb = cfg.blocks.len();
+        let mut block_in = vec![[NONE_DEFS; 11]; nb];
+        let mut block_out = vec![[NONE_DEFS; 11]; nb];
+        // Entry state: R1 and R10 are defined at program entry.
+        let entry = {
+            let mut e = [NONE_DEFS; 11];
+            e[1] = Defs::Sites(vec![ENTRY_DEF]);
+            e[10] = Defs::Sites(vec![ENTRY_DEF]);
+            e
+        };
+        if nb > 0 {
+            block_in[0] = entry;
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &bi in &cfg.rpo {
+                let b = &cfg.blocks[bi];
+                // in = join of preds' out (entry keeps its seed).
+                let mut inn = block_in[bi].clone();
+                for &p in &b.preds {
+                    for r in 0..11 {
+                        inn[r].join(&block_out[p][r]);
+                    }
+                }
+                // Transfer: each def replaces the set for its register.
+                let mut out = inn.clone();
+                for (pc, insn) in prog.iter().enumerate().take(b.end).skip(b.start) {
+                    let defs = insn_defs(insn);
+                    for (r, d) in out.iter_mut().enumerate() {
+                        if defs & (1 << r) != 0 {
+                            *d = Defs::Sites(vec![pc as u32]);
+                        }
+                    }
+                }
+                if inn != block_in[bi] {
+                    block_in[bi] = inn;
+                    changed = true;
+                }
+                if out != block_out[bi] {
+                    block_out[bi] = out;
+                    changed = true;
+                }
+            }
+        }
+        ReachingDefs { block_in }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{AluOp, Cond, Size, R0, R1, R10, R2, R3, R6};
+
+    fn mov_imm(dst: crate::insn::Reg, v: i64) -> Insn {
+        Insn::Alu {
+            op: AluOp::Mov,
+            dst,
+            src: Src::Imm(v),
+        }
+    }
+
+    #[test]
+    fn use_def_sets_per_shape() {
+        let add = Insn::Alu {
+            op: AluOp::Add,
+            dst: R2,
+            src: Src::Reg(R3),
+        };
+        assert_eq!(insn_uses(&add), 0b1100);
+        assert_eq!(insn_defs(&add), 0b0100);
+        let mov = mov_imm(R6, 1);
+        assert_eq!(insn_uses(&mov), 0);
+        let call = Insn::Call {
+            helper: Helper::MapUpdate,
+        };
+        assert_eq!(insn_uses(&call), 0b1_1110); // R1..=R4
+        assert_eq!(insn_defs(&call), 0b11_1111); // R0..=R5 clobbered
+        let st = Insn::Store {
+            size: Size::B8,
+            base: R10,
+            off: -8,
+            src: Src::Reg(R0),
+        };
+        assert_eq!(insn_uses(&st), (1 << 10) | 1);
+        assert_eq!(insn_defs(&st), 0);
+        assert_eq!(insn_uses(&Insn::Exit), 1);
+    }
+
+    #[test]
+    fn liveness_sees_loop_carried_registers() {
+        // 0: mov r0, 0
+        // 1: jeq r1, 0, +2 → 4
+        // 2: add r0, 1          (r0 live around the loop)
+        // 3: ja -3 → 1
+        // 4: exit
+        let prog = vec![
+            mov_imm(R0, 0),
+            Insn::Jump {
+                cond: Some((Cond::Eq, R1, Src::Imm(0))),
+                off: 2,
+            },
+            Insn::Alu {
+                op: AluOp::Add,
+                dst: R0,
+                src: Src::Imm(1),
+            },
+            Insn::Jump {
+                cond: None,
+                off: -3,
+            },
+            Insn::Exit,
+        ];
+        let cfg = Cfg::build(&prog);
+        let lv = Liveness::solve(&prog, &cfg);
+        let header = cfg.block_of[1];
+        let body = cfg.block_of[2];
+        // r0 is live out of the body (read by exit after the loop) and
+        // r1 is live out of the entry block (read by the header).
+        assert_ne!(lv.live_out[body] & 1, 0, "r0 live around back edge");
+        assert_ne!(
+            lv.live_out[cfg.block_of[0]] & 0b10,
+            0,
+            "r1 live into header"
+        );
+        assert_ne!(lv.live_out[header] & 1, 0);
+    }
+
+    #[test]
+    fn reaching_defs_unique_and_merged() {
+        // 0: mov r0, 1
+        // 1: jeq r1, 0, +1 → 3
+        // 2: mov r0, 2
+        // 3: exit            (r0 has two reaching defs at the join)
+        let prog = vec![
+            mov_imm(R0, 1),
+            Insn::Jump {
+                cond: Some((Cond::Eq, R1, Src::Imm(0))),
+                off: 1,
+            },
+            mov_imm(R0, 2),
+            Insn::Exit,
+        ];
+        let cfg = Cfg::build(&prog);
+        let rd = ReachingDefs::solve(&prog, &cfg);
+        let exit_block = cfg.block_of[3];
+        match &rd.block_in[exit_block][0] {
+            Defs::Sites(v) => assert_eq!(v, &vec![0, 2]),
+            other => panic!("expected two sites, got {other:?}"),
+        }
+        assert!(rd.block_in[exit_block][0].unique().is_none());
+        // R1's def at the exit block is still the entry pseudo-def.
+        assert_eq!(rd.block_in[exit_block][1].unique(), Some(ENTRY_DEF));
+    }
+}

@@ -768,9 +768,49 @@ pub struct VerifyStats {
     pub peak_depth: usize,
 }
 
+/// Lattice of "what constant value does this register hold at this pc,
+/// over every state that reached it". `Bottom` = no state seen yet,
+/// `Top` = visited with conflicting / non-constant values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum ConstFact {
+    #[default]
+    Bottom,
+    Const(u64),
+    Top,
+}
+
+impl ConstFact {
+    pub(crate) fn value(self) -> Option<u64> {
+        match self {
+            ConstFact::Const(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// Facts the verifier proves about one pc, exported to the load-time
+/// optimizer. All facts are joins over every abstract state popped at
+/// the pc; subsumption pruning keeps them sound because a pruned state
+/// is covered by a recorded state that *was* explored from the same pc.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PcFacts {
+    /// Exploration reached this pc at least once.
+    pub visited: bool,
+    /// Join of scalar-constant register values across every visiting
+    /// state. Uninit registers join as identity: if the instruction at
+    /// this pc reads the register, verification would have rejected the
+    /// uninit path, so the fact only ever feeds reads that are init on
+    /// every path.
+    pub reg_const: [ConstFact; 11],
+    /// For conditional jumps: some visiting state could take the branch.
+    pub taken_live: bool,
+    /// For conditional jumps: some visiting state could fall through.
+    pub fallthrough_live: bool,
+}
+
 /// Verify a program against a map registry and a declared context size.
 pub fn verify(prog: &[Insn], maps: &MapRegistry, ctx_size: usize) -> Result<(), VerifyError> {
-    run(prog, maps, ctx_size, false).0.map(|_| ())
+    run(prog, maps, ctx_size, false, false).0.map(|_| ())
 }
 
 /// Like [`verify`], but reports how much work the pass did.
@@ -779,7 +819,7 @@ pub fn verify_with_stats(
     maps: &MapRegistry,
     ctx_size: usize,
 ) -> Result<VerifyStats, VerifyError> {
-    run(prog, maps, ctx_size, false).0
+    run(prog, maps, ctx_size, false, false).0
 }
 
 /// Like [`verify_with_stats`], but also produces a kernel-style
@@ -789,7 +829,20 @@ pub fn verify_with_log(
     maps: &MapRegistry,
     ctx_size: usize,
 ) -> (Result<VerifyStats, VerifyError>, String) {
-    run(prog, maps, ctx_size, true)
+    let (result, log, _) = run(prog, maps, ctx_size, true, false);
+    (result, log)
+}
+
+/// Like [`verify_with_stats`], but also exports the per-pc facts the
+/// optimizer consumes (constant registers, dead branch arms, visited
+/// pcs). Crate-internal: the public surface is `opt::optimize`.
+pub(crate) fn verify_with_facts(
+    prog: &[Insn],
+    maps: &MapRegistry,
+    ctx_size: usize,
+) -> (Result<VerifyStats, VerifyError>, Vec<PcFacts>) {
+    let (result, _, facts) = run(prog, maps, ctx_size, false, true);
+    (result, facts)
 }
 
 fn run(
@@ -797,7 +850,8 @@ fn run(
     maps: &MapRegistry,
     ctx_size: usize,
     want_log: bool,
-) -> (Result<VerifyStats, VerifyError>, String) {
+    want_facts: bool,
+) -> (Result<VerifyStats, VerifyError>, String, Vec<PcFacts>) {
     let mut log = if want_log { Some(String::new()) } else { None };
     if let Some(l) = log.as_mut() {
         l.push_str(&format!(
@@ -818,7 +872,7 @@ fn run(
         if want_log {
             log.push_str(&format!("rejected: {err}\n"));
         }
-        return (Err(err), log);
+        return (Err(err), log, Vec::new());
     }
     let mut v = Verifier {
         prog,
@@ -832,6 +886,11 @@ fn run(
         prune_point: prune_points(prog),
         seen: HashMap::new(),
         log,
+        facts: if want_facts {
+            Some(vec![PcFacts::default(); prog.len()])
+        } else {
+            None
+        },
     };
     let result = v.explore();
     let stats = VerifyStats {
@@ -858,7 +917,8 @@ fn run(
             stats.peak_depth,
         ));
     }
-    (result.map(|()| stats), log)
+    let facts = v.facts.take().unwrap_or_default();
+    (result.map(|()| stats), log, facts)
 }
 
 /// Pcs where exploration records and prunes states: every jump target
@@ -892,6 +952,8 @@ struct Verifier<'a> {
     prune_point: Vec<bool>,
     seen: HashMap<usize, Vec<State>>,
     log: Option<String>,
+    /// Per-pc fact export for the optimizer (joined over popped states).
+    facts: Option<Vec<PcFacts>>,
 }
 
 impl<'a> Verifier<'a> {
@@ -908,6 +970,46 @@ impl<'a> Verifier<'a> {
         }
     }
 
+    /// Join one popped state into the per-pc fact export. Pruned states
+    /// are joined too (before the prune decision), which only weakens
+    /// facts — soundness never depends on excluding them.
+    fn note_state(&mut self, pc: usize, st: &State) {
+        let Some(facts) = self.facts.as_mut() else {
+            return;
+        };
+        let Some(f) = facts.get_mut(pc) else {
+            return;
+        };
+        f.visited = true;
+        for (i, reg) in st.regs.iter().enumerate() {
+            let c = match reg {
+                // Identity: a read of an uninit register at this pc
+                // would have failed verification on that path.
+                RegType::Uninit => continue,
+                RegType::Scalar(r) => r.const_u(),
+                _ => None,
+            };
+            f.reg_const[i] = match (f.reg_const[i], c) {
+                (ConstFact::Bottom, Some(v)) => ConstFact::Const(v),
+                (ConstFact::Const(a), Some(v)) if a == v => ConstFact::Const(a),
+                _ => ConstFact::Top,
+            };
+        }
+    }
+
+    /// Record that some state could traverse a conditional jump's arm.
+    fn note_arm(&mut self, pc: usize, taken: bool) {
+        if let Some(facts) = self.facts.as_mut() {
+            if let Some(f) = facts.get_mut(pc) {
+                if taken {
+                    f.taken_live = true;
+                } else {
+                    f.fallthrough_live = true;
+                }
+            }
+        }
+    }
+
     fn explore(&mut self) -> Result<(), VerifyError> {
         let mut worklist = vec![(0usize, State::entry())];
         self.peak_depth = 1;
@@ -916,6 +1018,7 @@ impl<'a> Verifier<'a> {
             if self.states_explored > MAX_STATES {
                 return Err(VerifyError::TooComplex);
             }
+            self.note_state(pc, &st);
             let mut pruned = false;
             if pc < self.prune_point.len() && self.prune_point[pc] {
                 let recorded = self.seen.entry(pc).or_default();
@@ -1154,6 +1257,10 @@ impl<'a> Verifier<'a> {
                                 } else {
                                     (pc + 1, target)
                                 };
+                                // Both arms of a null test are live: the
+                                // optimizer must never fold one away.
+                                self.note_arm(pc, true);
+                                self.note_arm(pc, false);
                                 let mut null_st = st.clone();
                                 null_st.regs[dst.index()] = RegType::cnst(0);
                                 self.push_succ(worklist, pc, null_pc, null_st)?;
@@ -1169,15 +1276,15 @@ impl<'a> Verifier<'a> {
                             }
                             return Err(VerifyError::PointerComparison { pc });
                         }
-                        let (dr, sr) = match (d, s) {
-                            (RegType::Scalar(a), RegType::Scalar(b)) => (a, b),
-                            _ => return Err(VerifyError::PointerComparison { pc }),
+                        let (RegType::Scalar(dr), RegType::Scalar(sr)) = (d, s) else {
+                            return Err(VerifyError::PointerComparison { pc });
                         };
                         // Taken arm first, then fall-through (LIFO pops
                         // fall-through first). A `None` refinement means
                         // that arm is statically dead — this is also
                         // what terminates constant-bounded loops.
                         if let Some((rd, rs)) = refine(BranchCond::C(c), dr, sr) {
+                            self.note_arm(pc, true);
                             let mut t_st = st.clone();
                             t_st.regs[dst.index()] = RegType::Scalar(rd);
                             if let Src::Reg(sreg) = src {
@@ -1188,6 +1295,7 @@ impl<'a> Verifier<'a> {
                             self.trace(|| format!("{pc}: branch never taken (dead arm)"));
                         }
                         if let Some((rd, rs)) = refine(negate(c), dr, sr) {
+                            self.note_arm(pc, false);
                             let mut f_st = st;
                             f_st.regs[dst.index()] = RegType::Scalar(rd);
                             if let Src::Reg(sreg) = src {
@@ -1290,13 +1398,13 @@ impl<'a> Verifier<'a> {
         s: Range,
     ) -> Result<RegType, VerifyError> {
         let err = VerifyError::PointerArithmetic { pc };
-        let (off, vmin, vmax) = match ptr {
-            RegType::PtrStack { off, vmin, vmax }
-            | RegType::PtrCtx { off, vmin, vmax }
-            | RegType::PtrMap {
-                off, vmin, vmax, ..
-            } => (off, vmin, vmax),
-            _ => return Err(err),
+        let (RegType::PtrStack { off, vmin, vmax }
+        | RegType::PtrCtx { off, vmin, vmax }
+        | RegType::PtrMap {
+            off, vmin, vmax, ..
+        }) = ptr
+        else {
+            return Err(err);
         };
         let add = op == AluOp::Add;
         let (off, vmin, vmax) = if let Some(c) = s.const_i() {

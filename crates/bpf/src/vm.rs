@@ -112,6 +112,7 @@ impl HelperWorld for NullWorld {
 }
 
 /// The interpreter.
+#[derive(Debug)]
 pub struct Vm;
 
 struct Exec<'a> {
@@ -415,7 +416,9 @@ fn zext(bytes: &[u8]) -> u64 {
     u64::from_le_bytes(buf)
 }
 
-fn alu(op: AluOp, d: u64, s: u64) -> u64 {
+/// Concrete ALU evaluation — shared with the load-time optimizer's
+/// constant folder so folded results match execution bit-for-bit.
+pub(crate) fn alu(op: AluOp, d: u64, s: u64) -> u64 {
     match op {
         AluOp::Add => d.wrapping_add(s),
         AluOp::Sub => d.wrapping_sub(s),

@@ -147,9 +147,8 @@ impl TrainingPoint {
 /// to which OU" using offline models (§5.2/§6). The weight is the group's
 /// first feature (its tuple count), a proxy for per-OU work.
 pub fn split_record(raw: &RawRecord, registry: &OuRegistry) -> Vec<TrainingPoint> {
-    let subsystem = match Subsystem::from_index(raw.subsystem as usize) {
-        Some(s) => s,
-        None => return Vec::new(),
+    let Some(subsystem) = Subsystem::from_index(raw.subsystem as usize) else {
+        return Vec::new();
     };
     if raw.flags == 0 {
         let (ou_name, n_features) = match registry.get(crate::ou::OuId(raw.ou as u16)) {

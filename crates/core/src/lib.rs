@@ -59,6 +59,8 @@
 //! assert_eq!(samples.len(), 1);
 //! assert!(samples[0].elapsed_ns > 0);
 //! ```
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod codegen;
 pub mod collector;

@@ -22,6 +22,7 @@ use crate::collector::TScout;
 use crate::data::{decode_record, split_record, TrainingPoint};
 
 /// Where processed training data goes.
+#[derive(Debug)]
 pub enum Sink {
     /// Keep decoded points in memory (model training pipelines).
     Memory(Vec<TrainingPoint>),
@@ -57,6 +58,7 @@ impl Sink {
 }
 
 /// The user-space Processor component.
+#[derive(Debug)]
 pub struct Processor {
     /// The Processor's own kernel task (it consumes CPU too).
     pub task: TaskId,
@@ -78,7 +80,7 @@ pub struct Processor {
 
 fn join<T: std::fmt::Display>(xs: &[T]) -> String {
     xs.iter()
-        .map(|x| x.to_string())
+        .map(std::string::ToString::to_string)
         .collect::<Vec<_>>()
         .join("|")
 }

@@ -60,6 +60,7 @@ struct Session {
     txn: Option<TxnHandle>,
 }
 
+#[derive(Debug)]
 struct Prepared {
     #[allow(dead_code)]
     sql: String,
@@ -70,6 +71,7 @@ struct Prepared {
 }
 
 /// The NoiseTap DBMS instance.
+#[derive(Debug)]
 pub struct Database {
     pub kernel: Kernel,
     ts: Option<TScout>,
@@ -689,7 +691,11 @@ impl Database {
     ) -> Result<ExecOutcome, DbError> {
         let task = self.sessions[sid.0].task;
         let _root = self.kernel.profile_frame(task, "dbms", true);
-        let pmu_tax = self.ts.as_ref().map(|t| t.pmu_cs_tax()).unwrap_or(false);
+        let pmu_tax = self
+            .ts
+            .as_ref()
+            .map(tscout::TScout::pmu_cs_tax)
+            .unwrap_or(false);
         let req_start_ns = self.kernel.now(task);
         let req_bytes = (32 + params.iter().map(Value::byte_size).sum::<usize>()) as u64;
 
@@ -1303,7 +1309,7 @@ mod explain_tests {
         ];
         LiveModel {
             generation,
-            trained_points: data.iter().map(|d| d.len()).sum(),
+            trained_points: data.iter().map(tscout_models::OuData::len).sum(),
             models: std::sync::Arc::new(OuModelSet::train(ModelKind::Ridge, 1, &data)),
             holdout_mape_pct: 0.0,
         }

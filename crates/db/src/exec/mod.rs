@@ -72,6 +72,7 @@ pub struct ExecOutcome {
 }
 
 /// Everything the executor needs, borrowed disjointly from the engine.
+#[derive(Debug)]
 pub struct ExecCtx<'a> {
     pub kernel: &'a mut Kernel,
     pub ts: Option<&'a mut TScout>,

@@ -424,7 +424,7 @@ mod tests {
                 }
             }
         }
-        let expect: usize = model.values().map(|v| v.len()).sum();
+        let expect: usize = model.values().map(std::vec::Vec::len).sum();
         assert_eq!(ours.len(), expect);
         for (key, slots) in &model {
             let (mut got, _) = ours.get(key);

@@ -19,6 +19,8 @@
 //! All timing is virtual: DBMS work is charged to the simulated kernel
 //! (`tscout-kernel`), so experiments are deterministic and the collected
 //! training data reflects a controllable ground-truth cost model.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod catalog;
 pub mod engine;

@@ -30,6 +30,8 @@
 //! *relative* costs the paper's evaluation hinges on (one mode switch for a
 //! kernel-space probe vs. three syscalls for toggled user-space collection,
 //! PMU save/restore on context switches, group-commit I/O batching, ...).
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod cost;
 pub mod hw;

@@ -11,6 +11,7 @@ use crate::dataset::OuData;
 use crate::{ModelKind, Regressor};
 
 /// One trained model per OU.
+#[derive(Debug)]
 pub struct OuModelSet {
     models: BTreeMap<String, Box<dyn Regressor>>,
     kind: ModelKind,

@@ -42,6 +42,7 @@ impl Node {
 }
 
 /// The forest.
+#[derive(Debug)]
 pub struct RandomForest {
     n_trees: usize,
     max_depth: usize,
@@ -117,7 +118,7 @@ fn build(
         return Node::Leaf(mean(idx, y));
     };
     let (mut li, mut ri): (Vec<usize>, Vec<usize>) = (Vec::new(), Vec::new());
-    for &i in idx.iter() {
+    for &i in idx {
         if x[i][feature] <= threshold {
             li.push(i);
         } else {
@@ -157,7 +158,7 @@ fn best_split(
             let t = (w[0] + w[1]) / 2.0;
             let (mut ln, mut ls, mut lss, mut rn, mut rs, mut rss) =
                 (0usize, 0.0f64, 0.0f64, 0usize, 0.0f64, 0.0f64);
-            for &i in idx.iter() {
+            for &i in idx {
                 if x[i][f] <= t {
                     ln += 1;
                     ls += y[i];

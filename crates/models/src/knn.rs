@@ -7,6 +7,7 @@
 use crate::Regressor;
 
 /// kNN regressor.
+#[derive(Debug)]
 pub struct Knn {
     k: usize,
     x: Vec<Vec<f64>>,

@@ -18,6 +18,8 @@
 //! * [`registry`] — generation-counted, accuracy-gated model hot-swap.
 //!
 //! Models are deterministic for a fixed seed.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod dataset;
 pub mod eval;
@@ -36,7 +38,7 @@ pub use linreg::Ridge;
 pub use registry::{LiveModel, ModelRegistry, SwapDecision};
 
 /// A trained regression model.
-pub trait Regressor: Send + Sync {
+pub trait Regressor: std::fmt::Debug + Send + Sync {
     /// Fit on rows of `(features, target)`.
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]);
     /// Predict one target.

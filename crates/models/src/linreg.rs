@@ -8,6 +8,7 @@
 use crate::Regressor;
 
 /// Ridge linear regression.
+#[derive(Debug)]
 pub struct Ridge {
     lambda: f64,
     /// Learned weights, bias last. Empty until fitted.

@@ -25,7 +25,7 @@ use crate::eval::{mape_pct, OuModelSet};
 use crate::ModelKind;
 
 /// The currently-installed model set plus its provenance.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct LiveModel {
     /// Monotonic install counter; bumps only on an accepted swap.
     pub generation: u64,
@@ -55,6 +55,7 @@ pub enum SwapDecision {
 }
 
 /// Generation-counted model registry with an accuracy gate.
+#[derive(Debug)]
 pub struct ModelRegistry {
     kind: ModelKind,
     seed: u64,
@@ -101,8 +102,8 @@ impl ModelRegistry {
     /// comparison tracks the current data distribution, not the one the
     /// live model happened to be installed under.
     pub fn retrain_from(&mut self, train: &[OuData], holdout: &[OuData]) -> SwapDecision {
-        let trained_points: usize = train.iter().map(|d| d.len()).sum();
-        let holdout_points: usize = holdout.iter().map(|d| d.len()).sum();
+        let trained_points: usize = train.iter().map(super::dataset::OuData::len).sum();
+        let holdout_points: usize = holdout.iter().map(super::dataset::OuData::len).sum();
         if trained_points == 0 || holdout_points == 0 {
             return SwapDecision::Skipped;
         }

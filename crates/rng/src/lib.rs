@@ -17,6 +17,8 @@
 //! Determinism contract: for a fixed seed, every method here produces an
 //! identical stream across platforms and releases of this workspace.
 //! Benchmarks and tests rely on that for reproducible figures.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod rngs;
 pub mod seq;

@@ -24,6 +24,8 @@
 //!   ([`Registry::spans_to_chrome_json`]), and a combined JSON snapshot
 //!   ([`Registry::snapshot_json`]) that the bench binaries write to
 //!   `results/telemetry_<fig>.json`.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 mod docs;
 mod drift;

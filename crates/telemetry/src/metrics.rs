@@ -1060,7 +1060,10 @@ mod tests {
             r.observe_ou_sample("ExecAgg", "execution_engine", 90_000.0, 1.0);
         }
         let fired = r.observability_tick(1_000_000.0);
-        assert!(fired.iter().any(|a| a.fired()), "expected a fired alert");
+        assert!(
+            fired.iter().any(super::super::health::Alert::fired),
+            "expected a fired alert"
+        );
         assert!(r.counter_total("alerts_fired_total") >= 1);
         assert!(r.gauge_value("ts_health_state", &[("subsystem", "data")]) >= 1.0);
         // Back to the reference distribution: hysteresis needs two clear

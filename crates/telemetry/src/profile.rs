@@ -220,7 +220,7 @@ impl Profiler {
     /// line per distinct stack.
     pub fn folded_text(&self) -> String {
         let mut out = String::new();
-        for (k, e) in self.lock().folded.iter() {
+        for (k, e) in &self.lock().folded {
             out.push_str(k);
             out.push(' ');
             out.push_str(&e.samples.to_string());
@@ -267,6 +267,7 @@ impl Profiler {
 /// frame when dropped. Holds a cloned handle, so it never borrows the
 /// kernel or the component that pushed it.
 #[must_use = "the frame pops when this guard drops"]
+#[derive(Debug)]
 pub struct FrameGuard {
     owner: Option<(Profiler, usize)>,
 }

@@ -14,6 +14,7 @@ use crate::driver::{TxnCtx, Workload};
 use crate::tpcc::Tpcc;
 
 /// CH-benCHmark workload.
+#[derive(Debug)]
 pub struct ChBenchmark {
     pub tpcc: Tpcc,
     /// Terminals whose session id satisfies `sid % analytic_every ==

@@ -33,6 +33,7 @@ pub struct QuerySpan {
 }
 
 /// Per-transaction context handed to workload transaction bodies.
+#[derive(Debug)]
 pub struct TxnCtx<'a> {
     pub db: &'a mut Database,
     pub sid: SessionId,
@@ -168,6 +169,7 @@ impl RunStats {
 /// archive + generation-counted model registry, retrained on the pump
 /// timeline (paper §2: collection feeds models that steer the DBMS; the
 /// lifecycle closes that loop inside the simulation).
+#[derive(Debug)]
 pub struct ModelLifecycle {
     pub archive: Archive,
     pub registry: ModelRegistry,
@@ -292,7 +294,7 @@ impl ModelLifecycle {
         let _frame = kernel.profile_frame(task, "models:retrain", false);
         let start = kernel.now(task);
         let data = datasets_from_archive(&self.archive, kernel.hw.clock_ghz, concurrency);
-        let n_points: usize = data.iter().map(|d| d.len()).sum();
+        let n_points: usize = data.iter().map(tscout_models::OuData::len).sum();
         kernel.telemetry.trace_lifecycle_stamp(
             tscout_telemetry::Stage::Dataset,
             start,

@@ -17,6 +17,8 @@
 //!   produce *offline* training data (§2.4);
 //! * [`driver`] — the BenchBase-equivalent multi-terminal driver with
 //!   virtual-time scheduling, trace capture, and dataset assembly.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub mod chbenchmark;
 pub mod driver;

@@ -20,6 +20,7 @@ use crate::util::bulk_load;
 const SCAN_SIZES: [u64; 3] = [200, 2000, 10_000];
 
 /// The offline runner suite.
+#[derive(Debug)]
 pub struct OfflineRunner {
     step: u64,
     sink_next: i64,

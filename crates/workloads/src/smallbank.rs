@@ -13,11 +13,13 @@ use crate::driver::{TxnCtx, Workload};
 use crate::util::{bulk_load, pick_weighted};
 
 /// SmallBank workload.
+#[derive(Debug)]
 pub struct SmallBank {
     pub customers: u64,
     stmts: Option<Stmts>,
 }
 
+#[derive(Debug)]
 struct Stmts {
     get_savings: StatementId,
     get_checking: StatementId,

@@ -13,11 +13,13 @@ use crate::driver::{TxnCtx, Workload};
 use crate::util::{bulk_load, pick_weighted};
 
 /// TATP workload.
+#[derive(Debug)]
 pub struct Tatp {
     pub subscribers: u64,
     stmts: Option<Stmts>,
 }
 
+#[derive(Debug)]
 struct Stmts {
     get_subscriber: StatementId,
     get_access: StatementId,

@@ -21,6 +21,7 @@ pub const SEED_ORDERS_PER_DISTRICT: u64 = 60;
 pub const LAST_NAMES: u64 = 40;
 
 /// TPC-C workload.
+#[derive(Debug)]
 pub struct Tpcc {
     pub warehouses: u64,
     stmts: Option<Stmts>,
@@ -29,6 +30,7 @@ pub struct Tpcc {
     pub mix: [u32; 5],
 }
 
+#[derive(Debug)]
 pub struct Stmts {
     get_warehouse: StatementId,
     get_district: StatementId,

@@ -15,6 +15,7 @@ use crate::driver::{TxnCtx, Workload};
 use crate::util::{bulk_load, rand_string};
 
 /// YCSB workload state.
+#[derive(Debug)]
 pub struct Ycsb {
     pub rows: u64,
     pub field_len: usize,

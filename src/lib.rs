@@ -20,6 +20,8 @@
 //! See `examples/quickstart.rs` for the fastest path to collecting
 //! training data, and the `tscout-bench` binaries for the paper's
 //! figures.
+#![forbid(unsafe_code)]
+#![deny(missing_debug_implementations)]
 
 pub use noisetap;
 pub use tscout;

@@ -163,7 +163,7 @@ fn synth_live(generation: u64, target_ns: f64) -> LiveModel {
     ];
     LiveModel {
         generation,
-        trained_points: data.iter().map(|d| d.len()).sum(),
+        trained_points: data.iter().map(tscout_suite::models::OuData::len).sum(),
         models: Arc::new(OuModelSet::train(ModelKind::Ridge, 1, &data)),
         holdout_mape_pct: 0.0,
     }

@@ -230,7 +230,7 @@ fn bounded_collector_loop_end_to_end_and_unbounded_variant_rejected() {
     );
 
     // Eight little-endian words 1..=8 sum to 36.
-    let ctx: Vec<u8> = (1u64..=8).flat_map(|w| w.to_le_bytes()).collect();
+    let ctx: Vec<u8> = (1u64..=8).flat_map(u64::to_le_bytes).collect();
     let mut maps_run = maps();
     let mut world = NullWorld::default();
     let (r0, exec) = Vm::run(&prog, &ctx, &mut maps_run, &mut world).unwrap();
