@@ -120,4 +120,21 @@ test "$(wc -l < "$QS_CSV")" -ge 2 \
   || { echo "FAIL: ablation_query_stats.csv has no data rows"; exit 1; }
 echo "query-stats smoke OK"
 
+echo "== action-engine smoke (closed loop: drift -> retrain -> recover) =="
+# Fixed virtual duration by design (no TS_SCALE): the binary asserts the
+# closed-loop contract itself (engine arm recovers, control stays
+# CRITICAL, every closed action archived an efficacy sample); CI
+# re-checks the exported action log.
+TS_RESULTS="$CI_RESULTS" cargo run -q --release -p tscout-bench --bin ablation_actions
+ACTIONS_JSON="$CI_RESULTS/actions_ablation_actions.json"
+test -s "$ACTIONS_JSON" \
+  || { echo "FAIL: actions_ablation_actions.json missing or empty"; exit 1; }
+grep -q '"kind": "trigger_retrain"' "$ACTIONS_JSON" \
+  || { echo "FAIL: action log records no retrain action"; exit 1; }
+grep -q '"state": "observed"' "$ACTIONS_JSON" \
+  || { echo "FAIL: action log has no closed (observed) actions"; exit 1; }
+grep -q 'engine,' "$CI_RESULTS/ablation_actions.csv" \
+  || { echo "FAIL: ablation_actions.csv has no engine arm row"; exit 1; }
+echo "action-engine smoke OK"
+
 echo "CI gate passed."

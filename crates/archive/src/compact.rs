@@ -32,7 +32,20 @@ impl Archive {
     /// [`crate::ArchiveOptions::compact_fanin`] contiguous small sealed
     /// segments at the head of the archive. Returns whether a compaction
     /// ran.
+    ///
+    /// The action engine overrides the policy in both directions: a
+    /// [`Archive::set_compaction_hold`] makes this a no-op (compaction
+    /// deprioritized while collection overhead is over budget), and a
+    /// [`Archive::request_compaction`] compacts the whole sealed head
+    /// run on the next call even below the fan-in threshold.
     pub fn maybe_compact(&mut self) -> Result<bool, ArchiveError> {
+        if self.compaction_hold {
+            return Ok(false);
+        }
+        if self.compaction_requested {
+            self.compaction_requested = false;
+            return self.compact_now();
+        }
         let run = self
             .segments
             .iter()
@@ -42,6 +55,24 @@ impl Archive {
             return Ok(false);
         }
         self.compact_run(run)
+    }
+
+    /// Hold (`true`) or release (`false`) compaction. Held archives
+    /// never compact from `maybe_compact`; explicit `compact_now` calls
+    /// still work.
+    pub fn set_compaction_hold(&mut self, hold: bool) {
+        self.compaction_hold = hold;
+    }
+
+    /// Whether compaction is currently held.
+    pub fn compaction_held(&self) -> bool {
+        self.compaction_hold
+    }
+
+    /// Ask for a compaction at the next `maybe_compact`, bypassing the
+    /// fan-in threshold (but not a hold).
+    pub fn request_compaction(&mut self) {
+        self.compaction_requested = true;
     }
 
     /// Force-compact every sealed segment at the head of the archive
@@ -310,6 +341,33 @@ mod tests {
             a.append(test_sample(1, "scan", i)).unwrap();
         }
         a.seal().unwrap(); // one sealed segment < fanin
+        assert!(!a.maybe_compact().unwrap());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hold_and_request_override_the_fanin_policy() {
+        let dir = tmp_dir("hooks");
+        let mut a = Archive::open(&dir, small_opts(), Telemetry::new()).unwrap();
+        for i in 0..1_000 {
+            a.append(test_sample(1, "scan", i)).unwrap();
+        }
+        a.seal().unwrap();
+        assert!(a.stats().segments >= 3);
+        // Held: the policy would fire, but nothing happens.
+        a.set_compaction_hold(true);
+        assert!(a.compaction_held());
+        assert!(!a.maybe_compact().unwrap());
+        // A request does not pierce the hold either.
+        a.request_compaction();
+        assert!(!a.maybe_compact().unwrap());
+        // Released: the pending request compacts the whole sealed run
+        // even though it survives below the fan-in threshold afterward.
+        a.set_compaction_hold(false);
+        assert!(a.maybe_compact().unwrap());
+        assert_eq!(a.stats().segments, 1);
+        assert_eq!(a.scan_ou("scan").count(), 1_000);
+        // Request consumed: the next call is policy-driven again.
         assert!(!a.maybe_compact().unwrap());
         std::fs::remove_dir_all(&dir).ok();
     }

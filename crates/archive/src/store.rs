@@ -59,6 +59,12 @@ pub struct Archive {
     /// Open handle for the unsealed last segment, if any.
     active: Option<File>,
     next_seq: u64,
+    /// Action-engine hook: while held, `maybe_compact` is a no-op
+    /// (compaction deprioritized under overhead pressure).
+    pub(crate) compaction_hold: bool,
+    /// Action-engine hook: the next `maybe_compact` compacts even if the
+    /// fan-in policy would not fire yet.
+    pub(crate) compaction_requested: bool,
 }
 
 fn seg_path(dir: &Path, seq: u64) -> PathBuf {
@@ -104,6 +110,8 @@ impl Archive {
             segments: Vec::new(),
             active: None,
             next_seq: paths.last().map(|(s, _)| s + 1).unwrap_or(0),
+            compaction_hold: false,
+            compaction_requested: false,
         };
         for (seq, path) in paths {
             if let Some(meta) = archive.recover_segment(seq, &path)? {

@@ -781,6 +781,142 @@ fn query_stats(out: &mut Results) -> String {
     )
 }
 
+/// Action-engine costs: one full policy-evaluation tick (all five
+/// policies over a quiet system), closing one follow-up, and the
+/// end-to-end virtual-clock overhead the engine adds to a collected
+/// run. Returns the `BENCH_9.json` document (schema in README.md). The
+/// per-tick costs are what the virtual cost model's `action_plan_ns` /
+/// `action_followup_ns` constants stand for.
+fn action_engine(out: &mut Results) -> String {
+    use tscout_actions::{ActionConfig, ActionEngine, DbmsActuator, PlannerInputs, POLICY_COUNT};
+    use tscout_telemetry::Telemetry;
+
+    #[derive(Debug, Default)]
+    struct NullActuator;
+    impl DbmsActuator for NullActuator {
+        fn set_sampling_rate(&mut self, _subsystem: &str, _rate: u8) {}
+        fn trigger_retrain(&mut self) {}
+        fn schedule_compaction(&mut self) {}
+        fn hold_compaction(&mut self, _hold: bool) {}
+        fn set_pipeline_mode(&mut self, _fused: bool) {}
+    }
+
+    // Pure policy evaluation: a healthy, in-budget system where no
+    // policy fires — every tick walks all five policies and plans
+    // nothing.
+    let t = Telemetry::new();
+    let mut engine = ActionEngine::new(ActionConfig::default(), t.clone());
+    let mut act = NullActuator;
+    let mut now = 0.0f64;
+    bench(out, "action_policy_eval_tick", 50_000, || {
+        now += 2e6;
+        let inputs = PlannerInputs {
+            now_ns: now,
+            overhead_ratio: Some(0.01),
+            ..Default::default()
+        };
+        black_box(engine.tick(black_box(&inputs), &mut act));
+    });
+    let eval_tick_ns = out.last().unwrap().1;
+    let eval_policy_ns = eval_tick_ns / POLICY_COUNT as f64;
+
+    // Follow-up close: drift pinned CRITICAL with a zero observation
+    // window and no rate limit, so every tick closes the previous
+    // retrain's follow-up and plans the next one. The close cost is the
+    // difference against the eval-only tick.
+    let t = Telemetry::new();
+    t.gauge_set("ts_health_state", &[("subsystem", "data")], 2.0);
+    let cfg = ActionConfig {
+        observation_window_ns: 0.0,
+        min_interval_ns: 0.0,
+        hysteresis_ns: 0.0,
+        ..Default::default()
+    };
+    let mut engine = ActionEngine::new(cfg, t.clone());
+    let mut now = 0.0f64;
+    bench(out, "action_plan_plus_followup_tick", 20_000, || {
+        now += 2e6;
+        let inputs = PlannerInputs {
+            now_ns: now,
+            overhead_ratio: Some(0.01),
+            ..Default::default()
+        };
+        black_box(engine.tick(black_box(&inputs), &mut act));
+    });
+    let followup_tick_ns = out.last().unwrap().1;
+    let followup_ns = (followup_tick_ns - eval_tick_ns).max(0.0);
+    println!("action_followup_record: {followup_ns:.1} ns (plan+close tick minus eval-only tick)");
+
+    // End-to-end virtual-clock overhead of the engine on a collected
+    // run: the driver charges `action_plan_ns` per policy per pump tick
+    // plus `action_followup_ns` per closed follow-up, all on the
+    // Processor's task. Overhead is that total against the run's
+    // virtual duration — the number the `tscout_overhead_ratio` budget
+    // policy itself watches.
+    use tscout_archive::ArchiveOptions;
+    use tscout_models::ModelKind;
+    use tscout_workloads::driver::{run_with_lifecycle, ModelLifecycle, RunOptions};
+    use tscout_workloads::{Workload, Ycsb};
+    const DURATION_NS: f64 = 60e6;
+    let dir = std::env::temp_dir().join(format!("tscout_bench_act_{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let mut db = tscout_bench::new_db(HardwareProfile::server_2x20(), 0x9AC7);
+    db.stmt_stats_enabled = false;
+    let mut w = Ycsb::new(2_000);
+    w.setup(&mut db);
+    tscout_bench::attach_collect(&mut db);
+    let mut lc = ModelLifecycle::new(
+        &dir,
+        ArchiveOptions::default(),
+        ModelKind::Ridge,
+        7,
+        30e6,
+        db.kernel.telemetry.clone(),
+    )
+    .unwrap();
+    lc = lc.with_actions(ActionEngine::new(
+        ActionConfig::default(),
+        db.kernel.telemetry.clone(),
+    ));
+    let opts = RunOptions {
+        terminals: 2,
+        duration_ns: DURATION_NS,
+        seed: 0x9AC7,
+        ..Default::default()
+    };
+    run_with_lifecycle(&mut db, &mut w, &opts, &mut lc);
+    std::fs::remove_dir_all(&dir).ok();
+    let ticks = (DURATION_NS / opts.pump_every_ns).floor();
+    let observed = db
+        .kernel
+        .telemetry
+        .counter_total("tscout_action_observed_total");
+    let cost = &db.kernel.cost;
+    let charged_ns = ticks * POLICY_COUNT as f64 * cost.action_plan_ns
+        + observed as f64 * cost.action_followup_ns;
+    let overhead_pct = charged_ns / DURATION_NS * 100.0;
+    println!(
+        "action engine end-to-end: {ticks} ticks, {observed} follow-ups, \
+         {charged_ns:.0} ns charged = {overhead_pct:.3}% of the run (budget 1%)"
+    );
+    assert!(
+        overhead_pct < 1.0,
+        "action engine overhead {overhead_pct:.3}% breaches the 1% budget"
+    );
+
+    format!(
+        "{{\n  \"action_policy_eval_tick_ns\": {eval_tick_ns:.1},\n  \
+         \"action_policy_eval_ns_per_policy\": {eval_policy_ns:.1},\n  \
+         \"action_plan_plus_followup_tick_ns\": {followup_tick_ns:.1},\n  \
+         \"action_followup_record_ns\": {followup_ns:.1},\n  \
+         \"policies\": {POLICY_COUNT},\n  \
+         \"e2e_ticks\": {ticks},\n  \"e2e_followups\": {observed},\n  \
+         \"e2e_charged_ns\": {charged_ns:.0},\n  \
+         \"e2e_overhead_pct\": {overhead_pct:.3},\n  \
+         \"overhead_budget_pct\": 1.0\n}}\n"
+    )
+}
+
 /// Render the results as the `BENCH_2.json` document:
 /// `{"<case>": {"ns_per_op": N, "samples_per_sec": N}, ...}`.
 fn to_json(results: &Results) -> String {
@@ -810,6 +946,7 @@ fn main() {
     let bench5 = sketch_drift(&mut out);
     let bench6 = trace_lineage(&mut out);
     let bench7 = query_stats(&mut out);
+    let bench9 = action_engine(&mut out);
     // Machine-readable results at the repo root (next to Cargo.lock).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     std::fs::write(path, to_json(&out)).expect("cannot write BENCH_2.json");
@@ -832,4 +969,7 @@ fn main() {
     let path8 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_8.json");
     std::fs::write(path8, bench8).expect("cannot write BENCH_8.json");
     println!("optimizer win results -> {path8}");
+    let path9 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
+    std::fs::write(path9, bench9).expect("cannot write BENCH_9.json");
+    println!("action-engine cost results -> {path9}");
 }

@@ -12,6 +12,7 @@
 //! the directions mean the README can neither miss a live metric nor
 //! carry one the code no longer emits.
 
+use tscout_actions::{ActionConfig, ActionEngine};
 use tscout_archive::ArchiveOptions;
 use tscout_bench::{attach_collect, new_db};
 use tscout_kernel::HardwareProfile;
@@ -61,6 +62,15 @@ fn smoke_metric_names() -> Vec<String> {
         db.kernel.telemetry.clone(),
     )
     .expect("cannot open smoke archive");
+    // A dry-run action engine: every `tscout_action_*` metric registers
+    // (the engine pre-declares them at zero) without actuating anything.
+    lc = lc.with_actions(ActionEngine::new(
+        ActionConfig {
+            dry_run: true,
+            ..Default::default()
+        },
+        db.kernel.telemetry.clone(),
+    ));
     run_with_lifecycle(
         &mut db,
         &mut w,
@@ -136,10 +146,10 @@ fn main() {
         eprintln!("FAIL: metric `{name}` is registered at runtime but not in METRIC_DOCS");
         failed = true;
     }
-    // Stale direction for the tracing plane and the load-time
-    // optimizer: every documented trace / flight-recorder / optimizer
-    // metric must actually register during the traced smoke — a renamed
-    // or removed metric fails here.
+    // Stale direction for the tracing plane, the load-time optimizer,
+    // and the action engine: every documented trace / flight-recorder /
+    // optimizer / action metric must actually register during the
+    // traced smoke — a renamed or removed metric fails here.
     let stale: Vec<&str> = METRIC_DOCS
         .iter()
         .map(|(n, _, _)| *n)
@@ -147,6 +157,7 @@ fn main() {
             n.starts_with("tscout_trace")
                 || n.starts_with("ts_flightrec")
                 || n.starts_with("tscout_opt")
+                || n.starts_with("tscout_action")
         })
         .filter(|n| !names.iter().any(|have| have == n))
         .collect();

@@ -72,5 +72,5 @@ pub mod sampling;
 pub use collector::{CollectionMode, LossTotals, ProbeSet, TScout, TsConfig, TsError, TsStats};
 pub use data::{decode_record, encode_record, RawRecord, TrainingPoint, MAX_PAYLOAD_WORDS};
 pub use ou::{OuDef, OuId, OuRegistry, Subsystem, ALL_SUBSYSTEMS};
-pub use processor::{Processor, Sink};
+pub use processor::{Processor, Sink, SubsystemFeedback};
 pub use sampling::Sampler;

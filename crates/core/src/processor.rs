@@ -20,6 +20,22 @@ use tscout_telemetry::Telemetry;
 
 use crate::collector::TScout;
 use crate::data::{decode_record, split_record, TrainingPoint};
+use crate::ou::{Subsystem, ALL_SUBSYSTEMS};
+
+/// One subsystem's loss-feedback verdict from
+/// [`Processor::subsystem_feedback`]: the current sampling rate, the
+/// rate the Processor recommends, and the losses that motivated it.
+#[derive(Debug, Clone)]
+pub struct SubsystemFeedback {
+    pub subsystem: Subsystem,
+    /// The subsystem's sampling rate right now.
+    pub current: u8,
+    /// Recommended rate: halved when the subsystem lost samples since
+    /// the last check, unchanged otherwise.
+    pub recommended: u8,
+    /// New losses attributed to this subsystem since the last check.
+    pub loss_delta: u64,
+}
 
 /// Where processed training data goes.
 #[derive(Debug)]
@@ -76,6 +92,9 @@ pub struct Processor {
     pub trace_parks: bool,
     /// Lost-sample total at the last `recommended_rate` check.
     last_lost: u64,
+    /// Per-subsystem lost-sample totals at the last
+    /// `subsystem_feedback` check, indexed by `Subsystem::index()`.
+    last_lost_by_subsystem: [u64; ALL_SUBSYSTEMS.len()],
 }
 
 fn join<T: std::fmt::Display>(xs: &[T]) -> String {
@@ -109,6 +128,7 @@ impl Processor {
             telemetry: kernel.telemetry.clone(),
             trace_parks: false,
             last_lost: 0,
+            last_lost_by_subsystem: [0; ALL_SUBSYSTEMS.len()],
         }
     }
 
@@ -323,6 +343,50 @@ impl Processor {
         }
     }
 
+    /// Per-subsystem refinement of [`Processor::recommended_rate`]: the
+    /// loss counters are already attributed per subsystem
+    /// (`tscout_samples_lost_total{subsystem,reason}`), so the feedback
+    /// can lower exactly the subsystem that is losing data instead of
+    /// punishing all six. One entry per subsystem; `recommended <
+    /// current` only where new losses landed since the last check. The
+    /// action engine's `loss_backoff` policy actuates these verdicts.
+    pub fn subsystem_feedback(&mut self, ts: &TScout) -> Vec<SubsystemFeedback> {
+        let mut out = Vec::with_capacity(ALL_SUBSYSTEMS.len());
+        for s in ALL_SUBSYSTEMS {
+            let total: u64 = self.telemetry.with_registry(|r| {
+                r.counters_named("tscout_samples_lost_total")
+                    .iter()
+                    .filter(|(k, _)| {
+                        k.labels
+                            .iter()
+                            .any(|(lk, lv)| lk == "subsystem" && lv == s.name())
+                    })
+                    .map(|(_, v)| v)
+                    .sum()
+            });
+            let idx = s.index();
+            let loss_delta = total.saturating_sub(self.last_lost_by_subsystem[idx]);
+            self.last_lost_by_subsystem[idx] = total;
+            let current = ts.sampler.rate(s);
+            let recommended = if loss_delta > 0 && current > 1 {
+                self.telemetry.counter_inc(
+                    "processor_rate_reductions_total",
+                    &[("subsystem", s.name())],
+                );
+                (current / 2).max(1)
+            } else {
+                current
+            };
+            out.push(SubsystemFeedback {
+                subsystem: s,
+                current,
+                recommended,
+                loss_delta,
+            });
+        }
+        out
+    }
+
     /// Take the in-memory points (empties the sink).
     pub fn take_points(&mut self) -> Vec<TrainingPoint> {
         match &mut self.sink {
@@ -472,5 +536,41 @@ mod tests {
         // Telemetry has attributed the losses by now; with no new losses
         // since the last check, the rate holds steady.
         assert_eq!(p.recommended_rate(&ts, 20), 20);
+    }
+
+    #[test]
+    fn subsystem_feedback_targets_only_the_losing_subsystem() {
+        let (mut k, mut ts, t, ou) = harness();
+        let mut p = Processor::new(&mut k, Sink::Discard);
+        // Quiet start: every subsystem holds its current rate.
+        for f in p.subsystem_feedback(&ts) {
+            assert_eq!(f.recommended, f.current);
+            assert_eq!(f.loss_delta, 0);
+        }
+        // Overflow the ring: losses land on execution_engine only.
+        emit(&mut k, &mut ts, t, ou, 5000);
+        assert!(ts.ring_dropped() > 0);
+        let fb = p.subsystem_feedback(&ts);
+        for f in &fb {
+            if f.subsystem == Subsystem::ExecutionEngine {
+                assert!(f.loss_delta > 0);
+                assert_eq!(f.current, 100);
+                assert_eq!(f.recommended, 50);
+            } else {
+                assert_eq!(f.recommended, f.current, "{:?}", f.subsystem);
+                assert_eq!(f.loss_delta, 0);
+            }
+        }
+        assert_eq!(
+            p.telemetry.counter_value(
+                "processor_rate_reductions_total",
+                &[("subsystem", "execution_engine")],
+            ),
+            1
+        );
+        // No new losses since: everything holds.
+        ts.drain_ring(usize::MAX);
+        let fb = p.subsystem_feedback(&ts);
+        assert!(fb.iter().all(|f| f.recommended == f.current));
     }
 }

@@ -216,6 +216,14 @@ impl Database {
         (&mut self.kernel, self.ts.as_mut())
     }
 
+    /// Split borrow for the action engine's actuator:
+    /// `(kernel, tscout, engine mode)`. The mode reference lets the
+    /// `toggle_pipeline` policy switch fused vs per-operator marker
+    /// placement mid-run; the switch affects only OUs begun afterward.
+    pub fn actuation_parts(&mut self) -> (&mut Kernel, Option<&mut TScout>, &mut EngineMode) {
+        (&mut self.kernel, self.ts.as_mut(), &mut self.mode)
+    }
+
     // ------------------------------------------------------------------
     // Sessions and statements
     // ------------------------------------------------------------------

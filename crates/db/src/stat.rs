@@ -28,7 +28,10 @@
 //! * `ts_stat_statements` — one row per statement fingerprint (the
 //!   `pg_stat_statements` shape): call counts, total/min/max/mean actual
 //!   ns, rows, the OU-attributed cost breakdown, and the rolling
-//!   predicted-vs-actual MAPE against the live behavior models.
+//!   predicted-vs-actual MAPE against the live behavior models;
+//! * `ts_actions` — the action engine's log: one row per planned action
+//!   with its policy, predicted effect, and (once the observation window
+//!   closes) the observed outcome and regression verdict.
 //!
 //! Scans run through the normal planner/executor path, so projections,
 //! filters, aggregation, ORDER BY, and LIMIT all compose:
@@ -48,6 +51,7 @@ pub const VIRTUAL_TABLES: &[&str] = &[
     "ts_stat_pipeline",
     "ts_stat_archive",
     "ts_stat_statements",
+    "ts_actions",
 ];
 
 /// True if `name` refers to a virtual introspection table.
@@ -149,6 +153,25 @@ pub fn virtual_schema(name: &str) -> Option<Schema> {
             ("ou_breakdown", DataType::Text),
             ("predicted_calls", DataType::Int),
             ("mape_pct", DataType::Float),
+        ]),
+        "ts_actions" => Schema::new(&[
+            ("id", DataType::Int),
+            ("kind", DataType::Text),
+            ("policy", DataType::Text),
+            ("target", DataType::Text),
+            ("detail", DataType::Text),
+            ("state", DataType::Text),
+            ("dry_run", DataType::Bool),
+            ("planned_at_ns", DataType::Float),
+            ("observe_at_ns", DataType::Float),
+            ("metric", DataType::Text),
+            ("value_before", DataType::Float),
+            ("predicted", DataType::Float),
+            ("observed", DataType::Float),
+            ("observed_at_ns", DataType::Float),
+            ("err_pct", DataType::Float),
+            ("regressed", DataType::Bool),
+            ("model_generation", DataType::Int),
         ]),
         _ => return None,
     };
@@ -359,6 +382,34 @@ pub fn virtual_rows(name: &str, telemetry: &Telemetry) -> Vec<Row> {
                 })
                 .collect()
         }),
+        "ts_actions" => telemetry.with_registry(|r| {
+            // The action log iterates oldest-first; pending actions
+            // carry NULL observed columns until their follow-up closes.
+            r.actions()
+                .iter()
+                .map(|a| {
+                    vec![
+                        Value::Int(a.id as i64),
+                        Value::Text(a.kind.clone()),
+                        Value::Text(a.policy.clone()),
+                        Value::Text(a.target.clone()),
+                        Value::Text(a.detail.clone()),
+                        Value::Text(a.state.name().to_string()),
+                        Value::Bool(a.dry_run),
+                        Value::Float(a.planned_at_ns),
+                        Value::Float(a.observe_at_ns),
+                        Value::Text(a.metric.clone()),
+                        Value::Float(a.value_before),
+                        Value::Float(a.predicted),
+                        a.observed.map(Value::Float).unwrap_or(Value::Null),
+                        a.observed_at_ns.map(Value::Float).unwrap_or(Value::Null),
+                        a.err_pct.map(Value::Float).unwrap_or(Value::Null),
+                        Value::Bool(a.regressed),
+                        Value::Int(a.model_generation as i64),
+                    ]
+                })
+                .collect()
+        }),
         _ => Vec::new(),
     }
 }
@@ -446,6 +497,46 @@ mod tests {
         let marker = &pipe[0];
         assert_eq!(marker[0], Value::Text("marker".into()));
         assert_eq!(marker[2], Value::Int(1), "one visit through marker");
+    }
+
+    #[test]
+    fn actions_table_reconciles_with_the_in_memory_log() {
+        use tscout_telemetry::{ActionRecord, ActionState};
+        let t = Telemetry::new();
+        assert!(virtual_rows("ts_actions", &t).is_empty());
+        let id = t.action_append(ActionRecord {
+            id: 0,
+            kind: "trigger_retrain".into(),
+            policy: "retrain_on_drift".into(),
+            target: "data".into(),
+            detail: "test".into(),
+            state: ActionState::Pending,
+            dry_run: false,
+            planned_at_ns: 1e6,
+            observe_at_ns: 41e6,
+            metric: "ts_health_state{subsystem=\"data\"}".into(),
+            value_before: 2.0,
+            predicted: 0.0,
+            observed: None,
+            observed_at_ns: None,
+            err_pct: None,
+            regressed: false,
+            model_generation: 3,
+        });
+        let rows = virtual_rows("ts_actions", &t);
+        assert_eq!(rows.len(), 1);
+        let schema = virtual_schema("ts_actions").unwrap();
+        assert_eq!(rows[0].len(), schema.len());
+        assert_eq!(rows[0][0], Value::Int(id as i64));
+        assert_eq!(rows[0][5], Value::Text("pending".into()));
+        assert_eq!(rows[0][12], Value::Null, "observed NULL while pending");
+        // Close the follow-up: the row flips to observed with values.
+        t.action_observe(id, 0.0, 45e6, 0.0, false);
+        let rows = virtual_rows("ts_actions", &t);
+        assert_eq!(rows[0][5], Value::Text("observed".into()));
+        assert_eq!(rows[0][12], Value::Float(0.0));
+        assert_eq!(rows[0][15], Value::Bool(false));
+        assert_eq!(rows[0][16], Value::Int(3));
     }
 
     #[test]

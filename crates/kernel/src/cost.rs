@@ -81,6 +81,15 @@ pub struct CostModel {
     /// stats entry (map lookup + accumulator updates + LRU touch), ns.
     /// Charged on the Processor's clock alongside the fingerprint cost.
     pub stmt_record_ns: f64,
+    /// Per-policy cost of one action-engine planning pass (signal
+    /// reads, guardrail checks, prediction construction), ns. Charged
+    /// on the Processor's clock at pump cadence so collected samples
+    /// stay bit-identical with the engine on or off.
+    pub action_plan_ns: f64,
+    /// Cost of closing one action follow-up (metric re-read, error and
+    /// regression computation, log update), ns. Charged on the
+    /// Processor's clock alongside the planning cost.
+    pub action_followup_ns: f64,
     /// Per-plan-node bookkeeping cost of an `EXPLAIN ANALYZE` run
     /// (clock reads + per-OU actuals capture + model prediction).
     /// Charged on the issuing session's clock — the statement is
@@ -126,6 +135,8 @@ impl Default for CostModel {
             trace_stage_record_ns: 90.0,
             stmt_fingerprint_ns: 650.0,
             stmt_record_ns: 380.0,
+            action_plan_ns: 1_100.0,
+            action_followup_ns: 600.0,
             explain_analyze_node_ns: 900.0,
             ipc: 1.6,
             contention_alpha: 0.9,

@@ -295,6 +295,11 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "PSI between an OU channel's live window and its frozen reference",
     ),
     (
+        "ts_drift_rebaselines_total",
+        "counter",
+        "Drift-reference rebaselines after an actuated retrain (references re-learn)",
+    ),
+    (
         "ts_drift_score",
         "gauge",
         "Per-OU headline drift score: worst PSI across target/feature channels",
@@ -313,6 +318,46 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "ts_residual_mape_pct",
         "gauge",
         "Live-model residual MAPE per OU over the last window, percent",
+    ),
+    (
+        "tscout_action_actuated_total",
+        "counter",
+        "Actions the engine actually actuated (excludes dry-run), per kind",
+    ),
+    (
+        "tscout_action_efficacy_err_pct",
+        "gauge",
+        "Last observed predicted-vs-observed error of an action's follow-up, per kind",
+    ),
+    (
+        "tscout_action_log_dropped_total",
+        "counter",
+        "Action records evicted from the bounded action log (never silent)",
+    ),
+    (
+        "tscout_action_observed_total",
+        "counter",
+        "Action follow-ups that closed with an observed outcome, per kind",
+    ),
+    (
+        "tscout_action_pending",
+        "gauge",
+        "Actions awaiting their follow-up observation window",
+    ),
+    (
+        "tscout_action_planned_total",
+        "counter",
+        "Actions the engine planned (dry-run included), per kind",
+    ),
+    (
+        "tscout_action_regressed_total",
+        "counter",
+        "Actions whose observed outcome moved the target metric the wrong way, per kind",
+    ),
+    (
+        "tscout_action_suppressed_total",
+        "counter",
+        "Actions a guardrail suppressed before actuation, per reason",
     ),
     (
         "tscout_bpf_insns_executed",
@@ -398,6 +443,11 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "tscout_ou_samples_lost_total",
         "counter",
         "OU samples lost (ring overwrite, backlog, reset), per OU and cause",
+    ),
+    (
+        "tscout_overhead_ratio",
+        "gauge",
+        "Profiler-attributed tscout/dbms virtual-time ratio (the action engine's budget signal)",
     ),
     (
         "tscout_ring_bytes",

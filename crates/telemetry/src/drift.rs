@@ -94,6 +94,19 @@ impl DriftChannel {
     pub fn live_count(&self) -> u64 {
         self.live.count()
     }
+
+    /// Forget the frozen reference and the sticky scores: the next
+    /// observations rebuild the reference from scratch. Used after an
+    /// *intentional* distribution change (an actuated retrain), where
+    /// continuing to score against the pre-change reference would hold
+    /// the drift alarm raised forever.
+    fn rebaseline(&mut self) {
+        self.reference.reset();
+        self.live.reset();
+        self.frozen = false;
+        self.psi = 0.0;
+        self.ks = 0.0;
+    }
 }
 
 /// Per-OU drift state: the two channels plus lifetime statistics and the
@@ -227,6 +240,19 @@ impl DriftRegistry {
             .or_insert_with(|| OuDrift::new(""));
         d.residual_ape_sum += ((predicted_ns - actual_ns) / actual_ns).abs() * 100.0;
         d.residual_n += 1;
+    }
+
+    /// Rebaseline every OU's channels (see [`DriftChannel`]): references
+    /// unfreeze and rebuild from the post-change stream, sticky scores
+    /// reset to zero. Lifetime statistics, sample counts, and residual
+    /// state are kept — only the *comparison baseline* is discarded.
+    /// Returns how many OUs were rebaselined.
+    pub fn rebaseline_all(&mut self) -> usize {
+        for d in self.ous.values_mut() {
+            d.target.rebaseline();
+            d.feature.rebaseline();
+        }
+        self.ous.len()
     }
 
     /// Score every OU's live windows against its references and fold the
@@ -368,6 +394,26 @@ mod tests {
         r.observe_residual("scan", 2_000.0, 1_000.0); // 100%
         let s = &r.evaluate()[0];
         assert!((s.residual_mape_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rebaseline_unfreezes_and_clears_sticky_scores() {
+        let mut r = DriftRegistry::new();
+        feed(&mut r, "scan", 1_000, 2_000);
+        feed(&mut r, "scan", 16_000, 17_000);
+        assert!(r.evaluate()[0].drift_score > 1.0);
+        assert_eq!(r.rebaseline_all(), 1);
+        let d = r.ou("scan").unwrap();
+        assert!(!d.target.is_frozen());
+        assert_eq!(d.drift_score(), 0.0);
+        // Lifetime statistics survive the rebaseline.
+        assert_eq!(d.samples, 2_000);
+        // The post-change stream becomes the new reference; a stable
+        // stream at the *new* level scores clean.
+        feed(&mut r, "scan", 16_000, 17_000);
+        let s = &r.evaluate()[0];
+        assert!(s.updated);
+        assert!(s.drift_score < 0.1, "post-rebaseline: {}", s.drift_score);
     }
 
     #[test]

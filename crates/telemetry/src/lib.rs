@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_debug_implementations)]
 
+mod actions;
 mod docs;
 mod drift;
 mod health;
@@ -39,6 +40,7 @@ mod stmt;
 mod timeseries;
 mod trace;
 
+pub use actions::{ActionLog, ActionRecord, ActionState, ACTION_LOG_CAPACITY};
 pub use docs::{is_documented, metric_table_markdown, METRIC_DOCS};
 pub use drift::{
     DriftChannel, DriftRegistry, DriftScore, OuDrift, DEFAULT_MIN_LIVE_SAMPLES,
@@ -345,6 +347,55 @@ impl Telemetry {
         profile_folded: &str,
     ) -> Option<std::path::PathBuf> {
         self.lock().flight_record(now_ns, alerts, profile_folded)
+    }
+
+    /// Append one action record to the action log; returns its assigned
+    /// id (see [`ActionLog::append`]).
+    pub fn action_append(&self, record: ActionRecord) -> u64 {
+        self.lock().actions_mut().append(record)
+    }
+
+    /// Close a pending action record with its observed outcome; returns
+    /// the updated record (see [`ActionLog::observe`]).
+    pub fn action_observe(
+        &self,
+        id: u64,
+        observed: f64,
+        observed_at_ns: f64,
+        err_pct: f64,
+        regressed: bool,
+    ) -> Option<ActionRecord> {
+        self.lock()
+            .actions_mut()
+            .observe(id, observed, observed_at_ns, err_pct, regressed)
+    }
+
+    /// Snapshot of all retained action records (oldest first).
+    pub fn actions_snapshot(&self) -> Vec<ActionRecord> {
+        self.lock().actions().iter().cloned().collect()
+    }
+
+    /// JSON export of the action log (see [`ActionLog::to_json`]).
+    pub fn actions_json(&self) -> String {
+        self.lock().actions().to_json()
+    }
+
+    /// Write a flight-recorder bundle for a regressed action-engine
+    /// intervention (see [`Registry::flight_record_action`]).
+    pub fn flight_record_action(
+        &self,
+        now_ns: f64,
+        action_id: u64,
+        profile_folded: &str,
+    ) -> Option<std::path::PathBuf> {
+        self.lock()
+            .flight_record_action(now_ns, action_id, profile_folded)
+    }
+
+    /// Rebaseline every OU's drift channels and zero the sticky score
+    /// gauges (see [`Registry::drift_rebaseline_all`]).
+    pub fn drift_rebaseline_all(&self) -> usize {
+        self.lock().drift_rebaseline_all()
     }
 
     /// Merge another handle's registry into this one (counters add,

@@ -3,6 +3,7 @@
 
 use std::collections::BTreeMap;
 
+use crate::actions::ActionLog;
 use crate::drift::DriftRegistry;
 use crate::health::{Alert, HealthEngine, HealthState, Selector, Signals};
 use crate::histogram::{Histogram, HistogramSnapshot};
@@ -85,6 +86,7 @@ pub struct Registry {
     tracer: Tracer,
     flightrec: FlightRecorderArm,
     stmts: StmtStats,
+    actions: ActionLog,
 }
 
 impl Registry {
@@ -260,6 +262,14 @@ impl Registry {
 
     pub fn stmts_mut(&mut self) -> &mut StmtStats {
         &mut self.stmts
+    }
+
+    pub fn actions(&self) -> &ActionLog {
+        &self.actions
+    }
+
+    pub fn actions_mut(&mut self) -> &mut ActionLog {
+        &mut self.actions
     }
 
     /// Fold one executed statement into the statement-stats registry and
@@ -561,6 +571,47 @@ impl Registry {
         Some(path)
     }
 
+    /// If armed, write a flight-recorder bundle for an action-engine
+    /// intervention whose observed outcome regressed its target metric:
+    /// same evidence as [`Registry::flight_record`], but keyed by a
+    /// `triggering_action` object naming the action id instead of a
+    /// CRITICAL alert. Returns the bundle path when one was written.
+    pub fn flight_record_action(
+        &mut self,
+        now_ns: f64,
+        action_id: u64,
+        profile_folded: &str,
+    ) -> Option<std::path::PathBuf> {
+        let dir = self.flightrec.dir.clone()?;
+        let action = self.actions.get(action_id)?.clone();
+        self.flightrec.seq += 1;
+        let path = dir.join(format!(
+            "flightrec_{}_{}.json",
+            self.flightrec.fig, self.flightrec.seq
+        ));
+        let bundle = format!(
+            "{{\n  \"at_ns\": {},\n  \"fig\": \"{}\",\n  \"seq\": {},\n  \
+             \"triggering_action\": {},\n  \"traces\": {},\n  \"health\": {},\n  \
+             \"statements\": {},\n  \
+             \"metrics\": {},\n  \"profile_folded\": \"{}\"\n}}\n",
+            json_num(now_ns),
+            json_escape(&self.flightrec.fig),
+            self.flightrec.seq,
+            action.to_json(),
+            self.trace_json().trim_end(),
+            self.health_json().trim_end(),
+            self.stmt_json_topk(5),
+            self.snapshot_json().trim_end(),
+            json_escape(profile_folded),
+        );
+        std::fs::create_dir_all(&dir).ok();
+        if std::fs::write(&path, bundle).is_err() {
+            return None;
+        }
+        self.counter_add("ts_flightrec_bundles_total", &[], 1);
+        Some(path)
+    }
+
     /// Feed one decoded training sample into the OU's drift channels
     /// (the Processor calls this per point).
     pub fn observe_ou_sample(
@@ -601,6 +652,26 @@ impl Registry {
                 self.gauge_set("ts_residual_mape_pct", &[("ou", ou)], s.residual_mape_pct);
             }
         }
+    }
+
+    /// Rebaseline every OU's drift channels after an intentional
+    /// distribution change (an accepted retrain actuated by the action
+    /// engine): the frozen references re-learn from the post-change
+    /// stream, and the sticky score gauges are zeroed so the health
+    /// rules read recovery instead of the stale pre-change scores.
+    /// Returns how many OUs were rebaselined.
+    pub fn drift_rebaseline_all(&mut self) -> usize {
+        let n = self.drift.rebaseline_all();
+        let ous: Vec<String> = self.drift.iter().map(|(name, _)| name.clone()).collect();
+        for ou in &ous {
+            self.gauge_set("ts_drift_score", &[("ou", ou)], 0.0);
+            for channel in ["target", "feature"] {
+                self.gauge_set("ts_drift_psi", &[("channel", channel), ("ou", ou)], 0.0);
+                self.gauge_set("ts_drift_ks", &[("channel", channel), ("ou", ou)], 0.0);
+            }
+        }
+        self.counter_add("ts_drift_rebaselines_total", &[], 1);
+        n
     }
 
     /// Run the health engine over the current gauges and counter rates,
@@ -783,6 +854,11 @@ impl Registry {
         // order, which don't compose across runs: same idle-adoption rule.
         if self.stmts.is_idle() && !other.stmts.is_idle() {
             self.stmts = other.stmts.clone();
+        }
+        // Action ids are per-run monotonic and don't compose either:
+        // idle adoption, like the other stateful subsystems.
+        if self.actions.is_empty() && !other.actions.is_empty() {
+            self.actions = other.actions.clone();
         }
     }
 

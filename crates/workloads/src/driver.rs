@@ -16,8 +16,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use noisetap::engine::{Database, DbError, SessionId, StatementId};
-use noisetap::{ExecOutcome, Value};
-use tscout::{Processor, Sink, TrainingPoint};
+use noisetap::{EngineMode, ExecOutcome, Value};
+use tscout::{Processor, Sink, TScout, TrainingPoint};
+use tscout_actions::{ActionEngine, DbmsActuator, PlannerInputs, SubsystemRate, POLICY_COUNT};
 use tscout_archive::{Archive, ArchiveOptions};
 use tscout_models::dataset::{LabeledPoint, OuData};
 use tscout_models::registry::{ModelRegistry, SwapDecision};
@@ -184,6 +185,15 @@ pub struct ModelLifecycle {
     pub retrains: u64,
     pub swaps_accepted: u64,
     pub swaps_rejected: u64,
+    /// Optional autonomous action engine, ticked at pump cadence after
+    /// the observability turn. Attach with [`ModelLifecycle::with_actions`].
+    pub actions: Option<ActionEngine>,
+    /// An engine-actuated retrain rebaselines the drift references once
+    /// the registry actually accepts a new generation.
+    pending_rebaseline: bool,
+    /// Mean live-model predicted cost of execution-engine OUs in the
+    /// last residual-scored batch (the `pipeline_mode` policy input).
+    last_exec_predicted_ns: Option<f64>,
 }
 
 impl ModelLifecycle {
@@ -206,7 +216,16 @@ impl ModelLifecycle {
             retrains: 0,
             swaps_accepted: 0,
             swaps_rejected: 0,
+            actions: None,
+            pending_rebaseline: false,
+            last_exec_predicted_ns: None,
         })
+    }
+
+    /// Attach an action engine; it closes the loop at pump cadence.
+    pub fn with_actions(mut self, engine: ActionEngine) -> ModelLifecycle {
+        self.actions = Some(engine);
+        self
     }
 
     /// One lifecycle turn: tag `points` against the trace so far, persist
@@ -231,6 +250,7 @@ impl ModelLifecycle {
         // same hardware/concurrency context columns the datasets append.
         if !points.is_empty() && self.registry.live().is_some() {
             let mut feats: Vec<f64> = Vec::new();
+            let (mut exec_sum, mut exec_n) = (0.0f64, 0u64);
             for p in points {
                 feats.clear();
                 feats.extend_from_slice(&p.features);
@@ -240,7 +260,14 @@ impl ModelLifecycle {
                     kernel
                         .telemetry
                         .observe_residual(&p.ou_name, predicted, p.elapsed_ns as f64);
+                    if p.subsystem == tscout::Subsystem::ExecutionEngine {
+                        exec_sum += predicted;
+                        exec_n += 1;
+                    }
                 }
+            }
+            if exec_n > 0 {
+                self.last_exec_predicted_ns = Some(exec_sum / exec_n as f64);
             }
         }
         if !points.is_empty() {
@@ -325,6 +352,53 @@ impl ModelLifecycle {
         kernel
             .telemetry
             .span("retrain", "models", start, now - start);
+    }
+}
+
+/// The action engine's view of the live system: sampling rates on the
+/// collector, retrains on the lifecycle, compaction scheduling on the
+/// archive, marker placement on the engine.
+struct DriverActuator<'a> {
+    ts: &'a mut TScout,
+    mode: &'a mut EngineMode,
+    archive: &'a mut Archive,
+    /// A `trigger_retrain` actuation pulls the lifecycle's next retrain
+    /// forward to the next pump tick.
+    retrain_requested: bool,
+}
+
+impl std::fmt::Debug for DriverActuator<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriverActuator")
+            .field("retrain_requested", &self.retrain_requested)
+            .finish_non_exhaustive()
+    }
+}
+
+impl DbmsActuator for DriverActuator<'_> {
+    fn set_sampling_rate(&mut self, subsystem: &str, rate: u8) {
+        if let Some(s) = tscout::ALL_SUBSYSTEMS
+            .into_iter()
+            .find(|s| s.name() == subsystem)
+        {
+            self.ts.set_sampling_rate(s, rate);
+        }
+    }
+    fn trigger_retrain(&mut self) {
+        self.retrain_requested = true;
+    }
+    fn schedule_compaction(&mut self) {
+        self.archive.request_compaction();
+    }
+    fn hold_compaction(&mut self, hold: bool) {
+        self.archive.set_compaction_hold(hold);
+    }
+    fn set_pipeline_mode(&mut self, fused: bool) {
+        *self.mode = if fused {
+            EngineMode::Fused
+        } else {
+            EngineMode::PerOperator
+        };
     }
 }
 
@@ -417,8 +491,24 @@ fn run_inner(
             if now >= next_retrain {
                 if let Some(lc) = lifecycle.as_deref_mut() {
                     let points = processor.take_points();
+                    let gen_before = lc.registry.generation();
                     lc.step(kernel, processor.task, &points, &trace, opts.terminals);
                     all_points.extend(points);
+                    // An engine-actuated retrain rebaselines the drift
+                    // references — but only once a new generation
+                    // actually installs, so a rejected swap keeps the
+                    // old reference (and the CRITICAL state) honest.
+                    if lc.pending_rebaseline && lc.registry.generation() > gen_before {
+                        let _root = kernel.profile_frame(processor.task, "tscout", true);
+                        let _frame =
+                            kernel.profile_frame(processor.task, "actions:rebaseline", false);
+                        let n = kernel.telemetry.drift_rebaseline_all();
+                        kernel.charge_overhead(
+                            processor.task,
+                            kernel.cost.drift_eval_per_ou_ns * n as f64,
+                        );
+                        lc.pending_rebaseline = false;
+                    }
                     next_retrain = now + lc.retrain_every_ns;
                 }
             }
@@ -469,6 +559,81 @@ fn run_inner(
                 if !alerts.is_empty() && kernel.telemetry.flight_recorder_armed() {
                     let folded = kernel.profiler.folded_text();
                     kernel.telemetry.flight_record(now, &alerts, &folded);
+                }
+            }
+            // The profiler's tscout/dbms attribution, published as a
+            // gauge every pump: the action engine's overhead signal, and
+            // a run-level observable even with the engine off (so the
+            // gauge series is identical in engine-on and control runs).
+            let overhead_ratio = db.kernel.profiler.attribution().tscout_dbms_ratio();
+            if let Some(r) = overhead_ratio {
+                db.kernel
+                    .telemetry
+                    .gauge_set("tscout_overhead_ratio", &[], r);
+            }
+            // Action-engine turn: close due follow-ups, evaluate the
+            // policy set, actuate survivors. All planner cost lands on
+            // the Processor's clock (never a session's), so collected
+            // sample bytes are bit-identical with the engine on or off.
+            if let Some(lc) = lifecycle.as_deref_mut() {
+                if lc.actions.as_ref().is_some_and(|e| e.cfg.enabled) {
+                    let mut engine = lc.actions.take().expect("checked above");
+                    let model_generation = lc.registry.generation();
+                    let predicted_exec = lc.last_exec_predicted_ns;
+                    let (kernel, ts, mode) = db.actuation_parts();
+                    if let Some(ts) = ts {
+                        let _root = kernel.profile_frame(processor.task, "tscout", true);
+                        let _frame = kernel.profile_frame(processor.task, "actions:plan", false);
+                        let due = engine.due_followups(now);
+                        kernel.charge_overhead(
+                            processor.task,
+                            kernel.cost.action_plan_ns * POLICY_COUNT as f64
+                                + kernel.cost.action_followup_ns * due as f64,
+                        );
+                        let rates: Vec<SubsystemRate> = processor
+                            .subsystem_feedback(ts)
+                            .into_iter()
+                            .map(|f| SubsystemRate {
+                                subsystem: f.subsystem.name().to_string(),
+                                current: f.current,
+                                recommended: f.recommended,
+                                loss_delta: f.loss_delta,
+                            })
+                            .collect();
+                        let inputs = PlannerInputs {
+                            now_ns: now,
+                            overhead_ratio,
+                            rates,
+                            predicted_exec_ou_ns: predicted_exec,
+                            pipeline_fused: matches!(*mode, EngineMode::Fused),
+                            model_generation,
+                        };
+                        let mut actuator = DriverActuator {
+                            ts,
+                            mode,
+                            archive: &mut lc.archive,
+                            retrain_requested: false,
+                        };
+                        let report = engine.tick(&inputs, &mut actuator);
+                        if actuator.retrain_requested {
+                            next_retrain = now;
+                            lc.pending_rebaseline = true;
+                        }
+                        // Closed follow-ups become action-efficacy
+                        // samples in their own archive OU family, charged
+                        // like any other archival; a regressed action
+                        // dumps a flight bundle naming the action id.
+                        for o in &report.observed {
+                            kernel
+                                .charge_overhead(processor.task, kernel.cost.archive_per_sample_ns);
+                            let _ = lc.archive.append(o.to_sample());
+                            if o.regressed && kernel.telemetry.flight_recorder_armed() {
+                                let folded = kernel.profiler.folded_text();
+                                kernel.telemetry.flight_record_action(now, o.id, &folded);
+                            }
+                        }
+                    }
+                    lc.actions = Some(engine);
                 }
             }
             next_pump = now + opts.pump_every_ns;

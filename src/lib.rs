@@ -14,6 +14,8 @@
 //!   CH-benCHmark, offline runners, and the virtual-time driver;
 //! * [`telemetry`] (`tscout-telemetry`) — the self-telemetry layer
 //!   (metrics registry, span tracing, snapshot export);
+//! * [`actions`] (`tscout-actions`) — the autonomous action engine that
+//!   closes the self-driving loop (policies, guardrails, follow-ups);
 //! * [`rng`] (`tscout-rng`) — the in-workspace deterministic RNG that
 //!   backs the `rand` alias.
 //!
@@ -25,6 +27,7 @@
 
 pub use noisetap;
 pub use tscout;
+pub use tscout_actions as actions;
 pub use tscout_archive as archive;
 pub use tscout_bpf as bpf;
 pub use tscout_kernel as kernel;
