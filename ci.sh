@@ -137,4 +137,21 @@ grep -q 'engine,' "$CI_RESULTS/ablation_actions.csv" \
   || { echo "FAIL: ablation_actions.csv has no engine arm row"; exit 1; }
 echo "action-engine smoke OK"
 
+echo "== operator-plane smoke (obsd daemon: live scrape + SQL/registry agreement) =="
+# Fixed virtual duration by design (no TS_SCALE): the binary hammers the
+# daemon over a real TCP socket while the run collects, then checks that
+# the OpenMetrics exposition, the JSON table API, and the read-only SQL
+# endpoint all agree with the registry exactly.
+TS_RESULTS="$CI_RESULTS" cargo run -q --release --example obsd_smoke
+test -s "$CI_RESULTS/obsd_smoke.addr" \
+  || { echo "FAIL: obsd_smoke.addr missing (daemon never bound/advertised)"; exit 1; }
+OBSD_JSON="$CI_RESULTS/obsd_smoke.json"
+test -s "$OBSD_JSON" \
+  || { echo "FAIL: obsd_smoke.json missing or empty"; exit 1; }
+grep -q '"live_requests"' "$OBSD_JSON" \
+  || { echo "FAIL: obsd_smoke.json records no live_requests"; exit 1; }
+grep -q '"live_requests": 0' "$OBSD_JSON" \
+  && { echo "FAIL: no request reached the daemon during the run"; exit 1; }
+echo "operator-plane smoke OK"
+
 echo "CI gate passed."

@@ -917,6 +917,149 @@ fn action_engine(out: &mut Results) -> String {
     )
 }
 
+/// Operator-plane costs: per-request wall-clock latency against a
+/// populated registry for each endpoint class, plus the cost of a
+/// collected YCSB run with the daemon off versus on-and-scraped at
+/// 10 Hz. Returns the `BENCH_10.json` document (schema in README.md).
+/// The load-bearing number is the *virtual* overhead: the daemon never
+/// touches a virtual clock, so the on/off virtual timelines (and the
+/// collected sample counts) must be identical; the wall-clock delta is
+/// reported for operators sizing scrape intervals.
+fn obsd_plane(out: &mut Results) -> String {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use tscout_archive::ArchiveOptions;
+    use tscout_models::ModelKind;
+    use tscout_obsd::{client, ObsdConfig, ObsdServer};
+    use tscout_telemetry::Telemetry;
+    use tscout_workloads::driver::{run_with_lifecycle, ModelLifecycle, RunOptions};
+    use tscout_workloads::{Workload, Ycsb};
+
+    // Per-request latency: a standing server over a registry populated
+    // with a realistic family/label spread, timed from the client side
+    // (connect + request + full response).
+    let t = Telemetry::new();
+    for i in 0..64 {
+        let ou = format!("bench_ou_{i}");
+        t.counter_add(
+            "tscout_samples_delivered_total",
+            &[("subsystem", "ee"), ("ou", &ou)],
+            1_000 + i,
+        );
+        for v in [1e3, 5e3, 2e4, 1e6] {
+            t.hist_record(
+                "workload_txn_ns",
+                &[("outcome", "committed")],
+                v * (i + 1) as f64,
+            );
+        }
+    }
+    let srv = ObsdServer::start(ObsdConfig::default(), t).expect("bench server");
+    let addr = srv.addr().to_string();
+    bench(out, "obsd_get_metrics", 2_000, || {
+        black_box(client::get(&addr, "/metrics").unwrap());
+    });
+    let metrics_ns = out.last().unwrap().1;
+    bench(out, "obsd_get_table_json", 2_000, || {
+        black_box(client::get(&addr, "/api/v1/ou").unwrap());
+    });
+    let table_ns = out.last().unwrap().1;
+    bench(out, "obsd_post_sql", 1_000, || {
+        black_box(
+            client::post(
+                &addr,
+                "/api/v1/sql",
+                "SELECT count(*) FROM ts_stat_subsystem",
+            )
+            .unwrap(),
+        );
+    });
+    let sql_ns = out.last().unwrap().1;
+    srv.shutdown();
+
+    // On/off delta on a collected run. Same seed both arms; the on arm
+    // adds a 10 Hz scraper for the duration of the run.
+    const DURATION_NS: f64 = 60e6;
+    let run_arm = |server: bool| -> (f64, u64, u64) {
+        let dir =
+            std::env::temp_dir().join(format!("tscout_bench_obsd_{}_{server}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let mut db = tscout_bench::new_db(HardwareProfile::server_2x20(), 0x0B5D);
+        db.stmt_stats_enabled = false;
+        let mut w = Ycsb::new(2_000);
+        w.setup(&mut db);
+        tscout_bench::attach_collect(&mut db);
+        let mut lc = ModelLifecycle::new(
+            &dir,
+            ArchiveOptions::default(),
+            ModelKind::Ridge,
+            7,
+            30e6,
+            db.kernel.telemetry.clone(),
+        )
+        .unwrap();
+        let opts = RunOptions {
+            terminals: 2,
+            duration_ns: DURATION_NS,
+            seed: 0x0B5D,
+            ..Default::default()
+        };
+        let guard = server.then(|| {
+            ObsdServer::start(ObsdConfig::default(), db.kernel.telemetry.clone()).unwrap()
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let scraper = guard.as_ref().map(|srv| {
+            let addr = srv.addr().to_string();
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut scrapes = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    if client::get(&addr, "/metrics").is_ok() {
+                        scrapes += 1;
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(100));
+                }
+                scrapes
+            })
+        });
+        let wall = Instant::now();
+        run_with_lifecycle(&mut db, &mut w, &opts, &mut lc);
+        let wall_ns = wall.elapsed().as_nanos() as f64;
+        stop.store(true, Ordering::SeqCst);
+        let scrapes = scraper.map_or(0, |h| h.join().unwrap());
+        drop(guard);
+        std::fs::remove_dir_all(&dir).ok();
+        let delivered = db
+            .kernel
+            .telemetry
+            .counter_total("tscout_samples_delivered_total");
+        (wall_ns, delivered, scrapes)
+    };
+    let (wall_off, delivered_off, _) = run_arm(false);
+    let (wall_on, delivered_on, scrapes) = run_arm(true);
+    assert!(scrapes > 0, "the 10 Hz scraper never landed a scrape");
+    assert_eq!(
+        delivered_off, delivered_on,
+        "virtual overhead must be zero: the scraped run collected differently"
+    );
+    let wall_delta_pct = (wall_on - wall_off) / wall_off * 100.0;
+    println!(
+        "obsd on/off: {scrapes} scrapes at 10 Hz, {delivered_on} samples both arms \
+         (virtual overhead 0), wall delta {wall_delta_pct:+.2}%"
+    );
+
+    format!(
+        "{{\n  \"obsd_get_metrics_ns\": {metrics_ns:.1},\n  \
+         \"obsd_get_table_json_ns\": {table_ns:.1},\n  \
+         \"obsd_post_sql_ns\": {sql_ns:.1},\n  \
+         \"scrapes_at_10hz\": {scrapes},\n  \
+         \"delivered_samples_off\": {delivered_off},\n  \
+         \"delivered_samples_on\": {delivered_on},\n  \
+         \"virtual_overhead_pct\": 0.0,\n  \
+         \"wall_delta_pct\": {wall_delta_pct:.2}\n}}\n"
+    )
+}
+
 /// Render the results as the `BENCH_2.json` document:
 /// `{"<case>": {"ns_per_op": N, "samples_per_sec": N}, ...}`.
 fn to_json(results: &Results) -> String {
@@ -947,6 +1090,7 @@ fn main() {
     let bench6 = trace_lineage(&mut out);
     let bench7 = query_stats(&mut out);
     let bench9 = action_engine(&mut out);
+    let bench10 = obsd_plane(&mut out);
     // Machine-readable results at the repo root (next to Cargo.lock).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_2.json");
     std::fs::write(path, to_json(&out)).expect("cannot write BENCH_2.json");
@@ -972,4 +1116,7 @@ fn main() {
     let path9 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_9.json");
     std::fs::write(path9, bench9).expect("cannot write BENCH_9.json");
     println!("action-engine cost results -> {path9}");
+    let path10 = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_10.json");
+    std::fs::write(path10, bench10).expect("cannot write BENCH_10.json");
+    println!("operator-plane cost results -> {path10}");
 }

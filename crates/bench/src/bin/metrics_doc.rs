@@ -112,7 +112,20 @@ fn smoke_metric_names() -> Vec<String> {
         }],
         "",
     );
-    let names = db.kernel.telemetry.with_registry(|r| r.metric_names());
+    // Operator plane: serve this registry for real and make requests so
+    // every `tscout_obsd_*` self-metric registers live (the server keeps
+    // them in its own registry — the simulation's stays untouched).
+    let srv = tscout_obsd::ObsdServer::start(
+        tscout_obsd::ObsdConfig::default(),
+        db.kernel.telemetry.clone(),
+    )
+    .expect("cannot start smoke obsd server");
+    let addr = srv.addr().to_string();
+    tscout_obsd::client::get(&addr, "/metrics").expect("smoke scrape");
+    tscout_obsd::client::get(&addr, "/no/such/path").expect("smoke 404");
+    let mut names = db.kernel.telemetry.with_registry(|r| r.metric_names());
+    names.extend(srv.self_telemetry().with_registry(|r| r.metric_names()));
+    srv.shutdown();
     std::fs::remove_dir_all(&dir).ok();
     names
 }
@@ -158,6 +171,7 @@ fn main() {
                 || n.starts_with("ts_flightrec")
                 || n.starts_with("tscout_opt")
                 || n.starts_with("tscout_action")
+                || n.starts_with("tscout_obsd")
         })
         .filter(|n| !names.iter().any(|have| have == n))
         .collect();

@@ -37,6 +37,9 @@ pub enum DbError {
     Aborted(ExecError),
     NoSuchStatement,
     NoTransaction,
+    /// The statement kind was rejected by the read-only entry point
+    /// ([`Database::execute_readonly`]).
+    ReadOnly(&'static str),
 }
 
 impl std::fmt::Display for DbError {
@@ -48,6 +51,9 @@ impl std::fmt::Display for DbError {
             DbError::Aborted(e) => write!(f, "transaction aborted: {e}"),
             DbError::NoSuchStatement => write!(f, "no such prepared statement"),
             DbError::NoTransaction => write!(f, "no open transaction"),
+            DbError::ReadOnly(kind) => {
+                write!(f, "read-only endpoint: {kind} statements are rejected")
+            }
         }
     }
 }
@@ -266,6 +272,44 @@ impl Database {
         params: &[Value],
     ) -> Result<ExecOutcome, DbError> {
         let stmt = parse(sql).map_err(DbError::Parse)?;
+        let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
+        let fp = self.stmt_stats_enabled.then(|| fingerprint(&stmt));
+        self.run_plan(sid, &plan, params, fp.as_deref())
+    }
+
+    /// Read-only SQL entry point for external observability surfaces
+    /// (the obsd operator plane). Parses, rejects everything except a
+    /// plain `SELECT` — DML, DDL, transaction control, `SELECT ... FOR
+    /// UPDATE`, and `EXPLAIN` (whose `ANALYZE` form executes) — then
+    /// routes through the normal planner and executor.
+    pub fn execute_readonly(
+        &mut self,
+        sid: SessionId,
+        sql: &str,
+        params: &[Value],
+    ) -> Result<ExecOutcome, DbError> {
+        let stmt = parse(sql).map_err(DbError::Parse)?;
+        let rejected = match &stmt {
+            crate::sql::ast::Stmt::Select(sel) => {
+                if sel.for_update {
+                    Some("SELECT ... FOR UPDATE")
+                } else {
+                    None
+                }
+            }
+            crate::sql::ast::Stmt::CreateTable { .. } => Some("CREATE TABLE"),
+            crate::sql::ast::Stmt::CreateIndex { .. } => Some("CREATE INDEX"),
+            crate::sql::ast::Stmt::Insert { .. } => Some("INSERT"),
+            crate::sql::ast::Stmt::Update { .. } => Some("UPDATE"),
+            crate::sql::ast::Stmt::Delete { .. } => Some("DELETE"),
+            crate::sql::ast::Stmt::Begin => Some("BEGIN"),
+            crate::sql::ast::Stmt::Commit => Some("COMMIT"),
+            crate::sql::ast::Stmt::Rollback => Some("ROLLBACK"),
+            crate::sql::ast::Stmt::Explain { .. } => Some("EXPLAIN"),
+        };
+        if let Some(kind) = rejected {
+            return Err(DbError::ReadOnly(kind));
+        }
         let plan = plan_stmt(&self.catalog, &stmt).map_err(DbError::Plan)?;
         let fp = self.stmt_stats_enabled.then(|| fingerprint(&stmt));
         self.run_plan(sid, &plan, params, fp.as_deref())

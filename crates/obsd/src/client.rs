@@ -1,0 +1,56 @@
+//! Tiny blocking HTTP client over [`TcpStream`] — what `tscoutctl`,
+//! the CI smoke, and the bit-identity tests use to talk to the daemon.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One HTTP exchange: connect, send, read to EOF (the server closes
+/// after each response), split status and body.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout_ms: u64,
+) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let timeout = Some(Duration::from_millis(timeout_ms.max(1)));
+    stream.set_read_timeout(timeout).ok();
+    stream.set_write_timeout(timeout).ok();
+    stream.set_nodelay(true).ok();
+    let payload = body.unwrap_or_default();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(payload.as_bytes()))
+        .map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream
+        .read_to_end(&mut raw)
+        .map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let head_end = text
+        .find("\r\n\r\n")
+        .ok_or_else(|| "response has no header terminator".to_string())?;
+    let status: u16 = text
+        .lines()
+        .next()
+        .and_then(|l| l.split_ascii_whitespace().nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "response has no status".to_string())?;
+    Ok((status, text[head_end + 4..].to_string()))
+}
+
+/// `GET path` with a default 5 s timeout.
+pub fn get(addr: &str, path: &str) -> Result<(u16, String), String> {
+    request(addr, "GET", path, None, 5_000)
+}
+
+/// `POST path` with a text body and a default 5 s timeout.
+pub fn post(addr: &str, path: &str, body: &str) -> Result<(u16, String), String> {
+    request(addr, "POST", path, Some(body), 5_000)
+}

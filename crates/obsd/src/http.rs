@@ -1,0 +1,114 @@
+//! Minimal HTTP/1.1 request parsing and response writing over a
+//! blocking [`TcpStream`].
+//!
+//! Deliberately tiny: one request per connection (`Connection: close`),
+//! bounded head and body sizes, and every malformed input is an `Err`
+//! the server maps to `400` — never a panic (the listener must keep
+//! serving while the system it observes degrades).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+/// Maximum request-head bytes (request line + headers).
+pub const MAX_HEAD: usize = 8 * 1024;
+/// Maximum request-body bytes (`POST /api/v1/sql` payloads are small).
+pub const MAX_BODY: usize = 64 * 1024;
+
+/// A parsed request: method, percent-unescaped-as-is path, and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    pub method: String,
+    pub path: String,
+    pub body: Vec<u8>,
+}
+
+/// Read and parse one request. Errors describe the malformation (the
+/// server responds 400 with the text).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 1024];
+    let head_end = loop {
+        if let Some(pos) = find_head_end(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD {
+            return Err("request head too large".into());
+        }
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before request head".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_end]).map_err(|_| "head is not UTF-8")?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_ascii_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts
+        .next()
+        .ok_or("request line has no target")?
+        .to_string();
+    let version = parts.next().ok_or("request line has no version")?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported version {version}"));
+    }
+    if !path.starts_with('/') {
+        return Err("target must be origin-form".into());
+    }
+    let mut content_length = 0usize;
+    for line in lines {
+        let Some((name, value)) = line.split_once(':') else {
+            continue;
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| "bad content-length".to_string())?;
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err("request body too large".into());
+    }
+    let mut body: Vec<u8> = buf[head_end + 4..].to_vec();
+    while body.len() < content_length {
+        let n = stream.read(&mut chunk).map_err(|e| format!("read: {e}"))?;
+        if n == 0 {
+            return Err("connection closed mid-body".into());
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(content_length);
+    Ok(Request { method, path, body })
+}
+
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Write a complete response and flush. Write errors are returned but
+/// callers typically ignore them (the peer may already be gone).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body)?;
+    stream.flush()
+}

@@ -395,6 +395,26 @@ pub const METRIC_DOCS: &[(&str, &str, &str)] = &[
         "Marker invocations (begin/end/features) per subsystem",
     ),
     (
+        "tscout_obsd_errors_total",
+        "counter",
+        "Operator-plane HTTP responses with status ≥ 400, per endpoint (server-side registry)",
+    ),
+    (
+        "tscout_obsd_rejected_total",
+        "counter",
+        "Operator-plane connections turned away at the concurrency bound (503, never queued)",
+    ),
+    (
+        "tscout_obsd_request_ns",
+        "histogram",
+        "Operator-plane request service time, wall-clock ns (server-side, never a virtual clock)",
+    ),
+    (
+        "tscout_obsd_requests_total",
+        "counter",
+        "Operator-plane HTTP requests served, per endpoint (server-side registry)",
+    ),
+    (
         "tscout_opt_fallbacks_total",
         "gauge",
         "Loads where the optimizer errored and the verified original ran instead",
@@ -582,6 +602,15 @@ pub fn is_documented(name: &str) -> bool {
     METRIC_DOCS
         .binary_search_by(|(n, _, _)| n.cmp(&name))
         .is_ok()
+}
+
+/// One-line meaning of a documented metric — the `# HELP` text in the
+/// OpenMetrics exposition. `None` for undocumented names.
+pub fn metric_help(name: &str) -> Option<&'static str> {
+    METRIC_DOCS
+        .binary_search_by(|(n, _, _)| n.cmp(&name))
+        .ok()
+        .map(|i| METRIC_DOCS[i].2)
 }
 
 /// Render the dictionary as the README's markdown table.

@@ -138,6 +138,23 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Occupied buckets as `(upper_bound, cumulative_count)` pairs in
+    /// ascending order — the OpenMetrics `_bucket{le="..."}` series.
+    /// Empty buckets are skipped (cumulative counts make them
+    /// redundant); the final `+Inf` bucket is the renderer's job since
+    /// its value is just [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0 {
+                cum += c;
+                out.push((bucket_upper(i), cum));
+            }
+        }
+        out
+    }
+
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             count: self.count,
@@ -309,6 +326,29 @@ mod tests {
         assert_eq!(a.count(), 200);
         assert_eq!(a.snapshot().max, 199.0);
         assert_eq!(a.snapshot().min, 0.0);
+    }
+
+    #[test]
+    fn cumulative_buckets_are_monotone_and_close() {
+        let mut h = Histogram::default();
+        for v in [0.5, 1.5, 3.0, 3.5, 100.0, 100.0, 1e6] {
+            h.record(v);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(!buckets.is_empty());
+        let mut last_upper = f64::NEG_INFINITY;
+        let mut last_cum = 0u64;
+        for &(upper, cum) in &buckets {
+            assert!(upper > last_upper, "upper bounds must ascend");
+            assert!(cum > last_cum, "cumulative counts must strictly grow");
+            last_upper = upper;
+            last_cum = cum;
+        }
+        // The last cumulative count is the total observation count —
+        // the renderer's +Inf bucket equals it.
+        assert_eq!(last_cum, h.count());
+        // Empty histogram renders no buckets.
+        assert!(Histogram::default().cumulative_buckets().is_empty());
     }
 
     #[test]

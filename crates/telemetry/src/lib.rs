@@ -41,7 +41,7 @@ mod timeseries;
 mod trace;
 
 pub use actions::{ActionLog, ActionRecord, ActionState, ACTION_LOG_CAPACITY};
-pub use docs::{is_documented, metric_table_markdown, METRIC_DOCS};
+pub use docs::{is_documented, metric_help, metric_table_markdown, METRIC_DOCS};
 pub use drift::{
     DriftChannel, DriftRegistry, DriftScore, OuDrift, DEFAULT_MIN_LIVE_SAMPLES,
     DEFAULT_REFERENCE_SAMPLES,
@@ -140,6 +140,12 @@ impl Telemetry {
     /// Record one observation into the histogram `name{labels}`.
     pub fn hist_record(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         self.lock().hist_record(name, labels, v);
+    }
+
+    /// Register a histogram without recording an observation (see
+    /// [`Registry::hist_declare`]).
+    pub fn hist_declare(&self, name: &str, labels: &[(&str, &str)]) {
+        self.lock().hist_declare(name, labels);
     }
 
     /// Snapshot a histogram (None if never written).
@@ -336,6 +342,12 @@ impl Telemetry {
     /// Whether a flight-recorder output directory is armed.
     pub fn flight_recorder_armed(&self) -> bool {
         self.lock().flight_recorder_armed()
+    }
+
+    /// Armed flight-recorder directory and fig name (see
+    /// [`Registry::flight_recorder_target`]).
+    pub fn flight_recorder_target(&self) -> Option<(std::path::PathBuf, String)> {
+        self.lock().flight_recorder_target()
     }
 
     /// Write a flight-recorder bundle if `alerts` contains a fired

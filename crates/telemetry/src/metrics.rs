@@ -38,22 +38,33 @@ impl MetricKey {
     /// quote, and line feed (in that order, so the backslash introduced
     /// by `\n` is not re-escaped).
     fn render(&self) -> String {
-        if self.labels.is_empty() {
-            return self.name.clone();
+        self.render_named(&self.name, None)
+    }
+
+    /// Render under an explicit sample name (a family name with a
+    /// `_total`/`_bucket`/`_sum`/`_count` suffix applied), optionally
+    /// with one extra label appended in sorted position (`le` for
+    /// histogram buckets).
+    fn render_named(&self, name: &str, extra: Option<(&str, &str)>) -> String {
+        fn escape(v: &str) -> String {
+            v.replace('\\', "\\\\")
+                .replace('"', "\\\"")
+                .replace('\n', "\\n")
         }
-        let inner: Vec<String> = self
+        let mut pairs: Vec<(&str, String)> = self
             .labels
             .iter()
-            .map(|(k, v)| {
-                format!(
-                    "{k}=\"{}\"",
-                    v.replace('\\', "\\\\")
-                        .replace('"', "\\\"")
-                        .replace('\n', "\\n")
-                )
-            })
+            .map(|(k, v)| (k.as_str(), escape(v)))
             .collect();
-        format!("{}{{{}}}", self.name, inner.join(","))
+        if let Some((k, v)) = extra {
+            pairs.push((k, escape(v)));
+            pairs.sort();
+        }
+        if pairs.is_empty() {
+            return name.to_string();
+        }
+        let inner: Vec<String> = pairs.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{name}{{{}}}", inner.join(","))
     }
 }
 
@@ -187,6 +198,16 @@ impl Registry {
             .entry(MetricKey::new(name, labels))
             .or_default()
             .record(v);
+    }
+
+    /// Register the histogram `name{labels}` without recording an
+    /// observation — pre-declaration for surfaces (the obsd operator
+    /// plane) whose metric names must exist from startup so the docs
+    /// cross-check sees them, without polluting the distribution.
+    pub fn hist_declare(&mut self, name: &str, labels: &[(&str, &str)]) {
+        self.histograms
+            .entry(MetricKey::new(name, labels))
+            .or_default();
     }
 
     pub fn hist_snapshot(&self, name: &str, labels: &[(&str, &str)]) -> Option<HistogramSnapshot> {
@@ -507,6 +528,15 @@ impl Registry {
 
     pub fn flight_recorder_armed(&self) -> bool {
         self.flightrec.dir.is_some()
+    }
+
+    /// Armed flight-recorder output directory and fig name, if armed —
+    /// the obsd operator plane lists/fetches bundles from here.
+    pub fn flight_recorder_target(&self) -> Option<(std::path::PathBuf, String)> {
+        self.flightrec
+            .dir
+            .clone()
+            .map(|d| (d, self.flightrec.fig.clone()))
     }
 
     /// If armed and `alerts` contains a fired CRITICAL transition, write
@@ -862,32 +892,81 @@ impl Registry {
         }
     }
 
-    /// Prometheus text exposition format.
+    /// OpenMetrics-flavored text exposition: every family gets a
+    /// `# HELP` (from [`crate::docs::METRIC_DOCS`] when documented) and
+    /// `# TYPE` line, counters are normalized to a `_total` suffix, and
+    /// histograms export their cumulative `_bucket{le="..."}` series
+    /// with the mandatory `+Inf` bucket plus `_sum`/`_count`.
     pub fn to_prometheus(&self) -> String {
+        fn header(out: &mut String, family: &str, kind: &str, doc_name: &str) {
+            let help = crate::docs::metric_help(doc_name)
+                .or_else(|| crate::docs::metric_help(family))
+                .unwrap_or("(undocumented)");
+            let help = help.replace('\\', "\\\\").replace('\n', "\\n");
+            out.push_str(&format!("# HELP {family} {help}\n# TYPE {family} {kind}\n"));
+        }
         let mut out = String::new();
+        let mut last_family = String::new();
         for (k, v) in &self.counters {
-            out.push_str(&format!("# TYPE {} counter\n{} {v}\n", k.name, k.render()));
+            let family = if k.name.ends_with("_total") {
+                k.name.clone()
+            } else {
+                format!("{}_total", k.name)
+            };
+            if family != last_family {
+                header(&mut out, &family, "counter", &k.name);
+                last_family.clone_from(&family);
+            }
+            out.push_str(&format!("{} {v}\n", k.render_named(&family, None)));
         }
         // Span-ring loss is bookkeeping the ring keeps internally, not a
         // registry counter; surface it so span loss is never silent.
+        header(
+            &mut out,
+            "telemetry_spans_dropped_total",
+            "counter",
+            "telemetry_spans_dropped_total",
+        );
         out.push_str(&format!(
-            "# TYPE telemetry_spans_dropped_total counter\ntelemetry_spans_dropped_total {}\n",
+            "telemetry_spans_dropped_total {}\n",
             self.spans.dropped()
         ));
+        last_family.clear();
         for (k, v) in &self.gauges {
-            out.push_str(&format!("# TYPE {} gauge\n{} {v}\n", k.name, k.render()));
-        }
-        for (k, h) in &self.histograms {
-            let s = h.snapshot();
-            out.push_str(&format!("# TYPE {} summary\n", k.name));
-            for (q, val) in [("0.5", s.p50), ("0.95", s.p95), ("0.99", s.p99)] {
-                let mut key = k.clone();
-                key.labels.push(("quantile".to_string(), q.to_string()));
-                key.labels.sort();
-                out.push_str(&format!("{} {val}\n", key.render()));
+            if k.name != last_family {
+                header(&mut out, &k.name, "gauge", &k.name);
+                last_family.clone_from(&k.name);
             }
-            out.push_str(&format!("{}_sum {}\n", k.name, s.sum));
-            out.push_str(&format!("{}_count {}\n", k.name, s.count));
+            out.push_str(&format!("{} {v}\n", k.render()));
+        }
+        last_family.clear();
+        for (k, h) in &self.histograms {
+            if k.name != last_family {
+                header(&mut out, &k.name, "histogram", &k.name);
+                last_family.clone_from(&k.name);
+            }
+            let bucket = format!("{}_bucket", k.name);
+            for (upper, cum) in h.cumulative_buckets() {
+                out.push_str(&format!(
+                    "{} {cum}\n",
+                    k.render_named(&bucket, Some(("le", &format!("{upper}"))))
+                ));
+            }
+            out.push_str(&format!(
+                "{} {}\n",
+                k.render_named(&bucket, Some(("le", "+Inf"))),
+                h.count()
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                k.render_named(&format!("{}_sum", k.name), None),
+                h.sum()
+            ));
+            out.push_str(&format!(
+                "{} {}\n",
+                k.render_named(&format!("{}_count", k.name), None),
+                h.count()
+            ));
         }
         out
     }
@@ -1002,9 +1081,106 @@ mod tests {
         let text = r.to_prometheus();
         assert!(text.contains("# TYPE req_total counter"));
         assert!(text.contains("req_total{code=\"200\"} 7"));
+        assert!(text.contains("# TYPE depth gauge"));
         assert!(text.contains("depth 2.5"));
-        assert!(text.contains("lat_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("lat_ns_sum 100"));
         assert!(text.contains("lat_ns_count 1"));
+    }
+
+    #[test]
+    fn every_family_has_help_and_type() {
+        // Satellite regression: each exported family must carry # HELP
+        // and # TYPE lines, with documented metrics pulling their
+        // meaning from METRIC_DOCS.
+        let mut r = Registry::new();
+        r.counter_add("tscout_samples_begun_total", &[("subsystem", "ee")], 3);
+        r.gauge_set("tscout_overhead_ratio", &[], 0.01);
+        r.hist_record("workload_txn_ns", &[("outcome", "committed")], 5e4);
+        r.counter_add("some_novel_counter_total", &[], 1);
+        let text = r.to_prometheus();
+        for family in [
+            "tscout_samples_begun_total",
+            "tscout_overhead_ratio",
+            "workload_txn_ns",
+            "telemetry_spans_dropped_total",
+            "some_novel_counter_total",
+        ] {
+            assert!(
+                text.contains(&format!("# HELP {family} ")),
+                "missing HELP for {family}:\n{text}"
+            );
+            assert!(
+                text.contains(&format!("# TYPE {family} ")),
+                "missing TYPE for {family}:\n{text}"
+            );
+        }
+        // Documented help text comes from the dictionary.
+        let help = crate::docs::metric_help("tscout_samples_begun_total").unwrap();
+        assert!(text.contains(help));
+        // Undocumented metrics still get a placeholder HELP.
+        assert!(text.contains("# HELP some_novel_counter_total (undocumented)"));
+        // HELP/TYPE are emitted once per family, not per label set.
+        r.counter_add("tscout_samples_begun_total", &[("subsystem", "net")], 1);
+        let text = r.to_prometheus();
+        let headers = text
+            .lines()
+            .filter(|l| *l == "# TYPE tscout_samples_begun_total counter")
+            .count();
+        assert_eq!(headers, 1, "one TYPE header per family:\n{text}");
+    }
+
+    #[test]
+    fn counters_are_normalized_to_total_suffix() {
+        // Satellite regression: a counter registered without the
+        // conventional suffix is exposed with `_total` appended.
+        let mut r = Registry::new();
+        r.counter_add("odd_counter", &[("k", "v")], 4);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE odd_counter_total counter"));
+        assert!(text.contains("odd_counter_total{k=\"v\"} 4"));
+        assert!(
+            !text
+                .lines()
+                .any(|l| l.starts_with("odd_counter ") || l.starts_with("odd_counter{")),
+            "unsuffixed sample leaked:\n{text}"
+        );
+        // Already-suffixed names are untouched (no `_total_total`).
+        r.counter_add("fine_total", &[], 1);
+        let text = r.to_prometheus();
+        assert!(text.contains("fine_total 1"));
+        assert!(!text.contains("fine_total_total"));
+    }
+
+    #[test]
+    fn histograms_expose_cumulative_buckets_with_inf_sum_count() {
+        // Satellite regression: histogram families are `histogram` (not
+        // summary) with a cumulative bucket series ending at +Inf, and
+        // labeled families keep their labels on every sample line.
+        let mut r = Registry::new();
+        for v in [10.0, 20.0, 20.0, 5_000.0] {
+            r.hist_record("lat_ns", &[("op", "read")], v);
+        }
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE lat_ns histogram"));
+        assert!(!text.contains("summary"));
+        assert!(!text.contains("quantile"));
+        // Cumulative: the +Inf bucket equals _count, and bucket counts
+        // never decrease as le grows.
+        assert!(text.contains("le=\"+Inf\""), "{text}");
+        let buckets: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_ns_bucket{"))
+            .map(|l| l.rsplit(' ').next().unwrap().parse().unwrap())
+            .collect();
+        assert!(buckets.len() >= 3, "expected several buckets: {text}");
+        assert!(buckets.windows(2).all(|w| w[0] <= w[1]), "not cumulative");
+        assert_eq!(*buckets.last().unwrap(), 4, "+Inf must equal count");
+        assert!(text.contains("lat_ns_sum{op=\"read\"} 5050"));
+        assert!(text.contains("lat_ns_count{op=\"read\"} 4"));
+        // le sorts into the label set alphabetically.
+        assert!(text.contains("lat_ns_bucket{le=\"+Inf\",op=\"read\"} 4"));
     }
 
     #[test]

@@ -108,6 +108,11 @@ pub struct RunOptions {
     pub pump_every_ns: f64,
     /// Run GC every this many ns (0 = never).
     pub gc_every_ns: f64,
+    /// Operator plane: start an embedded `tscout-obsd` daemon serving
+    /// this run's telemetry over HTTP for the duration of the run.
+    /// `None` also consults `TSCOUT_OBSD` / `TSCOUT_OBSD_ADDR_FILE` in
+    /// the environment (so fig binaries opt in without a code change).
+    pub obsd: Option<tscout_obsd::ObsdConfig>,
 }
 
 impl Default for RunOptions {
@@ -118,8 +123,31 @@ impl Default for RunOptions {
             seed: 0xBEEF,
             pump_every_ns: 2e6,
             gc_every_ns: 250e6,
+            obsd: None,
         }
     }
+}
+
+/// Operator-plane activation from the environment: `TSCOUT_OBSD=1`
+/// serves on an ephemeral localhost port, `TSCOUT_OBSD=host:port`
+/// requests that address (falling back to ephemeral on `EADDRINUSE`),
+/// and `TSCOUT_OBSD_ADDR_FILE` names a file to write the bound address
+/// to for port discovery.
+fn obsd_env_config() -> Option<tscout_obsd::ObsdConfig> {
+    let v = std::env::var("TSCOUT_OBSD").ok()?;
+    if v.is_empty() || v == "0" {
+        return None;
+    }
+    let mut cfg = tscout_obsd::ObsdConfig::default();
+    if v.contains(':') {
+        cfg.addr = v;
+    }
+    if let Ok(f) = std::env::var("TSCOUT_OBSD_ADDR_FILE") {
+        if !f.is_empty() {
+            cfg.addr_file = Some(f.into());
+        }
+    }
+    Some(cfg)
 }
 
 /// Results of one run.
@@ -425,6 +453,16 @@ fn run_inner(
     opts: &RunOptions,
     mut lifecycle: Option<&mut ModelLifecycle>,
 ) -> RunStats {
+    // Operator plane: the daemon serves lock-clone snapshots of this
+    // run's registry from OS threads and records its own metrics in a
+    // server-owned registry, so collected samples are bit-identical
+    // with the server on or off. The guard's Drop joins every server
+    // thread when the run returns.
+    let _obsd = opts
+        .obsd
+        .clone()
+        .or_else(obsd_env_config)
+        .and_then(|cfg| tscout_obsd::ObsdServer::start(cfg, db.kernel.telemetry.clone()).ok());
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let terminals: Vec<SessionId> = (0..opts.terminals).map(|_| db.create_session()).collect();
     // Align all terminal clocks to the same start line.

@@ -1,0 +1,193 @@
+//! Operator-plane smoke: the CI gate for tscout-obsd (`ci.sh`).
+//!
+//! 1. Runs a collected YCSB workload with `RunOptions::obsd` enabled on
+//!    an ephemeral port; a client thread discovers the port through the
+//!    addr file and hammers the daemon *while the run is collecting*.
+//! 2. After the run, serves the final (quiescent) registry again and
+//!    checks exact agreement between the three read paths: OpenMetrics
+//!    exposition, the JSON table API, and the read-only SQL endpoint.
+//!
+//! Run with: `cargo run --release --example obsd_smoke`
+//! Artifacts land under `$TS_RESULTS/` (default `results/`):
+//! `obsd_smoke.addr` (the live run's bound address) and
+//! `obsd_smoke.json` (request counts + agreement numbers).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use tscout_suite::archive::ArchiveOptions;
+use tscout_suite::kernel::{HardwareProfile, Kernel};
+use tscout_suite::models::ModelKind;
+use tscout_suite::noisetap::Database;
+use tscout_suite::obsd::json::Json;
+use tscout_suite::obsd::{client, ObsdConfig, ObsdServer};
+use tscout_suite::tscout::{CollectionMode, TsConfig, ALL_SUBSYSTEMS};
+use tscout_suite::workloads::driver::Workload;
+use tscout_suite::workloads::{run_with_lifecycle, ModelLifecycle, RunOptions, Ycsb};
+
+/// Sum every sample line of one counter family in an OpenMetrics
+/// exposition (counters render one line per label set).
+fn exposition_counter_sum(text: &str, family: &str) -> u64 {
+    text.lines()
+        .filter(|l| l.starts_with(&format!("{family}{{")) || l.starts_with(&format!("{family} ")))
+        .filter_map(|l| l.rsplit(' ').next()?.parse::<u64>().ok())
+        .sum()
+}
+
+fn main() {
+    let results = std::env::var("TS_RESULTS").unwrap_or_else(|_| "results".into());
+    let results = std::path::PathBuf::from(results);
+    std::fs::create_dir_all(&results).expect("cannot create results dir");
+    let addr_file = results.join("obsd_smoke.addr");
+    std::fs::remove_file(&addr_file).ok();
+    let archive_dir = results.join("obsd_smoke_archive");
+    std::fs::remove_dir_all(&archive_dir).ok();
+
+    // -- collected workload with the daemon wired through RunOptions --
+    let mut k = Kernel::with_seed(HardwareProfile::server_2x20(), 0x0B5D);
+    k.noise_frac = 0.0;
+    let mut db = Database::new(k);
+    let mut w = Ycsb::new(600);
+    w.setup(&mut db);
+    let mut cfg = TsConfig::new(CollectionMode::KernelContinuous);
+    cfg.enable_all_subsystems();
+    db.attach_tscout(cfg).unwrap();
+    for s in ALL_SUBSYSTEMS {
+        db.tscout_mut().unwrap().set_sampling_rate(s, 100);
+    }
+    let mut lc = ModelLifecycle::new(
+        &archive_dir,
+        ArchiveOptions::default(),
+        ModelKind::Ridge,
+        7,
+        120e6,
+        db.kernel.telemetry.clone(),
+    )
+    .expect("cannot open smoke archive");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let live = Arc::new(AtomicU64::new(0));
+    let hammer = {
+        let (stop, live, addr_file) = (Arc::clone(&stop), Arc::clone(&live), addr_file.clone());
+        std::thread::spawn(move || {
+            let mut addr = None;
+            while !stop.load(Ordering::SeqCst) {
+                let Some(a) = addr.clone().or_else(|| {
+                    std::fs::read_to_string(&addr_file)
+                        .ok()
+                        .map(|s| s.trim().to_string())
+                }) else {
+                    std::thread::sleep(std::time::Duration::from_millis(2));
+                    continue;
+                };
+                addr = Some(a.clone());
+                for probe in [
+                    client::get(&a, "/metrics"),
+                    client::get(&a, "/api/v1/alerts"),
+                    client::post(&a, "/api/v1/sql", "SELECT count(*) FROM ts_stat_ou"),
+                ] {
+                    if matches!(probe, Ok((200, _))) {
+                        live.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            }
+        })
+    };
+    let stats = run_with_lifecycle(
+        &mut db,
+        &mut w,
+        &RunOptions {
+            terminals: 2,
+            duration_ns: 300e6,
+            seed: 0x0B5D,
+            obsd: Some(ObsdConfig {
+                addr_file: Some(addr_file.clone()),
+                ..Default::default()
+            }),
+            ..Default::default()
+        },
+        &mut lc,
+    );
+    stop.store(true, Ordering::SeqCst);
+    hammer.join().unwrap();
+    let live_requests = live.load(Ordering::SeqCst);
+    assert!(stats.committed > 100, "committed {}", stats.committed);
+    assert!(
+        live_requests > 0,
+        "no request reached the daemon while the run was collecting"
+    );
+
+    // -- post-run: the three read paths must agree exactly --
+    let srv = ObsdServer::start(ObsdConfig::default(), db.kernel.telemetry.clone())
+        .expect("cannot start post-run server");
+    let addr = srv.addr().to_string();
+
+    let (status, exposition) = client::get(&addr, "/metrics").expect("scrape");
+    assert_eq!(status, 200);
+    for needle in [
+        "# TYPE tscout_samples_delivered_total counter",
+        "# HELP tscout_samples_delivered_total",
+        "le=\"+Inf\"",
+        "# TYPE tscout_obsd_requests_total counter",
+    ] {
+        assert!(exposition.contains(needle), "exposition missing {needle}");
+    }
+    let delivered_registry = db
+        .kernel
+        .telemetry
+        .counter_total("tscout_samples_delivered_total");
+    let delivered_exposition =
+        exposition_counter_sum(&exposition, "tscout_samples_delivered_total");
+    assert_eq!(
+        delivered_registry, delivered_exposition,
+        "exposition disagrees with the registry"
+    );
+
+    let (status, body) = client::get(&addr, "/api/v1/alerts").expect("alerts");
+    assert_eq!(status, 200);
+    let alerts = Json::parse(&body).expect("alerts JSON");
+    assert!(alerts.get("columns").is_some(), "{body}");
+
+    // SQL/registry agreement: the read-only endpoint must see exactly
+    // the rows the registry's virtual tables hold.
+    let expected_samples: i64 =
+        tscout_suite::noisetap::stat::virtual_rows("ts_stat_ou", &db.kernel.telemetry)
+            .iter()
+            .map(|row| match row[2] {
+                tscout_suite::noisetap::Value::Int(n) => n,
+                _ => 0,
+            })
+            .sum();
+    let (status, body) =
+        client::post(&addr, "/api/v1/sql", "SELECT sum(samples) FROM ts_stat_ou").expect("sql");
+    assert_eq!(status, 200, "{body}");
+    let doc = Json::parse(&body).expect("sql JSON");
+    let sql_samples = doc.get("rows").unwrap().as_arr().unwrap()[0]
+        .as_arr()
+        .unwrap()[0]
+        .as_f64()
+        .unwrap();
+    assert!(
+        (sql_samples - expected_samples as f64).abs() < 0.5,
+        "SQL sum(samples)={sql_samples} disagrees with registry rows={expected_samples}"
+    );
+
+    // DML bounces with a structured error.
+    let (status, body) = client::post(&addr, "/api/v1/sql", "DELETE FROM ts_stat_ou").unwrap();
+    assert_eq!(status, 400, "{body}");
+    srv.shutdown();
+
+    std::fs::write(
+        results.join("obsd_smoke.json"),
+        format!(
+            "{{\n  \"live_requests\": {live_requests},\n  \"committed\": {},\n  \"delivered_samples\": {delivered_registry},\n  \"sql_sum_samples\": {sql_samples}\n}}\n",
+            stats.committed
+        ),
+    )
+    .expect("cannot write obsd_smoke.json");
+    std::fs::remove_dir_all(&archive_dir).ok();
+    println!(
+        "obsd smoke OK: {live_requests} live requests during the run; \
+         exposition = SQL = registry = {delivered_registry} delivered samples"
+    );
+}

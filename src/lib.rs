@@ -16,6 +16,9 @@
 //!   (metrics registry, span tracing, snapshot export);
 //! * [`actions`] (`tscout-actions`) — the autonomous action engine that
 //!   closes the self-driving loop (policies, guardrails, follow-ups);
+//! * [`obsd`] (`tscout-obsd`) — the operator plane: an embedded HTTP
+//!   daemon serving live OpenMetrics/JSON views of a running pipeline,
+//!   plus the `tscoutctl` CLI;
 //! * [`rng`] (`tscout-rng`) — the in-workspace deterministic RNG that
 //!   backs the `rand` alias.
 //!
@@ -32,6 +35,7 @@ pub use tscout_archive as archive;
 pub use tscout_bpf as bpf;
 pub use tscout_kernel as kernel;
 pub use tscout_models as models;
+pub use tscout_obsd as obsd;
 pub use tscout_rng as rng;
 pub use tscout_telemetry as telemetry;
 pub use tscout_workloads as workloads;
